@@ -1,0 +1,105 @@
+"""E4: CrowdER-style hybrid join vs. baselines (Wang et al. 2012).
+
+Reports, per blocking threshold, the number of crowd tasks and the resulting
+precision/recall/F1 — compared against the all-pairs crowd join (upper bound
+on cost) and the machine-only join (lower bound on cost, lower quality).
+The shape to reproduce: blocking cuts crowd cost by one to two orders of
+magnitude at essentially unchanged F1, and the hybrid beats machine-only
+quality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrowdContext
+from repro.datasets import make_entity_resolution_dataset
+from repro.operators import AllPairsCrowdJoin, CrowdJoin, MachineOnlyJoin
+from repro.operators.blocking import SimilarityBlocker
+from repro.simulation import ExperimentRunner, pair_metrics
+
+DATASET = make_entity_resolution_dataset(num_entities=40, duplicates_per_entity=3, seed=42)
+TOTAL_PAIRS = len(DATASET) * (len(DATASET) - 1) // 2
+
+
+def run_crowder(threshold: float, seed: int = 42) -> dict:
+    cc = CrowdContext.in_memory(seed=seed)
+    join = CrowdJoin(cc, "crowder", blocker=SimilarityBlocker(threshold=threshold))
+    result = join.join(DATASET.records, ground_truth=DATASET.pair_ground_truth)
+    quality = pair_metrics(result.matches, DATASET.matching_pairs)
+    cc.close()
+    return {
+        "method": f"crowder(th={threshold})",
+        "crowd_tasks": result.report.crowd_tasks,
+        "task_reduction_x": round(TOTAL_PAIRS / max(1, result.report.crowd_tasks), 1),
+        **{key: round(value, 3) for key, value in quality.items()},
+    }
+
+
+def run_machine_only(threshold: float) -> dict:
+    result = MachineOnlyJoin(threshold=threshold).join(DATASET.records)
+    quality = pair_metrics(result.matches, DATASET.matching_pairs)
+    return {
+        "method": f"machine_only(th={threshold})",
+        "crowd_tasks": 0,
+        "task_reduction_x": float("inf"),
+        **{key: round(value, 3) for key, value in quality.items()},
+    }
+
+
+def run_all_pairs(seed: int = 42) -> dict:
+    """All-pairs crowd join on a subsample (the full 120x120 would be 7140 tasks)."""
+    sample_ids = DATASET.record_ids()[:40]
+    records = {record_id: DATASET.records[record_id] for record_id in sample_ids}
+    truth = {
+        pair for pair in DATASET.matching_pairs if pair[0] in records and pair[1] in records
+    }
+    cc = CrowdContext.in_memory(seed=seed)
+    result = AllPairsCrowdJoin(cc, "all_pairs", n_assignments=3).join(
+        records, ground_truth=DATASET.pair_ground_truth
+    )
+    quality = pair_metrics(result.matches, truth)
+    cc.close()
+    scale = (len(DATASET) * (len(DATASET) - 1)) / (len(records) * (len(records) - 1))
+    return {
+        "method": "all_pairs_crowd (40-record sample, cost scaled)",
+        "crowd_tasks": int(result.report.crowd_tasks * scale),
+        "task_reduction_x": 1.0,
+        **{key: round(value, 3) for key, value in quality.items()},
+    }
+
+
+def test_crowder_vs_baselines(benchmark, record_table):
+    """Headline measurement: one hybrid join at the default threshold."""
+    result = benchmark.pedantic(run_crowder, args=(0.3,), rounds=1, iterations=1)
+    assert result["f1"] >= 0.85
+    assert result["crowd_tasks"] < TOTAL_PAIRS / 10
+
+    rows = [run_all_pairs(), run_machine_only(0.55), result]
+    runner = ExperimentRunner("E4 — CrowdER hybrid join vs. baselines (120 records, 7140 pairs)")
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = rows
+    record_table(
+        "E4_crowder_vs_baselines",
+        sweep.to_table(
+            columns=["method", "crowd_tasks", "task_reduction_x", "precision", "recall", "f1"]
+        ),
+    )
+
+
+def test_crowder_threshold_sweep(benchmark, record_table):
+    """Ablation: the cost/recall trade-off of the blocking threshold."""
+    result = benchmark.pedantic(run_crowder, args=(0.5,), rounds=1, iterations=1)
+    assert result["crowd_tasks"] > 0
+
+    runner = ExperimentRunner("E4b — blocking-threshold sweep (CrowdER join)")
+    sweep = runner.run(
+        [{"threshold": t} for t in (0.1, 0.2, 0.3, 0.4, 0.5, 0.6)],
+        lambda point: run_crowder(point["threshold"]),
+    )
+    record_table(
+        "E4b_threshold_sweep",
+        sweep.to_table(
+            columns=["threshold", "crowd_tasks", "task_reduction_x", "precision", "recall", "f1"]
+        ),
+    )

@@ -1,0 +1,149 @@
+"""E3: crash-and-rerun — the cost and correctness of the sharable guarantee.
+
+Crashes a 200-task experiment at points spread across its execution, reruns
+it after every crash, and reports (a) that the final result matches the
+uninterrupted baseline, (b) that the platform never received a duplicate
+task, and (c) how much work each rerun actually redid (cache hits vs. new
+writes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrowdContext
+from repro.config import PlatformConfig, WorkerPoolConfig
+from repro.datasets import make_image_label_dataset
+from repro.exceptions import CrashInjected
+from repro.platform.client import PlatformClient
+from repro.platform.server import PlatformServer
+from repro.presenters import ImageLabelPresenter
+from repro.simulation import CrashPlan, CrashingEngine, ExperimentRunner
+from repro.storage import SqliteEngine
+from repro.workers.pool import WorkerPool
+
+NUM_IMAGES = 200
+DATASET = make_image_label_dataset(num_images=NUM_IMAGES, seed=17)
+
+
+def fresh_platform(seed: int = 17) -> PlatformClient:
+    pool = WorkerPool.from_config(WorkerPoolConfig(size=30, mean_accuracy=0.9, seed=seed))
+    return PlatformClient(PlatformServer(worker_pool=pool, config=PlatformConfig(seed=seed)))
+
+
+def experiment(engine, client) -> list:
+    context = CrowdContext(engine=engine, client=client, ground_truth=DATASET.ground_truth)
+    data = (
+        context.CrowdData(DATASET.images, "crash_bench")
+        .set_presenter(ImageLabelPresenter())
+        .publish_task(n_assignments=3)
+        .get_result()
+        .mv()
+    )
+    return data.column("mv")
+
+
+def crash_and_recover(db_path: str, crash_points: list[int]) -> dict:
+    """Crash at each point, then rerun to completion; return cost counters."""
+    client = fresh_platform()
+    durable = SqliteEngine(db_path)
+    crashes = 0
+    for crash_after in crash_points:
+        plan = CrashPlan(crash_after_writes=crash_after)
+        try:
+            experiment(CrashingEngine(durable, plan), client)
+        except CrashInjected:
+            crashes += 1
+    labels = experiment(durable, client)
+    stats = client.statistics()
+    durable.close()
+    return {
+        "crashes": crashes,
+        "attempts": len(crash_points) + 1,
+        "tasks_on_platform": stats["tasks"],
+        "answers_on_platform": stats["task_runs"],
+        "labels": labels,
+    }
+
+
+def test_fault_recovery_no_duplicate_work(benchmark, record_table, tmp_path):
+    """Headline: after 5 crashes the platform still has exactly one task per image."""
+    baseline = experiment(SqliteEngine(str(tmp_path / "baseline.db")), fresh_platform())
+
+    def run():
+        return crash_and_recover(
+            str(tmp_path / "crashy.db"), crash_points=[25, 90, 180, 320, 405]
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result["labels"] == baseline
+    assert result["tasks_on_platform"] == NUM_IMAGES
+    assert result["answers_on_platform"] == NUM_IMAGES * 3
+
+    runner = ExperimentRunner("E3 — crash-and-rerun (200-image experiment, 5 injected crashes)")
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = [
+        {
+            "crashes": result["crashes"],
+            "attempts": result["attempts"],
+            "tasks_on_platform": result["tasks_on_platform"],
+            "expected_tasks": NUM_IMAGES,
+            "duplicate_tasks": result["tasks_on_platform"] - NUM_IMAGES,
+            "result_matches_uninterrupted_run": result["labels"] == baseline,
+        }
+    ]
+    record_table(
+        "E3_fault_recovery",
+        sweep.to_table(
+            columns=[
+                "crashes",
+                "attempts",
+                "tasks_on_platform",
+                "expected_tasks",
+                "duplicate_tasks",
+                "result_matches_uninterrupted_run",
+            ]
+        ),
+    )
+
+
+def test_fault_recovery_rerun_cost(benchmark, record_table, tmp_path):
+    """How cheap is a rerun compared to the original run (cache hit rate)?"""
+    db_path = str(tmp_path / "rerun_cost.db")
+    client = fresh_platform()
+    durable = SqliteEngine(db_path)
+    experiment(durable, client)  # original run pays the crowd cost
+
+    def rerun():
+        context = CrowdContext(engine=durable, client=client, ground_truth=DATASET.ground_truth)
+        data = (
+            context.CrowdData(DATASET.images, "crash_bench")
+            .set_presenter(ImageLabelPresenter())
+            .publish_task(n_assignments=3)
+            .get_result()
+            .mv()
+        )
+        publish = next(
+            m for m in reversed(data.manipulation_history()) if m.operation == "publish_task"
+        )
+        collect = next(
+            m for m in reversed(data.manipulation_history()) if m.operation == "get_result"
+        )
+        return {
+            "publish_cache_hits": publish.cache_hits,
+            "collect_cache_hits": collect.cache_hits,
+            "rows": len(data),
+        }
+
+    result = benchmark(rerun)
+    assert result["publish_cache_hits"] == NUM_IMAGES
+    assert result["collect_cache_hits"] == NUM_IMAGES
+
+    runner = ExperimentRunner("E3b — rerun cost (cache hits out of 200 rows)")
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = [result]
+    record_table(
+        "E3b_rerun_cost",
+        sweep.to_table(columns=["rows", "publish_cache_hits", "collect_cache_hits"]),
+    )
+    durable.close()

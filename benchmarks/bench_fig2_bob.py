@@ -1,0 +1,71 @@
+"""E1 (Figure 2): Bob's experiment end-to-end.
+
+Measures the wall-clock cost of the five-step experiment at increasing scale
+and reports, for each scale, the number of crowd tasks, crowd answers, and
+the majority-vote accuracy against ground truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrowdContext
+from repro.datasets import make_image_label_dataset
+from repro.presenters import ImageLabelPresenter
+from repro.simulation import ExperimentRunner
+
+
+def run_bob(num_images: int, redundancy: int, seed: int) -> dict:
+    dataset = make_image_label_dataset(num_images=num_images, seed=seed)
+    cc = CrowdContext.in_memory(seed=seed, ground_truth=dataset.ground_truth)
+    data = (
+        cc.CrowdData(dataset.images, "fig2")
+        .set_presenter(ImageLabelPresenter(question="Is there a face?"))
+        .publish_task(n_assignments=redundancy)
+        .get_result()
+        .mv()
+    )
+    truth = {index: dataset.labels[url] for index, url in enumerate(dataset.images)}
+    accuracy = data.last_aggregation.accuracy_against(truth)
+    stats = cc.client.statistics()
+    cc.close()
+    return {
+        "images": num_images,
+        "redundancy": redundancy,
+        "crowd_tasks": stats["tasks"],
+        "crowd_answers": stats["task_runs"],
+        "mv_accuracy": accuracy,
+    }
+
+
+def test_fig2_bob_experiment(benchmark, record_table):
+    """Headline: the 3-image experiment exactly as written in the paper."""
+    result = benchmark(run_bob, 3, 3, 7)
+    assert result["crowd_tasks"] == 3
+    assert result["crowd_answers"] == 9
+
+    runner = ExperimentRunner("E1 / Figure 2 — Bob's experiment at increasing scale")
+    sweep = runner.run(
+        [{"num_images": n, "redundancy": 3, "seed": 7} for n in (3, 10, 50, 200)],
+        lambda point: run_bob(point["num_images"], point["redundancy"], point["seed"]),
+    )
+    record_table(
+        "E1_fig2_bob",
+        sweep.to_table(columns=["images", "redundancy", "crowd_tasks", "crowd_answers", "mv_accuracy"]),
+    )
+
+
+def test_fig2_redundancy_sweep(benchmark, record_table):
+    """Ablation: accuracy as a function of the per-task redundancy r."""
+    result = benchmark.pedantic(run_bob, args=(60, 3, 11), rounds=1, iterations=1)
+    assert result["crowd_tasks"] == 60
+
+    runner = ExperimentRunner("E1b — majority-vote accuracy vs. redundancy (60 images)")
+    sweep = runner.run(
+        [{"redundancy": r, "seed": 11} for r in (1, 3, 5, 7, 9)],
+        lambda point: run_bob(60, point["redundancy"], point["seed"]),
+    )
+    record_table(
+        "E1b_redundancy",
+        sweep.to_table(columns=["redundancy", "crowd_answers", "mv_accuracy"]),
+    )

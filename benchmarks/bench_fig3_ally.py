@@ -1,0 +1,78 @@
+"""E2 (Figure 3): Ally reruns and extends Bob's experiment.
+
+The measured quantity is the cost of reproduction: how long the rerun takes
+and how many crowd tasks it publishes (the answer must be zero), compared to
+the original run, plus the cost of Ally's incremental extension.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import CrowdContext
+from repro.datasets import make_image_label_dataset
+from repro.presenters import ImageLabelPresenter
+from repro.simulation import ExperimentRunner
+
+DATASET = make_image_label_dataset(num_images=100, seed=13)
+EXTRA = [f"http://img.example.org/ally/{i}.jpg" for i in range(25)]
+
+
+def ground_truth(obj):
+    return DATASET.ground_truth(obj) or "Yes"
+
+
+def bobs_code(cc: CrowdContext, images):
+    return (
+        cc.CrowdData(images, "fig3")
+        .set_presenter(ImageLabelPresenter())
+        .publish_task(n_assignments=3)
+        .get_result()
+        .mv()
+    )
+
+
+def original_run(db_path: str) -> dict:
+    if os.path.exists(db_path):
+        os.unlink(db_path)
+    cc = CrowdContext.with_sqlite(db_path, seed=13, ground_truth=ground_truth)
+    data = bobs_code(cc, DATASET.images)
+    stats = cc.client.statistics()
+    cc.close()
+    return {"run": "bob_original", "crowd_tasks": stats["tasks"], "rows": len(data)}
+
+
+def ally_rerun(db_path: str) -> dict:
+    cc = CrowdContext.with_sqlite(db_path, seed=99, ground_truth=ground_truth)
+    data = bobs_code(cc, DATASET.images)
+    stats = cc.client.statistics()
+    cc.close()
+    return {"run": "ally_rerun", "crowd_tasks": stats["tasks"], "rows": len(data)}
+
+
+def ally_extension(db_path: str) -> dict:
+    cc = CrowdContext.with_sqlite(db_path, seed=21, ground_truth=ground_truth)
+    data = bobs_code(cc, DATASET.images)
+    data.extend(EXTRA).publish_task(n_assignments=3).get_result().mv()
+    stats = cc.client.statistics()
+    cc.close()
+    return {"run": "ally_extension", "crowd_tasks": stats["tasks"], "rows": len(data)}
+
+
+def test_fig3_ally_rerun(benchmark, record_table, tmp_path):
+    """Headline: a rerun of a 100-image experiment publishes zero tasks."""
+    db_path = str(tmp_path / "fig3.db")
+    original = original_run(db_path)
+    rerun = benchmark(ally_rerun, db_path)
+    assert rerun["crowd_tasks"] == 0
+    assert original["crowd_tasks"] == 100
+
+    extension = ally_extension(db_path)
+    assert extension["crowd_tasks"] == len(EXTRA)
+
+    runner = ExperimentRunner("E2 / Figure 3 — reproduction cost (100-image experiment)")
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = [original, rerun, extension]
+    record_table("E2_fig3_ally", sweep.to_table(columns=["run", "crowd_tasks", "rows"]))

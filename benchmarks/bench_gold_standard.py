@@ -1,0 +1,107 @@
+"""E11: gold-standard questions — paying a little to learn who to trust.
+
+Injects known-answer (gold) questions into a labeling workload run against a
+spammer-heavy pool, estimates each worker's accuracy from the gold questions
+alone, and compares plain majority vote against (a) majority vote with failed
+workers filtered out and (b) weighted vote using the gold-estimated
+accuracies.  The gold overhead (extra tasks published) is reported alongside
+the accuracy gain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrowdContext
+from repro.config import ReprowdConfig, StorageConfig, WorkerPoolConfig
+from repro.datasets import make_image_label_dataset
+from repro.presenters import ImageLabelPresenter
+from repro.quality import (
+    GoldStandard,
+    MajorityVoteAggregator,
+    WeightedVoteAggregator,
+    inject_gold,
+)
+from repro.simulation import ExperimentRunner
+
+NUM_IMAGES = 120
+NUM_GOLD = 20
+REDUNDANCY = 5
+
+
+def run_condition(spammer_fraction: float, seed: int = 23) -> dict:
+    dataset = make_image_label_dataset(num_images=NUM_IMAGES, seed=seed)
+    gold_dataset = make_image_label_dataset(num_images=NUM_GOLD, seed=seed + 1000)
+    combined, gold_positions = inject_gold(
+        dataset.images,
+        {url: gold_dataset.labels[url] for url in gold_dataset.images},
+        every=NUM_IMAGES // NUM_GOLD,
+    )
+
+    def truth(obj):
+        return dataset.ground_truth(obj) or gold_dataset.ground_truth(obj)
+
+    config = ReprowdConfig(
+        storage=StorageConfig(engine="memory"),
+        workers=WorkerPoolConfig(
+            size=20, mean_accuracy=0.85, spammer_fraction=spammer_fraction, seed=seed
+        ),
+    )
+    cc = CrowdContext(config=config, ground_truth=truth)
+    data = (
+        cc.CrowdData(combined, "gold_bench")
+        .set_presenter(ImageLabelPresenter())
+        .publish_task(n_assignments=REDUNDANCY)
+        .get_result()
+    )
+    votes = {
+        index: [(a["worker_id"], a["answer"]) for a in row["assignments"]]
+        for index, row in enumerate(data.column("result"))
+    }
+    objects = data.column("object")
+    real_truth = {
+        index: dataset.labels[obj] for index, obj in enumerate(objects) if obj in dataset.labels
+    }
+
+    gold = GoldStandard(gold_positions, pass_threshold=0.6, min_gold_answers=2)
+    report = gold.evaluate(votes)
+    plain = MajorityVoteAggregator().aggregate(votes).accuracy_against(real_truth)
+    filtered = MajorityVoteAggregator().aggregate(gold.filter_votes(votes, report)).accuracy_against(real_truth)
+    weighted = (
+        WeightedVoteAggregator(worker_accuracy=report.worker_accuracy, default_accuracy=0.55)
+        .aggregate(votes)
+        .accuracy_against(real_truth)
+    )
+    cc.close()
+    return {
+        "spammers": spammer_fraction,
+        "gold_tasks": NUM_GOLD,
+        "gold_overhead_pct": round(100.0 * NUM_GOLD / NUM_IMAGES, 1),
+        "workers_flagged": len(report.failed_workers),
+        "mv_plain": round(plain, 3),
+        "mv_gold_filtered": round(filtered, 3),
+        "wmv_gold_weights": round(weighted, 3),
+    }
+
+
+def test_gold_standard_filtering(benchmark, record_table):
+    """Headline: gold filtering recovers accuracy under a 40%-spammer pool."""
+    result = benchmark.pedantic(run_condition, args=(0.4,), rounds=1, iterations=1)
+    assert result["mv_gold_filtered"] >= result["mv_plain"] - 0.03
+
+    runner = ExperimentRunner(
+        f"E11 — gold-standard quality control ({NUM_IMAGES} images + {NUM_GOLD} gold, r={REDUNDANCY})"
+    )
+    sweep = runner.run(
+        [{"spammers": fraction} for fraction in (0.0, 0.2, 0.4, 0.6)],
+        lambda point: run_condition(point["spammers"]),
+    )
+    record_table(
+        "E11_gold_standard",
+        sweep.to_table(
+            columns=[
+                "spammers", "gold_overhead_pct", "workers_flagged",
+                "mv_plain", "mv_gold_filtered", "wmv_gold_weights",
+            ]
+        ),
+    )

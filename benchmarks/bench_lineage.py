@@ -1,0 +1,90 @@
+"""E8: lineage queries answered directly from CrowdData.
+
+After a 300-image experiment, measures the cost of the lineage questions the
+paper lists ("when were the tasks published? which workers did the tasks?")
+and reports the answers, demonstrating that examination needs no re-run and
+no extra crowd work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrowdContext
+from repro.datasets import make_image_label_dataset
+from repro.presenters import ImageLabelPresenter
+from repro.simulation import ExperimentRunner
+
+NUM_IMAGES = 300
+
+
+@pytest.fixture(scope="module")
+def experiment_data():
+    dataset = make_image_label_dataset(num_images=NUM_IMAGES, seed=5)
+    cc = CrowdContext.in_memory(seed=5, ground_truth=dataset.ground_truth)
+    data = (
+        cc.CrowdData(dataset.images, "lineage_bench")
+        .set_presenter(ImageLabelPresenter())
+        .publish_task(n_assignments=3)
+        .get_result()
+        .mv()
+    )
+    yield data
+    cc.close()
+
+
+def test_lineage_query_cost(benchmark, record_table, experiment_data):
+    """Headline: building the lineage view over 900 answers."""
+
+    def query():
+        lineage = experiment_data.lineage()
+        return {
+            "answers": len(lineage),
+            "distinct_workers": len(lineage.workers()),
+            "tasks": len(lineage.tasks()),
+            "publication_window_s": round(
+                lineage.publication_window()[1] - lineage.publication_window()[0], 1
+            ),
+            "collection_window_s": round(
+                lineage.collection_window()[1] - lineage.collection_window()[0], 1
+            ),
+            "mean_latency_s": round(lineage.mean_latency(), 1),
+            "busiest_worker_answers": max(lineage.worker_contributions().values()),
+        }
+
+    result = benchmark(query)
+    assert result["answers"] == NUM_IMAGES * 3
+    assert result["tasks"] == NUM_IMAGES
+
+    runner = ExperimentRunner("E8 — lineage of a 300-image experiment (900 answers)")
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = [result]
+    record_table(
+        "E8_lineage",
+        sweep.to_table(
+            columns=[
+                "answers", "distinct_workers", "tasks", "publication_window_s",
+                "collection_window_s", "mean_latency_s", "busiest_worker_answers",
+            ]
+        ),
+    )
+
+
+def test_manipulation_history_cost(benchmark, record_table, experiment_data):
+    """Reading the durable manipulation log (the 'what did Bob do?' query)."""
+
+    def query():
+        history = experiment_data.manipulation_history()
+        return {
+            "manipulations": len(history),
+            "operations": "->".join(m.operation for m in history),
+            "total_cache_hits": sum(m.cache_hits for m in history),
+        }
+
+    result = benchmark(query)
+    assert result["manipulations"] >= 5
+
+    runner = ExperimentRunner("E8b — manipulation-log examination")
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = [result]
+    record_table("E8b_manipulation_log", sweep.to_table(columns=["manipulations", "operations", "total_cache_hits"]))

@@ -1,0 +1,134 @@
+"""E9: the other crowdsourced operators built on CrowdData.
+
+For sort / max / top-k / filter / count the benchmark reports the crowd cost
+and the output quality against ground truth, demonstrating both the expected
+cost ordering (max << top-k << sort; count << filter) and that every operator
+inherits the sharable machinery (its crowd work is cached in CrowdData).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrowdContext
+from repro.config import ReprowdConfig, StorageConfig, WorkerPoolConfig
+from repro.datasets import make_image_label_dataset, make_ranking_dataset
+from repro.operators import CrowdCount, CrowdFilter, CrowdMax, CrowdSort, CrowdTopK
+from repro.simulation import ExperimentRunner
+
+RANKING = make_ranking_dataset(num_items=16, seed=9)
+IMAGES = make_image_label_dataset(num_images=120, positive_fraction=0.4, seed=9)
+TRUE_YES = sum(1 for label in IMAGES.labels.values() if label == "Yes")
+
+
+def accurate_context(seed=9):
+    config = ReprowdConfig(
+        storage=StorageConfig(engine="memory"),
+        workers=WorkerPoolConfig(size=25, mean_accuracy=0.95, accuracy_spread=0.03, seed=seed),
+    )
+    return CrowdContext(config=config)
+
+
+def run_comparison_operators() -> list[dict]:
+    items = list(RANKING.items)
+    truth_ranking = RANKING.ranking()
+    rows = []
+
+    sort_result = CrowdSort(accurate_context(), "bench_sort").sort(
+        items, ground_truth=RANKING.pair_ground_truth
+    )
+    rows.append(
+        {
+            "operator": "sort",
+            "crowd_tasks": sort_result.report.crowd_tasks,
+            "quality_metric": "kendall_tau",
+            "quality": round(sort_result.kendall_tau(truth_ranking), 3),
+        }
+    )
+
+    topk_result = CrowdTopK(accurate_context(), "bench_topk").top_k(
+        items, 4, ground_truth=RANKING.pair_ground_truth
+    )
+    rows.append(
+        {
+            "operator": "top-4",
+            "crowd_tasks": topk_result.report.crowd_tasks,
+            "quality_metric": "recall@4",
+            "quality": round(topk_result.recall_against(truth_ranking[:4]), 3),
+        }
+    )
+
+    max_result = CrowdMax(accurate_context(), "bench_max").max(
+        items, ground_truth=RANKING.pair_ground_truth
+    )
+    rows.append(
+        {
+            "operator": "max",
+            "crowd_tasks": max_result.report.crowd_tasks,
+            "quality_metric": "winner_correct",
+            "quality": float(max_result.winner == truth_ranking[0]),
+        }
+    )
+    return rows
+
+
+def run_selection_operators() -> list[dict]:
+    rows = []
+    filter_result = CrowdFilter(accurate_context(), "bench_filter").filter(
+        IMAGES.images, ground_truth=IMAGES.ground_truth
+    )
+    kept_correct = len(
+        set(filter_result.kept) & {url for url, label in IMAGES.labels.items() if label == "Yes"}
+    )
+    rows.append(
+        {
+            "operator": "filter",
+            "crowd_tasks": filter_result.report.crowd_tasks,
+            "quality_metric": "recall_of_true_yes",
+            "quality": round(kept_correct / TRUE_YES, 3),
+        }
+    )
+
+    count_result = CrowdCount(accurate_context(), "bench_count", sample_size=30).count(
+        IMAGES.images, ground_truth=IMAGES.ground_truth
+    )
+    rows.append(
+        {
+            "operator": "count (30-sample)",
+            "crowd_tasks": count_result.report.crowd_tasks,
+            "quality_metric": "relative_error",
+            "quality": round(abs(count_result.estimate - TRUE_YES) / TRUE_YES, 3),
+        }
+    )
+    return rows
+
+
+def test_comparison_operator_costs(benchmark, record_table):
+    """Headline: the cost ordering max < top-k < sort on 16 items."""
+    rows = benchmark.pedantic(run_comparison_operators, rounds=1, iterations=1)
+    by_name = {row["operator"]: row for row in rows}
+    assert by_name["max"]["crowd_tasks"] < by_name["top-4"]["crowd_tasks"] < by_name["sort"]["crowd_tasks"]
+
+    runner = ExperimentRunner("E9 — comparison operators on 16 items (accuracy-0.95 pool)")
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = rows
+    record_table(
+        "E9_comparison_operators",
+        sweep.to_table(columns=["operator", "crowd_tasks", "quality_metric", "quality"]),
+    )
+
+
+def test_selection_operator_costs(benchmark, record_table):
+    """Headline: sampling count is an order of magnitude cheaper than filter."""
+    rows = benchmark.pedantic(run_selection_operators, rounds=1, iterations=1)
+    filter_row = next(row for row in rows if row["operator"] == "filter")
+    count_row = next(row for row in rows if "count" in row["operator"])
+    assert count_row["crowd_tasks"] * 3 <= filter_row["crowd_tasks"]
+
+    runner = ExperimentRunner("E9b — selection operators on 120 images")
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = rows
+    record_table(
+        "E9b_selection_operators",
+        sweep.to_table(columns=["operator", "crowd_tasks", "quality_metric", "quality"]),
+    )

@@ -1,0 +1,94 @@
+"""E6: quality-control comparison — MV vs. WMV vs. Dawid-Skene vs. GLAD.
+
+Sweeps worker reliability (mean accuracy and spammer share) and redundancy,
+aggregating the *same* collected answers with every method.  The shape to
+reproduce: all methods tie on reliable crowds; EM-family methods win as the
+pool degrades and redundancy rises (they have more evidence to estimate
+per-worker quality from).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrowdContext
+from repro.config import ReprowdConfig, StorageConfig, WorkerPoolConfig
+from repro.datasets import make_image_label_dataset
+from repro.presenters import ImageLabelPresenter
+from repro.simulation import ExperimentRunner
+
+NUM_IMAGES = 120
+
+
+def collect_and_aggregate(
+    mean_accuracy: float, spammer_fraction: float, redundancy: int, seed: int = 7
+) -> dict:
+    dataset = make_image_label_dataset(num_images=NUM_IMAGES, seed=seed)
+    config = ReprowdConfig(
+        storage=StorageConfig(engine="memory"),
+        workers=WorkerPoolConfig(
+            size=20,
+            mean_accuracy=mean_accuracy,
+            accuracy_spread=0.05,
+            spammer_fraction=spammer_fraction,
+            seed=seed,
+        ),
+    )
+    cc = CrowdContext(config=config, ground_truth=dataset.ground_truth)
+    data = (
+        cc.CrowdData(dataset.images, "qc")
+        .set_presenter(ImageLabelPresenter())
+        .publish_task(n_assignments=redundancy)
+        .get_result()
+    )
+    truth = {index: dataset.labels[url] for index, url in enumerate(dataset.images)}
+    row = {
+        "worker_accuracy": mean_accuracy,
+        "spammers": spammer_fraction,
+        "redundancy": redundancy,
+    }
+    for method in ("mv", "wmv", "em", "glad"):
+        data.quality_control(method, column=method)
+        row[method] = round(data.last_aggregation.accuracy_against(truth), 3)
+    cc.close()
+    return row
+
+
+def test_quality_vs_worker_reliability(benchmark, record_table):
+    """Headline: one mid-reliability condition, then the full reliability sweep."""
+    result = benchmark.pedantic(
+        collect_and_aggregate, args=(0.8, 0.2, 5), rounds=1, iterations=1
+    )
+    assert 0.5 <= result["mv"] <= 1.0
+
+    runner = ExperimentRunner("E6 — aggregation accuracy vs. worker-pool reliability (120 images, r=5)")
+    conditions = [
+        (0.95, 0.0), (0.85, 0.0), (0.75, 0.0), (0.65, 0.0),
+        (0.85, 0.2), (0.85, 0.4), (0.85, 0.6),
+    ]
+    sweep = runner.run(
+        [{"accuracy": a, "spammers": s} for a, s in conditions],
+        lambda point: collect_and_aggregate(point["accuracy"], point["spammers"], 5),
+    )
+    record_table(
+        "E6_quality_vs_reliability",
+        sweep.to_table(columns=["worker_accuracy", "spammers", "redundancy", "mv", "wmv", "em", "glad"]),
+    )
+
+
+def test_quality_vs_redundancy(benchmark, record_table):
+    """Ablation: accuracy vs. redundancy for a noisy pool with spammers."""
+    result = benchmark.pedantic(
+        collect_and_aggregate, args=(0.8, 0.3, 3), rounds=1, iterations=1
+    )
+    assert result["redundancy"] == 3
+
+    runner = ExperimentRunner("E6b — aggregation accuracy vs. redundancy (accuracy 0.8, 30% spammers)")
+    sweep = runner.run(
+        [{"redundancy": r} for r in (1, 3, 5, 7, 9, 11)],
+        lambda point: collect_and_aggregate(0.8, 0.3, point["redundancy"]),
+    )
+    record_table(
+        "E6b_quality_vs_redundancy",
+        sweep.to_table(columns=["redundancy", "mv", "wmv", "em", "glad"]),
+    )

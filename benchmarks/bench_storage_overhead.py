@@ -1,0 +1,93 @@
+"""E7: the price of reproducibility — storage-engine overhead.
+
+The sharable guarantee costs one durable write per published task and one per
+collected result.  This benchmark measures raw engine write/read throughput
+for every engine and the end-to-end experiment time with each engine backing
+the cache, so the overhead of durability is visible in absolute terms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrowdContext
+from repro.config import ReprowdConfig, StorageConfig, WorkerPoolConfig
+from repro.datasets import make_image_label_dataset
+from repro.presenters import ImageLabelPresenter
+from repro.simulation import ExperimentRunner
+from repro.storage import LogStructuredEngine, MemoryEngine, SqliteEngine
+from repro.utils.timing import Stopwatch
+
+NUM_RECORDS = 2000
+
+
+def make_engine(kind: str, tmp_path):
+    if kind == "memory":
+        return MemoryEngine()
+    if kind == "sqlite":
+        return SqliteEngine(str(tmp_path / f"{kind}.db"))
+    return LogStructuredEngine(str(tmp_path / kind), snapshot_every=500)
+
+
+def engine_throughput(kind: str, tmp_path) -> dict:
+    engine = make_engine(kind, tmp_path)
+    engine.create_table("bench")
+    payload = {"task_id": 1, "answers": ["Yes", "No", "Yes"], "published_at": 12.5}
+    with Stopwatch() as write_timer:
+        for index in range(NUM_RECORDS):
+            engine.put("bench", f"key{index}", payload)
+    with Stopwatch() as read_timer:
+        for index in range(NUM_RECORDS):
+            engine.get("bench", f"key{index}")
+    engine.close()
+    return {
+        "engine": kind,
+        "writes_per_sec": int(NUM_RECORDS / max(write_timer.elapsed, 1e-9)),
+        "reads_per_sec": int(NUM_RECORDS / max(read_timer.elapsed, 1e-9)),
+    }
+
+
+def end_to_end_experiment(kind: str, tmp_path, num_images: int = 300) -> dict:
+    dataset = make_image_label_dataset(num_images=num_images, seed=3)
+    path = str(tmp_path / f"e2e_{kind}.db") if kind != "memory" else ":memory:"
+    config = ReprowdConfig(
+        storage=StorageConfig(engine=kind, path=path),
+        workers=WorkerPoolConfig(size=20, seed=3),
+    )
+    with Stopwatch() as timer:
+        cc = CrowdContext(config=config, ground_truth=dataset.ground_truth)
+        (
+            cc.CrowdData(dataset.images, "overhead")
+            .set_presenter(ImageLabelPresenter())
+            .publish_task(n_assignments=3)
+            .get_result()
+            .mv()
+        )
+        cc.close()
+    return {"engine": kind, "images": num_images, "experiment_seconds": round(timer.elapsed, 3)}
+
+
+def test_engine_write_read_throughput(benchmark, record_table, tmp_path):
+    """Headline: SQLite throughput (the default engine Bob actually shares)."""
+    result = benchmark.pedantic(engine_throughput, args=("sqlite", tmp_path), rounds=1, iterations=1)
+    assert result["writes_per_sec"] > 0
+
+    rows = [engine_throughput(kind, tmp_path) for kind in ("memory", "sqlite", "log")]
+    runner = ExperimentRunner(f"E7 — storage-engine throughput ({NUM_RECORDS} task-sized records)")
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = rows
+    record_table("E7_storage_throughput", sweep.to_table(columns=["engine", "writes_per_sec", "reads_per_sec"]))
+
+
+def test_end_to_end_overhead_per_engine(benchmark, record_table, tmp_path):
+    """The durability overhead visible at the whole-experiment level."""
+    result = benchmark.pedantic(
+        end_to_end_experiment, args=("sqlite", tmp_path), rounds=1, iterations=1
+    )
+    assert result["experiment_seconds"] > 0
+
+    rows = [end_to_end_experiment(kind, tmp_path) for kind in ("memory", "sqlite", "log")]
+    runner = ExperimentRunner("E7b — end-to-end experiment time per engine (300 images, r=3)")
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = rows
+    record_table("E7b_end_to_end_overhead", sweep.to_table(columns=["engine", "images", "experiment_seconds"]))

@@ -1,0 +1,81 @@
+"""E5: transitivity-aware join vs. plain CrowdER (Wang et al. 2013).
+
+Reports crowd-task savings from transitive inference as duplicate-cluster
+size grows, plus the ablation the paper's design calls out: asking pairs in
+descending-similarity order (likely matches first, maximising inference)
+versus random order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrowdContext
+from repro.datasets import make_entity_resolution_dataset
+from repro.operators import CrowdJoin, TransitiveCrowdJoin
+from repro.simulation import ExperimentRunner, pair_metrics
+
+
+def compare_joins(num_entities: int, cluster_size: int, ordering: str = "similarity", seed: int = 7) -> dict:
+    dataset = make_entity_resolution_dataset(
+        num_entities=num_entities, duplicates_per_entity=cluster_size, seed=seed
+    )
+    plain = CrowdJoin(CrowdContext.in_memory(seed=seed), "plain").join(
+        dataset.records, ground_truth=dataset.pair_ground_truth
+    )
+    transitive = TransitiveCrowdJoin(
+        CrowdContext.in_memory(seed=seed), "transitive", ordering=ordering
+    ).join(dataset.records, ground_truth=dataset.pair_ground_truth)
+    saved = plain.report.crowd_tasks - transitive.report.crowd_tasks
+    return {
+        "cluster_size": cluster_size,
+        "records": len(dataset),
+        "crowder_tasks": plain.report.crowd_tasks,
+        "transitive_tasks": transitive.report.crowd_tasks,
+        "inferred": transitive.report.inferred,
+        "saved_pct": round(100.0 * saved / max(1, plain.report.crowd_tasks), 1),
+        "crowder_f1": round(pair_metrics(plain.matches, dataset.matching_pairs)["f1"], 3),
+        "transitive_f1": round(pair_metrics(transitive.matches, dataset.matching_pairs)["f1"], 3),
+    }
+
+
+def test_transitive_savings_vs_cluster_size(benchmark, record_table):
+    """Headline: savings grow with cluster size, quality stays flat."""
+    result = benchmark.pedantic(compare_joins, args=(20, 3), rounds=1, iterations=1)
+    assert result["transitive_tasks"] <= result["crowder_tasks"]
+
+    runner = ExperimentRunner("E5 — transitive inference savings vs. duplicate-cluster size (~60 records)")
+    sweep = runner.run(
+        [{"cluster_size": size} for size in (2, 3, 4, 5, 6)],
+        lambda point: compare_joins(60 // point["cluster_size"], point["cluster_size"]),
+    )
+    record_table(
+        "E5_transitive_savings",
+        sweep.to_table(
+            columns=[
+                "cluster_size", "records", "crowder_tasks", "transitive_tasks",
+                "inferred", "saved_pct", "crowder_f1", "transitive_f1",
+            ]
+        ),
+    )
+
+
+def test_transitive_ordering_ablation(benchmark, record_table):
+    """Ablation: similarity-descending ordering vs. random ordering."""
+    result = benchmark.pedantic(
+        compare_joins, args=(15, 4), kwargs={"ordering": "similarity"}, rounds=1, iterations=1
+    )
+    assert result["inferred"] >= 0
+
+    rows = []
+    for ordering in ("similarity", "random"):
+        row = compare_joins(15, 4, ordering=ordering)
+        row["ordering"] = ordering
+        rows.append(row)
+    runner = ExperimentRunner("E5b — pair-ordering ablation (60 records, cluster size 4)")
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = rows
+    record_table(
+        "E5b_ordering_ablation",
+        sweep.to_table(columns=["ordering", "transitive_tasks", "inferred", "transitive_f1"]),
+    )

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the table of rows it measured (the "same rows/series
+the paper reports" artifact) and also writes it to ``benchmarks/results/`` so
+the numbers survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print *text* and persist it under benchmarks/results/<name>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture
+def record_table():
+    """Fixture handing benchmarks the emit() helper."""
+    return emit

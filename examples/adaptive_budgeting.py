@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Adaptive redundancy and budget tracking.
+
+Labels a 150-image collection three ways — fixed redundancy 3, fixed
+redundancy 7, and the adaptive policy that collects extra answers only for
+items the crowd disagrees on — and reports the dollar cost (at $0.02 per
+assignment) and label accuracy of each.  Then shows the budget tracker
+stopping an experiment that would overspend.
+
+Run:
+    python examples/adaptive_budgeting.py
+"""
+
+from __future__ import annotations
+
+from repro import AdaptivePolicy, BudgetExceededError, BudgetTracker, CrowdContext
+from repro.config import ReprowdConfig, StorageConfig, WorkerPoolConfig
+from repro.datasets import make_image_label_dataset
+from repro.operators import CrowdLabel
+from repro.presenters import ImageLabelPresenter
+
+DATASET = make_image_label_dataset(num_images=150, seed=11)
+PRICE = 0.02
+
+
+def make_context(budget: BudgetTracker | None = None) -> CrowdContext:
+    config = ReprowdConfig(
+        storage=StorageConfig(engine="memory"),
+        workers=WorkerPoolConfig(size=25, mean_accuracy=0.85, accuracy_spread=0.05, seed=11),
+    )
+    return CrowdContext(config=config, budget=budget or BudgetTracker(price_per_assignment=PRICE))
+
+
+def run(strategy: str) -> dict:
+    context = make_context()
+    if strategy.startswith("fixed"):
+        redundancy = int(strategy.split("-")[1])
+        labeler = CrowdLabel(context, strategy, n_assignments=redundancy)
+    else:
+        policy = AdaptivePolicy(
+            initial_assignments=2, max_assignments=7, confidence_threshold=0.75, extra_per_round=1
+        )
+        labeler = CrowdLabel(context, strategy, adaptive=policy)
+    result = labeler.label(DATASET.images, ground_truth=DATASET.ground_truth)
+    row = {
+        "strategy": strategy,
+        "answers": result.report.crowd_answers,
+        "spend": context.budget.spent,
+        "accuracy": result.accuracy_against(DATASET.labels),
+    }
+    context.close()
+    return row
+
+
+def main() -> None:
+    print(f"Labeling {len(DATASET)} images at ${PRICE:.02f} per assignment\n")
+    print(f"{'strategy':<12} {'answers':>8} {'spend':>8} {'accuracy':>9}")
+    print("-" * 42)
+    for strategy in ("fixed-3", "fixed-7", "adaptive"):
+        row = run(strategy)
+        print(f"{row['strategy']:<12} {row['answers']:>8} "
+              f"${row['spend']:>6.2f} {row['accuracy']:>9.3f}")
+
+    print("\nEnforcing a hard budget:")
+    tight_budget = BudgetTracker(price_per_assignment=PRICE, budget=2.00)  # 100 assignments
+    context = make_context(budget=tight_budget)
+    data = context.CrowdData(DATASET.images, "over_budget").set_presenter(ImageLabelPresenter())
+    try:
+        data.publish_task(n_assignments=3)  # would need 450 assignments = $9.00
+    except BudgetExceededError as error:
+        print(f"  publish_task aborted: {error}")
+        print(f"  committed so far: ${tight_budget.spent:.2f} "
+              f"({tight_budget.total_assignments()} assignments) — "
+              "already-published tasks stay cached, so raising the budget and "
+              "re-running continues where it stopped.")
+    context.close()
+
+
+if __name__ == "__main__":
+    main()

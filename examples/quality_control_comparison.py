@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quality-control comparison: majority vote vs. weighted vote vs. EM.
+
+Runs the same image-labeling experiment against worker pools of decreasing
+reliability (and increasing spammer share) and reports the label accuracy of
+each aggregation method on the same collected answers — the experiment the
+quality-control component of Figure 1 exists to support.
+
+Run:
+    python examples/quality_control_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import CrowdContext
+from repro.config import ReprowdConfig, StorageConfig, WorkerPoolConfig
+from repro.datasets import make_image_label_dataset
+from repro.presenters import ImageLabelPresenter
+
+
+def run_condition(mean_accuracy: float, spammer_fraction: float, redundancy: int, seed: int = 7):
+    """Collect answers once, then aggregate them three ways."""
+    dataset = make_image_label_dataset(num_images=80, seed=seed)
+    config = ReprowdConfig(
+        storage=StorageConfig(engine="memory"),
+        workers=WorkerPoolConfig(
+            size=30,
+            mean_accuracy=mean_accuracy,
+            accuracy_spread=0.05,
+            spammer_fraction=spammer_fraction,
+            seed=seed,
+        ),
+    )
+    cc = CrowdContext(config=config, ground_truth=dataset.ground_truth)
+    data = (
+        cc.CrowdData(dataset.images, "qc_comparison")
+        .set_presenter(ImageLabelPresenter())
+        .publish_task(n_assignments=redundancy)
+        .get_result()
+    )
+    truth = {index: dataset.labels[url] for index, url in enumerate(dataset.images)}
+    accuracies = {}
+    for method in ("mv", "wmv", "em", "glad"):
+        data.quality_control(method, column=method)
+        accuracies[method] = data.last_aggregation.accuracy_against(truth)
+    cc.close()
+    return accuracies
+
+
+def main() -> None:
+    print("Label accuracy of each aggregation rule (80 images, redundancy 5)\n")
+    header = f"{'worker pool':<38}  {'MV':>6}  {'WMV':>6}  {'EM':>6}  {'GLAD':>6}"
+    print(header)
+    print("-" * len(header))
+    conditions = [
+        ("reliable (acc 0.95, no spammers)", 0.95, 0.0),
+        ("decent (acc 0.80, no spammers)", 0.80, 0.0),
+        ("noisy (acc 0.70, no spammers)", 0.70, 0.0),
+        ("decent + 20% spammers", 0.80, 0.2),
+        ("decent + 40% spammers", 0.80, 0.4),
+    ]
+    for label, accuracy, spammers in conditions:
+        result = run_condition(accuracy, spammers, redundancy=5)
+        print(
+            f"{label:<38}  {result['mv']:>6.3f}  {result['wmv']:>6.3f}  "
+            f"{result['em']:>6.3f}  {result['glad']:>6.3f}"
+        )
+    print(
+        "\nWith reliable crowds all rules agree; as spammers take over, the "
+        "EM-family rules that learn per-worker quality from the data pull ahead "
+        "of plain majority vote."
+    )
+
+
+if __name__ == "__main__":
+    main()

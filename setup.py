@@ -1,0 +1,18 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Metadata lives in pyproject.toml; this file only enables legacy
+(``pip install -e . --no-use-pep517``) editable installs on machines where
+PEP 517 editable builds are unavailable.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Reprowd: crowdsourced data processing made reproducible (reproduction)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

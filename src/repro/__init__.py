@@ -1,0 +1,55 @@
+"""repro — a full reproduction of Reprowd (crowdsourced data processing made reproducible).
+
+The public API mirrors Figure 1 of the paper:
+
+* :class:`repro.CrowdContext` — the entry point encapsulating every component.
+* :class:`repro.CrowdData` — the tabular experiment abstraction.
+* ``repro.presenters`` — task user interfaces (image label, pair comparison...).
+* ``repro.quality`` — answer aggregation (majority vote, weighted vote, EM).
+* ``repro.operators`` — crowdsourced operators (CrowdER join, transitive join,
+  sort, max, top-k, count, filter, dedup) built on CrowdData.
+* ``repro.platform`` / ``repro.workers`` — the simulated crowdsourcing platform
+  and worker pool that stand in for PyBossa and human workers.
+* ``repro.storage`` — the durable cache that makes experiments sharable.
+
+Quickstart (Bob's experiment from Figure 2)::
+
+    from repro import CrowdContext
+    from repro.presenters import ImageLabelPresenter
+
+    cc = CrowdContext.with_sqlite("reprowd.db")
+    images = ["http://img/1.jpg", "http://img/2.jpg", "http://img/3.jpg"]
+    data = (cc.CrowdData(images, table_name="image_label")
+              .set_presenter(ImageLabelPresenter(question="Is there a face?"))
+              .publish_task(n_assignments=3)
+              .get_result()
+              .mv())
+    print(data.column("mv"))
+"""
+
+from repro.config import PlatformConfig, ReprowdConfig, StorageConfig, WorkerPoolConfig
+from repro.core.budget import BudgetExceededError, BudgetTracker
+from repro.core.context import CrowdContext
+from repro.core.crowddata import CrowdData
+from repro.core.export import ExperimentExporter
+from repro.core.session import ExperimentSession
+from repro.exceptions import ReprowdError
+from repro.quality.adaptive import AdaptivePolicy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CrowdContext",
+    "CrowdData",
+    "ExperimentSession",
+    "ExperimentExporter",
+    "BudgetTracker",
+    "BudgetExceededError",
+    "AdaptivePolicy",
+    "ReprowdConfig",
+    "StorageConfig",
+    "PlatformConfig",
+    "WorkerPoolConfig",
+    "ReprowdError",
+    "__version__",
+]

@@ -1,0 +1,148 @@
+"""Configuration objects shared across the repro library.
+
+The paper's CrowdContext takes a platform endpoint, an API key and a local
+cache database path.  In this reproduction the platform is an in-process
+simulator, so the configuration instead captures the knobs that matter for
+reproducibility: storage location, default task redundancy, random seed and
+platform behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+DEFAULT_DB_FILENAME = "reprowd.db"
+DEFAULT_REDUNDANCY = 3
+DEFAULT_SEED = 7
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Configuration of the persistence layer.
+
+    Attributes:
+        engine: One of ``"sqlite"``, ``"memory"`` or ``"log"``.
+        path: Filesystem path of the database (ignored for ``"memory"``).
+        synchronous: When True the SQLite engine commits after every write,
+            matching the durability the paper relies on for crash-and-rerun.
+        snapshot_every: For the log-structured engine, how many log records
+            are written between snapshots.
+    """
+
+    engine: str = "sqlite"
+    path: str = DEFAULT_DB_FILENAME
+    synchronous: bool = True
+    snapshot_every: int = 1000
+
+    def with_path(self, path: str) -> "StorageConfig":
+        """Return a copy of this config pointing at *path*."""
+        return replace(self, path=path)
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Configuration of the simulated crowdsourcing platform.
+
+    Attributes:
+        name: Human-readable platform name (mirrors PyBossa's endpoint).
+        api_key: Accepted API key; the simulated server rejects others.
+        default_redundancy: Number of assignments per task when a CrowdData
+            publish call does not override it.
+        failure_rate: Probability that a transport call fails with
+            :class:`repro.exceptions.PlatformUnavailableError` (fault
+            injection; 0 disables it).
+        duplicate_delivery_rate: Probability that a completed task run is
+            delivered twice by the transport, exercising idempotent result
+            ingestion.
+        seed: Seed for the platform's internal randomness.
+    """
+
+    name: str = "simulated-pybossa"
+    api_key: str = "test-api-key"
+    default_redundancy: int = DEFAULT_REDUNDANCY
+    failure_rate: float = 0.0
+    duplicate_delivery_rate: float = 0.0
+    seed: int = DEFAULT_SEED
+
+
+@dataclass(frozen=True)
+class WorkerPoolConfig:
+    """Configuration of the simulated worker pool.
+
+    Attributes:
+        size: Number of simulated workers.
+        mean_accuracy: Mean per-worker accuracy used when generating the
+            pool (each worker's accuracy is drawn around this mean).
+        accuracy_spread: Half-width of the uniform accuracy jitter.
+        spammer_fraction: Fraction of the pool that answers uniformly at
+            random regardless of the true label.
+        adversarial_fraction: Fraction of the pool that answers the opposite
+            of the true label.
+        seed: Seed for worker generation and answer sampling.
+    """
+
+    size: int = 25
+    mean_accuracy: float = 0.85
+    accuracy_spread: float = 0.10
+    spammer_fraction: float = 0.0
+    adversarial_fraction: float = 0.0
+    seed: int = DEFAULT_SEED
+
+
+@dataclass(frozen=True)
+class ReprowdConfig:
+    """Top-level configuration consumed by :class:`repro.core.CrowdContext`."""
+
+    storage: StorageConfig = field(default_factory=StorageConfig)
+    platform: PlatformConfig = field(default_factory=PlatformConfig)
+    workers: WorkerPoolConfig = field(default_factory=WorkerPoolConfig)
+    seed: int = DEFAULT_SEED
+
+    @classmethod
+    def in_memory(cls, seed: int = DEFAULT_SEED) -> "ReprowdConfig":
+        """Return a configuration that keeps everything in memory.
+
+        Useful for tests and quick experiments that do not need the
+        sharable database file.
+        """
+        return cls(
+            storage=StorageConfig(engine="memory", path=":memory:"),
+            platform=PlatformConfig(seed=seed),
+            workers=WorkerPoolConfig(seed=seed),
+            seed=seed,
+        )
+
+    @classmethod
+    def sqlite(cls, path: str, seed: int = DEFAULT_SEED) -> "ReprowdConfig":
+        """Return a configuration backed by a SQLite file at *path*."""
+        return cls(
+            storage=StorageConfig(engine="sqlite", path=path),
+            platform=PlatformConfig(seed=seed),
+            workers=WorkerPoolConfig(seed=seed),
+            seed=seed,
+        )
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "ReprowdConfig":
+        """Build a configuration from a nested mapping (e.g. parsed JSON)."""
+        storage = StorageConfig(**dict(mapping.get("storage", {})))
+        platform = PlatformConfig(**dict(mapping.get("platform", {})))
+        workers = WorkerPoolConfig(**dict(mapping.get("workers", {})))
+        seed = int(mapping.get("seed", DEFAULT_SEED))
+        return cls(storage=storage, platform=platform, workers=workers, seed=seed)
+
+    def resolve_db_path(self, base_dir: str | None = None) -> str:
+        """Return the absolute path of the database file.
+
+        Args:
+            base_dir: Directory to resolve relative paths against; defaults
+                to the current working directory.
+        """
+        if self.storage.engine == "memory":
+            return ":memory:"
+        path = self.storage.path
+        if os.path.isabs(path):
+            return path
+        return os.path.abspath(os.path.join(base_dir or os.getcwd(), path))

@@ -1,0 +1,32 @@
+"""Core of the reproduction: the CrowdData abstraction and CrowdContext.
+
+A crowdsourcing experiment is a sequence of manipulations of a tabular
+dataset (CrowdData).  Task and result columns are persisted through the
+fault-recovery cache so that re-running a program — after a crash, or on a
+collaborator's machine with the shared database file — behaves as if the
+program had never stopped: no task is ever re-published, no answer is ever
+re-collected, and every manipulation is recorded for later examination.
+"""
+
+from repro.core.budget import BudgetExceededError, BudgetTracker
+from repro.core.cache import FaultRecoveryCache
+from repro.core.context import CrowdContext
+from repro.core.crowddata import CrowdData
+from repro.core.export import ExperimentExporter
+from repro.core.lineage import AnswerLineage, LineageQuery
+from repro.core.manipulations import Manipulation, ManipulationLog
+from repro.core.session import ExperimentSession
+
+__all__ = [
+    "CrowdContext",
+    "CrowdData",
+    "FaultRecoveryCache",
+    "AnswerLineage",
+    "LineageQuery",
+    "Manipulation",
+    "ManipulationLog",
+    "ExperimentSession",
+    "BudgetTracker",
+    "BudgetExceededError",
+    "ExperimentExporter",
+]

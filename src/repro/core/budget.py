@@ -1,0 +1,98 @@
+"""Budget tracking for crowd spend.
+
+Crowdsourcing experiments cost real money: every assignment is paid.  The
+budget tracker charges committed spend whenever assignments are requested
+(publication and adaptive top-ups) and enforces an optional hard budget, so
+an experiment fails fast instead of silently overspending — and so the
+benchmark harness can report dollar costs next to task counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import ReprowdError
+from repro.utils.validation import require_positive
+
+
+class BudgetExceededError(ReprowdError):
+    """Raised when a charge would push spend past the configured budget."""
+
+    def __init__(self, requested: float, spent: float, budget: float):
+        super().__init__(
+            f"charge of ${requested:.2f} would exceed the budget: "
+            f"${spent:.2f} spent of ${budget:.2f}"
+        )
+        self.requested = requested
+        self.spent = spent
+        self.budget = budget
+
+
+@dataclass
+class BudgetTracker:
+    """Tracks committed crowd spend.
+
+    Attributes:
+        price_per_assignment: Dollars paid for one worker answer.
+        budget: Optional hard cap in dollars; None means unlimited.
+        spent: Dollars committed so far.
+        charges: History of (label, assignments, amount) entries.
+    """
+
+    price_per_assignment: float = 0.02
+    budget: float | None = None
+    spent: float = 0.0
+    charges: list[dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        require_positive("price_per_assignment", self.price_per_assignment)
+        if self.budget is not None:
+            require_positive("budget", self.budget)
+
+    # -- charging --------------------------------------------------------------
+
+    def can_afford(self, assignments: int) -> bool:
+        """Return True when charging for *assignments* stays within budget."""
+        if self.budget is None:
+            return True
+        return self.spent + assignments * self.price_per_assignment <= self.budget + 1e-9
+
+    def charge(self, assignments: int, label: str = "") -> float:
+        """Commit spend for *assignments* answers and return the amount.
+
+        Raises:
+            BudgetExceededError: When the charge would exceed the budget.
+        """
+        if assignments < 0:
+            raise ValueError(f"assignments must be non-negative, got {assignments}")
+        amount = assignments * self.price_per_assignment
+        if self.budget is not None and self.spent + amount > self.budget + 1e-9:
+            raise BudgetExceededError(amount, self.spent, self.budget)
+        self.spent += amount
+        self.charges.append({"label": label, "assignments": assignments, "amount": amount})
+        return amount
+
+    # -- reporting --------------------------------------------------------------
+
+    @property
+    def remaining(self) -> float | None:
+        """Dollars left (None when the budget is unlimited)."""
+        if self.budget is None:
+            return None
+        return max(0.0, self.budget - self.spent)
+
+    def total_assignments(self) -> int:
+        """Total assignments charged so far."""
+        return sum(charge["assignments"] for charge in self.charges)
+
+    def summary(self) -> dict[str, Any]:
+        """Return a JSON-friendly spend summary."""
+        return {
+            "price_per_assignment": self.price_per_assignment,
+            "budget": self.budget,
+            "spent": round(self.spent, 4),
+            "remaining": None if self.remaining is None else round(self.remaining, 4),
+            "assignments": self.total_assignments(),
+            "charges": len(self.charges),
+        }

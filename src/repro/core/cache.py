@@ -1,0 +1,100 @@
+"""Fault-recovery cache: the durable half of CrowdData.
+
+The paper persists the ``task`` and ``result`` columns of every CrowdData
+table in a database so that "when the program is crashed, rerunning the
+program is as if it has never crashed".  The cache keys both columns by a
+*content hash of the row's object plus the presenter type*, not by row
+position — so re-running a program that builds its input list in a different
+order, filters it, or extends it still reuses every previously published
+task and collected answer.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.storage.engine import StorageEngine
+from repro.utils.hashing import stable_hash
+
+
+class FaultRecoveryCache:
+    """Durable cache of published tasks and collected results.
+
+    One cache instance serves one CrowdData table; the engine tables it uses
+    are namespaced by the CrowdData table name so that many experiments can
+    share one database file (Bob's sharable artifact).
+    """
+
+    def __init__(self, engine: StorageEngine, table_name: str):
+        self.engine = engine
+        self.table_name = table_name
+        self._tasks_table = f"{table_name}::tasks"
+        self._results_table = f"{table_name}::results"
+        self._meta_table = f"{table_name}::meta"
+        for name in (self._tasks_table, self._results_table, self._meta_table):
+            engine.create_table(name)
+
+    # -- cache keys -------------------------------------------------------------
+
+    @staticmethod
+    def object_key(obj: Any, task_type: str) -> str:
+        """Return the durable cache key for (*obj*, *task_type*)."""
+        return stable_hash({"object": obj, "task_type": task_type})
+
+    # -- task column --------------------------------------------------------------
+
+    def get_task(self, key: str) -> dict[str, Any] | None:
+        """Return the cached task descriptor for *key*, or None."""
+        return self.engine.get(self._tasks_table, key)
+
+    def put_task(self, key: str, task: dict[str, Any]) -> None:
+        """Persist the task descriptor for *key* (idempotent overwrite)."""
+        self.engine.put(self._tasks_table, key, task)
+
+    def task_count(self) -> int:
+        """Number of cached task descriptors."""
+        return self.engine.count(self._tasks_table)
+
+    # -- result column --------------------------------------------------------------
+
+    def get_result(self, key: str) -> list[dict[str, Any]] | None:
+        """Return the cached task runs for *key*, or None when absent."""
+        return self.engine.get(self._results_table, key)
+
+    def put_result(self, key: str, task_runs: list[dict[str, Any]]) -> None:
+        """Persist the complete list of task runs for *key*."""
+        self.engine.put(self._results_table, key, task_runs)
+
+    def result_count(self) -> int:
+        """Number of cached (complete) results."""
+        return self.engine.count(self._results_table)
+
+    # -- table metadata ----------------------------------------------------------------
+
+    def get_meta(self, key: str, default: Any = None) -> Any:
+        """Return table metadata stored under *key* (presenter, ordering...)."""
+        return self.engine.get(self._meta_table, key, default)
+
+    def put_meta(self, key: str, value: Any) -> None:
+        """Persist table metadata under *key*."""
+        self.engine.put(self._meta_table, key, value)
+
+    # -- maintenance ----------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop everything cached for this table (Reprowd's ``clear()``)."""
+        for name in (self._tasks_table, self._results_table, self._meta_table):
+            self.engine.drop_table(name)
+            self.engine.create_table(name)
+
+    def all_cached_objects(self) -> list[str]:
+        """Return every cached object key (task-column keys)."""
+        return self.engine.keys(self._tasks_table)
+
+    def describe(self) -> dict[str, Any]:
+        """Return cache statistics for the examination API."""
+        return {
+            "table": self.table_name,
+            "cached_tasks": self.task_count(),
+            "cached_results": self.result_count(),
+        }

@@ -1,0 +1,617 @@
+"""CrowdData: a crowdsourcing experiment as manipulations of a table.
+
+The five steps of Bob's experiment (Figure 2) map onto CrowdData verbs:
+
+1. ``CrowdContext.CrowdData(object_list, table_name)`` — initialise the table
+   with ``id`` and ``object`` columns.
+2. ``set_presenter(presenter)`` — choose the web UI (table unchanged).
+3. ``publish_task(n_assignments)`` — add the ``task`` column (persisted).
+4. ``get_result()`` — add the ``result`` column (persisted).
+5. ``mv()`` / ``em()`` / ``wmv()`` — add a derived quality-control column.
+
+Task and result columns go through the :class:`FaultRecoveryCache`, so
+re-running the same program — after a crash or on Ally's machine — publishes
+no duplicate tasks and re-collects no answers.  Every verb is appended to the
+manipulation log and every answer carries lineage, which is what makes the
+experiment examinable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.budget import BudgetTracker
+from repro.core.cache import FaultRecoveryCache
+from repro.core.lineage import AnswerLineage, LineageQuery
+from repro.core.manipulations import Manipulation, ManipulationLog
+from repro.exceptions import CrowdDataError, TaskNotFoundError
+from repro.platform.client import PlatformClient
+from repro.presenters.base import BasePresenter, registry as presenter_registry
+from repro.quality.adaptive import AdaptiveCollectionStats, AdaptivePolicy
+from repro.quality.aggregation import AggregationResult, get_aggregator
+from repro.storage.schema import TableSchema
+
+
+class CrowdData:
+    """A tabular crowdsourcing experiment.
+
+    Instances are created through :meth:`repro.core.context.CrowdContext.CrowdData`
+    rather than directly; the context supplies the platform client, the
+    storage-backed cache, and the shared simulated clock.
+    """
+
+    def __init__(
+        self,
+        table_name: str,
+        objects: Sequence[Any],
+        client: PlatformClient,
+        cache: FaultRecoveryCache,
+        manipulation_log: ManipulationLog,
+        clock,
+        ground_truth: Callable[[Any], Any] | None = None,
+        budget: BudgetTracker | None = None,
+    ):
+        """Initialise the table with ``id`` and ``object`` columns.
+
+        Args:
+            table_name: Name of the experiment table (also the platform
+                project name).
+            objects: The input objects, one per row.
+            client: Platform client used to publish tasks and fetch answers.
+            cache: Fault-recovery cache backing the task/result columns.
+            manipulation_log: Durable log of the verbs applied to this table.
+            clock: Simulated clock shared with the platform.
+            ground_truth: Optional callable mapping an object to its hidden
+                true answer, forwarded to the simulated workers.
+            budget: Optional budget tracker; every requested assignment is
+                charged against it at publication time.
+        """
+        self.table_name = table_name
+        self.client = client
+        self.cache = cache
+        self.log = manipulation_log
+        self.clock = clock
+        self.ground_truth = ground_truth
+        self.budget = budget
+
+        self.presenter: BasePresenter | None = None
+        self.project_id: int | None = None
+        self.schema = TableSchema.standard(table_name)
+
+        self.data: dict[str, list[Any]] = {
+            "id": list(range(1, len(objects) + 1)),
+            "object": list(objects),
+            "task": [None] * len(objects),
+            "result": [None] * len(objects),
+        }
+        self._restore_presenter()
+        self.log.record(
+            "init",
+            parameters={"rows": len(objects)},
+            columns_added=["id", "object"],
+            rows_affected=len(objects),
+            timestamp=self.clock.now,
+        )
+
+    # -- basic table access ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.data["id"])
+
+    @property
+    def columns(self) -> list[str]:
+        """Column names currently present, in creation order."""
+        return list(self.data.keys())
+
+    def column(self, name: str) -> list[Any]:
+        """Return one column as a list (copy)."""
+        try:
+            return list(self.data[name])
+        except KeyError:
+            raise CrowdDataError(
+                f"table {self.table_name!r} has no column {name!r}; "
+                f"available: {self.columns}"
+            ) from None
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Return the table as a list of row dictionaries."""
+        names = self.columns
+        return [
+            {name: self.data[name][index] for name in names} for index in range(len(self))
+        ]
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Return the row at *index* (0-based) as a dictionary."""
+        if not 0 <= index < len(self):
+            raise CrowdDataError(f"row index {index} out of range for {len(self)} rows")
+        return {name: self.data[name][index] for name in self.columns}
+
+    # -- step 2: presenter -------------------------------------------------------------
+
+    def set_presenter(self, presenter: BasePresenter) -> "CrowdData":
+        """Choose the web user interface used to publish this table's tasks."""
+        self.presenter = presenter
+        self.cache.put_meta("presenter", presenter.describe())
+        self.log.record(
+            "set_presenter",
+            parameters=presenter.describe(),
+            timestamp=self.clock.now,
+        )
+        return self
+
+    def _restore_presenter(self) -> None:
+        """Rebuild the presenter Bob used, if one is stored in the cache."""
+        description = self.cache.get_meta("presenter")
+        if description:
+            self.presenter = presenter_registry.build(description)
+
+    def _require_presenter(self) -> BasePresenter:
+        if self.presenter is None:
+            raise CrowdDataError(
+                "no presenter set — call set_presenter(...) before publish_task()"
+            )
+        return self.presenter
+
+    # -- step 3: publish tasks ------------------------------------------------------------
+
+    def publish_task(
+        self, n_assignments: int = 3, priority: float = 0.0
+    ) -> "CrowdData":
+        """Publish one task per row, adding the persistent ``task`` column.
+
+        Rows whose task is already in the fault-recovery cache are *not*
+        re-published; this is what makes a rerun free of duplicate crowd
+        work.
+        """
+        presenter = self._require_presenter()
+        self._ensure_project(presenter)
+        cache_hits = 0
+        published = 0
+        for index, obj in enumerate(self.data["object"]):
+            key = self.cache.object_key(obj, presenter.task_type)
+            cached = self.cache.get_task(key)
+            if cached is not None:
+                self.data["task"][index] = cached
+                cache_hits += 1
+                continue
+            if self.budget is not None:
+                self.budget.charge(n_assignments, label=f"{self.table_name}:{key}")
+            true_answer = self.ground_truth(obj) if self.ground_truth else None
+            info = presenter.build_task_info(obj, true_answer=true_answer)
+            task = self.client.create_task(
+                self.project_id, info, n_assignments=n_assignments
+            )
+            descriptor = {
+                "task_id": task.task_id,
+                "project_id": task.project_id,
+                "object_key": key,
+                "n_assignments": task.n_assignments,
+                "published_at": task.created_at,
+                "task_type": presenter.task_type,
+                "priority": priority,
+            }
+            self.cache.put_task(key, descriptor)
+            self.data["task"][index] = descriptor
+            published += 1
+        self.log.record(
+            "publish_task",
+            parameters={"n_assignments": n_assignments, "priority": priority},
+            columns_added=["task"],
+            rows_affected=len(self),
+            cache_hits=cache_hits,
+            timestamp=self.clock.now,
+        )
+        return self
+
+    def _ensure_project(self, presenter: BasePresenter) -> None:
+        """Create (or re-attach to) the platform project for this table."""
+        if self.project_id is not None:
+            return
+        cached_project = self.cache.get_meta("project")
+        if cached_project is not None:
+            existing = self.client.find_project(cached_project["name"])
+            if existing is not None:
+                self.project_id = existing.project_id
+                return
+        project = self.client.create_project(
+            name=self.table_name,
+            description=f"Reprowd experiment table {self.table_name!r}",
+            task_presenter=presenter.template_html(),
+        )
+        self.project_id = project.project_id
+        self.cache.put_meta("project", {"name": project.name, "id": project.project_id})
+
+    # -- step 4: collect results -------------------------------------------------------------
+
+    def get_result(self, blocking: bool = True) -> "CrowdData":
+        """Collect crowd answers, adding the persistent ``result`` column.
+
+        Args:
+            blocking: When True (default) the call simulates crowd work until
+                every task is complete.  When False it only picks up answers
+                that already exist — rows without enough answers keep a
+                partial result, mirroring the original's non-blocking mode.
+        """
+        presenter = self._require_presenter()
+        cache_hits = 0
+        for index, obj in enumerate(self.data["object"]):
+            key = self.cache.object_key(obj, presenter.task_type)
+            cached = self.cache.get_result(key)
+            if cached is not None:
+                self.data["result"][index] = cached
+                cache_hits += 1
+        missing = [
+            index for index, value in enumerate(self.data["result"]) if value is None
+        ]
+        if missing:
+            if self.project_id is None:
+                raise CrowdDataError(
+                    "no tasks have been published — call publish_task() before get_result()"
+                )
+            # A cached task may reference a task id the current platform does
+            # not know about (e.g. the platform was redeployed between runs).
+            # Re-publish those tasks first so the experiment self-heals, then
+            # simulate the crowd once for everything that is pending.
+            for index in missing:
+                descriptor = self.data["task"][index]
+                if descriptor is None:
+                    raise CrowdDataError(
+                        f"row {index} has no published task; publish_task() must cover every row"
+                    )
+                try:
+                    self.client.get_task(descriptor["task_id"])
+                except TaskNotFoundError:
+                    self.data["task"][index] = self._republish(index, descriptor)
+            if blocking:
+                self.client.simulate_work(project_id=self.project_id)
+            for index in missing:
+                descriptor = self.data["task"][index]
+                runs = self.client.get_task_runs(descriptor["task_id"])
+                complete = len(runs) >= descriptor["n_assignments"]
+                run_payloads = [run.to_dict() for run in runs]
+                result = {
+                    "object_key": descriptor["object_key"],
+                    "task_id": descriptor["task_id"],
+                    "published_at": descriptor["published_at"],
+                    "complete": complete,
+                    "assignments": run_payloads,
+                }
+                self.data["result"][index] = result
+                if complete:
+                    # Only complete results are persisted: a partial result
+                    # must be re-fetched on the next run so late answers are
+                    # picked up.
+                    self.cache.put_result(descriptor["object_key"], result)
+        self.log.record(
+            "get_result",
+            parameters={"blocking": blocking},
+            columns_added=["result"],
+            rows_affected=len(self),
+            cache_hits=cache_hits,
+            timestamp=self.clock.now,
+        )
+        return self
+
+    def get_result_adaptive(self, policy: AdaptivePolicy | None = None) -> "CrowdData":
+        """Collect answers with adaptive redundancy (budget-aware ``get_result``).
+
+        Tasks should have been published with ``policy.initial_assignments``.
+        Each round simulates the crowd, checks every unresolved row's answer
+        confidence, and requests ``policy.extra_per_round`` more assignments
+        for the rows that are still ambiguous — up to
+        ``policy.max_assignments`` per task.  Rows already in the
+        fault-recovery cache are never re-collected.
+
+        Args:
+            policy: The adaptive policy; defaults to :class:`AdaptivePolicy`.
+        """
+        policy = policy or AdaptivePolicy()
+        presenter = self._require_presenter()
+        stats = AdaptiveCollectionStats()
+        cache_hits = 0
+        for index, obj in enumerate(self.data["object"]):
+            key = self.cache.object_key(obj, presenter.task_type)
+            cached = self.cache.get_result(key)
+            if cached is not None:
+                self.data["result"][index] = cached
+                cache_hits += 1
+        missing = [
+            index for index, value in enumerate(self.data["result"]) if value is None
+        ]
+        if missing and self.project_id is None:
+            raise CrowdDataError(
+                "no tasks have been published — call publish_task() before "
+                "get_result_adaptive()"
+            )
+        if missing:
+            for index in missing:
+                descriptor = self.data["task"][index]
+                if descriptor is None:
+                    raise CrowdDataError(
+                        f"row {index} has no published task; publish_task() must cover every row"
+                    )
+                try:
+                    self.client.get_task(descriptor["task_id"])
+                except TaskNotFoundError:
+                    self.data["task"][index] = self._republish(index, descriptor)
+            unresolved = list(missing)
+            while unresolved:
+                self.client.simulate_work(project_id=self.project_id)
+                stats.rounds += 1
+                still_unresolved: list[int] = []
+                for index in unresolved:
+                    descriptor = self.data["task"][index]
+                    answers = [
+                        run.answer for run in self.client.get_task_runs(descriptor["task_id"])
+                    ]
+                    if policy.is_resolved(answers):
+                        continue
+                    extra = policy.next_batch(answers)
+                    if extra <= 0:
+                        continue
+                    if self.budget is not None:
+                        self.budget.charge(
+                            extra, label=f"{self.table_name}:{descriptor['object_key']}:adaptive"
+                        )
+                    task = self.client.extend_task_redundancy(descriptor["task_id"], extra)
+                    descriptor["n_assignments"] = task.n_assignments
+                    self.cache.put_task(descriptor["object_key"], descriptor)
+                    still_unresolved.append(index)
+                unresolved = still_unresolved
+            for index in missing:
+                descriptor = self.data["task"][index]
+                runs = self.client.get_task_runs(descriptor["task_id"])
+                answers = [run.answer for run in runs]
+                stats.answers_collected += len(runs)
+                if len(runs) >= policy.max_assignments and not (
+                    answers and policy.confidence(answers) >= policy.confidence_threshold
+                ):
+                    stats.items_at_cap += 1
+                else:
+                    stats.items_resolved_early += 1
+                result = {
+                    "object_key": descriptor["object_key"],
+                    "task_id": descriptor["task_id"],
+                    "published_at": descriptor["published_at"],
+                    "complete": True,
+                    "adaptive": True,
+                    "assignments": [run.to_dict() for run in runs],
+                }
+                self.data["result"][index] = result
+                self.cache.put_result(descriptor["object_key"], result)
+        self._last_adaptive_stats = stats
+        self.log.record(
+            "get_result_adaptive",
+            parameters={
+                "confidence_threshold": policy.confidence_threshold,
+                "max_assignments": policy.max_assignments,
+                **stats.to_dict(),
+            },
+            columns_added=["result"],
+            rows_affected=len(self),
+            cache_hits=cache_hits,
+            timestamp=self.clock.now,
+        )
+        return self
+
+    @property
+    def last_adaptive_stats(self) -> AdaptiveCollectionStats | None:
+        """Statistics of the most recent adaptive collection, if any."""
+        return getattr(self, "_last_adaptive_stats", None)
+
+    def _republish(self, index: int, old_descriptor: dict[str, Any]) -> dict[str, Any]:
+        """Re-publish one row's task when the platform no longer knows it."""
+        presenter = self._require_presenter()
+        self._ensure_project(presenter)
+        obj = self.data["object"][index]
+        true_answer = self.ground_truth(obj) if self.ground_truth else None
+        info = presenter.build_task_info(obj, true_answer=true_answer)
+        task = self.client.create_task(
+            self.project_id, info, n_assignments=old_descriptor["n_assignments"]
+        )
+        descriptor = dict(old_descriptor)
+        descriptor.update(
+            {
+                "task_id": task.task_id,
+                "project_id": task.project_id,
+                "published_at": task.created_at,
+            }
+        )
+        self.cache.put_task(old_descriptor["object_key"], descriptor)
+        return descriptor
+
+    # -- step 5: quality control -------------------------------------------------------------
+
+    def quality_control(self, method: str = "mv", column: str | None = None, **kwargs: Any) -> "CrowdData":
+        """Aggregate each row's answers with *method*, adding a derived column.
+
+        Args:
+            method: Registered aggregator name (``"mv"``, ``"wmv"``, ``"em"``,
+                ``"glad"``).
+            column: Name of the derived column; defaults to *method*.
+            **kwargs: Extra arguments for the aggregator constructor.
+        """
+        column_name = column or method
+        votes = self._vote_table()
+        aggregator = get_aggregator(method, **kwargs)
+        aggregation = aggregator.aggregate(votes)
+        self.data[column_name] = [
+            aggregation.decisions.get(index) for index in range(len(self))
+        ]
+        if not self.schema.has_column(column_name):
+            self.schema.add_column(self._derived_spec(column_name, method))
+        self._last_aggregation = aggregation
+        self.log.record(
+            "quality_control",
+            parameters={"method": method, "column": column_name, **_jsonable(kwargs)},
+            columns_added=[column_name],
+            rows_affected=len(self),
+            timestamp=self.clock.now,
+        )
+        return self
+
+    @staticmethod
+    def _derived_spec(column_name: str, method: str):
+        from repro.storage.schema import ColumnSpec
+
+        return ColumnSpec(name=column_name, persistent=False, description=f"{method} decision")
+
+    def mv(self, **kwargs: Any) -> "CrowdData":
+        """Majority vote — the rule in Bob's experiment (adds column ``mv``)."""
+        return self.quality_control("mv", **kwargs)
+
+    def wmv(self, **kwargs: Any) -> "CrowdData":
+        """Weighted majority vote (adds column ``wmv``)."""
+        return self.quality_control("wmv", **kwargs)
+
+    def em(self, **kwargs: Any) -> "CrowdData":
+        """Dawid-Skene expectation-maximisation (adds column ``em``)."""
+        return self.quality_control("em", **kwargs)
+
+    @property
+    def last_aggregation(self) -> AggregationResult | None:
+        """The full result of the most recent quality-control verb."""
+        return getattr(self, "_last_aggregation", None)
+
+    def _vote_table(self) -> dict[int, list[tuple[str, Any]]]:
+        """Build the aggregation input: row index -> (worker, answer) votes."""
+        votes: dict[int, list[tuple[str, Any]]] = {}
+        for index, result in enumerate(self.data["result"]):
+            if result is None:
+                raise CrowdDataError(
+                    "results have not been collected — call get_result() before quality control"
+                )
+            votes[index] = [
+                (assignment["worker_id"], assignment["answer"])
+                for assignment in result["assignments"]
+            ]
+        return votes
+
+    # -- examination / extension (Figure 3) ---------------------------------------------------
+
+    def append(self, obj: Any) -> "CrowdData":
+        """Append one new row with *obj* (task/result start empty)."""
+        return self.extend([obj])
+
+    def extend(self, objects: Iterable[Any]) -> "CrowdData":
+        """Append new rows; already-present objects are skipped.
+
+        This is how Ally labels more images on top of Bob's experiment: the
+        original rows keep their cached tasks and results, the new rows get
+        published on the next ``publish_task()``.
+        """
+        new_objects = list(objects)
+        existing = {self.cache.object_key(obj, self._task_type_hint()) for obj in self.data["object"]}
+        added = 0
+        for obj in new_objects:
+            key = self.cache.object_key(obj, self._task_type_hint())
+            if key in existing:
+                continue
+            existing.add(key)
+            self.data["id"].append(len(self.data["id"]) + 1)
+            self.data["object"].append(obj)
+            self.data["task"].append(None)
+            self.data["result"].append(None)
+            for column_name in self.data:
+                if column_name not in ("id", "object", "task", "result"):
+                    self.data[column_name].append(None)
+            added += 1
+        self.log.record(
+            "extend",
+            parameters={"objects": len(new_objects), "added": added},
+            rows_affected=added,
+            timestamp=self.clock.now,
+        )
+        return self
+
+    def _task_type_hint(self) -> str:
+        return self.presenter.task_type if self.presenter is not None else "generic"
+
+    def filter(self, predicate: Callable[[dict[str, Any]], bool]) -> "CrowdData":
+        """Keep only the rows for which *predicate(row_dict)* is truthy.
+
+        The cache is untouched: filtered-out rows stay recoverable, matching
+        the paper's rule that derived state is recomputable while crowd data
+        is never thrown away silently.
+        """
+        keep = [index for index, row in enumerate(self.rows()) if predicate(row)]
+        for column_name in self.data:
+            self.data[column_name] = [self.data[column_name][index] for index in keep]
+        self.log.record(
+            "filter",
+            parameters={"kept": len(keep)},
+            rows_affected=len(keep),
+            timestamp=self.clock.now,
+        )
+        return self
+
+    def clear(self) -> "CrowdData":
+        """Drop all rows and forget the cached crowd data for this table."""
+        for column_name in self.data:
+            self.data[column_name] = []
+        self.cache.clear()
+        self.log.record("clear", timestamp=self.clock.now)
+        return self
+
+    # -- lineage ---------------------------------------------------------------------------------
+
+    def lineage_records(self) -> list[AnswerLineage]:
+        """Return one lineage record per collected answer."""
+        records: list[AnswerLineage] = []
+        for index, result in enumerate(self.data["result"]):
+            if result is None:
+                continue
+            descriptor = self.data["task"][index] or {}
+            published_at = result.get("published_at", descriptor.get("published_at", 0.0))
+            for assignment in result["assignments"]:
+                records.append(
+                    AnswerLineage(
+                        object_key=result["object_key"],
+                        task_id=result["task_id"],
+                        run_id=assignment["id"],
+                        worker_id=assignment["worker_id"],
+                        answer=assignment["answer"],
+                        published_at=published_at,
+                        submitted_at=assignment["submitted_at"],
+                        latency_seconds=assignment["latency_seconds"],
+                        assignment_order=assignment["assignment_order"],
+                    )
+                )
+        return records
+
+    def lineage(self) -> LineageQuery:
+        """Return a :class:`LineageQuery` over every collected answer."""
+        return LineageQuery(self.lineage_records())
+
+    def manipulation_history(self) -> list[Manipulation]:
+        """Return the durable manipulation log of this table."""
+        return self.log.history()
+
+    # -- presentation -------------------------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """Return a JSON-friendly summary used by the examination API."""
+        return {
+            "table": self.table_name,
+            "rows": len(self),
+            "columns": self.columns,
+            "cache": self.cache.describe(),
+            "manipulations": [m.operation for m in self.log.history()],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CrowdData(table={self.table_name!r}, rows={len(self)}, "
+            f"columns={self.columns})"
+        )
+
+
+def _jsonable(kwargs: dict[str, Any]) -> dict[str, Any]:
+    """Drop non-JSON-friendly values from a kwargs dict for logging."""
+    cleaned: dict[str, Any] = {}
+    for key, value in kwargs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            cleaned[key] = value
+        else:
+            cleaned[key] = repr(value)
+    return cleaned

@@ -1,0 +1,162 @@
+"""Answer lineage: the examinable half of CrowdData.
+
+The paper's motivating complaint is that shared crowd answers "may not
+contain enough lineage information (e.g., when were the tasks published?
+which workers did the tasks?)".  Every answer CrowdData collects therefore
+carries an :class:`AnswerLineage` record, and :class:`LineageQuery` provides
+the questions Ally asks in Figure 3: which workers participated, when tasks
+were published, how each row's final label came about.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.exceptions import LineageError
+
+
+@dataclass(frozen=True)
+class AnswerLineage:
+    """Provenance of one crowd answer.
+
+    Attributes:
+        object_key: Cache key of the row the answer belongs to.
+        task_id: Platform task id the answer was collected for.
+        run_id: Platform task-run id of the answer.
+        worker_id: Worker who produced the answer.
+        answer: The answer itself.
+        published_at: Simulated-clock time the task was published.
+        submitted_at: Simulated-clock time the answer arrived.
+        latency_seconds: Time the worker spent on the task.
+        assignment_order: 1-based order of this answer among the task's
+            assignments.
+    """
+
+    object_key: str
+    task_id: int
+    run_id: int
+    worker_id: str
+    answer: Any
+    published_at: float
+    submitted_at: float
+    latency_seconds: float
+    assignment_order: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-friendly representation."""
+        return {
+            "object_key": self.object_key,
+            "task_id": self.task_id,
+            "run_id": self.run_id,
+            "worker_id": self.worker_id,
+            "answer": self.answer,
+            "published_at": self.published_at,
+            "submitted_at": self.submitted_at,
+            "latency_seconds": self.latency_seconds,
+            "assignment_order": self.assignment_order,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "AnswerLineage":
+        """Rebuild a lineage record from :meth:`to_dict` output."""
+        return cls(
+            object_key=payload["object_key"],
+            task_id=payload["task_id"],
+            run_id=payload["run_id"],
+            worker_id=payload["worker_id"],
+            answer=payload["answer"],
+            published_at=payload["published_at"],
+            submitted_at=payload["submitted_at"],
+            latency_seconds=payload["latency_seconds"],
+            assignment_order=payload["assignment_order"],
+        )
+
+
+class LineageQuery:
+    """Query interface over a collection of lineage records."""
+
+    def __init__(self, records: Iterable[AnswerLineage]):
+        self._records = list(records)
+        if not self._records:
+            raise LineageError(
+                "no lineage available — call get_result() before querying lineage"
+            )
+
+    # -- simple projections -----------------------------------------------------
+
+    def records(self) -> list[AnswerLineage]:
+        """Return every lineage record (submission order)."""
+        return sorted(self._records, key=lambda record: record.submitted_at)
+
+    def workers(self) -> list[str]:
+        """Return the distinct worker ids that contributed answers, sorted."""
+        return sorted({record.worker_id for record in self._records})
+
+    def tasks(self) -> list[int]:
+        """Return the distinct task ids, sorted."""
+        return sorted({record.task_id for record in self._records})
+
+    def answers_by_worker(self, worker_id: str) -> list[AnswerLineage]:
+        """Return every answer the given worker produced, in time order."""
+        answers = [record for record in self._records if record.worker_id == worker_id]
+        return sorted(answers, key=lambda record: record.submitted_at)
+
+    def answers_for_object(self, object_key: str) -> list[AnswerLineage]:
+        """Return every answer collected for one row's object, in arrival order."""
+        answers = [record for record in self._records if record.object_key == object_key]
+        return sorted(answers, key=lambda record: record.assignment_order)
+
+    # -- aggregate views -----------------------------------------------------------
+
+    def worker_contributions(self) -> dict[str, int]:
+        """Return answers-per-worker counts."""
+        return dict(Counter(record.worker_id for record in self._records))
+
+    def publication_window(self) -> tuple[float, float]:
+        """Return (earliest, latest) task publication times."""
+        published = [record.published_at for record in self._records]
+        return min(published), max(published)
+
+    def collection_window(self) -> tuple[float, float]:
+        """Return (earliest, latest) answer submission times."""
+        submitted = [record.submitted_at for record in self._records]
+        return min(submitted), max(submitted)
+
+    def mean_latency(self) -> float:
+        """Return the mean worker latency in seconds."""
+        return sum(record.latency_seconds for record in self._records) / len(self._records)
+
+    def answer_distribution(self) -> dict[str, int]:
+        """Return answer -> count across all lineage records."""
+        return dict(Counter(str(record.answer) for record in self._records))
+
+    def timeline(self) -> list[dict[str, Any]]:
+        """Return a submission-ordered event list for display."""
+        return [
+            {
+                "time": record.submitted_at,
+                "worker": record.worker_id,
+                "task": record.task_id,
+                "answer": record.answer,
+            }
+            for record in self.records()
+        ]
+
+    def per_object_summary(self) -> dict[str, dict[str, Any]]:
+        """Return per-object answer counts and distinct workers."""
+        summary: dict[str, dict[str, Any]] = defaultdict(
+            lambda: {"answers": 0, "workers": set()}
+        )
+        for record in self._records:
+            entry = summary[record.object_key]
+            entry["answers"] += 1
+            entry["workers"].add(record.worker_id)
+        return {
+            key: {"answers": value["answers"], "workers": sorted(value["workers"])}
+            for key, value in summary.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._records)

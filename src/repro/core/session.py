@@ -1,0 +1,81 @@
+"""Experiment sessions: the share-and-examine workflow as an object.
+
+Figure 2/3 of the paper describe a two-person workflow: Bob runs an
+experiment against a database file, shares code + file with Ally, and Ally
+reruns and extends it.  :class:`ExperimentSession` packages that workflow —
+it owns a database path, runs an experiment function against it, and can
+export/import the resulting artifact so tests and benchmarks can script the
+whole exchange.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.config import ReprowdConfig
+from repro.core.context import CrowdContext
+from repro.exceptions import CrowdDataError
+
+#: An experiment is any callable taking a CrowdContext and returning a result.
+Experiment = Callable[[CrowdContext], Any]
+
+
+@dataclass
+class ExperimentSession:
+    """A named, file-backed experiment that can be shared and re-run.
+
+    Attributes:
+        name: Experiment name (used in messages only).
+        db_path: Path of the SQLite database file backing the experiment.
+        seed: Seed forwarded to the context configuration.
+        runs: Number of times :meth:`run` has been called on this object.
+    """
+
+    name: str
+    db_path: str
+    seed: int = 7
+    runs: int = 0
+    context_kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def open_context(self) -> CrowdContext:
+        """Open a CrowdContext over this session's database file."""
+        return CrowdContext(
+            config=ReprowdConfig.sqlite(self.db_path, seed=self.seed), **self.context_kwargs
+        )
+
+    def run(self, experiment: Experiment) -> Any:
+        """Run *experiment* against this session's database and return its result.
+
+        Because crowd data is cached in the database, running the same
+        experiment again reuses every published task and collected answer.
+        """
+        with self.open_context() as context:
+            result = experiment(context)
+        self.runs += 1
+        return result
+
+    def share(self, destination: str) -> "ExperimentSession":
+        """Copy the database file to *destination* and return Ally's session.
+
+        This is Bob handing his artifact to Ally: she gets her own session
+        object pointing at her own copy of the database.
+        """
+        if not os.path.exists(self.db_path):
+            raise CrowdDataError(
+                f"cannot share {self.name!r}: database {self.db_path!r} does not exist yet"
+            )
+        os.makedirs(os.path.dirname(os.path.abspath(destination)), exist_ok=True)
+        shutil.copy2(self.db_path, destination)
+        return ExperimentSession(
+            name=f"{self.name} (shared)",
+            db_path=destination,
+            seed=self.seed,
+            context_kwargs=dict(self.context_kwargs),
+        )
+
+    def database_size_bytes(self) -> int:
+        """Return the size of the database file (0 when it does not exist)."""
+        return os.path.getsize(self.db_path) if os.path.exists(self.db_path) else 0

@@ -1,0 +1,31 @@
+"""Synthetic dataset generators.
+
+The paper's example applications (image labeling, entity resolution) need
+input data and ground truth.  Real crowdsourcing benchmarks use proprietary
+product feeds and human labels; these generators produce synthetic datasets
+with the same structure — duplicate clusters with controllable dirtiness,
+labeled images, comparison sets with a known total order — so that every
+experiment has exact ground truth to evaluate against.
+"""
+
+from repro.datasets.generators import (
+    EntityResolutionDataset,
+    ImageLabelDataset,
+    RankingDataset,
+    make_entity_resolution_dataset,
+    make_image_label_dataset,
+    make_ranking_dataset,
+)
+from repro.datasets.products import PRODUCT_BRANDS, PRODUCT_CATEGORIES, make_product_name
+
+__all__ = [
+    "EntityResolutionDataset",
+    "ImageLabelDataset",
+    "RankingDataset",
+    "make_entity_resolution_dataset",
+    "make_image_label_dataset",
+    "make_ranking_dataset",
+    "PRODUCT_BRANDS",
+    "PRODUCT_CATEGORIES",
+    "make_product_name",
+]

@@ -1,0 +1,196 @@
+"""Dataset generators with exact ground truth.
+
+Three workload families cover the experiments in EXPERIMENTS.md:
+
+* :func:`make_image_label_dataset` — Bob's image-labeling experiment at any
+  scale (E1/E2/E3/E6/E7/E8).
+* :func:`make_entity_resolution_dataset` — records grouped into duplicate
+  clusters, for the crowdsourced-join experiments (E4/E5).
+* :func:`make_ranking_dataset` — items with a hidden total order, for the
+  sort/max/top-k operators (E9).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.datasets.products import make_product_name, perturb_product_name
+from repro.utils.validation import require_fraction, require_positive
+
+
+@dataclass
+class ImageLabelDataset:
+    """Labeled image URLs.
+
+    Attributes:
+        images: Image URLs (the CrowdData objects).
+        labels: Ground-truth label per image URL.
+        candidates: The label vocabulary.
+    """
+
+    images: list[str] = field(default_factory=list)
+    labels: dict[str, str] = field(default_factory=dict)
+    candidates: list[str] = field(default_factory=lambda: ["Yes", "No"])
+
+    def ground_truth(self, obj: Any) -> str | None:
+        """Oracle form: map an image URL to its true label."""
+        return self.labels.get(obj)
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+
+@dataclass
+class EntityResolutionDataset:
+    """Records partitioned into duplicate clusters.
+
+    Attributes:
+        records: record id -> record dict (``name`` plus extra attributes).
+        clusters: list of clusters, each a list of record ids referring to
+            the same real-world entity.
+        matching_pairs: the set of unordered id pairs that are true matches.
+    """
+
+    records: dict[int, dict[str, Any]] = field(default_factory=dict)
+    clusters: list[list[int]] = field(default_factory=list)
+    matching_pairs: set[tuple[int, int]] = field(default_factory=set)
+
+    def is_match(self, left_id: int, right_id: int) -> bool:
+        """Return True when the two record ids refer to the same entity."""
+        return _ordered(left_id, right_id) in self.matching_pairs
+
+    def record_ids(self) -> list[int]:
+        """Return every record id, sorted."""
+        return sorted(self.records)
+
+    def pair_ground_truth(self, obj: Any) -> str | None:
+        """Oracle form for pair-comparison tasks published by joins.
+
+        The join operators publish objects shaped like
+        ``{"left_id": ..., "right_id": ..., "left": ..., "right": ...}``.
+        """
+        if isinstance(obj, dict) and "left_id" in obj and "right_id" in obj:
+            return "Yes" if self.is_match(obj["left_id"], obj["right_id"]) else "No"
+        return None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class RankingDataset:
+    """Items with a hidden strict total order (higher score = better).
+
+    Attributes:
+        items: item name -> hidden score.
+    """
+
+    items: dict[str, float] = field(default_factory=dict)
+
+    def better(self, left: str, right: str) -> str:
+        """Return whichever of the two items has the higher hidden score."""
+        return left if self.items[left] >= self.items[right] else right
+
+    def ranking(self) -> list[str]:
+        """Return items from best to worst."""
+        return sorted(self.items, key=lambda item: -self.items[item])
+
+    def pair_ground_truth(self, obj: Any) -> str | None:
+        """Oracle form for comparison tasks: answers "A" or "B"."""
+        if isinstance(obj, dict) and "left" in obj and "right" in obj:
+            return "A" if self.better(obj["left"], obj["right"]) == obj["left"] else "B"
+        return None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def _ordered(left_id: int, right_id: int) -> tuple[int, int]:
+    return (left_id, right_id) if left_id <= right_id else (right_id, left_id)
+
+
+def make_image_label_dataset(
+    num_images: int = 100,
+    positive_fraction: float = 0.5,
+    candidates: list[str] | None = None,
+    seed: int = 7,
+) -> ImageLabelDataset:
+    """Generate a labeled image dataset.
+
+    Args:
+        num_images: Number of image URLs to generate.
+        positive_fraction: Fraction labeled with the first candidate.
+        candidates: Label vocabulary; defaults to ["Yes", "No"].
+        seed: RNG seed.
+    """
+    require_positive("num_images", num_images)
+    require_fraction("positive_fraction", positive_fraction)
+    labels_vocab = candidates or ["Yes", "No"]
+    rng = random.Random(seed)
+    images = [f"http://img.example.org/{seed}/{index:06d}.jpg" for index in range(num_images)]
+    labels: dict[str, str] = {}
+    for image in images:
+        if len(labels_vocab) == 2:
+            label = labels_vocab[0] if rng.random() < positive_fraction else labels_vocab[1]
+        else:
+            label = rng.choice(labels_vocab)
+        labels[image] = label
+    return ImageLabelDataset(images=images, labels=labels, candidates=list(labels_vocab))
+
+
+def make_entity_resolution_dataset(
+    num_entities: int = 50,
+    duplicates_per_entity: int = 3,
+    dirtiness: float = 0.3,
+    extra_attributes: bool = True,
+    seed: int = 7,
+) -> EntityResolutionDataset:
+    """Generate records grouped into duplicate clusters.
+
+    Args:
+        num_entities: Number of distinct real-world entities.
+        duplicates_per_entity: Records per entity (cluster size).  The
+            transitive-join experiment sweeps this: larger clusters mean more
+            pairs deducible by transitivity.
+        dirtiness: Probability of each perturbation applied to duplicates.
+        extra_attributes: Attach brand/price attributes to each record.
+        seed: RNG seed.
+    """
+    require_positive("num_entities", num_entities)
+    require_positive("duplicates_per_entity", duplicates_per_entity)
+    require_fraction("dirtiness", dirtiness)
+    rng = random.Random(seed)
+    dataset = EntityResolutionDataset()
+    record_id = 0
+    for _ in range(num_entities):
+        canonical = make_product_name(rng)
+        base_price = round(rng.uniform(20.0, 2500.0), 2)
+        cluster: list[int] = []
+        for duplicate_index in range(duplicates_per_entity):
+            if duplicate_index == 0:
+                name = canonical
+            else:
+                name = perturb_product_name(canonical, rng, dirtiness=dirtiness)
+            record: dict[str, Any] = {"id": record_id, "name": name}
+            if extra_attributes:
+                record["brand"] = canonical.split()[0]
+                record["price"] = round(base_price * rng.uniform(0.9, 1.1), 2)
+            dataset.records[record_id] = record
+            cluster.append(record_id)
+            record_id += 1
+        dataset.clusters.append(cluster)
+        for i in range(len(cluster)):
+            for j in range(i + 1, len(cluster)):
+                dataset.matching_pairs.add(_ordered(cluster[i], cluster[j]))
+    return dataset
+
+
+def make_ranking_dataset(num_items: int = 20, seed: int = 7) -> RankingDataset:
+    """Generate items with a hidden strict total order."""
+    require_positive("num_items", num_items)
+    rng = random.Random(seed)
+    scores = rng.sample(range(num_items * 10), num_items)
+    items = {f"item-{index:03d}": float(score) for index, score in enumerate(scores)}
+    return RankingDataset(items=items)

@@ -1,0 +1,70 @@
+"""Vocabulary and helpers for synthetic product records.
+
+The entity-resolution literature (including CrowdER) evaluates on product
+catalogs; this module provides the vocabulary used to synthesise product
+names whose duplicates differ by realistic perturbations (dropped tokens,
+abbreviations, reordered words, typos).
+"""
+
+from __future__ import annotations
+
+import random
+
+PRODUCT_BRANDS = [
+    "apple", "samsung", "sony", "lenovo", "dell", "hp", "asus", "acer",
+    "canon", "nikon", "panasonic", "lg", "toshiba", "philips", "bose",
+    "logitech", "garmin", "seagate", "sandisk", "kingston",
+]
+
+PRODUCT_CATEGORIES = [
+    "laptop", "smartphone", "tablet", "camera", "monitor", "printer",
+    "keyboard", "mouse", "headphones", "speaker", "router", "charger",
+    "hard drive", "memory card", "smartwatch", "projector",
+]
+
+PRODUCT_MODIFIERS = [
+    "pro", "max", "mini", "plus", "ultra", "lite", "air", "neo",
+    "classic", "premium", "compact", "wireless", "portable",
+]
+
+_ABBREVIATIONS = {
+    "professional": "pro",
+    "wireless": "wl",
+    "portable": "port",
+    "premium": "prem",
+    "compact": "cmp",
+}
+
+
+def make_product_name(rng: random.Random) -> str:
+    """Generate one clean product name from the vocabulary."""
+    brand = rng.choice(PRODUCT_BRANDS)
+    category = rng.choice(PRODUCT_CATEGORIES)
+    modifier = rng.choice(PRODUCT_MODIFIERS)
+    model_number = rng.randint(100, 9999)
+    return f"{brand} {category} {modifier} {model_number}"
+
+
+def perturb_product_name(name: str, rng: random.Random, dirtiness: float = 0.3) -> str:
+    """Produce a dirty duplicate of *name*.
+
+    Applies, each with probability *dirtiness*: token drop, token swap,
+    abbreviation, a character typo, and case change.  The result still refers
+    to the same entity but no longer matches exactly — which is precisely the
+    gap crowdsourced entity resolution exists to close.
+    """
+    tokens = name.split()
+    if len(tokens) > 2 and rng.random() < dirtiness:
+        tokens.pop(rng.randrange(len(tokens) - 1))
+    if len(tokens) > 1 and rng.random() < dirtiness:
+        i = rng.randrange(len(tokens) - 1)
+        tokens[i], tokens[i + 1] = tokens[i + 1], tokens[i]
+    tokens = [_ABBREVIATIONS.get(token, token) if rng.random() < dirtiness else token for token in tokens]
+    result = " ".join(tokens)
+    if result and rng.random() < dirtiness:
+        position = rng.randrange(len(result))
+        replacement = rng.choice("abcdefghijklmnopqrstuvwxyz")
+        result = result[:position] + replacement + result[position + 1 :]
+    if rng.random() < dirtiness:
+        result = result.upper() if rng.random() < 0.5 else result.title()
+    return result

@@ -1,0 +1,117 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReprowdError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the sub-system that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReprowdError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReprowdError):
+    """Raised when a CrowdContext or component is misconfigured."""
+
+
+class StorageError(ReprowdError):
+    """Base class for storage-engine failures."""
+
+
+class TableNotFoundError(StorageError):
+    """Raised when an operation references a table that does not exist."""
+
+    def __init__(self, table_name: str):
+        super().__init__(f"table not found: {table_name!r}")
+        self.table_name = table_name
+
+
+class DuplicateKeyError(StorageError):
+    """Raised when inserting a record whose key already exists."""
+
+    def __init__(self, table_name: str, key: str):
+        super().__init__(f"duplicate key {key!r} in table {table_name!r}")
+        self.table_name = table_name
+        self.key = key
+
+
+class CorruptLogError(StorageError):
+    """Raised when a log-structured engine finds an unreadable log entry."""
+
+
+class PlatformError(ReprowdError):
+    """Base class for crowdsourcing-platform failures."""
+
+
+class ProjectNotFoundError(PlatformError):
+    """Raised when a platform operation references an unknown project."""
+
+    def __init__(self, project_id: object):
+        super().__init__(f"project not found: {project_id!r}")
+        self.project_id = project_id
+
+
+class TaskNotFoundError(PlatformError):
+    """Raised when a platform operation references an unknown task."""
+
+    def __init__(self, task_id: object):
+        super().__init__(f"task not found: {task_id!r}")
+        self.task_id = task_id
+
+
+class PlatformUnavailableError(PlatformError):
+    """Raised by the fault-injection transport to simulate outages."""
+
+
+class WorkerError(ReprowdError):
+    """Base class for simulated-worker failures."""
+
+
+class NoEligibleWorkerError(WorkerError):
+    """Raised when no worker in the pool may answer a task."""
+
+
+class PresenterError(ReprowdError):
+    """Base class for presenter failures."""
+
+
+class InvalidAnswerError(PresenterError):
+    """Raised when a crowd answer does not match the presenter's schema."""
+
+
+class QualityControlError(ReprowdError):
+    """Base class for answer-aggregation failures."""
+
+
+class InsufficientAnswersError(QualityControlError):
+    """Raised when an aggregation rule has no answers to aggregate."""
+
+
+class OperatorError(ReprowdError):
+    """Base class for crowdsourced-operator failures."""
+
+
+class LineageError(ReprowdError):
+    """Raised when lineage information is requested but unavailable."""
+
+
+class CrowdDataError(ReprowdError):
+    """Raised for invalid CrowdData manipulations."""
+
+
+class CrashInjected(ReprowdError):
+    """Raised by the crash-injection harness to simulate a process crash.
+
+    The fault-recovery benchmarks catch this exception at the experiment
+    boundary to emulate the process dying and being re-run.
+    """
+
+    def __init__(self, step: str, detail: str = ""):
+        message = f"injected crash at step {step!r}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.step = step
+        self.detail = detail

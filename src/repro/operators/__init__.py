@@ -1,0 +1,52 @@
+"""Crowdsourced data-processing operators built on CrowdData.
+
+The paper's thesis is that crowdsourced operators implemented on top of the
+CrowdData abstraction inherit the sharable and examinable properties for
+free.  This package implements the operators the crowdsourced-data-management
+literature centres on (Li et al. 2016) — the two join algorithms the paper
+says it re-implemented (CrowdER, Wang et al. 2012; transitivity-aware joins,
+Wang et al. 2013) plus sort, max, top-k, count, filter and dedup — all of
+which publish their tasks exclusively through CrowdData.
+"""
+
+from repro.operators.base import OperatorReport
+from repro.operators.blocking import SimilarityBlocker, all_pairs, blocked_pairs
+from repro.operators.join import CrowdJoin, JoinResult
+from repro.operators.transitive_join import TransitiveCrowdJoin
+from repro.operators.baselines import AllPairsCrowdJoin, MachineOnlyJoin
+from repro.operators.sort import CrowdSort, SortResult
+from repro.operators.max_op import CrowdMax, MaxResult
+from repro.operators.topk import CrowdTopK, TopKResult
+from repro.operators.count import CrowdCount, CountResult
+from repro.operators.filter_op import CrowdFilter, FilterResult
+from repro.operators.dedup import CrowdDedup, DedupResult
+from repro.operators.labeling import CrowdLabel, LabelResult
+from repro.operators.groupby import CrowdGroupBy, GroupByResult
+
+__all__ = [
+    "CrowdLabel",
+    "LabelResult",
+    "CrowdGroupBy",
+    "GroupByResult",
+    "OperatorReport",
+    "SimilarityBlocker",
+    "all_pairs",
+    "blocked_pairs",
+    "CrowdJoin",
+    "JoinResult",
+    "TransitiveCrowdJoin",
+    "AllPairsCrowdJoin",
+    "MachineOnlyJoin",
+    "CrowdSort",
+    "SortResult",
+    "CrowdMax",
+    "MaxResult",
+    "CrowdTopK",
+    "TopKResult",
+    "CrowdCount",
+    "CountResult",
+    "CrowdFilter",
+    "FilterResult",
+    "CrowdDedup",
+    "DedupResult",
+]

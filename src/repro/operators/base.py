@@ -1,0 +1,121 @@
+"""Shared plumbing for crowdsourced operators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.context import CrowdContext
+from repro.exceptions import OperatorError
+
+
+@dataclass
+class OperatorReport:
+    """Cost accounting every operator returns alongside its answer.
+
+    The evaluation of crowdsourced operators is dominated by *how many crowd
+    tasks they publish* (monetary cost) relative to the work a machine-only
+    or brute-force approach would need — these counters are what the join and
+    operator benchmarks print.
+
+    Attributes:
+        operator: Operator name.
+        table_name: CrowdData table the operator used.
+        crowd_tasks: Number of tasks actually published to the crowd.
+        crowd_answers: Number of individual answers collected.
+        machine_comparisons: Number of machine-side similarity evaluations.
+        total_candidates: Size of the space before any pruning (e.g. all
+            record pairs).
+        pruned_by_machine: Candidates eliminated by machine-side pruning
+            (blocking) before reaching the crowd.
+        inferred: Candidates decided without the crowd by inference
+            (transitivity), not by pruning.
+        rounds: Number of publish/collect rounds the operator ran.
+        extras: Operator-specific numbers (e.g. estimated selectivity).
+    """
+
+    operator: str
+    table_name: str
+    crowd_tasks: int = 0
+    crowd_answers: int = 0
+    machine_comparisons: int = 0
+    total_candidates: int = 0
+    pruned_by_machine: int = 0
+    inferred: int = 0
+    rounds: int = 0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def crowd_cost_per_candidate(self) -> float:
+        """Crowd tasks per original candidate (0 when there were none)."""
+        if self.total_candidates == 0:
+            return 0.0
+        return self.crowd_tasks / self.total_candidates
+
+    def savings_fraction(self) -> float:
+        """Fraction of the candidate space that never reached the crowd."""
+        if self.total_candidates == 0:
+            return 0.0
+        return 1.0 - self.crowd_tasks / self.total_candidates
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-friendly representation (used by benchmark output)."""
+        return {
+            "operator": self.operator,
+            "table": self.table_name,
+            "crowd_tasks": self.crowd_tasks,
+            "crowd_answers": self.crowd_answers,
+            "machine_comparisons": self.machine_comparisons,
+            "total_candidates": self.total_candidates,
+            "pruned_by_machine": self.pruned_by_machine,
+            "inferred": self.inferred,
+            "rounds": self.rounds,
+            "savings_fraction": round(self.savings_fraction(), 4),
+            **self.extras,
+        }
+
+
+class CrowdOperator:
+    """Base class providing the CrowdData-backed publish/collect loop."""
+
+    #: Operator name recorded in reports, overridden by subclasses.
+    name = "operator"
+
+    def __init__(self, context: CrowdContext, table_name: str, n_assignments: int = 3,
+                 aggregation: str = "mv"):
+        """Create an operator bound to *context*.
+
+        Args:
+            context: The CrowdContext supplying platform, cache and workers.
+            table_name: Name of the CrowdData table the operator will use.
+            n_assignments: Redundancy per published task.
+            aggregation: Quality-control method applied to collected answers.
+        """
+        if n_assignments < 1:
+            raise OperatorError(f"n_assignments must be >= 1, got {n_assignments}")
+        self.context = context
+        self.table_name = table_name
+        self.n_assignments = n_assignments
+        self.aggregation = aggregation
+
+    def _ask_crowd(
+        self,
+        crowddata,
+        new_objects: list[Any],
+        presenter,
+        ground_truth,
+    ) -> dict[int, Any]:
+        """Publish *new_objects*, collect answers, aggregate, return decisions.
+
+        Returns a mapping from row index (in the CrowdData table) to the
+        aggregated decision, covering every row currently in the table.
+        """
+        if crowddata is None:
+            raise OperatorError("operator must create its CrowdData before asking the crowd")
+        if new_objects:
+            crowddata.extend(new_objects)
+        crowddata.set_presenter(presenter)
+        crowddata.publish_task(n_assignments=self.n_assignments)
+        crowddata.get_result()
+        crowddata.quality_control(self.aggregation, column="decision")
+        decisions = crowddata.column("decision")
+        return dict(enumerate(decisions))

@@ -1,0 +1,76 @@
+"""Baseline join strategies the crowdsourced joins are compared against.
+
+* :class:`AllPairsCrowdJoin` — no machine pruning at all: every record pair
+  goes to the crowd.  This is the brute-force upper bound on crowd cost that
+  makes CrowdER's blocking savings visible.
+* :class:`MachineOnlyJoin` — no crowd at all: pairs above the similarity
+  threshold are declared matches.  This is the lower bound on cost (zero
+  crowd tasks) and the quality baseline the hybrid approach must beat.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.operators.blocking import SimilarityBlocker, all_pairs
+from repro.operators.base import OperatorReport
+from repro.operators.join import CrowdJoin, JoinResult, PairGroundTruth, _ordered
+from repro.utils.validation import require_non_empty
+
+
+class AllPairsCrowdJoin(CrowdJoin):
+    """Crowd join with no machine pruning: every pair is a crowd task."""
+
+    name = "all_pairs_crowd_join"
+
+    def join(
+        self,
+        records: Mapping[int, Mapping[str, Any]],
+        ground_truth: PairGroundTruth | None = None,
+    ) -> JoinResult:
+        require_non_empty("records", records)
+        # A threshold of 0 keeps every pair, and the quadratic generator is
+        # used on purpose: the point of this baseline is the unpruned cost.
+        blocker = SimilarityBlocker(threshold=0.0, use_index=False)
+        blocking = blocker.block(records)
+        return self._verify(records, blocking, ground_truth)
+
+
+class MachineOnlyJoin:
+    """Similarity-threshold join with zero crowd involvement.
+
+    Args:
+        threshold: Pairs with machine similarity >= threshold are matches.
+        blocker: Blocker supplying the similarity function (its own threshold
+            is overridden by *threshold*).
+    """
+
+    name = "machine_only_join"
+
+    def __init__(self, threshold: float = 0.5, blocker: SimilarityBlocker | None = None):
+        self.threshold = threshold
+        base = blocker or SimilarityBlocker()
+        self.blocker = SimilarityBlocker(
+            threshold=threshold, similarity=base.similarity, use_index=base.use_index
+        )
+
+    def join(self, records: Mapping[int, Mapping[str, Any]]) -> JoinResult:
+        """Return the pairs whose machine similarity clears the threshold."""
+        require_non_empty("records", records)
+        blocking = self.blocker.block(records)
+        result = JoinResult()
+        for left_id, right_id, _score in blocking.candidate_pairs:
+            pair = _ordered(left_id, right_id)
+            result.matches.add(pair)
+            result.decisions[pair] = "Yes"
+        result.report = OperatorReport(
+            operator=self.name,
+            table_name="(none)",
+            crowd_tasks=0,
+            crowd_answers=0,
+            machine_comparisons=blocking.comparisons,
+            total_candidates=blocking.total_pairs,
+            pruned_by_machine=blocking.pruned(),
+            extras={"threshold": self.threshold},
+        )
+        return result

@@ -1,0 +1,191 @@
+"""Machine-side candidate generation (blocking) for crowdsourced joins.
+
+CrowdER's key idea is a hybrid human-machine workflow: a cheap machine
+similarity pass eliminates the overwhelming majority of record pairs, and
+only the pairs above a similarity threshold are sent to the crowd for
+verification.  This module provides both the naive quadratic generator and a
+token-based inverted-index blocker that avoids materialising pairs that share
+no tokens at all.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.utils.text import jaccard_similarity, ngrams, record_text
+from repro.utils.validation import require_fraction
+
+#: A similarity function over two record dictionaries.
+SimilarityFn = Callable[[Mapping[str, Any], Mapping[str, Any]], float]
+
+
+def default_similarity(left: Mapping[str, Any], right: Mapping[str, Any]) -> float:
+    """Combined token and character-trigram Jaccard similarity.
+
+    Token Jaccard captures word-level overlap; trigram Jaccard keeps the
+    score high under the typos and abbreviations dirty duplicates exhibit.
+    The maximum of the two is used, which is what keeps a dirty duplicate
+    above a moderate blocking threshold while unrelated records stay below.
+    """
+    left_text = record_text(left)
+    right_text = record_text(right)
+    token_score = jaccard_similarity(left_text, right_text)
+    trigram_score = jaccard_similarity(ngrams(left_text, 3), ngrams(right_text, 3))
+    return max(token_score, trigram_score)
+
+
+def all_pairs(record_ids: Sequence[int]) -> list[tuple[int, int]]:
+    """Return every unordered pair of distinct ids (the un-pruned space)."""
+    ids = sorted(record_ids)
+    return [(ids[i], ids[j]) for i in range(len(ids)) for j in range(i + 1, len(ids))]
+
+
+@dataclass
+class BlockingResult:
+    """Output of a blocking pass.
+
+    Attributes:
+        candidate_pairs: Pairs surviving the threshold, each with its
+            machine similarity, sorted by similarity descending.
+        total_pairs: Size of the unpruned pair space.
+        comparisons: Number of similarity evaluations actually performed.
+    """
+
+    candidate_pairs: list[tuple[int, int, float]]
+    total_pairs: int
+    comparisons: int
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """Return just the id pairs, best-first."""
+        return [(left, right) for left, right, _ in self.candidate_pairs]
+
+    def pruned(self) -> int:
+        """Number of pairs eliminated without crowd involvement."""
+        return self.total_pairs - len(self.candidate_pairs)
+
+
+class SimilarityBlocker:
+    """Threshold blocker with an optional token inverted index.
+
+    Args:
+        threshold: Minimum machine similarity for a pair to become a crowd
+            candidate.  Lower thresholds send more pairs to the crowd
+            (higher recall, higher cost); the CrowdER benchmark sweeps this.
+        similarity: Similarity function over record dicts.
+        use_index: Build a token inverted index so that pairs sharing no
+            token are never compared (sound for Jaccard-style similarities,
+            where such pairs have similarity 0).
+        text_fields: Restrict the text used for indexing/similarity to these
+            record fields (all fields when None).
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.3,
+        similarity: SimilarityFn | None = None,
+        use_index: bool = True,
+        text_fields: Sequence[str] | None = None,
+    ):
+        self.threshold = require_fraction("threshold", threshold)
+        self.similarity = similarity or default_similarity
+        self.use_index = use_index
+        self.text_fields = list(text_fields) if text_fields else None
+
+    # -- public API -----------------------------------------------------------------
+
+    def block(self, records: Mapping[int, Mapping[str, Any]]) -> BlockingResult:
+        """Return candidate pairs among *records* (self-join blocking)."""
+        ids = sorted(records)
+        total_pairs = len(ids) * (len(ids) - 1) // 2
+        if self.use_index:
+            pair_iter = self._index_pairs(records, ids)
+        else:
+            pair_iter = ((ids[i], ids[j]) for i in range(len(ids)) for j in range(i + 1, len(ids)))
+        candidates: list[tuple[int, int, float]] = []
+        comparisons = 0
+        for left_id, right_id in pair_iter:
+            comparisons += 1
+            score = self.similarity(records[left_id], records[right_id])
+            if score >= self.threshold:
+                candidates.append((left_id, right_id, score))
+        candidates.sort(key=lambda item: (-item[2], item[0], item[1]))
+        return BlockingResult(
+            candidate_pairs=candidates, total_pairs=total_pairs, comparisons=comparisons
+        )
+
+    def block_two_sided(
+        self,
+        left_records: Mapping[int, Mapping[str, Any]],
+        right_records: Mapping[int, Mapping[str, Any]],
+    ) -> BlockingResult:
+        """Return candidate pairs between two record collections (R x S join)."""
+        total_pairs = len(left_records) * len(right_records)
+        candidates: list[tuple[int, int, float]] = []
+        comparisons = 0
+        if self.use_index:
+            index = self._build_index(right_records)
+            for left_id, left_record in sorted(left_records.items()):
+                seen: set[int] = set()
+                for token in self._tokens(left_record):
+                    for right_id in index.get(token, ()):
+                        if right_id in seen:
+                            continue
+                        seen.add(right_id)
+                        comparisons += 1
+                        score = self.similarity(left_record, right_records[right_id])
+                        if score >= self.threshold:
+                            candidates.append((left_id, right_id, score))
+        else:
+            for left_id, left_record in sorted(left_records.items()):
+                for right_id, right_record in sorted(right_records.items()):
+                    comparisons += 1
+                    score = self.similarity(left_record, right_record)
+                    if score >= self.threshold:
+                        candidates.append((left_id, right_id, score))
+        candidates.sort(key=lambda item: (-item[2], item[0], item[1]))
+        return BlockingResult(
+            candidate_pairs=candidates, total_pairs=total_pairs, comparisons=comparisons
+        )
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _tokens(self, record: Mapping[str, Any]) -> set[str]:
+        from repro.utils.text import tokenize
+
+        text = record_text(record, fields=self.text_fields)
+        # Index both word tokens and character trigrams so that the index is
+        # a sound filter for the default (token OR trigram) similarity: a
+        # pair sharing neither a token nor a trigram scores 0 either way.
+        return set(tokenize(text)) | set(ngrams(text, 3))
+
+    def _build_index(self, records: Mapping[int, Mapping[str, Any]]) -> dict[str, list[int]]:
+        index: dict[str, list[int]] = defaultdict(list)
+        for record_id, record in sorted(records.items()):
+            for token in self._tokens(record):
+                index[token].append(record_id)
+        return index
+
+    def _index_pairs(
+        self, records: Mapping[int, Mapping[str, Any]], ids: list[int]
+    ):
+        """Yield unordered id pairs that share at least one token."""
+        index = self._build_index(records)
+        emitted: set[tuple[int, int]] = set()
+        for token_ids in index.values():
+            for i in range(len(token_ids)):
+                for j in range(i + 1, len(token_ids)):
+                    pair = (token_ids[i], token_ids[j]) if token_ids[i] < token_ids[j] else (token_ids[j], token_ids[i])
+                    if pair not in emitted:
+                        emitted.add(pair)
+                        yield pair
+
+
+def blocked_pairs(
+    records: Mapping[int, Mapping[str, Any]],
+    threshold: float = 0.3,
+    similarity: SimilarityFn | None = None,
+) -> BlockingResult:
+    """One-shot helper: block *records* with the given threshold."""
+    return SimilarityBlocker(threshold=threshold, similarity=similarity).block(records)

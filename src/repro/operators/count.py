@@ -1,0 +1,121 @@
+"""Crowdsourced count: estimate how many items satisfy a predicate.
+
+Asking the crowd about every item is wasteful when only an aggregate is
+needed.  The sampling-based count estimator asks about a random sample,
+estimates the selectivity with a confidence interval, and scales it to the
+population — the standard crowdsourced-count design.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.operators.base import CrowdOperator, OperatorReport
+from repro.operators.filter_op import CrowdFilter
+from repro.presenters.base import BasePresenter
+from repro.utils.validation import require_non_empty, require_positive
+
+
+@dataclass
+class CountResult:
+    """Output of a crowdsourced count.
+
+    Attributes:
+        estimate: Estimated number of items satisfying the predicate.
+        selectivity: Estimated fraction of qualifying items.
+        confidence_interval: (low, high) bounds on the selectivity (95%).
+        sample_size: Number of items actually asked about.
+        population: Total number of items.
+        report: Cost accounting.
+    """
+
+    estimate: float = 0.0
+    selectivity: float = 0.0
+    confidence_interval: tuple[float, float] = (0.0, 1.0)
+    sample_size: int = 0
+    population: int = 0
+    report: OperatorReport | None = None
+
+
+class CrowdCount(CrowdOperator):
+    """Sampling-based crowdsourced count.
+
+    Args:
+        context: CrowdContext supplying platform, cache and workers.
+        table_name: CrowdData table used for the sampled tasks.
+        presenter: Presenter for the per-item yes/no question.
+        sample_size: How many items to ask the crowd about (capped at the
+            population size).
+        keep_answer: The answer that counts as "satisfies the predicate".
+        n_assignments: Redundancy per task.
+        aggregation: Quality-control method.
+        seed: Seed for the sampling RNG.
+    """
+
+    name = "crowd_count"
+
+    def __init__(
+        self,
+        context,
+        table_name: str,
+        presenter: BasePresenter | None = None,
+        sample_size: int = 50,
+        keep_answer: Any = "Yes",
+        n_assignments: int = 3,
+        aggregation: str = "mv",
+        seed: int = 7,
+    ):
+        super().__init__(context, table_name, n_assignments=n_assignments, aggregation=aggregation)
+        require_positive("sample_size", sample_size)
+        self.presenter = presenter
+        self.sample_size = sample_size
+        self.keep_answer = keep_answer
+        self.seed = seed
+
+    def count(
+        self,
+        items: Sequence[Any],
+        ground_truth: Callable[[Any], Any] | None = None,
+    ) -> CountResult:
+        """Estimate how many of *items* satisfy the predicate."""
+        require_non_empty("items", items)
+        population = len(items)
+        sample_size = min(self.sample_size, population)
+        rng = random.Random(self.seed)
+        sample = rng.sample(list(items), sample_size)
+
+        crowd_filter = CrowdFilter(
+            self.context,
+            self.table_name,
+            presenter=self.presenter,
+            keep_answer=self.keep_answer,
+            n_assignments=self.n_assignments,
+            aggregation=self.aggregation,
+        )
+        filter_result = crowd_filter.filter(sample, ground_truth=ground_truth)
+
+        positives = len(filter_result.kept)
+        selectivity = positives / sample_size
+        margin = 1.96 * math.sqrt(selectivity * (1 - selectivity) / sample_size)
+        interval = (max(0.0, selectivity - margin), min(1.0, selectivity + margin))
+
+        report = OperatorReport(
+            operator=self.name,
+            table_name=self.table_name,
+            crowd_tasks=sample_size,
+            crowd_answers=sample_size * self.n_assignments,
+            total_candidates=population,
+            rounds=1,
+            extras={"sample_size": sample_size},
+        )
+        return CountResult(
+            estimate=selectivity * population,
+            selectivity=selectivity,
+            confidence_interval=interval,
+            sample_size=sample_size,
+            population=population,
+            report=report,
+        )

@@ -1,0 +1,90 @@
+"""Crowdsourced filter (selection): keep the items the crowd says qualify."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.crowddata import CrowdData
+from repro.operators.base import CrowdOperator, OperatorReport
+from repro.presenters.base import BasePresenter
+from repro.presenters.image_label import ImageLabelPresenter
+from repro.utils.validation import require_non_empty
+
+
+@dataclass
+class FilterResult:
+    """Output of a crowdsourced filter.
+
+    Attributes:
+        kept: Items the crowd judged to satisfy the predicate.
+        rejected: Items the crowd judged not to satisfy it.
+        decisions: item -> aggregated answer.
+        report: Cost accounting.
+        crowddata: The CrowdData table used.
+    """
+
+    kept: list[Any] = field(default_factory=list)
+    rejected: list[Any] = field(default_factory=list)
+    decisions: dict[int, Any] = field(default_factory=dict)
+    report: OperatorReport | None = None
+    crowddata: CrowdData | None = None
+
+
+class CrowdFilter(CrowdOperator):
+    """Ask the crowd one yes/no question per item and keep the "Yes" items.
+
+    Args:
+        context: CrowdContext supplying platform, cache and workers.
+        table_name: CrowdData table used for the published tasks.
+        presenter: Presenter for the per-item question (image label Yes/No by
+            default).
+        keep_answer: The aggregated answer that means "keep this item".
+        n_assignments: Redundancy per task.
+        aggregation: Quality-control method.
+    """
+
+    name = "crowd_filter"
+
+    def __init__(
+        self,
+        context,
+        table_name: str,
+        presenter: BasePresenter | None = None,
+        keep_answer: Any = "Yes",
+        n_assignments: int = 3,
+        aggregation: str = "mv",
+    ):
+        super().__init__(context, table_name, n_assignments=n_assignments, aggregation=aggregation)
+        self.presenter = presenter or ImageLabelPresenter()
+        self.keep_answer = keep_answer
+
+    def filter(
+        self,
+        items: Sequence[Any],
+        ground_truth: Callable[[Any], Any] | None = None,
+    ) -> FilterResult:
+        """Run the filter over *items*."""
+        require_non_empty("items", items)
+        crowddata = self.context.CrowdData(list(items), self.table_name, ground_truth=ground_truth)
+        decisions = self._ask_crowd(
+            crowddata, new_objects=[], presenter=self.presenter, ground_truth=ground_truth
+        )
+        result = FilterResult(crowddata=crowddata)
+        for index, item in enumerate(crowddata.column("object")):
+            decision = decisions[index]
+            result.decisions[index] = decision
+            if decision == self.keep_answer:
+                result.kept.append(item)
+            else:
+                result.rejected.append(item)
+        result.report = OperatorReport(
+            operator=self.name,
+            table_name=self.table_name,
+            crowd_tasks=len(items),
+            crowd_answers=len(items) * self.n_assignments,
+            total_candidates=len(items),
+            rounds=1,
+            extras={"selectivity": len(result.kept) / len(items)},
+        )
+        return result

@@ -1,0 +1,188 @@
+"""CrowdER-style crowdsourced join (Wang et al. 2012).
+
+The hybrid human-machine workflow:
+
+1. Machine pass: a :class:`repro.operators.blocking.SimilarityBlocker`
+   computes a cheap similarity for every record pair and keeps only the
+   pairs above a threshold (the overwhelming majority of pairs are obvious
+   non-matches and never reach the crowd).
+2. Crowd pass: each surviving candidate pair is published as a comparison
+   task through CrowdData; redundant answers are aggregated (majority vote
+   by default) into a match / non-match decision.
+
+Because the crowd pass goes through CrowdData, the join is sharable and
+examinable for free — re-running the join against the same database file
+re-publishes nothing, and every pair decision carries full lineage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.core.crowddata import CrowdData
+from repro.operators.base import CrowdOperator, OperatorReport
+from repro.operators.blocking import BlockingResult, SimilarityBlocker
+from repro.presenters.record_cmp import RecordComparisonPresenter
+from repro.utils.validation import require_non_empty
+
+#: Ground truth for a join: callable mapping a pair object to "Yes"/"No".
+PairGroundTruth = Callable[[dict[str, Any]], Any]
+
+
+@dataclass
+class JoinResult:
+    """Output of a crowdsourced join.
+
+    Attributes:
+        matches: Unordered id pairs the crowd judged to be matches.
+        decisions: Every judged pair -> "Yes"/"No".
+        report: Cost accounting.
+        crowddata: The CrowdData table used (for lineage / examination).
+    """
+
+    matches: set[tuple[int, int]] = field(default_factory=set)
+    decisions: dict[tuple[int, int], Any] = field(default_factory=dict)
+    report: OperatorReport | None = None
+    crowddata: CrowdData | None = None
+
+    def precision_recall_f1(
+        self, true_matches: set[tuple[int, int]]
+    ) -> tuple[float, float, float]:
+        """Return (precision, recall, F1) against *true_matches*."""
+        predicted = {_ordered(*pair) for pair in self.matches}
+        truth = {_ordered(*pair) for pair in true_matches}
+        if not predicted:
+            precision = 1.0 if not truth else 0.0
+        else:
+            precision = len(predicted & truth) / len(predicted)
+        recall = 1.0 if not truth else len(predicted & truth) / len(truth)
+        if precision + recall == 0:
+            return precision, recall, 0.0
+        return precision, recall, 2 * precision * recall / (precision + recall)
+
+
+def _ordered(left_id: int, right_id: int) -> tuple[int, int]:
+    return (left_id, right_id) if left_id <= right_id else (right_id, left_id)
+
+
+def make_pair_object(
+    left_id: int,
+    right_id: int,
+    left_record: Mapping[str, Any],
+    right_record: Mapping[str, Any],
+) -> dict[str, Any]:
+    """Build the CrowdData object published for one candidate pair."""
+    return {
+        "left_id": left_id,
+        "right_id": right_id,
+        "left": dict(left_record),
+        "right": dict(right_record),
+    }
+
+
+class CrowdJoin(CrowdOperator):
+    """Blocking + crowd verification join over one record collection.
+
+    Args:
+        context: CrowdContext supplying platform, cache and workers.
+        table_name: CrowdData table name for the published pair tasks.
+        blocker: Machine-side blocker; a default Jaccard blocker with
+            threshold 0.3 when omitted.
+        n_assignments: Redundancy per pair task.
+        aggregation: Quality-control method ("mv", "wmv", "em", "glad").
+        match_answer: The candidate answer that means "these records match".
+    """
+
+    name = "crowd_join"
+
+    def __init__(
+        self,
+        context,
+        table_name: str,
+        blocker: SimilarityBlocker | None = None,
+        n_assignments: int = 3,
+        aggregation: str = "mv",
+        match_answer: Any = "Yes",
+    ):
+        super().__init__(context, table_name, n_assignments=n_assignments, aggregation=aggregation)
+        self.blocker = blocker or SimilarityBlocker(threshold=0.3)
+        self.match_answer = match_answer
+
+    def join(
+        self,
+        records: Mapping[int, Mapping[str, Any]],
+        ground_truth: PairGroundTruth | None = None,
+    ) -> JoinResult:
+        """Run the join over *records* (self-join / dedup-style).
+
+        Args:
+            records: record id -> record dict.
+            ground_truth: Optional pair-object -> true-answer oracle for the
+                simulated crowd (benchmarks pass the dataset's oracle).
+        """
+        require_non_empty("records", records)
+        blocking = self.blocker.block(records)
+        return self._verify(records, blocking, ground_truth)
+
+    def join_two_sided(
+        self,
+        left_records: Mapping[int, Mapping[str, Any]],
+        right_records: Mapping[int, Mapping[str, Any]],
+        ground_truth: PairGroundTruth | None = None,
+    ) -> JoinResult:
+        """Run the join between two record collections (R x S)."""
+        require_non_empty("left_records", left_records)
+        require_non_empty("right_records", right_records)
+        blocking = self.blocker.block_two_sided(left_records, right_records)
+        combined: dict[int, Mapping[str, Any]] = {}
+        combined.update(left_records)
+        combined.update(right_records)
+        return self._verify(combined, blocking, ground_truth, two_sided=True)
+
+    # -- internals --------------------------------------------------------------------
+
+    def _verify(
+        self,
+        records: Mapping[int, Mapping[str, Any]],
+        blocking: BlockingResult,
+        ground_truth: PairGroundTruth | None,
+        two_sided: bool = False,
+    ) -> JoinResult:
+        """Publish candidate pairs to the crowd and aggregate their answers."""
+        pair_objects = [
+            make_pair_object(left_id, right_id, records[left_id], records[right_id])
+            for left_id, right_id, _ in blocking.candidate_pairs
+        ]
+        result = JoinResult()
+        report = OperatorReport(
+            operator=self.name,
+            table_name=self.table_name,
+            total_candidates=blocking.total_pairs,
+            machine_comparisons=blocking.comparisons,
+            pruned_by_machine=blocking.pruned(),
+        )
+        if pair_objects:
+            crowddata = self.context.CrowdData(
+                pair_objects, self.table_name, ground_truth=ground_truth
+            )
+            decisions = self._ask_crowd(
+                crowddata,
+                new_objects=[],
+                presenter=RecordComparisonPresenter(),
+                ground_truth=ground_truth,
+            )
+            for index, obj in enumerate(pair_objects):
+                pair = _ordered(obj["left_id"], obj["right_id"])
+                decision = decisions[index]
+                result.decisions[pair] = decision
+                if decision == self.match_answer:
+                    result.matches.add(pair)
+            report.crowd_tasks = len(pair_objects)
+            report.crowd_answers = len(pair_objects) * self.n_assignments
+            report.rounds = 1
+            result.crowddata = crowddata
+        report.extras["blocking_threshold"] = self.blocker.threshold
+        report.extras["two_sided"] = two_sided
+        result.report = report
+        return result

@@ -1,0 +1,104 @@
+"""Crowdsourced max: find the best item with a single-elimination tournament.
+
+A tournament needs only n-1 comparisons instead of the n(n-1)/2 a full sort
+performs — the classic cost/accuracy trade-off of crowdsourced max
+operators.  Each round pairs up the surviving items, publishes the
+comparisons through CrowdData, and advances the majority-vote winners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.crowddata import CrowdData
+from repro.operators.base import CrowdOperator, OperatorReport
+from repro.operators.sort import _ComparisonPresenter, make_comparison_object
+from repro.utils.validation import require_non_empty
+
+
+@dataclass
+class MaxResult:
+    """Output of a crowdsourced max.
+
+    Attributes:
+        winner: The item the tournament selected.
+        rounds: Per-round surviving items, first round first.
+        report: Cost accounting.
+        crowddata: The CrowdData table used (None for single-item inputs).
+    """
+
+    winner: Any = None
+    rounds: list[list[Any]] = field(default_factory=list)
+    report: OperatorReport | None = None
+    crowddata: CrowdData | None = None
+
+
+class CrowdMax(CrowdOperator):
+    """Single-elimination tournament max operator."""
+
+    name = "crowd_max"
+
+    def max(
+        self,
+        items: Sequence[Any],
+        ground_truth: Callable[[Any], Any] | None = None,
+    ) -> MaxResult:
+        """Return the best item according to the crowd.
+
+        Args:
+            items: The items to compare.
+            ground_truth: Optional comparison-object -> "A"/"B" oracle.
+        """
+        require_non_empty("items", items)
+        survivors = list(items)
+        result = MaxResult(rounds=[list(survivors)])
+        report = OperatorReport(
+            operator=self.name,
+            table_name=self.table_name,
+            total_candidates=len(items) - 1,
+        )
+        if len(survivors) == 1:
+            result.winner = survivors[0]
+            result.report = report
+            return result
+
+        crowddata = None
+        while len(survivors) > 1:
+            pairs = [
+                make_comparison_object(survivors[i], survivors[i + 1])
+                for i in range(0, len(survivors) - 1, 2)
+            ]
+            bye = [survivors[-1]] if len(survivors) % 2 == 1 else []
+            if crowddata is None:
+                crowddata = self.context.CrowdData(pairs, self.table_name, ground_truth=ground_truth)
+                new_objects: list[dict[str, Any]] = []
+            else:
+                new_objects = pairs
+            decisions = self._ask_crowd(
+                crowddata,
+                new_objects=new_objects,
+                presenter=_ComparisonPresenter(),
+                ground_truth=ground_truth,
+            )
+            # Map decisions for this round's pairs back by matching objects.
+            objects = crowddata.column("object")
+            decisions_by_pair = {
+                (obj["left"], obj["right"]): decisions[index]
+                for index, obj in enumerate(objects)
+            }
+            next_round: list[Any] = []
+            for pair in pairs:
+                decision = decisions_by_pair[(pair["left"], pair["right"])]
+                next_round.append(pair["left"] if decision == "A" else pair["right"])
+            next_round.extend(bye)
+            report.crowd_tasks += len(pairs)
+            report.crowd_answers += len(pairs) * self.n_assignments
+            report.rounds += 1
+            survivors = next_round
+            result.rounds.append(list(survivors))
+
+        result.winner = survivors[0]
+        result.crowddata = crowddata
+        result.report = report
+        return result

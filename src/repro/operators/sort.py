@@ -1,0 +1,136 @@
+"""Crowdsourced sort: rank items from pairwise crowd comparisons.
+
+The comparison-based crowdsourced sort publishes "which of these two is
+better?" tasks for item pairs and derives a ranking from the aggregated
+outcomes using Copeland scoring (an item's score is its number of pairwise
+wins), which is robust to a limited number of inconsistent crowd answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.crowddata import CrowdData
+from repro.operators.base import CrowdOperator, OperatorReport
+from repro.presenters.text_cmp import TextComparisonPresenter
+from repro.utils.validation import require_non_empty
+
+
+def make_comparison_object(left: Any, right: Any) -> dict[str, Any]:
+    """Build the CrowdData object for one "is A or B better?" task."""
+    return {"left": left, "right": right}
+
+
+class _ComparisonPresenter(TextComparisonPresenter):
+    """Text-pair presenter whose candidates are the positional answers A/B."""
+
+    task_type = "pair_rank"
+
+    @classmethod
+    def default_question(cls) -> str:
+        return "Which of the two items is better (A = left, B = right)?"
+
+    @classmethod
+    def default_candidates(cls) -> list[Any]:
+        return ["A", "B"]
+
+
+# Register the ranking presenter so cached experiments can rebuild it.
+from repro.presenters.base import registry as _registry  # noqa: E402
+
+_registry.register(_ComparisonPresenter)
+
+
+@dataclass
+class SortResult:
+    """Output of a crowdsourced sort.
+
+    Attributes:
+        ranking: Items from best to worst.
+        scores: item -> Copeland score (pairwise wins).
+        report: Cost accounting.
+        crowddata: The CrowdData table used.
+    """
+
+    ranking: list[Any] = field(default_factory=list)
+    scores: dict[Any, float] = field(default_factory=dict)
+    report: OperatorReport | None = None
+    crowddata: CrowdData | None = None
+
+    def kendall_tau(self, true_ranking: Sequence[Any]) -> float:
+        """Kendall rank-correlation of this ranking against *true_ranking*.
+
+        1.0 means identical order, -1.0 means reversed.
+        """
+        position = {item: index for index, item in enumerate(true_ranking)}
+        items = [item for item in self.ranking if item in position]
+        concordant = discordant = 0
+        for i in range(len(items)):
+            for j in range(i + 1, len(items)):
+                if position[items[i]] < position[items[j]]:
+                    concordant += 1
+                else:
+                    discordant += 1
+        total = concordant + discordant
+        return (concordant - discordant) / total if total else 1.0
+
+
+class CrowdSort(CrowdOperator):
+    """Full pairwise-comparison sort with Copeland aggregation.
+
+    Args:
+        context: CrowdContext supplying platform, cache and workers.
+        table_name: CrowdData table used for the comparison tasks.
+        n_assignments: Redundancy per comparison.
+        aggregation: Quality-control method.
+    """
+
+    name = "crowd_sort"
+
+    def sort(
+        self,
+        items: Sequence[Any],
+        ground_truth: Callable[[Any], Any] | None = None,
+    ) -> SortResult:
+        """Sort *items* best-first using crowd comparisons.
+
+        Args:
+            items: The items to rank (strings or JSON-friendly values).
+            ground_truth: Optional comparison-object -> "A"/"B" oracle.
+        """
+        require_non_empty("items", items)
+        item_list = list(items)
+        comparisons = [
+            make_comparison_object(item_list[i], item_list[j])
+            for i in range(len(item_list))
+            for j in range(i + 1, len(item_list))
+        ]
+        result = SortResult()
+        scores: dict[Any, float] = {item: 0.0 for item in item_list}
+        report = OperatorReport(
+            operator=self.name,
+            table_name=self.table_name,
+            total_candidates=len(comparisons),
+        )
+        if comparisons:
+            crowddata = self.context.CrowdData(
+                comparisons, self.table_name, ground_truth=ground_truth
+            )
+            decisions = self._ask_crowd(
+                crowddata,
+                new_objects=[],
+                presenter=_ComparisonPresenter(),
+                ground_truth=ground_truth,
+            )
+            for index, obj in enumerate(crowddata.column("object")):
+                winner = obj["left"] if decisions[index] == "A" else obj["right"]
+                scores[winner] += 1.0
+            report.crowd_tasks = len(comparisons)
+            report.crowd_answers = len(comparisons) * self.n_assignments
+            report.rounds = 1
+            result.crowddata = crowddata
+        result.scores = scores
+        result.ranking = sorted(item_list, key=lambda item: (-scores[item], str(item)))
+        result.report = report
+        return result

@@ -1,0 +1,110 @@
+"""Crowdsourced top-k: tournament elimination followed by a final sort.
+
+The hybrid strategy keeps crowd cost low: single-elimination rounds shrink
+the candidate set until at most ``max(2k, k + 2)`` items remain, and the
+survivors are ordered exactly with a full pairwise comparison (cheap once
+the set is small).  This mirrors how top-k operators in the crowdsourced
+data-management literature trade a small recall risk (a good item knocked
+out early by a noisy comparison) for a large reduction in comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.operators.base import CrowdOperator, OperatorReport
+from repro.operators.max_op import CrowdMax
+from repro.operators.sort import CrowdSort
+from repro.utils.validation import require_non_empty, require_positive
+
+
+@dataclass
+class TopKResult:
+    """Output of a crowdsourced top-k.
+
+    Attributes:
+        top_items: The k selected items, best first.
+        k: The requested k.
+        report: Cost accounting (sums the elimination and final-sort stages).
+    """
+
+    top_items: list[Any] = field(default_factory=list)
+    k: int = 0
+    report: OperatorReport | None = None
+
+    def recall_against(self, true_top: Sequence[Any]) -> float:
+        """Fraction of the true top-k present in the selected set."""
+        if not true_top:
+            return 1.0
+        return len(set(self.top_items) & set(true_top)) / len(true_top)
+
+
+class CrowdTopK(CrowdOperator):
+    """Tournament-plus-final-sort top-k operator."""
+
+    name = "crowd_topk"
+
+    def top_k(
+        self,
+        items: Sequence[Any],
+        k: int,
+        ground_truth: Callable[[Any], Any] | None = None,
+    ) -> TopKResult:
+        """Return the crowd's top *k* of *items*, best first.
+
+        Args:
+            items: The candidate items.
+            k: How many items to return.
+            ground_truth: Optional comparison-object -> "A"/"B" oracle.
+        """
+        require_non_empty("items", items)
+        require_positive("k", k)
+        item_list = list(items)
+        k = min(k, len(item_list))
+        report = OperatorReport(
+            operator=self.name, table_name=self.table_name, total_candidates=len(item_list)
+        )
+
+        # Elimination stage: repeatedly drop the losers of pairwise rounds
+        # until the survivor pool is small enough to sort outright.
+        survivors = list(item_list)
+        pool_target = max(2 * k, k + 2)
+        stage = 0
+        while len(survivors) > pool_target:
+            stage += 1
+            eliminator = CrowdMax(
+                self.context,
+                f"{self.table_name}_elim_{stage}",
+                n_assignments=self.n_assignments,
+                aggregation=self.aggregation,
+            )
+            round_result = eliminator.max(survivors, ground_truth=ground_truth)
+            # Keep everything that survived at least one round of the
+            # tournament (i.e. drop the first-round losers only).
+            first_round_survivors = (
+                round_result.rounds[1] if len(round_result.rounds) > 1 else survivors
+            )
+            if len(first_round_survivors) >= len(survivors):
+                break
+            survivors = first_round_survivors
+            if round_result.report is not None:
+                report.crowd_tasks += round_result.report.crowd_tasks
+                report.crowd_answers += round_result.report.crowd_answers
+                report.rounds += 1
+
+        # Final stage: exact ordering of the survivors.
+        sorter = CrowdSort(
+            self.context,
+            f"{self.table_name}_final",
+            n_assignments=self.n_assignments,
+            aggregation=self.aggregation,
+        )
+        sort_result = sorter.sort(survivors, ground_truth=ground_truth)
+        if sort_result.report is not None:
+            report.crowd_tasks += sort_result.report.crowd_tasks
+            report.crowd_answers += sort_result.report.crowd_answers
+            report.rounds += 1
+        report.extras["survivor_pool"] = len(survivors)
+
+        return TopKResult(top_items=sort_result.ranking[:k], k=k, report=report)

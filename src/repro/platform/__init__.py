@@ -1,0 +1,36 @@
+"""Simulated crowdsourcing platform (PyBossa-shaped).
+
+The original Reprowd talks to a PyBossa server over HTTP; workers answer
+tasks in a browser.  Here the platform is an in-process simulator exposing
+the same surface the CrowdData layer needs: projects, tasks with a
+redundancy requirement, task runs (one per worker answer), and a client API
+that publishes tasks and polls for results.  Worker answers come from a
+:class:`repro.workers.WorkerPool`, and an optional fault-injecting transport
+sits between client and server to exercise retry/idempotence paths.
+"""
+
+from repro.platform.assignment import (
+    AssignmentStrategy,
+    LeastLoadedAssignment,
+    RandomAssignment,
+    RoundRobinAssignment,
+)
+from repro.platform.client import PlatformClient
+from repro.platform.models import Project, Task, TaskRun
+from repro.platform.server import PlatformServer
+from repro.platform.transport import DirectTransport, FaultInjectingTransport, Transport
+
+__all__ = [
+    "AssignmentStrategy",
+    "RandomAssignment",
+    "RoundRobinAssignment",
+    "LeastLoadedAssignment",
+    "PlatformClient",
+    "Project",
+    "Task",
+    "TaskRun",
+    "PlatformServer",
+    "Transport",
+    "DirectTransport",
+    "FaultInjectingTransport",
+]

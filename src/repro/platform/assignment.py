@@ -1,0 +1,68 @@
+"""Task-assignment strategies: which workers answer which task.
+
+PyBossa assigns tasks to whichever workers show up; the simulator makes that
+policy explicit and swappable so experiments can study its effect (e.g. the
+least-loaded policy spreads answers evenly, the random policy can give one
+prolific worker a large share — which is exactly when Dawid-Skene EM starts
+beating majority vote).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.exceptions import NoEligibleWorkerError
+from repro.workers.pool import SimulatedWorker, WorkerPool
+
+
+class AssignmentStrategy(abc.ABC):
+    """Strategy choosing the distinct workers that answer one task."""
+
+    @abc.abstractmethod
+    def assign(self, pool: WorkerPool, n_assignments: int) -> list[SimulatedWorker]:
+        """Return *n_assignments* distinct workers from *pool*."""
+
+    @staticmethod
+    def _check(pool: WorkerPool, n_assignments: int) -> None:
+        if n_assignments <= 0:
+            raise ValueError(f"n_assignments must be positive, got {n_assignments}")
+        if n_assignments > len(pool):
+            raise NoEligibleWorkerError(
+                f"task needs {n_assignments} distinct workers but the pool has {len(pool)}"
+            )
+
+
+class RandomAssignment(AssignmentStrategy):
+    """Each task gets a uniformly random set of distinct workers."""
+
+    def assign(self, pool: WorkerPool, n_assignments: int) -> list[SimulatedWorker]:
+        self._check(pool, n_assignments)
+        return pool.draw_distinct(n_assignments)
+
+
+class RoundRobinAssignment(AssignmentStrategy):
+    """Workers are cycled in pool order so each answers a similar number of tasks."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def assign(self, pool: WorkerPool, n_assignments: int) -> list[SimulatedWorker]:
+        self._check(pool, n_assignments)
+        workers = pool.workers
+        chosen: list[SimulatedWorker] = []
+        for offset in range(n_assignments):
+            chosen.append(workers[(self._cursor + offset) % len(workers)])
+        self._cursor = (self._cursor + n_assignments) % len(workers)
+        return chosen
+
+
+class LeastLoadedAssignment(AssignmentStrategy):
+    """Pick the workers that have answered the fewest tasks so far."""
+
+    def assign(self, pool: WorkerPool, n_assignments: int) -> list[SimulatedWorker]:
+        self._check(pool, n_assignments)
+        ranked: Sequence[SimulatedWorker] = sorted(
+            pool.workers, key=lambda worker: (worker.answered_tasks, worker.worker_id)
+        )
+        return list(ranked[:n_assignments])

@@ -1,0 +1,155 @@
+"""PyBossa-shaped client used by the CrowdData layer.
+
+The client is the only part of the platform package that the core library
+talks to.  It mirrors the subset of the ``pbclient`` API the original
+Reprowd uses — create/find project, create task, fetch task runs — plus a
+``simulate_work`` call that stands in for "wait for humans to answer".
+
+All calls go through a :class:`repro.platform.transport.Transport`, and every
+write is retried on transport failure, which together with the server's
+idempotent project creation exercises the same robustness the original needs
+against a flaky PyBossa deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import PlatformUnavailableError
+from repro.platform.models import Project, Task, TaskRun
+from repro.platform.server import PlatformServer
+from repro.platform.transport import DirectTransport, Transport
+
+
+class PlatformClient:
+    """Client facade over :class:`repro.platform.server.PlatformServer`."""
+
+    def __init__(
+        self,
+        server: PlatformServer,
+        api_key: str | None = None,
+        transport: Transport | None = None,
+        max_retries: int = 5,
+    ):
+        """Connect to *server* with *api_key*.
+
+        Args:
+            server: The in-process platform server.
+            api_key: API key; defaults to the server's configured key.
+            transport: Transport used for every call (direct when omitted).
+            max_retries: Number of times a failed call is retried before the
+                transport error is propagated.
+        """
+        self.server = server
+        self.api_key = api_key if api_key is not None else server.config.api_key
+        self.transport = transport or DirectTransport()
+        if max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {max_retries}")
+        self.max_retries = max_retries
+        server.require_auth(self.api_key)
+
+    # -- internals -------------------------------------------------------------
+
+    def _call(self, name: str, method, *args: Any, **kwargs: Any) -> Any:
+        """Invoke a server method through the transport with retries."""
+        last_error: PlatformUnavailableError | None = None
+        for _ in range(self.max_retries):
+            try:
+                return self.transport.call(name, method, *args, **kwargs)
+            except PlatformUnavailableError as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+    # -- projects ---------------------------------------------------------------
+
+    def create_project(
+        self, name: str, description: str = "", task_presenter: str = ""
+    ) -> Project:
+        """Create (or fetch, if it already exists) the project named *name*."""
+        return self._call(
+            "create_project",
+            self.server.create_project,
+            name,
+            description=description,
+            task_presenter=task_presenter,
+        )
+
+    def find_project(self, name: str) -> Project | None:
+        """Return the project named *name*, or None."""
+        return self._call("find_project", self.server.find_project, name)
+
+    def get_project(self, project_id: int) -> Project:
+        """Return the project with *project_id*."""
+        return self._call("get_project", self.server.get_project, project_id)
+
+    def delete_project(self, project_id: int) -> None:
+        """Delete the project and all of its tasks and answers."""
+        self._call("delete_project", self.server.delete_project, project_id)
+
+    # -- tasks -------------------------------------------------------------------
+
+    def create_task(
+        self, project_id: int, info: dict[str, Any], n_assignments: int | None = None
+    ) -> Task:
+        """Publish one task and return its descriptor."""
+        return self._call(
+            "create_task",
+            self.server.create_task,
+            project_id,
+            info,
+            n_assignments=n_assignments,
+        )
+
+    def get_task(self, task_id: int) -> Task:
+        """Return the task with *task_id*."""
+        return self._call("get_task", self.server.get_task, task_id)
+
+    def list_tasks(self, project_id: int) -> list[Task]:
+        """Return every task of *project_id*."""
+        return self._call("list_tasks", self.server.list_tasks, project_id)
+
+    def delete_task(self, task_id: int) -> None:
+        """Delete one task and its task runs."""
+        self._call("delete_task", self.server.delete_task, task_id)
+
+    def extend_task_redundancy(self, task_id: int, extra: int) -> Task:
+        """Request *extra* additional assignments for an existing task."""
+        return self._call(
+            "extend_task_redundancy", self.server.extend_task_redundancy, task_id, extra
+        )
+
+    # -- task runs ------------------------------------------------------------------
+
+    def get_task_runs(self, task_id: int) -> list[TaskRun]:
+        """Return the answers collected so far for *task_id*."""
+        return self._call("get_task_runs", self.server.get_task_runs, task_id)
+
+    def is_task_complete(self, task_id: int) -> bool:
+        """Return True when the task has all requested answers."""
+        return self._call("is_task_complete", self.server.is_task_complete, task_id)
+
+    def is_project_complete(self, project_id: int) -> bool:
+        """Return True when every task of the project is answered."""
+        return self._call("is_project_complete", self.server.is_project_complete, project_id)
+
+    def pending_assignments(self, project_id: int | None = None) -> int:
+        """Return the number of outstanding assignments."""
+        return self._call("pending_assignments", self.server.pending_assignments, project_id)
+
+    # -- crowd simulation ---------------------------------------------------------------
+
+    def simulate_work(
+        self, project_id: int | None = None, max_assignments: int | None = None
+    ) -> int:
+        """Stand-in for waiting on human workers: fill pending assignments."""
+        return self._call(
+            "simulate_work",
+            self.server.simulate_work,
+            project_id=project_id,
+            max_assignments=max_assignments,
+        )
+
+    def statistics(self) -> dict[str, Any]:
+        """Return server-side counters."""
+        return self._call("statistics", self.server.statistics)

@@ -1,0 +1,158 @@
+"""Data model of the simulated platform: projects, tasks and task runs.
+
+The field names deliberately mirror PyBossa's JSON API (``info``,
+``n_answers``, ``task_run``) so that code written against the original
+Reprowd client reads naturally against this simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Project:
+    """A crowdsourcing project (one per experiment table).
+
+    Attributes:
+        project_id: Server-assigned numeric id.
+        name: Unique project name (Reprowd uses the CrowdData table name).
+        short_name: URL-safe variant of the name.
+        description: Human-readable description.
+        task_presenter: HTML of the task presenter shown to workers.
+        created_at: Simulated-clock creation timestamp.
+    """
+
+    project_id: int
+    name: str
+    short_name: str
+    description: str = ""
+    task_presenter: str = ""
+    created_at: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-friendly representation."""
+        return {
+            "id": self.project_id,
+            "name": self.name,
+            "short_name": self.short_name,
+            "description": self.description,
+            "task_presenter": self.task_presenter,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Project":
+        """Rebuild a project from :meth:`to_dict` output."""
+        return cls(
+            project_id=payload["id"],
+            name=payload["name"],
+            short_name=payload["short_name"],
+            description=payload.get("description", ""),
+            task_presenter=payload.get("task_presenter", ""),
+            created_at=payload.get("created_at", 0.0),
+        )
+
+
+@dataclass
+class Task:
+    """One published task.
+
+    Attributes:
+        task_id: Server-assigned numeric id.
+        project_id: Owning project.
+        info: Arbitrary task payload (the CrowdData ``object`` plus presenter
+            metadata such as the candidate answers).
+        n_assignments: Number of distinct worker answers requested.
+        priority: Scheduling priority (higher first), unused by default.
+        created_at: Simulated-clock publication timestamp.
+        completed_at: Simulated-clock time the final answer arrived, or None.
+    """
+
+    task_id: int
+    project_id: int
+    info: dict[str, Any]
+    n_assignments: int = 3
+    priority: float = 0.0
+    created_at: float = 0.0
+    completed_at: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-friendly representation."""
+        return {
+            "id": self.task_id,
+            "project_id": self.project_id,
+            "info": self.info,
+            "n_answers": self.n_assignments,
+            "priority": self.priority,
+            "created_at": self.created_at,
+            "completed_at": self.completed_at,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Task":
+        """Rebuild a task from :meth:`to_dict` output."""
+        return cls(
+            task_id=payload["id"],
+            project_id=payload["project_id"],
+            info=dict(payload["info"]),
+            n_assignments=payload.get("n_answers", 3),
+            priority=payload.get("priority", 0.0),
+            created_at=payload.get("created_at", 0.0),
+            completed_at=payload.get("completed_at"),
+        )
+
+
+@dataclass
+class TaskRun:
+    """One worker's answer to one task — the unit of lineage.
+
+    Attributes:
+        run_id: Server-assigned numeric id.
+        task_id: The answered task.
+        project_id: The owning project.
+        worker_id: The answering worker.
+        answer: The worker's answer.
+        submitted_at: Simulated-clock submission timestamp.
+        latency_seconds: Simulated time the worker spent on the task.
+        assignment_order: 1-based order of this answer among the task's
+            assignments (the paper's lineage example asks "which workers did
+            the tasks?", and in what order).
+    """
+
+    run_id: int
+    task_id: int
+    project_id: int
+    worker_id: str
+    answer: Any
+    submitted_at: float = 0.0
+    latency_seconds: float = 0.0
+    assignment_order: int = 1
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-friendly representation."""
+        return {
+            "id": self.run_id,
+            "task_id": self.task_id,
+            "project_id": self.project_id,
+            "worker_id": self.worker_id,
+            "answer": self.answer,
+            "submitted_at": self.submitted_at,
+            "latency_seconds": self.latency_seconds,
+            "assignment_order": self.assignment_order,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TaskRun":
+        """Rebuild a task run from :meth:`to_dict` output."""
+        return cls(
+            run_id=payload["id"],
+            task_id=payload["task_id"],
+            project_id=payload["project_id"],
+            worker_id=payload["worker_id"],
+            answer=payload["answer"],
+            submitted_at=payload.get("submitted_at", 0.0),
+            latency_seconds=payload.get("latency_seconds", 0.0),
+            assignment_order=payload.get("assignment_order", 1),
+        )

@@ -1,0 +1,323 @@
+"""The simulated crowdsourcing platform server.
+
+Holds projects, tasks and task runs; when asked to ``simulate_work`` it draws
+workers from the pool, has them answer every pending assignment and records
+one :class:`repro.platform.models.TaskRun` per answer.  Ground truth for the
+simulated workers comes from an *answer oracle*: a callable mapping a task's
+``info`` payload to the hidden true answer (or None when no ground truth is
+known, in which case workers guess among the candidates).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Iterable
+
+from repro.config import PlatformConfig
+from repro.exceptions import PlatformError, ProjectNotFoundError, TaskNotFoundError
+from repro.platform.assignment import AssignmentStrategy, RandomAssignment
+from repro.platform.models import Project, Task, TaskRun
+from repro.utils.timing import SimulatedClock
+from repro.workers.pool import WorkerPool
+
+AnswerOracle = Callable[[dict[str, Any]], Any]
+
+
+def _default_oracle(task_info: dict[str, Any]) -> Any:
+    """Oracle used when none is registered: look for a ``_true_answer`` field."""
+    return task_info.get("_true_answer")
+
+
+class PlatformServer:
+    """In-process stand-in for a PyBossa server."""
+
+    def __init__(
+        self,
+        worker_pool: WorkerPool,
+        config: PlatformConfig | None = None,
+        assignment: AssignmentStrategy | None = None,
+        clock: SimulatedClock | None = None,
+        answer_oracle: AnswerOracle | None = None,
+    ):
+        """Create a server backed by *worker_pool*.
+
+        Args:
+            worker_pool: The simulated crowd answering tasks.
+            config: Platform configuration (API key, default redundancy...).
+            assignment: Worker-selection policy; random when omitted.
+            clock: Simulated clock shared with the rest of the experiment.
+            answer_oracle: Maps a task's ``info`` to its hidden true answer.
+        """
+        self.config = config or PlatformConfig()
+        self.worker_pool = worker_pool
+        self.assignment = assignment or RandomAssignment()
+        self.clock = clock or SimulatedClock()
+        self.answer_oracle = answer_oracle or _default_oracle
+
+        self._projects: dict[int, Project] = {}
+        self._projects_by_name: dict[str, int] = {}
+        self._tasks: dict[int, Task] = {}
+        self._tasks_by_project: dict[int, list[int]] = {}
+        self._task_runs: dict[int, list[TaskRun]] = {}
+        self._next_project_id = 1
+        self._next_task_id = 1
+        self._next_run_id = 1
+
+    # -- authentication -------------------------------------------------------
+
+    def authenticate(self, api_key: str) -> bool:
+        """Return True when *api_key* matches the configured key."""
+        return api_key == self.config.api_key
+
+    def require_auth(self, api_key: str) -> None:
+        """Raise :class:`PlatformError` unless *api_key* is valid."""
+        if not self.authenticate(api_key):
+            raise PlatformError("invalid API key")
+
+    # -- projects -----------------------------------------------------------------
+
+    def create_project(
+        self, name: str, description: str = "", task_presenter: str = ""
+    ) -> Project:
+        """Create a project; returns the existing one if *name* is taken.
+
+        Idempotent creation is what lets a re-run of Bob's code map onto the
+        same server-side project instead of creating a duplicate.
+        """
+        if name in self._projects_by_name:
+            return self._projects[self._projects_by_name[name]]
+        project = Project(
+            project_id=self._next_project_id,
+            name=name,
+            short_name=self._short_name(name),
+            description=description,
+            task_presenter=task_presenter,
+            created_at=self.clock.now,
+        )
+        self._projects[project.project_id] = project
+        self._projects_by_name[name] = project.project_id
+        self._tasks_by_project[project.project_id] = []
+        self._next_project_id += 1
+        return project
+
+    @staticmethod
+    def _short_name(name: str) -> str:
+        slug = re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")
+        return slug or "project"
+
+    def get_project(self, project_id: int) -> Project:
+        """Return the project with *project_id*."""
+        try:
+            return self._projects[project_id]
+        except KeyError:
+            raise ProjectNotFoundError(project_id) from None
+
+    def find_project(self, name: str) -> Project | None:
+        """Return the project named *name*, or None."""
+        project_id = self._projects_by_name.get(name)
+        return self._projects.get(project_id) if project_id is not None else None
+
+    def list_projects(self) -> list[Project]:
+        """Return every project ordered by id."""
+        return [self._projects[pid] for pid in sorted(self._projects)]
+
+    def delete_project(self, project_id: int) -> None:
+        """Delete a project together with its tasks and task runs."""
+        project = self.get_project(project_id)
+        for task_id in self._tasks_by_project.pop(project_id, []):
+            self._tasks.pop(task_id, None)
+            self._task_runs.pop(task_id, None)
+        self._projects_by_name.pop(project.name, None)
+        del self._projects[project_id]
+
+    # -- tasks -----------------------------------------------------------------------
+
+    def create_task(
+        self, project_id: int, info: dict[str, Any], n_assignments: int | None = None
+    ) -> Task:
+        """Publish a task in *project_id* and return it."""
+        self.get_project(project_id)
+        redundancy = (
+            self.config.default_redundancy if n_assignments is None else n_assignments
+        )
+        if redundancy <= 0:
+            raise PlatformError(f"n_assignments must be positive, got {redundancy}")
+        task = Task(
+            task_id=self._next_task_id,
+            project_id=project_id,
+            info=dict(info),
+            n_assignments=redundancy,
+            created_at=self.clock.now,
+        )
+        self._tasks[task.task_id] = task
+        self._tasks_by_project[project_id].append(task.task_id)
+        self._task_runs[task.task_id] = []
+        self._next_task_id += 1
+        return task
+
+    def get_task(self, task_id: int) -> Task:
+        """Return the task with *task_id*."""
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise TaskNotFoundError(task_id) from None
+
+    def list_tasks(self, project_id: int) -> list[Task]:
+        """Return every task of *project_id* in publication order."""
+        self.get_project(project_id)
+        return [self._tasks[tid] for tid in self._tasks_by_project[project_id]]
+
+    def delete_task(self, task_id: int) -> None:
+        """Delete a task and its task runs."""
+        task = self.get_task(task_id)
+        self._tasks_by_project[task.project_id].remove(task_id)
+        self._task_runs.pop(task_id, None)
+        del self._tasks[task_id]
+
+    def extend_task_redundancy(self, task_id: int, extra: int) -> Task:
+        """Request *extra* additional assignments for an existing task.
+
+        Used by adaptive quality control: ambiguous tasks get more answers
+        after their initial assignments disagree.
+        """
+        if extra <= 0:
+            raise PlatformError(f"extra assignments must be positive, got {extra}")
+        task = self.get_task(task_id)
+        task.n_assignments += extra
+        task.completed_at = None
+        return task
+
+    # -- task runs --------------------------------------------------------------------
+
+    def get_task_runs(self, task_id: int) -> list[TaskRun]:
+        """Return the task runs collected so far for *task_id*."""
+        self.get_task(task_id)
+        return list(self._task_runs[task_id])
+
+    def project_task_runs(self, project_id: int) -> list[TaskRun]:
+        """Return every task run of *project_id*, grouped by task order."""
+        runs: list[TaskRun] = []
+        for task in self.list_tasks(project_id):
+            runs.extend(self._task_runs[task.task_id])
+        return runs
+
+    def pending_assignments(self, project_id: int | None = None) -> int:
+        """Return the number of assignments still waiting for a worker."""
+        tasks: Iterable[Task]
+        if project_id is None:
+            tasks = self._tasks.values()
+        else:
+            tasks = self.list_tasks(project_id)
+        return sum(
+            max(0, task.n_assignments - len(self._task_runs[task.task_id])) for task in tasks
+        )
+
+    def is_task_complete(self, task_id: int) -> bool:
+        """Return True when the task has received all requested answers."""
+        task = self.get_task(task_id)
+        return len(self._task_runs[task_id]) >= task.n_assignments
+
+    def is_project_complete(self, project_id: int) -> bool:
+        """Return True when every task of the project is complete."""
+        return all(self.is_task_complete(task.task_id) for task in self.list_tasks(project_id))
+
+    # -- work simulation -----------------------------------------------------------------
+
+    def simulate_work(
+        self, project_id: int | None = None, max_assignments: int | None = None
+    ) -> int:
+        """Have simulated workers answer pending assignments.
+
+        Args:
+            project_id: Restrict the simulation to one project (all when None).
+            max_assignments: Stop after this many new answers (no limit when
+                None) — used by crash-injection experiments to crash the
+                experiment mid-collection.
+
+        Returns:
+            The number of task runs created.
+        """
+        created = 0
+        if project_id is None:
+            project_ids = sorted(self._projects)
+        else:
+            self.get_project(project_id)
+            project_ids = [project_id]
+        for pid in project_ids:
+            for task in self.list_tasks(pid):
+                created += self._fill_task(task, max_assignments, created)
+                if max_assignments is not None and created >= max_assignments:
+                    return created
+        return created
+
+    def _fill_task(self, task: Task, max_assignments: int | None, created_so_far: int) -> int:
+        """Fill one task's missing assignments; return answers created."""
+        runs = self._task_runs[task.task_id]
+        missing = task.n_assignments - len(runs)
+        if missing <= 0:
+            return 0
+        if max_assignments is not None:
+            missing = min(missing, max(0, max_assignments - created_so_far))
+            if missing == 0:
+                return 0
+        already_assigned = {run.worker_id for run in runs}
+        true_answer = self.answer_oracle(task.info)
+        candidates = list(task.info.get("candidates") or [])
+        if not candidates:
+            # Without declared candidates, workers at least see the true
+            # answer (if any) plus a generic binary choice, so behaviours
+            # always have something to pick from.
+            candidates = ["Yes", "No"] if true_answer is None else [true_answer, "No"]
+        task_type = task.info.get("task_type")
+        created = 0
+        for _ in range(missing):
+            worker = self._pick_worker(task, already_assigned)
+            already_assigned.add(worker.worker_id)
+            answer, latency = worker.answer(
+                candidates,
+                true_answer,
+                self.worker_pool.rng,
+                task_type=task_type,
+            )
+            self.clock.advance(latency)
+            run = TaskRun(
+                run_id=self._next_run_id,
+                task_id=task.task_id,
+                project_id=task.project_id,
+                worker_id=worker.worker_id,
+                answer=answer,
+                submitted_at=self.clock.now,
+                latency_seconds=latency,
+                assignment_order=len(runs) + 1,
+            )
+            self._next_run_id += 1
+            runs.append(run)
+            created += 1
+        if len(runs) >= task.n_assignments and task.completed_at is None:
+            task.completed_at = self.clock.now
+        return created
+
+    def _pick_worker(self, task: Task, exclude: set[str]):
+        """Pick a worker for *task* honouring distinct-worker redundancy."""
+        if len(exclude) >= len(self.worker_pool):
+            # Redundancy exceeds pool size; fall back to reusing workers
+            # rather than deadlocking the experiment.
+            return self.worker_pool.draw()
+        remaining = task.n_assignments - len(self._task_runs[task.task_id])
+        workers = self.assignment.assign(self.worker_pool, 1) if remaining else []
+        if workers and workers[0].worker_id not in exclude:
+            return workers[0]
+        return self.worker_pool.draw(exclude=exclude)
+
+    # -- introspection -------------------------------------------------------------------
+
+    def statistics(self) -> dict[str, Any]:
+        """Return platform-wide counters for dashboards and tests."""
+        return {
+            "projects": len(self._projects),
+            "tasks": len(self._tasks),
+            "task_runs": sum(len(runs) for runs in self._task_runs.values()),
+            "pending_assignments": self.pending_assignments(),
+            "clock": self.clock.now,
+            "workers": self.worker_pool.statistics(),
+        }

@@ -1,0 +1,72 @@
+"""Transport layer between the platform client and server.
+
+The real Reprowd talks HTTP to PyBossa; requests can fail or be retried, and
+retried writes must not duplicate tasks.  The fault-injecting transport
+recreates exactly those hazards deterministically so the client's retry and
+idempotence logic is actually exercised by tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Callable
+
+from repro.exceptions import PlatformUnavailableError
+from repro.utils.validation import require_fraction
+
+
+class Transport(abc.ABC):
+    """Executes named server calls on behalf of the client."""
+
+    @abc.abstractmethod
+    def call(self, name: str, method: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Invoke *method* (a bound server method) and return its result."""
+
+
+class DirectTransport(Transport):
+    """Calls the server directly with no failures — the default."""
+
+    def call(self, name: str, method: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        return method(*args, **kwargs)
+
+
+class FaultInjectingTransport(Transport):
+    """Randomly fails calls and replays successful ones.
+
+    Args:
+        failure_rate: Probability that a call raises
+            :class:`PlatformUnavailableError` *before* reaching the server.
+        duplicate_rate: Probability that a successful call is executed a
+            second time (simulating an ambiguous timeout followed by a
+            client retry).  Server operations must be idempotent for the
+            experiment to survive this.
+        seed: Seed for the transport's randomness.
+    """
+
+    def __init__(self, failure_rate: float = 0.0, duplicate_rate: float = 0.0, seed: int = 7):
+        self.failure_rate = require_fraction("failure_rate", failure_rate)
+        self.duplicate_rate = require_fraction("duplicate_rate", duplicate_rate)
+        self._rng = random.Random(seed)
+        self.failures_injected = 0
+        self.duplicates_injected = 0
+        self.calls = 0
+
+    def call(self, name: str, method: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        self.calls += 1
+        if self._rng.random() < self.failure_rate:
+            self.failures_injected += 1
+            raise PlatformUnavailableError(f"injected transport failure during {name!r}")
+        result = method(*args, **kwargs)
+        if self._rng.random() < self.duplicate_rate:
+            self.duplicates_injected += 1
+            result = method(*args, **kwargs)
+        return result
+
+    def statistics(self) -> dict[str, int]:
+        """Return counters describing the faults injected so far."""
+        return {
+            "calls": self.calls,
+            "failures_injected": self.failures_injected,
+            "duplicates_injected": self.duplicates_injected,
+        }

@@ -1,0 +1,31 @@
+"""Task presenters: the web user interfaces shown to crowd workers.
+
+In the paper (Figure 2, step 2) Bob chooses a presenter such as
+``ImageLabel`` for his experiment.  A presenter defines three things from
+CrowdData's point of view:
+
+* how a row's ``object`` becomes a task payload (``build_task_info``),
+* the candidate answers a worker can give (``candidates``),
+* how to validate and normalise a raw crowd answer (``validate_answer``).
+
+Rendering produces an HTML string (the simulator has no browser), which keeps
+the contract of the original system — one presenter per project — testable.
+"""
+
+from repro.presenters.base import BasePresenter, PresenterRegistry, registry
+from repro.presenters.image_label import ImageLabelPresenter
+from repro.presenters.image_cmp import ImageComparisonPresenter
+from repro.presenters.text_cmp import TextComparisonPresenter
+from repro.presenters.text_label import TextLabelPresenter
+from repro.presenters.record_cmp import RecordComparisonPresenter
+
+__all__ = [
+    "BasePresenter",
+    "PresenterRegistry",
+    "registry",
+    "ImageLabelPresenter",
+    "ImageComparisonPresenter",
+    "TextComparisonPresenter",
+    "TextLabelPresenter",
+    "RecordComparisonPresenter",
+]

@@ -1,0 +1,173 @@
+"""Base presenter contract and the presenter registry."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.exceptions import InvalidAnswerError, PresenterError
+
+
+class BasePresenter(abc.ABC):
+    """Contract every task presenter implements.
+
+    Attributes:
+        task_type: Stable identifier recorded in each task's ``info`` so that
+            lineage and worker skill profiles can distinguish task kinds.
+        question: The question displayed to the worker.
+        candidates: The answers a worker may give; empty means free text.
+    """
+
+    task_type: str = "generic"
+
+    def __init__(self, question: str = "", candidates: list[Any] | None = None):
+        self.question = question or self.default_question()
+        self.candidates = list(candidates) if candidates is not None else self.default_candidates()
+
+    # -- hooks subclasses override ------------------------------------------------
+
+    @classmethod
+    def default_question(cls) -> str:
+        """Question used when the caller does not supply one."""
+        return "Please answer the task"
+
+    @classmethod
+    def default_candidates(cls) -> list[Any]:
+        """Candidate answers used when the caller does not supply any."""
+        return ["Yes", "No"]
+
+    @abc.abstractmethod
+    def render_object(self, obj: Any) -> str:
+        """Return the HTML fragment presenting one row's ``object``."""
+
+    # -- task construction ----------------------------------------------------------
+
+    def build_task_info(self, obj: Any, true_answer: Any = None) -> dict[str, Any]:
+        """Build the ``info`` payload published for one object.
+
+        Args:
+            obj: The row's object value.
+            true_answer: Optional hidden ground truth forwarded to the
+                simulated workers (real platforms simply ignore it).
+        """
+        info: dict[str, Any] = {
+            "task_type": self.task_type,
+            "question": self.question,
+            "candidates": list(self.candidates),
+            "object": obj,
+        }
+        if true_answer is not None:
+            info["_true_answer"] = true_answer
+        return info
+
+    def render(self, obj: Any) -> str:
+        """Return the full task HTML for *obj* (question + object + choices)."""
+        choices = "".join(
+            f'<button class="answer" value="{candidate}">{candidate}</button>'
+            for candidate in self.candidates
+        )
+        return (
+            f'<div class="reprowd-task {self.task_type}">'
+            f"<p class=\"question\">{self.question}</p>"
+            f"{self.render_object(obj)}"
+            f'<div class="choices">{choices}</div>'
+            f"</div>"
+        )
+
+    def template_html(self) -> str:
+        """Return the project-level task-presenter template.
+
+        Platforms store one HTML template per project and substitute each
+        task's object into it client-side.  Presenters whose
+        :meth:`render_object` needs a structured object cannot render the
+        ``{{object}}`` placeholder directly, so this falls back to a generic
+        skeleton for them.
+        """
+        try:
+            return self.render("{{object}}")
+        except PresenterError:
+            choices = "".join(
+                f'<button class="answer" value="{candidate}">{candidate}</button>'
+                for candidate in self.candidates
+            )
+            return (
+                f'<div class="reprowd-task {self.task_type}">'
+                f'<p class="question">{self.question}</p>'
+                '<div class="subject">{{object}}</div>'
+                f'<div class="choices">{choices}</div>'
+                "</div>"
+            )
+
+    # -- answer validation -------------------------------------------------------------
+
+    def validate_answer(self, answer: Any) -> Any:
+        """Validate and normalise a raw crowd answer.
+
+        Raises:
+            InvalidAnswerError: When candidates are declared and the answer
+                is not one of them.
+        """
+        if not self.candidates:
+            return answer
+        if answer in self.candidates:
+            return answer
+        # Tolerate case differences for string candidates — real crowd
+        # platforms frequently return differently-cased values.
+        if isinstance(answer, str):
+            for candidate in self.candidates:
+                if isinstance(candidate, str) and candidate.lower() == answer.lower():
+                    return candidate
+        raise InvalidAnswerError(
+            f"answer {answer!r} is not among the candidates {self.candidates!r}"
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """Return a JSON-friendly description (stored in task lineage)."""
+        return {
+            "task_type": self.task_type,
+            "question": self.question,
+            "candidates": list(self.candidates),
+            "presenter": type(self).__name__,
+        }
+
+
+class PresenterRegistry:
+    """Registry mapping ``task_type`` strings to presenter classes.
+
+    The examination API uses the registry to rebuild the presenter Bob used
+    from the description stored with his tasks.
+    """
+
+    def __init__(self) -> None:
+        self._presenters: dict[str, type[BasePresenter]] = {}
+
+    def register(self, presenter_cls: type[BasePresenter]) -> type[BasePresenter]:
+        """Register *presenter_cls* under its ``task_type`` (decorator-friendly)."""
+        task_type = presenter_cls.task_type
+        if task_type in self._presenters and self._presenters[task_type] is not presenter_cls:
+            raise PresenterError(f"task_type {task_type!r} is already registered")
+        self._presenters[task_type] = presenter_cls
+        return presenter_cls
+
+    def get(self, task_type: str) -> type[BasePresenter]:
+        """Return the presenter class registered for *task_type*."""
+        try:
+            return self._presenters[task_type]
+        except KeyError:
+            raise PresenterError(f"no presenter registered for task_type {task_type!r}") from None
+
+    def known_types(self) -> list[str]:
+        """Return every registered task type, sorted."""
+        return sorted(self._presenters)
+
+    def build(self, description: dict[str, Any]) -> BasePresenter:
+        """Rebuild a presenter instance from :meth:`BasePresenter.describe` output."""
+        presenter_cls = self.get(description["task_type"])
+        return presenter_cls(
+            question=description.get("question", ""),
+            candidates=description.get("candidates"),
+        )
+
+
+#: Process-wide default registry; presenter modules register themselves here.
+registry = PresenterRegistry()

@@ -1,0 +1,46 @@
+"""Image-comparison presenter: show two images and ask if they match."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import PresenterError
+from repro.presenters.base import BasePresenter, registry
+
+
+@registry.register
+class ImageComparisonPresenter(BasePresenter):
+    """Show two images side by side and ask whether they depict the same thing.
+
+    Used by crowdsourced joins over image collections; the object is a pair
+    ``(left_url, right_url)`` or a mapping with ``left``/``right`` keys.
+    """
+
+    task_type = "image_cmp"
+
+    @classmethod
+    def default_question(cls) -> str:
+        return "Do these two images show the same object?"
+
+    def render_object(self, obj: Any) -> str:
+        left, right = _unpack_pair(obj)
+        return (
+            '<div class="pair">'
+            f'<img class="left" src="{left}" alt="left image"/>'
+            f'<img class="right" src="{right}" alt="right image"/>'
+            "</div>"
+        )
+
+
+def _unpack_pair(obj: Any) -> tuple[str, str]:
+    """Return the (left, right) URLs of a pair object."""
+    if isinstance(obj, dict):
+        try:
+            return str(obj["left"]), str(obj["right"])
+        except KeyError as exc:
+            raise PresenterError(f"pair object missing key: {exc}") from exc
+    if isinstance(obj, (list, tuple)) and len(obj) == 2:
+        return str(obj[0]), str(obj[1])
+    raise PresenterError(
+        f"image comparison expects a (left, right) pair, got {type(obj).__name__}"
+    )

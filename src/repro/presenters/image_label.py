@@ -1,0 +1,28 @@
+"""Image-labelling presenter — the presenter used in Figure 2 of the paper."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.presenters.base import BasePresenter, registry
+
+
+@registry.register
+class ImageLabelPresenter(BasePresenter):
+    """Show one image and ask the worker to pick a label.
+
+    Bob's experiment uses this presenter with the default Yes/No candidates:
+    "Do you see a smiling face?" style questions over image URLs.
+    """
+
+    task_type = "image_label"
+
+    @classmethod
+    def default_question(cls) -> str:
+        return "Does the image match the description?"
+
+    def render_object(self, obj: Any) -> str:
+        url = obj if isinstance(obj, str) else obj.get("url", "")
+        caption = "" if isinstance(obj, str) else obj.get("caption", "")
+        caption_html = f'<p class="caption">{caption}</p>' if caption else ""
+        return f'<img class="subject" src="{url}" alt="task image"/>{caption_html}'

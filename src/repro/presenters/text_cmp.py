@@ -1,0 +1,47 @@
+"""Text/record-pair comparison presenter used by entity resolution joins."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import PresenterError
+from repro.presenters.base import BasePresenter, registry
+
+
+@registry.register
+class TextComparisonPresenter(BasePresenter):
+    """Show two text snippets and ask whether they refer to the same entity.
+
+    This is the presenter CrowdER-style joins publish their candidate pairs
+    with: the object is a pair of strings (or a mapping with ``left`` and
+    ``right``), and the answer is Yes (match) or No (non-match).
+    """
+
+    task_type = "text_cmp"
+
+    @classmethod
+    def default_question(cls) -> str:
+        return "Do these two descriptions refer to the same real-world entity?"
+
+    def render_object(self, obj: Any) -> str:
+        left, right = _unpack_text_pair(obj)
+        return (
+            '<div class="pair">'
+            f'<blockquote class="left">{left}</blockquote>'
+            f'<blockquote class="right">{right}</blockquote>'
+            "</div>"
+        )
+
+
+def _unpack_text_pair(obj: Any) -> tuple[str, str]:
+    """Return the (left, right) texts of a pair object."""
+    if isinstance(obj, dict):
+        try:
+            return str(obj["left"]), str(obj["right"])
+        except KeyError as exc:
+            raise PresenterError(f"pair object missing key: {exc}") from exc
+    if isinstance(obj, (list, tuple)) and len(obj) == 2:
+        return str(obj[0]), str(obj[1])
+    raise PresenterError(
+        f"text comparison expects a (left, right) pair, got {type(obj).__name__}"
+    )

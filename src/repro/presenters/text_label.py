@@ -1,0 +1,30 @@
+"""Free-form text labelling / classification presenter."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.presenters.base import BasePresenter, registry
+
+
+@registry.register
+class TextLabelPresenter(BasePresenter):
+    """Show a text snippet and ask the worker to classify it.
+
+    Candidates default to a sentiment-style three-way choice but callers
+    typically pass their own label set (topic categories, spam/ham, ...).
+    """
+
+    task_type = "text_label"
+
+    @classmethod
+    def default_question(cls) -> str:
+        return "Which label best describes this text?"
+
+    @classmethod
+    def default_candidates(cls) -> list[Any]:
+        return ["Positive", "Neutral", "Negative"]
+
+    def render_object(self, obj: Any) -> str:
+        text = obj if isinstance(obj, str) else obj.get("text", str(obj))
+        return f'<blockquote class="subject">{text}</blockquote>'

@@ -1,0 +1,50 @@
+"""Quality control: turning redundant noisy crowd answers into one result.
+
+Figure 1 of the paper shows a quality-control component between CrowdData and
+the crowdsourcing platform.  This package implements the widely used
+techniques the paper alludes to:
+
+* majority vote (the rule used in Bob's experiment),
+* weighted majority vote (weights from known or estimated worker accuracy),
+* Dawid-Skene expectation-maximisation over worker confusion matrices,
+* a single-parameter EM variant (GLAD-style, one ability scalar per worker),
+* spammer detection from estimated confusion matrices.
+
+Every aggregator consumes the same input shape — a list of (worker_id,
+answer) pairs per item — so CrowdData can expose them uniformly as ``mv()``,
+``wmv()`` and ``em()`` verbs.
+"""
+
+from repro.quality.adaptive import AdaptiveCollectionStats, AdaptivePolicy
+from repro.quality.aggregation import Aggregator, AggregationResult, get_aggregator, register_aggregator
+from repro.quality.majority_vote import MajorityVoteAggregator, majority_vote
+from repro.quality.weighted_vote import WeightedVoteAggregator, weighted_vote
+from repro.quality.em import DawidSkeneAggregator, dawid_skene
+from repro.quality.glad import OneParameterEMAggregator, one_parameter_em
+from repro.quality.spammer import spammer_score, detect_spammers
+from repro.quality.confidence import answer_entropy, vote_confidence
+from repro.quality.gold import GoldReport, GoldStandard, inject_gold
+
+__all__ = [
+    "AdaptivePolicy",
+    "AdaptiveCollectionStats",
+    "GoldStandard",
+    "GoldReport",
+    "inject_gold",
+    "Aggregator",
+    "AggregationResult",
+    "get_aggregator",
+    "register_aggregator",
+    "MajorityVoteAggregator",
+    "majority_vote",
+    "WeightedVoteAggregator",
+    "weighted_vote",
+    "DawidSkeneAggregator",
+    "dawid_skene",
+    "OneParameterEMAggregator",
+    "one_parameter_em",
+    "spammer_score",
+    "detect_spammers",
+    "answer_entropy",
+    "vote_confidence",
+]

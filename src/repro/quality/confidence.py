@@ -1,0 +1,60 @@
+"""Confidence measures over collected answers.
+
+Used by adaptive operators (e.g. the crowdsourced join can stop collecting
+answers for a pair once confidence is high enough) and by the examination
+API to surface which decisions are shaky.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Any, Sequence
+
+from repro.exceptions import InsufficientAnswersError
+
+
+def vote_confidence(answers: Sequence[Any]) -> float:
+    """Return the plurality share of the most common answer.
+
+    >>> vote_confidence(["Yes", "Yes", "No"])
+    0.6666666666666666
+    """
+    if not answers:
+        raise InsufficientAnswersError("cannot compute confidence of zero answers")
+    counts = Counter(answers)
+    return max(counts.values()) / len(answers)
+
+
+def answer_entropy(answers: Sequence[Any]) -> float:
+    """Return the Shannon entropy (bits) of the answer distribution.
+
+    Zero means unanimous agreement; higher values mean more disagreement.
+    """
+    if not answers:
+        raise InsufficientAnswersError("cannot compute entropy of zero answers")
+    counts = Counter(answers)
+    total = len(answers)
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def wilson_lower_bound(successes: int, total: int, z: float = 1.96) -> float:
+    """Wilson-score lower bound on a binomial proportion.
+
+    A conservative estimate of "what fraction of workers would agree with the
+    majority if we kept asking", useful for deciding whether to request more
+    assignments for an item.
+    """
+    if total <= 0:
+        raise InsufficientAnswersError("total must be positive")
+    if not 0 <= successes <= total:
+        raise ValueError(f"successes must be in [0, {total}], got {successes}")
+    phat = successes / total
+    denominator = 1 + z * z / total
+    centre = phat + z * z / (2 * total)
+    margin = z * math.sqrt((phat * (1 - phat) + z * z / (4 * total)) / total)
+    return max(0.0, (centre - margin) / denominator)

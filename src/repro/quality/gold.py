@@ -1,0 +1,156 @@
+"""Gold-standard (qualification) questions for worker quality estimation.
+
+A widely used quality-control technique the paper's component is meant to
+host: mix a small number of tasks whose answers are already known ("gold"
+questions) into the published workload, estimate every worker's accuracy from
+their answers to the gold questions alone, and then (a) down-weight or drop
+workers who fail them and (b) feed the estimated accuracies into weighted
+majority vote.
+
+The estimator never looks at non-gold answers, so it cannot leak ground truth
+into the evaluation of the aggregation methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Mapping
+
+from repro.quality.aggregation import VoteTable
+from repro.utils.validation import require_fraction, require_positive
+
+
+@dataclass
+class GoldReport:
+    """Per-worker quality estimated from gold questions.
+
+    Attributes:
+        worker_accuracy: worker id -> fraction of gold questions answered
+            correctly (only workers who answered at least one gold question).
+        gold_answers: worker id -> number of gold questions the worker saw.
+        failed_workers: workers whose gold accuracy fell below the pass
+            threshold.
+        pass_threshold: The threshold used to decide failure.
+    """
+
+    worker_accuracy: dict[str, float] = field(default_factory=dict)
+    gold_answers: dict[str, int] = field(default_factory=dict)
+    failed_workers: list[str] = field(default_factory=list)
+    pass_threshold: float = 0.6
+
+    def passed_workers(self) -> list[str]:
+        """Workers whose gold accuracy met the threshold, sorted."""
+        return sorted(set(self.worker_accuracy) - set(self.failed_workers))
+
+
+class GoldStandard:
+    """Estimates worker quality from known-answer (gold) items.
+
+    Args:
+        gold_answers: Mapping from gold item id to its known true answer.
+            Item ids use the same key space as the vote table being filtered
+            (for CrowdData that is the row index).
+        pass_threshold: Workers with gold accuracy strictly below this are
+            flagged as failed.
+        min_gold_answers: Workers who saw fewer gold questions than this are
+            neither trusted nor failed (insufficient evidence); their
+            accuracy is reported but they are not flagged.
+    """
+
+    def __init__(
+        self,
+        gold_answers: Mapping[Hashable, Any],
+        pass_threshold: float = 0.6,
+        min_gold_answers: int = 1,
+    ):
+        if not gold_answers:
+            raise ValueError("gold_answers must not be empty")
+        require_fraction("pass_threshold", pass_threshold)
+        require_positive("min_gold_answers", min_gold_answers)
+        self.gold_answers = dict(gold_answers)
+        self.pass_threshold = pass_threshold
+        self.min_gold_answers = min_gold_answers
+
+    # -- estimation -------------------------------------------------------------
+
+    def evaluate(self, votes: VoteTable) -> GoldReport:
+        """Estimate per-worker accuracy from the gold items in *votes*."""
+        correct: dict[str, int] = {}
+        seen: dict[str, int] = {}
+        for item_id, item_votes in votes.items():
+            if item_id not in self.gold_answers:
+                continue
+            truth = self.gold_answers[item_id]
+            for worker_id, answer in item_votes:
+                seen[worker_id] = seen.get(worker_id, 0) + 1
+                if answer == truth:
+                    correct[worker_id] = correct.get(worker_id, 0) + 1
+        report = GoldReport(pass_threshold=self.pass_threshold)
+        for worker_id, count in seen.items():
+            accuracy = correct.get(worker_id, 0) / count
+            report.worker_accuracy[worker_id] = accuracy
+            report.gold_answers[worker_id] = count
+            if count >= self.min_gold_answers and accuracy < self.pass_threshold:
+                report.failed_workers.append(worker_id)
+        report.failed_workers.sort()
+        return report
+
+    # -- filtering ----------------------------------------------------------------
+
+    def filter_votes(self, votes: VoteTable, report: GoldReport | None = None) -> dict[Hashable, list[tuple[str, Any]]]:
+        """Return *votes* with failed workers' answers removed.
+
+        Items whose every answer came from failed workers keep their original
+        answers (dropping everything would make the item unanswerable, which
+        is worse than keeping low-quality answers).
+        """
+        report = report or self.evaluate(votes)
+        failed = set(report.failed_workers)
+        filtered: dict[Hashable, list[tuple[str, Any]]] = {}
+        for item_id, item_votes in votes.items():
+            kept = [(worker, answer) for worker, answer in item_votes if worker not in failed]
+            filtered[item_id] = kept if kept else list(item_votes)
+        return filtered
+
+    def non_gold_items(self, votes: VoteTable) -> dict[Hashable, list[tuple[str, Any]]]:
+        """Return the subset of *votes* that are not gold questions."""
+        return {
+            item_id: list(item_votes)
+            for item_id, item_votes in votes.items()
+            if item_id not in self.gold_answers
+        }
+
+
+def inject_gold(objects: list[Any], gold_objects: Mapping[Any, Any], every: int = 5) -> tuple[list[Any], dict[int, Any]]:
+    """Interleave gold objects into a task list.
+
+    Args:
+        objects: The real objects to be published.
+        gold_objects: Mapping from gold object to its known answer.
+        every: One gold object is inserted after every *every* real objects.
+
+    Returns:
+        (combined object list, mapping from combined-list index to the gold
+        answer at that index) — the index mapping is exactly what
+        :class:`GoldStandard` expects when CrowdData uses row indices as item
+        ids.
+    """
+    require_positive("every", every)
+    combined: list[Any] = []
+    gold_positions: dict[int, Any] = {}
+    gold_items = list(gold_objects.items())
+    gold_cursor = 0
+    for position, obj in enumerate(objects):
+        combined.append(obj)
+        if (position + 1) % every == 0 and gold_cursor < len(gold_items):
+            gold_obj, gold_answer = gold_items[gold_cursor]
+            gold_positions[len(combined)] = gold_answer
+            combined.append(gold_obj)
+            gold_cursor += 1
+    # Any gold items that did not fit the cadence go at the end.
+    while gold_cursor < len(gold_items):
+        gold_obj, gold_answer = gold_items[gold_cursor]
+        gold_positions[len(combined)] = gold_answer
+        combined.append(gold_obj)
+        gold_cursor += 1
+    return combined, gold_positions

@@ -1,0 +1,53 @@
+"""Spammer detection from estimated worker quality.
+
+A spammer answers independently of the true label, so their estimated
+accuracy hovers around random-guess level regardless of how many tasks they
+answer.  The score used here is how far above random guessing a worker's
+estimated accuracy sits, normalised to [0, 1] — 0 means indistinguishable
+from (or worse than) random, 1 means perfectly reliable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.utils.validation import require_fraction, require_positive
+
+
+def spammer_score(estimated_accuracy: float, num_labels: int) -> float:
+    """Return a reliability score in [0, 1] (0 = spammer-like).
+
+    Args:
+        estimated_accuracy: The worker's estimated accuracy (e.g. from EM).
+        num_labels: Number of possible labels; random guessing achieves
+            ``1 / num_labels``.
+    """
+    require_fraction("estimated_accuracy", estimated_accuracy)
+    require_positive("num_labels", num_labels)
+    chance = 1.0 / num_labels
+    if estimated_accuracy <= chance:
+        return 0.0
+    return (estimated_accuracy - chance) / (1.0 - chance)
+
+
+def detect_spammers(
+    worker_quality: Mapping[str, float],
+    num_labels: int,
+    threshold: float = 0.3,
+) -> list[str]:
+    """Return the ids of workers whose reliability score is below *threshold*.
+
+    Args:
+        worker_quality: worker id -> estimated accuracy (e.g.
+            ``AggregationResult.worker_quality``).
+        num_labels: Number of possible labels in the task.
+        threshold: Reliability-score cutoff; workers strictly below it are
+            flagged.
+    """
+    require_fraction("threshold", threshold)
+    flagged = [
+        worker_id
+        for worker_id, accuracy in worker_quality.items()
+        if spammer_score(accuracy, num_labels) < threshold
+    ]
+    return sorted(flagged)

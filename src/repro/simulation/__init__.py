@@ -1,0 +1,31 @@
+"""Experiment harness: metrics, crash injection and parameter sweeps.
+
+These utilities exist for the benchmarks in EXPERIMENTS.md — they are not
+part of the CrowdData surface, but they are what turns the library into a
+reproducible evaluation: crash injection drives the fault-recovery
+experiment, the metrics module scores joins and rankings against ground
+truth, and the sweep runner executes parameter grids deterministically.
+"""
+
+from repro.simulation.crash import CrashPlan, CrashingEngine, run_with_crashes
+from repro.simulation.metrics import (
+    accuracy,
+    f1_score,
+    pair_metrics,
+    precision,
+    recall,
+)
+from repro.simulation.experiment import ExperimentRunner, SweepResult
+
+__all__ = [
+    "CrashPlan",
+    "CrashingEngine",
+    "run_with_crashes",
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "pair_metrics",
+    "ExperimentRunner",
+    "SweepResult",
+]

@@ -1,0 +1,101 @@
+"""Deterministic parameter-sweep runner used by the benchmark harness.
+
+Each benchmark in ``benchmarks/`` is a sweep over one or two parameters
+(blocking threshold, worker accuracy, redundancy, dataset size...).  The
+runner executes every grid point with a fresh seed derived from the point's
+position, collects the per-point metrics into rows, and can render the rows
+as the aligned text table the benchmark prints — the "same rows/series the
+paper reports" artifact.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+#: A sweep point is a mapping of parameter name to value.
+SweepPoint = dict[str, Any]
+#: An experiment function maps a sweep point to a row of metrics.
+PointRunner = Callable[[SweepPoint], Mapping[str, Any]]
+
+
+@dataclass
+class SweepResult:
+    """Collected rows of a parameter sweep.
+
+    Attributes:
+        name: Sweep name (used as the table caption).
+        rows: One metrics mapping per grid point, in execution order.
+    """
+
+    name: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def column(self, key: str) -> list[Any]:
+        """Return one metric across all rows."""
+        return [row.get(key) for row in self.rows]
+
+    def to_table(self, columns: Sequence[str] | None = None, float_format: str = "{:.3f}") -> str:
+        """Render the rows as an aligned plain-text table."""
+        if not self.rows:
+            return f"{self.name}: (no rows)"
+        keys = list(columns) if columns else list(self.rows[0].keys())
+        rendered_rows = []
+        for row in self.rows:
+            rendered = []
+            for key in keys:
+                value = row.get(key, "")
+                if isinstance(value, float):
+                    rendered.append(float_format.format(value))
+                else:
+                    rendered.append(str(value))
+            rendered_rows.append(rendered)
+        widths = [
+            max(len(key), *(len(rendered[i]) for rendered in rendered_rows))
+            for i, key in enumerate(keys)
+        ]
+        header = "  ".join(key.ljust(widths[i]) for i, key in enumerate(keys))
+        separator = "  ".join("-" * widths[i] for i in range(len(keys)))
+        body = "\n".join(
+            "  ".join(rendered[i].ljust(widths[i]) for i in range(len(keys)))
+            for rendered in rendered_rows
+        )
+        return f"== {self.name} ==\n{header}\n{separator}\n{body}"
+
+
+class ExperimentRunner:
+    """Runs an experiment function over a parameter grid.
+
+    Args:
+        name: Sweep name used in the rendered table.
+        base_seed: Seed combined with the grid position so that every point
+            is deterministic but distinct.
+    """
+
+    def __init__(self, name: str, base_seed: int = 7):
+        self.name = name
+        self.base_seed = base_seed
+
+    def grid(self, **parameters: Sequence[Any]) -> list[SweepPoint]:
+        """Return the cartesian product of the given parameter value lists."""
+        names = list(parameters)
+        points = []
+        for index, values in enumerate(itertools.product(*(parameters[name] for name in names))):
+            point: SweepPoint = dict(zip(names, values))
+            point["seed"] = self.base_seed + index
+            points.append(point)
+        return points
+
+    def run(self, points: Sequence[SweepPoint], runner: PointRunner) -> SweepResult:
+        """Execute *runner* on every point and collect the rows."""
+        result = SweepResult(name=self.name)
+        for point in points:
+            row = dict(point)
+            row.update(runner(point))
+            result.rows.append(row)
+        return result
+
+    def sweep(self, runner: PointRunner, **parameters: Sequence[Any]) -> SweepResult:
+        """Convenience: build the grid and run it in one call."""
+        return self.run(self.grid(**parameters), runner)

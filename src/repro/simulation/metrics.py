@@ -1,0 +1,60 @@
+"""Evaluation metrics used by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Mapping
+
+from repro.utils.validation import require_non_empty
+
+
+def accuracy(predictions: Mapping[Hashable, Any], truth: Mapping[Hashable, Any]) -> float:
+    """Fraction of items whose prediction equals the ground truth.
+
+    Only items present in both mappings are scored.
+    """
+    common = [item for item in predictions if item in truth]
+    require_non_empty("overlap between predictions and truth", common)
+    correct = sum(1 for item in common if predictions[item] == truth[item])
+    return correct / len(common)
+
+
+def _normalise_pairs(pairs: Iterable[tuple[int, int]]) -> set[tuple[int, int]]:
+    return {(a, b) if a <= b else (b, a) for a, b in pairs}
+
+
+def precision(predicted: Iterable[tuple[int, int]], truth: Iterable[tuple[int, int]]) -> float:
+    """Pair precision: |predicted ∩ truth| / |predicted| (1.0 when nothing predicted)."""
+    predicted_set = _normalise_pairs(predicted)
+    truth_set = _normalise_pairs(truth)
+    if not predicted_set:
+        return 1.0
+    return len(predicted_set & truth_set) / len(predicted_set)
+
+
+def recall(predicted: Iterable[tuple[int, int]], truth: Iterable[tuple[int, int]]) -> float:
+    """Pair recall: |predicted ∩ truth| / |truth| (1.0 when truth is empty)."""
+    predicted_set = _normalise_pairs(predicted)
+    truth_set = _normalise_pairs(truth)
+    if not truth_set:
+        return 1.0
+    return len(predicted_set & truth_set) / len(truth_set)
+
+
+def f1_score(predicted: Iterable[tuple[int, int]], truth: Iterable[tuple[int, int]]) -> float:
+    """Pair F1: harmonic mean of precision and recall."""
+    p = precision(predicted, truth)
+    r = recall(predicted, truth)
+    if p + r == 0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+def pair_metrics(
+    predicted: Iterable[tuple[int, int]], truth: Iterable[tuple[int, int]]
+) -> dict[str, float]:
+    """Return precision, recall and F1 together (one pass each)."""
+    return {
+        "precision": precision(predicted, truth),
+        "recall": recall(predicted, truth),
+        "f1": f1_score(predicted, truth),
+    }

@@ -1,0 +1,32 @@
+"""Persistence layer: durable tables backing CrowdData's fault recovery.
+
+The paper stores the ``task`` and ``result`` columns of CrowdData in a
+database so that re-running a crashed program behaves as if it had never
+crashed.  This package provides that database behind a small engine
+interface with three implementations:
+
+* :class:`MemoryEngine` — non-durable, for tests and throwaway experiments.
+* :class:`SqliteEngine` — the default, a single sharable file like the
+  original Reprowd.
+* :class:`LogStructuredEngine` — an append-only log with periodic snapshots,
+  used to study recovery behaviour and crash injection at the storage level.
+"""
+
+from repro.storage.engine import StorageEngine, open_engine
+from repro.storage.memory_engine import MemoryEngine
+from repro.storage.sqlite_engine import SqliteEngine
+from repro.storage.log_engine import LogStructuredEngine
+from repro.storage.records import Record, RecordCodec
+from repro.storage.schema import ColumnSpec, TableSchema
+
+__all__ = [
+    "StorageEngine",
+    "open_engine",
+    "MemoryEngine",
+    "SqliteEngine",
+    "LogStructuredEngine",
+    "Record",
+    "RecordCodec",
+    "ColumnSpec",
+    "TableSchema",
+]

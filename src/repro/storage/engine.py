@@ -1,0 +1,140 @@
+"""Abstract storage-engine interface and engine factory.
+
+Engines expose a minimal durable table API:
+
+* tables are created lazily and listed;
+* each table maps string keys to JSON-encodable values with a per-key version;
+* ``put`` is an upsert, ``put_new`` refuses to overwrite;
+* whole-table scans return records in insertion order.
+
+This is intentionally smaller than SQL — it is exactly what CrowdData's
+fault-recovery cache needs, and keeping it small makes the engines easy to
+swap and to property-test against each other.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterator
+
+from repro.config import StorageConfig
+from repro.exceptions import ConfigurationError
+from repro.storage.records import Record
+
+
+class StorageEngine(abc.ABC):
+    """Interface implemented by every storage engine."""
+
+    #: Name reported by :meth:`describe`, overridden by subclasses.
+    engine_name = "abstract"
+
+    # -- table management --------------------------------------------------
+
+    @abc.abstractmethod
+    def create_table(self, table_name: str) -> None:
+        """Create *table_name* if it does not already exist (idempotent)."""
+
+    @abc.abstractmethod
+    def drop_table(self, table_name: str) -> None:
+        """Remove *table_name* and all of its records (idempotent)."""
+
+    @abc.abstractmethod
+    def list_tables(self) -> list[str]:
+        """Return the names of all tables, sorted."""
+
+    @abc.abstractmethod
+    def has_table(self, table_name: str) -> bool:
+        """Return True when *table_name* exists."""
+
+    # -- record access -----------------------------------------------------
+
+    @abc.abstractmethod
+    def put(self, table_name: str, key: str, value: Any) -> Record:
+        """Insert or overwrite the record at *key* and return it."""
+
+    @abc.abstractmethod
+    def put_new(self, table_name: str, key: str, value: Any) -> Record:
+        """Insert a new record, raising ``DuplicateKeyError`` if *key* exists."""
+
+    @abc.abstractmethod
+    def get(self, table_name: str, key: str, default: Any = None) -> Any:
+        """Return the value at *key*, or *default* when absent."""
+
+    @abc.abstractmethod
+    def get_record(self, table_name: str, key: str) -> Record | None:
+        """Return the full :class:`Record` at *key*, or None when absent."""
+
+    @abc.abstractmethod
+    def delete(self, table_name: str, key: str) -> bool:
+        """Delete the record at *key*; return True when something was deleted."""
+
+    @abc.abstractmethod
+    def contains(self, table_name: str, key: str) -> bool:
+        """Return True when *key* exists in *table_name*."""
+
+    @abc.abstractmethod
+    def scan(self, table_name: str) -> Iterator[Record]:
+        """Yield every record of *table_name* in insertion order."""
+
+    @abc.abstractmethod
+    def count(self, table_name: str) -> int:
+        """Return the number of records in *table_name*."""
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def flush(self) -> None:
+        """Force buffered writes to durable storage (no-op for memory)."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release resources held by the engine."""
+
+    # -- conveniences shared by all engines ---------------------------------
+
+    def keys(self, table_name: str) -> list[str]:
+        """Return every key of *table_name* in insertion order."""
+        return [record.key for record in self.scan(table_name)]
+
+    def values(self, table_name: str) -> list[Any]:
+        """Return every value of *table_name* in insertion order."""
+        return [record.value for record in self.scan(table_name)]
+
+    def items(self, table_name: str) -> list[tuple[str, Any]]:
+        """Return (key, value) pairs of *table_name* in insertion order."""
+        return [(record.key, record.value) for record in self.scan(table_name)]
+
+    def describe(self) -> dict[str, Any]:
+        """Return a JSON-friendly summary of the engine and its tables."""
+        return {
+            "engine": self.engine_name,
+            "tables": {name: self.count(name) for name in self.list_tables()},
+        }
+
+    def __enter__(self) -> "StorageEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def open_engine(config: StorageConfig) -> StorageEngine:
+    """Instantiate the engine described by *config*.
+
+    Raises:
+        ConfigurationError: If ``config.engine`` names an unknown engine.
+    """
+    # Imported here to avoid circular imports between engine modules.
+    from repro.storage.log_engine import LogStructuredEngine
+    from repro.storage.memory_engine import MemoryEngine
+    from repro.storage.sqlite_engine import SqliteEngine
+
+    if config.engine == "memory":
+        return MemoryEngine()
+    if config.engine == "sqlite":
+        return SqliteEngine(config.path, synchronous=config.synchronous)
+    if config.engine == "log":
+        return LogStructuredEngine(config.path, snapshot_every=config.snapshot_every)
+    raise ConfigurationError(
+        f"unknown storage engine {config.engine!r}; expected 'memory', 'sqlite' or 'log'"
+    )

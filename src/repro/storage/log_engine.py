@@ -1,0 +1,240 @@
+"""Append-only log-structured storage engine with periodic snapshots.
+
+This engine exists to study the recovery path explicitly: every mutation is
+appended to a write-ahead log (one JSON line per operation), and every
+``snapshot_every`` operations the in-memory state is checkpointed to a
+snapshot file so that recovery replays only the log tail.  Opening the engine
+recovers state by loading the latest snapshot and replaying newer log
+entries; a torn final line (partial write during a crash) is tolerated and
+discarded, older corruption raises :class:`repro.exceptions.CorruptLogError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator
+
+from repro.exceptions import CorruptLogError, DuplicateKeyError, TableNotFoundError
+from repro.storage.engine import StorageEngine
+from repro.storage.records import Record, RecordCodec
+
+
+class LogStructuredEngine(StorageEngine):
+    """Durable engine built from an append-only log plus snapshots."""
+
+    engine_name = "log"
+
+    _OP_CREATE = "create_table"
+    _OP_DROP = "drop_table"
+    _OP_PUT = "put"
+    _OP_DELETE = "delete"
+
+    def __init__(self, path: str, snapshot_every: int = 1000) -> None:
+        """Open (recovering if necessary) the log database rooted at *path*.
+
+        Args:
+            path: Base path; the engine writes ``<path>.log`` and
+                ``<path>.snapshot``.
+            snapshot_every: Number of logged operations between snapshots.
+        """
+        if snapshot_every <= 0:
+            raise ValueError(f"snapshot_every must be positive, got {snapshot_every}")
+        self.path = path
+        self.snapshot_every = snapshot_every
+        self.log_path = f"{path}.log"
+        self.snapshot_path = f"{path}.snapshot"
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+
+        self._tables: dict[str, dict[str, Record]] = {}
+        self._ops_since_snapshot = 0
+        self._recovered_ops = 0
+        self._closed = False
+        self._recover()
+        self._log_file = open(self.log_path, "a", encoding="utf-8")
+
+    # -- recovery ------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild in-memory state from the snapshot and the log tail."""
+        snapshot_seq = 0
+        if os.path.exists(self.snapshot_path):
+            with open(self.snapshot_path, "r", encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+            snapshot_seq = snapshot["seq"]
+            for table_name, rows in snapshot["tables"].items():
+                table: dict[str, Record] = {}
+                for row in rows:
+                    table[row["key"]] = Record(
+                        key=row["key"], value=row["value"], version=row["version"]
+                    )
+                self._tables[table_name] = table
+
+        if not os.path.exists(self.log_path):
+            return
+        with open(self.log_path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError as exc:
+                if index == len(lines) - 1:
+                    # A torn final line is the expected signature of a crash
+                    # mid-append; recovery simply ignores it.
+                    break
+                raise CorruptLogError(
+                    f"unreadable log entry at line {index + 1} of {self.log_path}"
+                ) from exc
+            if entry["seq"] <= snapshot_seq:
+                continue
+            self._apply(entry)
+            self._recovered_ops += 1
+
+    def _apply(self, entry: dict[str, Any]) -> None:
+        """Apply one recovered log *entry* to the in-memory tables."""
+        op = entry["op"]
+        if op == self._OP_CREATE:
+            self._tables.setdefault(entry["table"], {})
+        elif op == self._OP_DROP:
+            self._tables.pop(entry["table"], None)
+        elif op == self._OP_PUT:
+            table = self._tables.setdefault(entry["table"], {})
+            table[entry["key"]] = Record(
+                key=entry["key"], value=entry["value"], version=entry["version"]
+            )
+        elif op == self._OP_DELETE:
+            table = self._tables.get(entry["table"])
+            if table is not None:
+                table.pop(entry["key"], None)
+        else:
+            raise CorruptLogError(f"unknown log operation {op!r}")
+
+    @property
+    def recovered_operations(self) -> int:
+        """Number of log entries replayed on open (0 for a fresh database)."""
+        return self._recovered_ops
+
+    # -- logging -------------------------------------------------------------
+
+    def _logged_seq(self) -> int:
+        return getattr(self, "_seq", 0)
+
+    def _append(self, entry: dict[str, Any]) -> None:
+        seq = self._logged_seq() + 1
+        self._seq = seq
+        entry["seq"] = seq
+        self._log_file.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._log_file.flush()
+        os.fsync(self._log_file.fileno())
+        self._ops_since_snapshot += 1
+        if self._ops_since_snapshot >= self.snapshot_every:
+            self._write_snapshot()
+
+    def _write_snapshot(self) -> None:
+        """Checkpoint the in-memory state atomically (write temp, rename)."""
+        snapshot = {
+            "seq": self._logged_seq(),
+            "tables": {
+                table_name: [
+                    {"key": record.key, "value": record.value, "version": record.version}
+                    for record in table.values()
+                ]
+                for table_name, table in self._tables.items()
+            },
+        }
+        temp_path = f"{self.snapshot_path}.tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, self.snapshot_path)
+        self._ops_since_snapshot = 0
+
+    # -- table management ------------------------------------------------------
+
+    def _table(self, table_name: str) -> dict[str, Record]:
+        try:
+            return self._tables[table_name]
+        except KeyError:
+            raise TableNotFoundError(table_name) from None
+
+    def create_table(self, table_name: str) -> None:
+        if table_name not in self._tables:
+            self._tables[table_name] = {}
+            self._append({"op": self._OP_CREATE, "table": table_name})
+
+    def drop_table(self, table_name: str) -> None:
+        if table_name in self._tables:
+            del self._tables[table_name]
+            self._append({"op": self._OP_DROP, "table": table_name})
+
+    def list_tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def has_table(self, table_name: str) -> bool:
+        return table_name in self._tables
+
+    # -- record access ----------------------------------------------------------
+
+    def put(self, table_name: str, key: str, value: Any) -> Record:
+        RecordCodec.encode(value)
+        table = self._table(table_name)
+        existing = table.get(key)
+        record = existing.bump(value) if existing else Record(key=key, value=value)
+        table[key] = record
+        self._append(
+            {
+                "op": self._OP_PUT,
+                "table": table_name,
+                "key": key,
+                "value": value,
+                "version": record.version,
+            }
+        )
+        return record
+
+    def put_new(self, table_name: str, key: str, value: Any) -> Record:
+        table = self._table(table_name)
+        if key in table:
+            raise DuplicateKeyError(table_name, key)
+        return self.put(table_name, key, value)
+
+    def get(self, table_name: str, key: str, default: Any = None) -> Any:
+        record = self._table(table_name).get(key)
+        return record.value if record is not None else default
+
+    def get_record(self, table_name: str, key: str) -> Record | None:
+        return self._table(table_name).get(key)
+
+    def delete(self, table_name: str, key: str) -> bool:
+        table = self._table(table_name)
+        if key not in table:
+            return False
+        del table[key]
+        self._append({"op": self._OP_DELETE, "table": table_name, "key": key})
+        return True
+
+    def contains(self, table_name: str, key: str) -> bool:
+        return key in self._table(table_name)
+
+    def scan(self, table_name: str) -> Iterator[Record]:
+        yield from list(self._table(table_name).values())
+
+    def count(self, table_name: str) -> int:
+        return len(self._table(table_name))
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def flush(self) -> None:
+        self._log_file.flush()
+        os.fsync(self._log_file.fileno())
+
+    def close(self) -> None:
+        if not self._closed:
+            self._write_snapshot()
+            self._log_file.close()
+            self._closed = True

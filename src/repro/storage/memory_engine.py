@@ -1,0 +1,91 @@
+"""In-memory storage engine.
+
+Non-durable: crash-and-rerun experiments backed by this engine do not share
+anything across processes.  It exists for unit tests, quick notebook-style
+experiments, and as the reference implementation the durable engines are
+property-tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.exceptions import DuplicateKeyError, TableNotFoundError
+from repro.storage.engine import StorageEngine
+from repro.storage.records import Record, RecordCodec
+
+
+class MemoryEngine(StorageEngine):
+    """Dictionary-backed storage engine."""
+
+    engine_name = "memory"
+
+    def __init__(self) -> None:
+        self._tables: dict[str, dict[str, Record]] = {}
+        self._closed = False
+
+    # -- table management --------------------------------------------------
+
+    def create_table(self, table_name: str) -> None:
+        self._tables.setdefault(table_name, {})
+
+    def drop_table(self, table_name: str) -> None:
+        self._tables.pop(table_name, None)
+
+    def list_tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def has_table(self, table_name: str) -> bool:
+        return table_name in self._tables
+
+    # -- record access -----------------------------------------------------
+
+    def _table(self, table_name: str) -> dict[str, Record]:
+        try:
+            return self._tables[table_name]
+        except KeyError:
+            raise TableNotFoundError(table_name) from None
+
+    def put(self, table_name: str, key: str, value: Any) -> Record:
+        # Round-trip through the codec so memory and durable engines accept
+        # exactly the same set of values.
+        RecordCodec.encode(value)
+        table = self._table(table_name)
+        existing = table.get(key)
+        record = existing.bump(value) if existing else Record(key=key, value=value)
+        table[key] = record
+        return record
+
+    def put_new(self, table_name: str, key: str, value: Any) -> Record:
+        table = self._table(table_name)
+        if key in table:
+            raise DuplicateKeyError(table_name, key)
+        return self.put(table_name, key, value)
+
+    def get(self, table_name: str, key: str, default: Any = None) -> Any:
+        record = self._table(table_name).get(key)
+        return record.value if record is not None else default
+
+    def get_record(self, table_name: str, key: str) -> Record | None:
+        return self._table(table_name).get(key)
+
+    def delete(self, table_name: str, key: str) -> bool:
+        return self._table(table_name).pop(key, None) is not None
+
+    def contains(self, table_name: str, key: str) -> bool:
+        return key in self._table(table_name)
+
+    def scan(self, table_name: str) -> Iterator[Record]:
+        # dict preserves insertion order, matching the durable engines.
+        yield from list(self._table(table_name).values())
+
+    def count(self, table_name: str) -> int:
+        return len(self._table(table_name))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """No durable medium to flush to."""
+
+    def close(self) -> None:
+        self._closed = True

@@ -1,0 +1,59 @@
+"""Record model and codec shared by every storage engine.
+
+A record is a key plus a JSON-encodable value.  Engines never interpret the
+value; CrowdData's cache layer decides what goes inside (task descriptors,
+task-run lists, lineage entries).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import StorageError
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single stored record.
+
+    Attributes:
+        key: Unique key within its table.
+        value: JSON-encodable payload.
+        version: Monotonically increasing per-key version, maintained by the
+            engine on every put.
+    """
+
+    key: str
+    value: Any
+    version: int = 1
+
+    def bump(self, new_value: Any) -> "Record":
+        """Return a new record with *new_value* and an incremented version."""
+        return Record(key=self.key, value=new_value, version=self.version + 1)
+
+
+class RecordCodec:
+    """Encodes and decodes record values to and from JSON text.
+
+    The codec is deliberately strict: values that cannot round-trip through
+    JSON raise :class:`repro.exceptions.StorageError` at write time rather
+    than corrupting the database.
+    """
+
+    @staticmethod
+    def encode(value: Any) -> str:
+        """Serialise *value* to compact JSON text."""
+        try:
+            return json.dumps(value, sort_keys=True, separators=(",", ":"))
+        except (TypeError, ValueError) as exc:
+            raise StorageError(f"value is not JSON-encodable: {exc}") from exc
+
+    @staticmethod
+    def decode(text: str) -> Any:
+        """Deserialise JSON *text* back into a Python value."""
+        try:
+            return json.loads(text)
+        except (TypeError, ValueError) as exc:
+            raise StorageError(f"stored value is not valid JSON: {exc}") from exc

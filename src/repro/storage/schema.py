@@ -1,0 +1,93 @@
+"""Lightweight table-schema descriptions.
+
+CrowdData tables are schemaless key/value tables at the engine level, but the
+core layer attaches a :class:`TableSchema` to each logical table so that the
+lineage and examination APIs can describe what each column means (Figure 1's
+"CrowdData" box lists id/object/task/result columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.exceptions import CrowdDataError
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Description of one CrowdData column.
+
+    Attributes:
+        name: Column name (``id``, ``object``, ``task``, ``result`` or a
+            derived column such as ``mv``).
+        persistent: Whether the column is stored durably.  The paper persists
+            only ``task`` and ``result``; everything else is recomputed.
+        description: Human-readable explanation used by the examination API.
+    """
+
+    name: str
+    persistent: bool = False
+    description: str = ""
+
+
+@dataclass
+class TableSchema:
+    """Ordered collection of :class:`ColumnSpec` for one CrowdData table."""
+
+    table_name: str
+    columns: list[ColumnSpec] = field(default_factory=list)
+
+    def add_column(self, spec: ColumnSpec) -> None:
+        """Append *spec*, rejecting duplicate column names."""
+        if self.has_column(spec.name):
+            raise CrowdDataError(
+                f"table {self.table_name!r} already has a column named {spec.name!r}"
+            )
+        self.columns.append(spec)
+
+    def has_column(self, name: str) -> bool:
+        """Return True when a column named *name* exists."""
+        return any(column.name == name for column in self.columns)
+
+    def column(self, name: str) -> ColumnSpec:
+        """Return the spec of the column named *name*."""
+        for spec in self.columns:
+            if spec.name == name:
+                return spec
+        raise CrowdDataError(f"table {self.table_name!r} has no column named {name!r}")
+
+    def column_names(self) -> list[str]:
+        """Return column names in declaration order."""
+        return [column.name for column in self.columns]
+
+    def persistent_columns(self) -> list[str]:
+        """Return the names of durable columns (``task``/``result`` style)."""
+        return [column.name for column in self.columns if column.persistent]
+
+    def describe(self) -> list[dict[str, Any]]:
+        """Return a JSON-friendly description of every column."""
+        return [
+            {
+                "name": column.name,
+                "persistent": column.persistent,
+                "description": column.description,
+            }
+            for column in self.columns
+        ]
+
+    @classmethod
+    def standard(cls, table_name: str, derived: Iterable[str] = ()) -> "TableSchema":
+        """Build the paper's standard CrowdData schema for *table_name*.
+
+        The standard schema is: id, object (recomputable), task, result
+        (persistent), plus any *derived* columns (recomputable).
+        """
+        schema = cls(table_name=table_name)
+        schema.add_column(ColumnSpec("id", False, "row identifier"))
+        schema.add_column(ColumnSpec("object", False, "input object (recomputable)"))
+        schema.add_column(ColumnSpec("task", True, "published task descriptor"))
+        schema.add_column(ColumnSpec("result", True, "collected crowd answers"))
+        for name in derived:
+            schema.add_column(ColumnSpec(name, False, f"derived column {name!r}"))
+        return schema

@@ -1,0 +1,218 @@
+"""SQLite-backed storage engine — the default, like the original Reprowd.
+
+The whole experiment lives in one SQLite file, which is exactly the artefact
+Bob shares with Ally in the paper: code + database file = reproducible
+experiment.
+
+Layout: one physical SQLite table ``reprowd_records`` holds every logical
+table's records, keyed by (table_name, key).  Using a single physical table
+keeps logical table creation cheap and makes cross-table scans (lineage
+export) a single query.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from typing import Any, Iterator
+
+from repro.exceptions import DuplicateKeyError, StorageError, TableNotFoundError
+from repro.storage.engine import StorageEngine
+from repro.storage.records import Record, RecordCodec
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS reprowd_tables (
+    table_name TEXT PRIMARY KEY
+);
+CREATE TABLE IF NOT EXISTS reprowd_records (
+    table_name TEXT NOT NULL,
+    key        TEXT NOT NULL,
+    value      TEXT NOT NULL,
+    version    INTEGER NOT NULL DEFAULT 1,
+    seq        INTEGER PRIMARY KEY AUTOINCREMENT,
+    UNIQUE (table_name, key)
+);
+CREATE INDEX IF NOT EXISTS idx_records_table ON reprowd_records (table_name);
+"""
+
+
+class SqliteEngine(StorageEngine):
+    """Durable storage engine backed by a single SQLite file."""
+
+    engine_name = "sqlite"
+
+    def __init__(self, path: str, synchronous: bool = True) -> None:
+        """Open (creating if necessary) the database at *path*.
+
+        Args:
+            path: Filesystem path of the database file, or ``":memory:"``.
+            synchronous: Commit after every write.  Matches the durability
+                the paper's crash-and-rerun semantics require; disable only
+                for throughput experiments.
+        """
+        self.path = path
+        self.synchronous = synchronous
+        if path != ":memory:":
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+        self._lock = threading.RLock()
+        try:
+            self._conn = sqlite3.connect(path, check_same_thread=False)
+        except sqlite3.Error as exc:
+            raise StorageError(f"cannot open SQLite database at {path!r}: {exc}") from exc
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+        self._closed = False
+
+    # -- internal helpers ----------------------------------------------------
+
+    def _commit(self) -> None:
+        if self.synchronous:
+            self._conn.commit()
+
+    def _require_table(self, table_name: str) -> None:
+        cursor = self._conn.execute(
+            "SELECT 1 FROM reprowd_tables WHERE table_name = ?", (table_name,)
+        )
+        if cursor.fetchone() is None:
+            raise TableNotFoundError(table_name)
+
+    # -- table management ----------------------------------------------------
+
+    def create_table(self, table_name: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO reprowd_tables (table_name) VALUES (?)",
+                (table_name,),
+            )
+            self._commit()
+
+    def drop_table(self, table_name: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM reprowd_records WHERE table_name = ?", (table_name,)
+            )
+            self._conn.execute(
+                "DELETE FROM reprowd_tables WHERE table_name = ?", (table_name,)
+            )
+            self._commit()
+
+    def list_tables(self) -> list[str]:
+        with self._lock:
+            cursor = self._conn.execute(
+                "SELECT table_name FROM reprowd_tables ORDER BY table_name"
+            )
+            return [row[0] for row in cursor.fetchall()]
+
+    def has_table(self, table_name: str) -> bool:
+        with self._lock:
+            cursor = self._conn.execute(
+                "SELECT 1 FROM reprowd_tables WHERE table_name = ?", (table_name,)
+            )
+            return cursor.fetchone() is not None
+
+    # -- record access -------------------------------------------------------
+
+    def put(self, table_name: str, key: str, value: Any) -> Record:
+        encoded = RecordCodec.encode(value)
+        with self._lock:
+            self._require_table(table_name)
+            cursor = self._conn.execute(
+                "SELECT version FROM reprowd_records WHERE table_name = ? AND key = ?",
+                (table_name, key),
+            )
+            row = cursor.fetchone()
+            if row is None:
+                version = 1
+                self._conn.execute(
+                    "INSERT INTO reprowd_records (table_name, key, value, version) "
+                    "VALUES (?, ?, ?, ?)",
+                    (table_name, key, encoded, version),
+                )
+            else:
+                version = row[0] + 1
+                self._conn.execute(
+                    "UPDATE reprowd_records SET value = ?, version = ? "
+                    "WHERE table_name = ? AND key = ?",
+                    (encoded, version, table_name, key),
+                )
+            self._commit()
+            return Record(key=key, value=value, version=version)
+
+    def put_new(self, table_name: str, key: str, value: Any) -> Record:
+        with self._lock:
+            self._require_table(table_name)
+            if self.contains(table_name, key):
+                raise DuplicateKeyError(table_name, key)
+            return self.put(table_name, key, value)
+
+    def get(self, table_name: str, key: str, default: Any = None) -> Any:
+        record = self.get_record(table_name, key)
+        return record.value if record is not None else default
+
+    def get_record(self, table_name: str, key: str) -> Record | None:
+        with self._lock:
+            self._require_table(table_name)
+            cursor = self._conn.execute(
+                "SELECT value, version FROM reprowd_records "
+                "WHERE table_name = ? AND key = ?",
+                (table_name, key),
+            )
+            row = cursor.fetchone()
+        if row is None:
+            return None
+        return Record(key=key, value=RecordCodec.decode(row[0]), version=row[1])
+
+    def delete(self, table_name: str, key: str) -> bool:
+        with self._lock:
+            self._require_table(table_name)
+            cursor = self._conn.execute(
+                "DELETE FROM reprowd_records WHERE table_name = ? AND key = ?",
+                (table_name, key),
+            )
+            self._commit()
+            return cursor.rowcount > 0
+
+    def contains(self, table_name: str, key: str) -> bool:
+        with self._lock:
+            self._require_table(table_name)
+            cursor = self._conn.execute(
+                "SELECT 1 FROM reprowd_records WHERE table_name = ? AND key = ?",
+                (table_name, key),
+            )
+            return cursor.fetchone() is not None
+
+    def scan(self, table_name: str) -> Iterator[Record]:
+        with self._lock:
+            self._require_table(table_name)
+            cursor = self._conn.execute(
+                "SELECT key, value, version FROM reprowd_records "
+                "WHERE table_name = ? ORDER BY seq",
+                (table_name,),
+            )
+            rows = cursor.fetchall()
+        for key, value, version in rows:
+            yield Record(key=key, value=RecordCodec.decode(value), version=version)
+
+    def count(self, table_name: str) -> int:
+        with self._lock:
+            self._require_table(table_name)
+            cursor = self._conn.execute(
+                "SELECT COUNT(*) FROM reprowd_records WHERE table_name = ?",
+                (table_name,),
+            )
+            return int(cursor.fetchone()[0])
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def flush(self) -> None:
+        with self._lock:
+            self._conn.commit()
+
+    def close(self) -> None:
+        if not self._closed:
+            with self._lock:
+                self._conn.commit()
+                self._conn.close()
+            self._closed = True

@@ -1,0 +1,43 @@
+"""Utility helpers shared by every repro sub-system."""
+
+from repro.utils.hashing import stable_hash, stable_json
+from repro.utils.text import (
+    cosine_similarity,
+    edit_distance,
+    edit_similarity,
+    jaccard_similarity,
+    ngrams,
+    normalize_text,
+    overlap_coefficient,
+    token_vector,
+    tokenize,
+)
+from repro.utils.timing import Stopwatch, SimulatedClock
+from repro.utils.validation import (
+    require_fraction,
+    require_in,
+    require_non_empty,
+    require_positive,
+    require_type,
+)
+
+__all__ = [
+    "stable_hash",
+    "stable_json",
+    "cosine_similarity",
+    "edit_distance",
+    "edit_similarity",
+    "jaccard_similarity",
+    "ngrams",
+    "normalize_text",
+    "overlap_coefficient",
+    "token_vector",
+    "tokenize",
+    "Stopwatch",
+    "SimulatedClock",
+    "require_fraction",
+    "require_in",
+    "require_non_empty",
+    "require_positive",
+    "require_type",
+]

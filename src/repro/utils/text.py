@@ -1,0 +1,149 @@
+"""Text normalisation and similarity measures.
+
+These functions are the machine-side half of crowdsourced entity resolution:
+CrowdER (Wang et al. 2012) prunes the candidate-pair space with a cheap
+similarity measure before asking the crowd to verify the surviving pairs.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from typing import Iterable, Sequence
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def normalize_text(text: str) -> str:
+    """Lower-case *text* and collapse runs of whitespace.
+
+    >>> normalize_text("  Apple   iPhone 6 ")
+    'apple iphone 6'
+    """
+    return _WHITESPACE_RE.sub(" ", text.strip().lower())
+
+
+def tokenize(text: str) -> list[str]:
+    """Split *text* into lower-case alphanumeric tokens.
+
+    >>> tokenize("Apple iPhone-6, 16GB!")
+    ['apple', 'iphone', '6', '16gb']
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+def ngrams(text: str, n: int = 3) -> list[str]:
+    """Return the character n-grams of the normalised *text*.
+
+    Shorter strings yield the whole string as a single gram so that very
+    short values still compare non-trivially.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    normalized = normalize_text(text)
+    if len(normalized) <= n:
+        return [normalized] if normalized else []
+    return [normalized[i : i + n] for i in range(len(normalized) - n + 1)]
+
+
+def jaccard_similarity(left: str | Iterable[str], right: str | Iterable[str]) -> float:
+    """Jaccard similarity of the token sets of two strings (or token iterables).
+
+    Returns a value in [0, 1]; two empty inputs are defined as similarity 1.
+    """
+    left_tokens = set(tokenize(left) if isinstance(left, str) else left)
+    right_tokens = set(tokenize(right) if isinstance(right, str) else right)
+    if not left_tokens and not right_tokens:
+        return 1.0
+    if not left_tokens or not right_tokens:
+        return 0.0
+    intersection = len(left_tokens & right_tokens)
+    union = len(left_tokens | right_tokens)
+    return intersection / union
+
+
+def overlap_coefficient(left: str | Iterable[str], right: str | Iterable[str]) -> float:
+    """Szymkiewicz-Simpson overlap coefficient of two token sets."""
+    left_tokens = set(tokenize(left) if isinstance(left, str) else left)
+    right_tokens = set(tokenize(right) if isinstance(right, str) else right)
+    if not left_tokens and not right_tokens:
+        return 1.0
+    if not left_tokens or not right_tokens:
+        return 0.0
+    intersection = len(left_tokens & right_tokens)
+    return intersection / min(len(left_tokens), len(right_tokens))
+
+
+def token_vector(text: str) -> Counter:
+    """Return the token-frequency vector of *text*."""
+    return Counter(tokenize(text))
+
+
+def cosine_similarity(left: str | Counter, right: str | Counter) -> float:
+    """Cosine similarity between token-frequency vectors.
+
+    Accepts raw strings (tokenised internally) or pre-computed Counters.
+    """
+    left_vec = token_vector(left) if isinstance(left, str) else left
+    right_vec = token_vector(right) if isinstance(right, str) else right
+    if not left_vec and not right_vec:
+        return 1.0
+    if not left_vec or not right_vec:
+        return 0.0
+    dot = sum(count * right_vec.get(token, 0) for token, count in left_vec.items())
+    left_norm = math.sqrt(sum(count * count for count in left_vec.values()))
+    right_norm = math.sqrt(sum(count * count for count in right_vec.values()))
+    if left_norm == 0.0 or right_norm == 0.0:
+        return 0.0
+    return dot / (left_norm * right_norm)
+
+
+def edit_distance(left: str, right: str) -> int:
+    """Levenshtein distance between two strings (iterative two-row DP)."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    if len(left) < len(right):
+        left, right = right, left
+    previous = list(range(len(right) + 1))
+    for i, left_char in enumerate(left, start=1):
+        current = [i]
+        for j, right_char in enumerate(right, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            replace_cost = previous[j - 1] + (left_char != right_char)
+            current.append(min(insert_cost, delete_cost, replace_cost))
+        previous = current
+    return previous[-1]
+
+
+def edit_similarity(left: str, right: str) -> float:
+    """Normalised edit similarity: 1 - distance / max(len).
+
+    Two empty strings have similarity 1.
+    """
+    if not left and not right:
+        return 1.0
+    distance = edit_distance(left, right)
+    return 1.0 - distance / max(len(left), len(right))
+
+
+def record_text(record: Sequence | dict, fields: Sequence[str] | None = None) -> str:
+    """Flatten a record (dict or sequence) into one normalised string.
+
+    Args:
+        record: The record whose textual content should be flattened.
+        fields: For dict records, the subset of keys to include (all keys in
+            sorted order when omitted).
+    """
+    if isinstance(record, dict):
+        keys = list(fields) if fields is not None else sorted(record)
+        parts = [str(record[key]) for key in keys if key in record]
+    else:
+        parts = [str(value) for value in record]
+    return normalize_text(" ".join(parts))

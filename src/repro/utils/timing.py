@@ -1,0 +1,67 @@
+"""Timing helpers: a wall-clock stopwatch and a simulated clock.
+
+The simulated clock lets the platform and worker-latency models advance time
+deterministically, which keeps experiments reproducible — an answer's
+lineage timestamp must not depend on how fast the host machine is.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """Context manager measuring wall-clock time in seconds.
+
+    >>> with Stopwatch() as sw:
+    ...     _ = sum(range(10))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class SimulatedClock:
+    """A deterministic logical clock measured in seconds.
+
+    Attributes:
+        now: Current simulated time.
+    """
+
+    now: float = 0.0
+    _history: list[float] = field(default_factory=list, repr=False)
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by *seconds* and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by a negative amount: {seconds}")
+        self.now += seconds
+        self._history.append(self.now)
+        return self.now
+
+    def tick(self) -> float:
+        """Advance the clock by one second."""
+        return self.advance(1.0)
+
+    def reset(self) -> None:
+        """Reset the clock to time zero and clear its history."""
+        self.now = 0.0
+        self._history.clear()
+
+    @property
+    def history(self) -> list[float]:
+        """Times recorded at each advance, oldest first."""
+        return list(self._history)

@@ -1,0 +1,64 @@
+"""Small argument-validation helpers used across the public API.
+
+Each helper raises ``ValueError``/``TypeError`` with a message naming the
+offending argument, so API misuse fails loudly and close to the call site.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Collection, Iterable, Sized
+
+
+def require_positive(name: str, value: float, allow_zero: bool = False) -> float:
+    """Ensure *value* is positive (or non-negative when *allow_zero*)."""
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def require_fraction(name: str, value: float) -> float:
+    """Ensure *value* lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def require_non_empty(name: str, value: Sized) -> Sized:
+    """Ensure the sized collection *value* is not empty."""
+    if len(value) == 0:
+        raise ValueError(f"{name} must not be empty")
+    return value
+
+
+def require_in(name: str, value: Any, allowed: Collection[Any]) -> Any:
+    """Ensure *value* is one of *allowed*."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {sorted(map(str, allowed))}, got {value!r}")
+    return value
+
+
+def require_type(name: str, value: Any, types: type | tuple[type, ...]) -> Any:
+    """Ensure *value* is an instance of *types*."""
+    if not isinstance(value, types):
+        type_names = (
+            types.__name__
+            if isinstance(types, type)
+            else " or ".join(t.__name__ for t in types)
+        )
+        raise TypeError(f"{name} must be {type_names}, got {type(value).__name__}")
+    return value
+
+
+def require_unique(name: str, values: Iterable[Any]) -> list[Any]:
+    """Ensure *values* contains no duplicates and return them as a list."""
+    seen: set[Any] = set()
+    result: list[Any] = []
+    for value in values:
+        if value in seen:
+            raise ValueError(f"{name} contains duplicate value {value!r}")
+        seen.add(value)
+        result.append(value)
+    return result

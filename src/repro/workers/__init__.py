@@ -1,0 +1,35 @@
+"""Simulated crowd workers.
+
+The paper collects answers from human workers on a PyBossa deployment.  This
+reproduction replaces them with seeded probabilistic worker models so that
+experiments are runnable offline and quality-control / join benchmarks can
+sweep worker reliability, which is impossible with real crowds.
+"""
+
+from repro.workers.behavior import (
+    AdversarialWorker,
+    ConfusionMatrixWorker,
+    NoisyWorker,
+    ReliableWorker,
+    SpammerWorker,
+    WorkerBehavior,
+)
+from repro.workers.latency import ConstantLatency, LatencyModel, LogNormalLatency, UniformLatency
+from repro.workers.pool import SimulatedWorker, WorkerPool
+from repro.workers.skills import SkillProfile
+
+__all__ = [
+    "WorkerBehavior",
+    "ReliableWorker",
+    "NoisyWorker",
+    "SpammerWorker",
+    "AdversarialWorker",
+    "ConfusionMatrixWorker",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "SimulatedWorker",
+    "WorkerPool",
+    "SkillProfile",
+]

@@ -1,0 +1,166 @@
+"""Worker answer-behaviour models.
+
+Each behaviour answers a task given the task's candidate answers and (for
+simulation purposes) the hidden true answer.  Real crowds never see the true
+answer, of course — the behaviour models use it only to sample a response
+with the desired error statistics, which is the standard way crowdsourcing
+papers simulate workers when sweeping noise levels.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Mapping, Sequence
+
+from repro.utils.validation import require_fraction, require_non_empty
+
+
+class WorkerBehavior(abc.ABC):
+    """Strategy object deciding how a simulated worker answers tasks."""
+
+    @abc.abstractmethod
+    def answer(
+        self,
+        candidates: Sequence[Any],
+        true_answer: Any,
+        rng: random.Random,
+    ) -> Any:
+        """Return this worker's answer for one task.
+
+        Args:
+            candidates: The answers the task's presenter offers (e.g.
+                ``["Yes", "No"]``).
+            true_answer: The hidden ground-truth answer used to bias the
+                sample; may be None when no ground truth exists, in which
+                case behaviours fall back to uniform choice.
+            rng: Seeded random generator owned by the worker.
+        """
+
+    def expected_accuracy(self, num_candidates: int) -> float:
+        """Return the probability this behaviour answers correctly.
+
+        Used by weighted-vote aggregation oracles and by tests; behaviours
+        with data-dependent accuracy override it.
+        """
+        raise NotImplementedError
+
+
+class ReliableWorker(WorkerBehavior):
+    """Always answers correctly when ground truth is available."""
+
+    def answer(self, candidates: Sequence[Any], true_answer: Any, rng: random.Random) -> Any:
+        require_non_empty("candidates", candidates)
+        if true_answer is None:
+            return rng.choice(list(candidates))
+        return true_answer
+
+    def expected_accuracy(self, num_candidates: int) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:
+        return "ReliableWorker()"
+
+
+class NoisyWorker(WorkerBehavior):
+    """Answers correctly with probability *accuracy*, else errs uniformly.
+
+    This is the classic "symmetric noise" worker used throughout the
+    crowdsourcing-quality-control literature.
+    """
+
+    def __init__(self, accuracy: float = 0.8):
+        self.accuracy = require_fraction("accuracy", accuracy)
+
+    def answer(self, candidates: Sequence[Any], true_answer: Any, rng: random.Random) -> Any:
+        require_non_empty("candidates", candidates)
+        candidate_list = list(candidates)
+        if true_answer is None:
+            return rng.choice(candidate_list)
+        if rng.random() < self.accuracy:
+            return true_answer
+        wrong = [candidate for candidate in candidate_list if candidate != true_answer]
+        if not wrong:
+            return true_answer
+        return rng.choice(wrong)
+
+    def expected_accuracy(self, num_candidates: int) -> float:
+        return self.accuracy
+
+    def __repr__(self) -> str:
+        return f"NoisyWorker(accuracy={self.accuracy})"
+
+
+class SpammerWorker(WorkerBehavior):
+    """Ignores the task and answers uniformly at random."""
+
+    def answer(self, candidates: Sequence[Any], true_answer: Any, rng: random.Random) -> Any:
+        require_non_empty("candidates", candidates)
+        return rng.choice(list(candidates))
+
+    def expected_accuracy(self, num_candidates: int) -> float:
+        if num_candidates <= 0:
+            raise ValueError("num_candidates must be positive")
+        return 1.0 / num_candidates
+
+    def __repr__(self) -> str:
+        return "SpammerWorker()"
+
+
+class AdversarialWorker(WorkerBehavior):
+    """Deliberately answers incorrectly whenever it can."""
+
+    def answer(self, candidates: Sequence[Any], true_answer: Any, rng: random.Random) -> Any:
+        require_non_empty("candidates", candidates)
+        candidate_list = list(candidates)
+        if true_answer is None:
+            return rng.choice(candidate_list)
+        wrong = [candidate for candidate in candidate_list if candidate != true_answer]
+        if not wrong:
+            return true_answer
+        return rng.choice(wrong)
+
+    def expected_accuracy(self, num_candidates: int) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "AdversarialWorker()"
+
+
+class ConfusionMatrixWorker(WorkerBehavior):
+    """Answers according to a per-true-label confusion distribution.
+
+    This is the worker model assumed by Dawid-Skene EM: for every true label
+    the worker has a categorical distribution over the labels they report.
+
+    Args:
+        confusion: Mapping from true label to a mapping of reported label to
+            probability.  Each row must sum to (approximately) 1.
+    """
+
+    def __init__(self, confusion: Mapping[Any, Mapping[Any, float]]):
+        self.confusion = {true: dict(row) for true, row in confusion.items()}
+        for true_label, row in self.confusion.items():
+            total = sum(row.values())
+            if not 0.999 <= total <= 1.001:
+                raise ValueError(
+                    f"confusion row for label {true_label!r} sums to {total}, expected 1.0"
+                )
+
+    def answer(self, candidates: Sequence[Any], true_answer: Any, rng: random.Random) -> Any:
+        require_non_empty("candidates", candidates)
+        if true_answer is None or true_answer not in self.confusion:
+            return rng.choice(list(candidates))
+        row = self.confusion[true_answer]
+        labels = list(row)
+        weights = [row[label] for label in labels]
+        return rng.choices(labels, weights=weights, k=1)[0]
+
+    def expected_accuracy(self, num_candidates: int) -> float:
+        if not self.confusion:
+            return 0.0
+        diagonal = [row.get(true_label, 0.0) for true_label, row in self.confusion.items()]
+        return sum(diagonal) / len(diagonal)
+
+    def __repr__(self) -> str:
+        return f"ConfusionMatrixWorker(labels={sorted(map(str, self.confusion))})"

@@ -1,0 +1,70 @@
+"""Worker latency models.
+
+Latency is simulated (not measured) so that an answer's lineage timestamp is
+a deterministic function of the experiment seed rather than of the host
+machine, which is what keeps reruns bit-identical.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+
+from repro.utils.validation import require_positive
+
+
+class LatencyModel(abc.ABC):
+    """Strategy object producing per-answer latencies in seconds."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Return one latency sample (seconds, strictly positive)."""
+
+
+class ConstantLatency(LatencyModel):
+    """Every answer takes exactly *seconds* seconds."""
+
+    def __init__(self, seconds: float = 30.0):
+        self.seconds = require_positive("seconds", seconds)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.seconds
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.seconds})"
+
+
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from [low, high] seconds."""
+
+    def __init__(self, low: float = 10.0, high: float = 60.0):
+        self.low = require_positive("low", low)
+        self.high = require_positive("high", high)
+        if high < low:
+            raise ValueError(f"high ({high}) must be >= low ({low})")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class LogNormalLatency(LatencyModel):
+    """Log-normal latency — the heavy-tailed shape real crowds exhibit.
+
+    Args:
+        median: Median latency in seconds.
+        sigma: Log-space standard deviation controlling the tail weight.
+    """
+
+    def __init__(self, median: float = 30.0, sigma: float = 0.5):
+        self.median = require_positive("median", median)
+        self.sigma = require_positive("sigma", sigma)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.median * math.exp(rng.gauss(0.0, self.sigma))
+
+    def __repr__(self) -> str:
+        return f"LogNormalLatency(median={self.median}, sigma={self.sigma})"

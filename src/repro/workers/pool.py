@@ -1,0 +1,190 @@
+"""Worker pool: the simulated crowd the platform draws assignments from.
+
+The pool is built from a :class:`repro.config.WorkerPoolConfig` (or an
+explicit list of workers) and hands out answers deterministically given its
+seed.  It also tracks per-worker statistics, which the platform copies into
+task-run lineage so that quality-control algorithms and the examination API
+can reason about who answered what.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.config import WorkerPoolConfig
+from repro.exceptions import NoEligibleWorkerError
+from repro.utils.validation import require_positive
+from repro.workers.behavior import (
+    AdversarialWorker,
+    NoisyWorker,
+    SpammerWorker,
+    WorkerBehavior,
+)
+from repro.workers.latency import LatencyModel, LogNormalLatency
+from repro.workers.skills import SkillProfile
+
+
+@dataclass
+class SimulatedWorker:
+    """One simulated crowd worker.
+
+    Attributes:
+        worker_id: Stable identifier recorded in every task run's lineage.
+        behavior: Answering strategy.
+        latency: Latency model for this worker.
+        skills: Per-task-type skill profile.
+        answered_tasks: Count of answers this worker has produced.
+    """
+
+    worker_id: str
+    behavior: WorkerBehavior
+    latency: LatencyModel = field(default_factory=LogNormalLatency)
+    skills: SkillProfile = field(default_factory=SkillProfile.uniform)
+    answered_tasks: int = 0
+
+    def answer(
+        self,
+        candidates: Sequence[Any],
+        true_answer: Any,
+        rng: random.Random,
+        task_type: str | None = None,
+    ) -> tuple[Any, float]:
+        """Answer one task; return (answer, latency_seconds).
+
+        The skill profile is applied by degrading a correct behaviour answer
+        to a random wrong one with the appropriate probability, so that any
+        behaviour composes with skills without knowing about them.
+        """
+        answer = self.behavior.answer(candidates, true_answer, rng)
+        if task_type is not None and true_answer is not None and answer == true_answer:
+            try:
+                base = self.behavior.expected_accuracy(len(candidates))
+            except NotImplementedError:
+                base = 1.0
+            effective = self.skills.effective_accuracy(base, task_type)
+            if base > 0 and effective < base and rng.random() > effective / base:
+                wrong = [candidate for candidate in candidates if candidate != true_answer]
+                if wrong:
+                    answer = rng.choice(wrong)
+        latency = self.latency.sample(rng)
+        self.answered_tasks += 1
+        return answer, latency
+
+
+class WorkerPool:
+    """A seeded collection of simulated workers."""
+
+    def __init__(self, workers: Iterable[SimulatedWorker], seed: int = 7):
+        self._workers: list[SimulatedWorker] = list(workers)
+        if not self._workers:
+            raise NoEligibleWorkerError("worker pool must contain at least one worker")
+        self._rng = random.Random(seed)
+        self.seed = seed
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_config(cls, config: WorkerPoolConfig) -> "WorkerPool":
+        """Generate a pool matching *config*.
+
+        Workers are assigned behaviours in a deterministic order: first the
+        adversarial fraction, then the spammer fraction, then noisy workers
+        whose accuracy is jittered around the configured mean.
+        """
+        require_positive("config.size", config.size)
+        rng = random.Random(config.seed)
+        num_adversarial = int(round(config.adversarial_fraction * config.size))
+        num_spammers = int(round(config.spammer_fraction * config.size))
+        workers: list[SimulatedWorker] = []
+        for index in range(config.size):
+            worker_id = f"w{index:04d}"
+            if index < num_adversarial:
+                behavior: WorkerBehavior = AdversarialWorker()
+            elif index < num_adversarial + num_spammers:
+                behavior = SpammerWorker()
+            else:
+                jitter = rng.uniform(-config.accuracy_spread, config.accuracy_spread)
+                accuracy = min(1.0, max(0.0, config.mean_accuracy + jitter))
+                behavior = NoisyWorker(accuracy=accuracy)
+            workers.append(SimulatedWorker(worker_id=worker_id, behavior=behavior))
+        return cls(workers, seed=config.seed)
+
+    @classmethod
+    def uniform(cls, size: int, accuracy: float, seed: int = 7) -> "WorkerPool":
+        """Pool of *size* identical noisy workers with the given accuracy."""
+        workers = [
+            SimulatedWorker(worker_id=f"w{index:04d}", behavior=NoisyWorker(accuracy))
+            for index in range(size)
+        ]
+        return cls(workers, seed=seed)
+
+    # -- access ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __iter__(self):
+        return iter(self._workers)
+
+    @property
+    def workers(self) -> list[SimulatedWorker]:
+        """The workers in this pool (mutable list copy)."""
+        return list(self._workers)
+
+    def worker(self, worker_id: str) -> SimulatedWorker:
+        """Return the worker with *worker_id*."""
+        for candidate in self._workers:
+            if candidate.worker_id == worker_id:
+                return candidate
+        raise NoEligibleWorkerError(f"no worker with id {worker_id!r}")
+
+    def worker_ids(self) -> list[str]:
+        """Return every worker id in pool order."""
+        return [worker.worker_id for worker in self._workers]
+
+    # -- sampling ---------------------------------------------------------------
+
+    def draw(self, exclude: Iterable[str] = ()) -> SimulatedWorker:
+        """Draw one worker uniformly at random, excluding the given ids.
+
+        Raises:
+            NoEligibleWorkerError: If every worker is excluded.
+        """
+        excluded = set(exclude)
+        eligible = [worker for worker in self._workers if worker.worker_id not in excluded]
+        if not eligible:
+            raise NoEligibleWorkerError(
+                f"all {len(self._workers)} workers are excluded for this task"
+            )
+        return self._rng.choice(eligible)
+
+    def draw_distinct(self, count: int) -> list[SimulatedWorker]:
+        """Draw *count* distinct workers uniformly at random.
+
+        Raises:
+            NoEligibleWorkerError: If the pool has fewer than *count* workers.
+        """
+        if count > len(self._workers):
+            raise NoEligibleWorkerError(
+                f"requested {count} distinct workers but the pool only has {len(self._workers)}"
+            )
+        return self._rng.sample(self._workers, count)
+
+    @property
+    def rng(self) -> random.Random:
+        """The pool's seeded random generator (shared with the platform)."""
+        return self._rng
+
+    def statistics(self) -> dict[str, Any]:
+        """Return a summary of pool composition and work done so far."""
+        behaviour_counts: dict[str, int] = {}
+        for worker in self._workers:
+            name = type(worker.behavior).__name__
+            behaviour_counts[name] = behaviour_counts.get(name, 0) + 1
+        return {
+            "size": len(self._workers),
+            "behaviors": behaviour_counts,
+            "answers_given": sum(worker.answered_tasks for worker in self._workers),
+        }

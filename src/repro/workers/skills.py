@@ -1,0 +1,49 @@
+"""Per-task-type worker skill profiles.
+
+Real crowd workers are better at some task types than others (comparing
+images vs. resolving product entities).  A :class:`SkillProfile` scales a
+worker's base accuracy per task type, which lets experiments model
+heterogeneous crowds without a different behaviour object per task type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.utils.validation import require_fraction
+
+
+@dataclass
+class SkillProfile:
+    """Multiplier applied to a worker's accuracy per task type.
+
+    Attributes:
+        multipliers: Mapping from task type (the presenter's ``task_type``)
+            to a multiplier in [0, 1.5]; missing types use 1.0.
+    """
+
+    multipliers: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for task_type, multiplier in self.multipliers.items():
+            if not 0.0 <= multiplier <= 1.5:
+                raise ValueError(
+                    f"skill multiplier for {task_type!r} must be in [0, 1.5], got {multiplier}"
+                )
+
+    def effective_accuracy(self, base_accuracy: float, task_type: str | None) -> float:
+        """Return base accuracy scaled by the task-type multiplier, clamped to [0, 1]."""
+        require_fraction("base_accuracy", base_accuracy)
+        multiplier = 1.0 if task_type is None else self.multipliers.get(task_type, 1.0)
+        return min(1.0, max(0.0, base_accuracy * multiplier))
+
+    @classmethod
+    def uniform(cls) -> "SkillProfile":
+        """Profile that leaves accuracy untouched for every task type."""
+        return cls()
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, float]) -> "SkillProfile":
+        """Build a profile from a plain mapping."""
+        return cls(multipliers=dict(mapping))

@@ -1,0 +1,97 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrowdContext
+from repro.config import ReprowdConfig, StorageConfig, WorkerPoolConfig
+from repro.datasets import (
+    make_entity_resolution_dataset,
+    make_image_label_dataset,
+    make_ranking_dataset,
+)
+from repro.storage import MemoryEngine, SqliteEngine, LogStructuredEngine
+
+
+@pytest.fixture
+def memory_engine():
+    """A fresh in-memory storage engine."""
+    engine = MemoryEngine()
+    yield engine
+    engine.close()
+
+
+@pytest.fixture
+def sqlite_engine(tmp_path):
+    """A fresh SQLite engine backed by a temporary file."""
+    engine = SqliteEngine(str(tmp_path / "test.db"))
+    yield engine
+    engine.close()
+
+
+@pytest.fixture
+def log_engine(tmp_path):
+    """A fresh log-structured engine backed by temporary files."""
+    engine = LogStructuredEngine(str(tmp_path / "test_log"), snapshot_every=50)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(params=["memory", "sqlite", "log"])
+def any_engine(request, tmp_path):
+    """Parametrised fixture running a test against every engine."""
+    if request.param == "memory":
+        engine = MemoryEngine()
+    elif request.param == "sqlite":
+        engine = SqliteEngine(str(tmp_path / "any.db"))
+    else:
+        engine = LogStructuredEngine(str(tmp_path / "any_log"), snapshot_every=50)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture
+def context():
+    """An in-memory CrowdContext with a reliable-ish worker pool."""
+    ctx = CrowdContext.in_memory(seed=7)
+    yield ctx
+    ctx.close()
+
+
+@pytest.fixture
+def accurate_context():
+    """Context whose workers are almost always correct (accuracy 0.97)."""
+    config = ReprowdConfig(
+        storage=StorageConfig(engine="memory", path=":memory:"),
+        workers=WorkerPoolConfig(size=25, mean_accuracy=0.97, accuracy_spread=0.02, seed=7),
+    )
+    ctx = CrowdContext(config=config)
+    yield ctx
+    ctx.close()
+
+
+@pytest.fixture
+def sqlite_context(tmp_path):
+    """A CrowdContext backed by a SQLite file in a temp directory."""
+    ctx = CrowdContext.with_sqlite(str(tmp_path / "ctx.db"), seed=7)
+    yield ctx
+    ctx.close()
+
+
+@pytest.fixture
+def image_dataset():
+    """A small labeled image dataset."""
+    return make_image_label_dataset(num_images=12, seed=5)
+
+
+@pytest.fixture
+def er_dataset():
+    """A small entity-resolution dataset (10 entities x 3 duplicates)."""
+    return make_entity_resolution_dataset(num_entities=10, duplicates_per_entity=3, seed=11)
+
+
+@pytest.fixture
+def ranking_dataset():
+    """A small ranking dataset with a hidden total order."""
+    return make_ranking_dataset(num_items=8, seed=3)

@@ -1,0 +1,80 @@
+"""Integration test: the full share-and-inspect workflow through the CLI.
+
+Bob runs an experiment and hands Ally only the database file; Ally inspects it
+entirely from the command line (no Python code) and then continues the
+experiment programmatically.  One test drives the real ``python -m repro``
+entry point in a subprocess to make sure the packaging-level wiring works.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro import CrowdContext
+from repro.cli import main as cli_main
+from repro.datasets import make_image_label_dataset
+from repro.presenters import ImageLabelPresenter
+
+DATASET = make_image_label_dataset(num_images=12, seed=31)
+
+
+@pytest.fixture
+def bob_db(tmp_path):
+    db_path = str(tmp_path / "bob_cli.db")
+    cc = CrowdContext.with_sqlite(db_path, seed=31, ground_truth=DATASET.ground_truth)
+    (
+        cc.CrowdData(DATASET.images, "cli_experiment")
+        .set_presenter(ImageLabelPresenter())
+        .publish_task(n_assignments=3)
+        .get_result()
+        .mv()
+    )
+    cc.close()
+    return db_path
+
+
+class TestCliWorkflow:
+    def test_inspect_then_continue(self, bob_db, tmp_path, capsys):
+        # Ally lists the tables and reads the history from the CLI.
+        assert cli_main(["tables", bob_db]) == 0
+        assert "cli_experiment" in capsys.readouterr().out
+        assert cli_main(["lineage", bob_db, "cli_experiment"]) == 0
+        lineage = json.loads(capsys.readouterr().out)
+        assert lineage["answers"] == len(DATASET) * 3
+
+        # She exports the raw answers for her paper's artifact appendix.
+        export_path = str(tmp_path / "artifact.json")
+        assert cli_main(["export", bob_db, "cli_experiment", export_path]) == 0
+        with open(export_path, encoding="utf-8") as handle:
+            artifact = json.load(handle)
+        assert artifact["summary"]["cached_results"] == len(DATASET)
+
+        # Then she continues the experiment in Python — still zero new tasks
+        # for Bob's rows.
+        cc = CrowdContext.with_sqlite(bob_db, seed=99, ground_truth=DATASET.ground_truth)
+        data = (
+            cc.CrowdData(DATASET.images, "cli_experiment")
+            .set_presenter(ImageLabelPresenter())
+            .publish_task(n_assignments=3)
+            .get_result()
+            .em()
+        )
+        assert cc.client.statistics()["tasks"] == 0
+        assert len(data.column("em")) == len(DATASET)
+        cc.close()
+
+    def test_python_dash_m_entry_point(self, bob_db):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "describe", bob_db],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        payload = json.loads(completed.stdout)
+        assert payload[0]["table"] == "cli_experiment"
+        assert payload[0]["cached_tasks"] == len(DATASET)

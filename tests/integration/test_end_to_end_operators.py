@@ -1,0 +1,108 @@
+"""End-to-end integration tests: operators inherit sharable/examinable for free.
+
+The paper's central claim about CrowdData is that algorithms implemented on
+top of it (the two crowdsourced join algorithms, and by extension the other
+operators) are automatically sharable and examinable.  These tests run whole
+operator workflows against a shared database and check both properties.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro import CrowdContext
+from repro.datasets import make_entity_resolution_dataset, make_image_label_dataset
+from repro.operators import CrowdDedup, CrowdFilter, CrowdJoin, TransitiveCrowdJoin
+from repro.simulation import pair_metrics
+
+
+@pytest.fixture
+def er():
+    return make_entity_resolution_dataset(num_entities=10, duplicates_per_entity=3, seed=23)
+
+
+class TestJoinSharability:
+    def test_ally_reruns_bob_join_without_crowd_work(self, tmp_path, er):
+        bob_db = str(tmp_path / "bob_join.db")
+        bob_ctx = CrowdContext.with_sqlite(bob_db, seed=23)
+        bob_result = CrowdJoin(bob_ctx, "er_join").join(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        bob_ctx.close()
+
+        ally_db = str(tmp_path / "ally_join.db")
+        shutil.copy2(bob_db, ally_db)
+        ally_ctx = CrowdContext.with_sqlite(ally_db, seed=99)
+        ally_result = CrowdJoin(ally_ctx, "er_join").join(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        assert ally_result.matches == bob_result.matches
+        assert ally_ctx.client.statistics()["tasks"] == 0
+        ally_ctx.close()
+
+    def test_join_examinable_through_crowddata(self, er):
+        ctx = CrowdContext.in_memory(seed=23)
+        result = TransitiveCrowdJoin(ctx, "er_join").join(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        crowddata = result.crowddata
+        # Manipulation history shows the incremental rounds.
+        operations = crowddata.log.operations()
+        assert operations.count("publish_task") == result.report.rounds
+        # Lineage attributes every answer to a worker.
+        lineage = crowddata.lineage()
+        assert len(lineage) == result.report.crowd_answers
+        assert lineage.worker_contributions()
+        ctx.close()
+
+    def test_transitive_join_cheaper_same_shape(self, er):
+        plain = CrowdJoin(CrowdContext.in_memory(seed=23), "plain").join(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        transitive = TransitiveCrowdJoin(CrowdContext.in_memory(seed=23), "trans").join(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        plain_metrics = pair_metrics(plain.matches, er.matching_pairs)
+        transitive_metrics = pair_metrics(transitive.matches, er.matching_pairs)
+        assert transitive.report.crowd_tasks <= plain.report.crowd_tasks
+        assert abs(plain_metrics["f1"] - transitive_metrics["f1"]) <= 0.15
+
+
+class TestFilterAndDedupPipelines:
+    def test_filter_then_dedup_pipeline(self, tmp_path):
+        """A two-stage pipeline sharing one context and one database file."""
+        images = make_image_label_dataset(num_images=12, seed=29)
+        er = make_entity_resolution_dataset(num_entities=6, duplicates_per_entity=2, seed=29)
+        ctx = CrowdContext.with_sqlite(str(tmp_path / "pipeline.db"), seed=29)
+
+        filter_result = CrowdFilter(ctx, "stage1_filter").filter(
+            images.images, ground_truth=images.ground_truth
+        )
+        dedup_result = CrowdDedup(ctx, "stage2_dedup").dedup(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        assert len(filter_result.kept) + len(filter_result.rejected) == len(images.images)
+        assert dedup_result.num_entities() >= 1
+        assert set(ctx.show_tables()) >= {"stage1_filter", "stage2_dedup"}
+        ctx.close()
+
+    def test_rerunning_pipeline_is_free(self, tmp_path):
+        images = make_image_label_dataset(num_images=10, seed=31)
+        db = str(tmp_path / "rerun.db")
+
+        def run():
+            ctx = CrowdContext.with_sqlite(db, seed=31)
+            result = CrowdFilter(ctx, "filter").filter(
+                images.images, ground_truth=images.ground_truth
+            )
+            stats = ctx.client.statistics()
+            ctx.close()
+            return result.kept, stats
+
+        first_kept, first_stats = run()
+        second_kept, second_stats = run()
+        assert first_kept == second_kept
+        assert first_stats["tasks"] == len(images.images)
+        assert second_stats["tasks"] == 0

@@ -1,0 +1,156 @@
+"""Integration tests for the crash-and-rerun (sharable) guarantee.
+
+"The system guarantees that any manipulation of CrowdData is fault recovery.
+That is, when the program is crashed, rerunning the program is as if it has
+never crashed."  These tests crash Bob's experiment at many points — while
+publishing, while collecting, while aggregating — and assert that the final
+rerun produces exactly the uninterrupted result and that the total number of
+crowd tasks ever published equals the number an uninterrupted run publishes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrowdContext
+from repro.config import PlatformConfig, WorkerPoolConfig
+from repro.datasets import make_image_label_dataset
+from repro.exceptions import CrashInjected
+from repro.platform.client import PlatformClient
+from repro.platform.server import PlatformServer
+from repro.presenters import ImageLabelPresenter
+from repro.simulation import CrashPlan, CrashingEngine
+from repro.storage import SqliteEngine
+from repro.workers.pool import WorkerPool
+
+
+@pytest.fixture
+def dataset():
+    return make_image_label_dataset(num_images=15, seed=17)
+
+
+@pytest.fixture
+def durable_platform(dataset):
+    """A platform that outlives program crashes (PyBossa keeps running when
+    Bob's script dies)."""
+    pool = WorkerPool.from_config(WorkerPoolConfig(size=20, mean_accuracy=0.95, seed=17))
+    server = PlatformServer(worker_pool=pool, config=PlatformConfig(seed=17))
+    return PlatformClient(server)
+
+
+def bob_experiment(engine, client, dataset):
+    """Bob's experiment parametrised by the storage engine and client."""
+    context = CrowdContext(engine=engine, client=client, ground_truth=dataset.ground_truth)
+    data = context.CrowdData(dataset.images, "crashable")
+    data.set_presenter(ImageLabelPresenter())
+    data.publish_task(n_assignments=3)
+    data.get_result()
+    data.mv()
+    return data.column("mv")
+
+
+class TestCrashAndRerun:
+    def test_uninterrupted_baseline(self, tmp_path, dataset, durable_platform):
+        engine = SqliteEngine(str(tmp_path / "baseline.db"))
+        labels = bob_experiment(engine, durable_platform, dataset)
+        assert len(labels) == len(dataset)
+        engine.close()
+
+    @pytest.mark.parametrize("crash_after", [1, 3, 7, 12, 20, 31])
+    def test_crash_then_rerun_matches_uninterrupted_run(
+        self, tmp_path, dataset, durable_platform, crash_after
+    ):
+        # Reference run on its own platform/database.
+        reference_engine = SqliteEngine(str(tmp_path / "reference.db"))
+        reference_pool = WorkerPool.from_config(
+            WorkerPoolConfig(size=20, mean_accuracy=0.95, seed=17)
+        )
+        reference_client = PlatformClient(
+            PlatformServer(worker_pool=reference_pool, config=PlatformConfig(seed=17))
+        )
+        expected = bob_experiment(reference_engine, reference_client, dataset)
+        reference_engine.close()
+
+        # Crashing run: same durable DB across attempts, same durable platform.
+        durable = SqliteEngine(str(tmp_path / "crashy.db"))
+        crashed = False
+        try:
+            bob_experiment(
+                CrashingEngine(durable, CrashPlan(crash_after_writes=crash_after)),
+                durable_platform,
+                dataset,
+            )
+        except CrashInjected:
+            crashed = True
+        # Rerun after the crash (no crash plan this time).
+        labels = bob_experiment(durable, durable_platform, dataset)
+        assert labels == expected
+        # No duplicate tasks were ever published: the platform has exactly
+        # one task per image, regardless of where the crash hit.
+        assert durable_platform.statistics()["tasks"] == len(dataset)
+        assert crashed  # every chosen crash point is below the total write count
+        durable.close()
+
+    def test_many_successive_crashes_still_converge(self, tmp_path, dataset, durable_platform):
+        durable = SqliteEngine(str(tmp_path / "multi_crash.db"))
+        crash_points = [2, 4, 6, 9, 13, 18, 25, 33]
+        crashes = 0
+        for crash_after in crash_points:
+            try:
+                bob_experiment(
+                    CrashingEngine(durable, CrashPlan(crash_after_writes=crash_after)),
+                    durable_platform,
+                    dataset,
+                )
+            except CrashInjected:
+                crashes += 1
+        labels = bob_experiment(durable, durable_platform, dataset)
+        assert len(labels) == len(dataset)
+        assert durable_platform.statistics()["tasks"] == len(dataset)
+        assert crashes >= len(crash_points) - 2
+
+    def test_crash_between_publish_and_collect(self, tmp_path, dataset, durable_platform):
+        """Crash exactly after all tasks are published but before any result
+        is persisted, then rerun."""
+        durable = SqliteEngine(str(tmp_path / "between.db"))
+
+        def publish_only(engine):
+            context = CrowdContext(
+                engine=engine, client=durable_platform, ground_truth=dataset.ground_truth
+            )
+            data = context.CrowdData(dataset.images, "crashable")
+            data.set_presenter(ImageLabelPresenter())
+            data.publish_task(n_assignments=3)
+            raise CrashInjected("after publish")
+
+        with pytest.raises(CrashInjected):
+            publish_only(durable)
+        labels = bob_experiment(durable, durable_platform, dataset)
+        assert len(labels) == len(dataset)
+        assert durable_platform.statistics()["tasks"] == len(dataset)
+        durable.close()
+
+    def test_platform_redeployment_self_heals(self, tmp_path, dataset):
+        """If the platform loses its tasks between runs (redeployment), the
+        cached task ids are stale; the rerun republishes and still finishes."""
+        durable = SqliteEngine(str(tmp_path / "redeploy.db"))
+        first_pool = WorkerPool.from_config(WorkerPoolConfig(size=20, seed=17))
+        first_client = PlatformClient(
+            PlatformServer(worker_pool=first_pool, config=PlatformConfig(seed=17))
+        )
+
+        def publish_only(engine, client):
+            context = CrowdContext(engine=engine, client=client, ground_truth=dataset.ground_truth)
+            data = context.CrowdData(dataset.images, "crashable")
+            data.set_presenter(ImageLabelPresenter())
+            data.publish_task(n_assignments=3)
+
+        publish_only(durable, first_client)
+        # The platform is redeployed: a brand-new empty server.
+        second_pool = WorkerPool.from_config(WorkerPoolConfig(size=20, seed=18))
+        second_client = PlatformClient(
+            PlatformServer(worker_pool=second_pool, config=PlatformConfig(seed=18))
+        )
+        labels = bob_experiment(durable, second_client, dataset)
+        assert len(labels) == len(dataset)
+        durable.close()

@@ -1,0 +1,100 @@
+"""Integration test for Figure 2: Bob's image-labeling experiment.
+
+Bob labels three images, each assigned to three workers, and uses majority
+vote to decide the final labels.  The test follows his code line by line and
+then checks the table state the paper describes after each step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrowdContext
+from repro.presenters import ImageLabelPresenter
+
+BOB_IMAGES = [
+    "http://img.example.org/bob/img1.jpg",
+    "http://img.example.org/bob/img2.jpg",
+    "http://img.example.org/bob/img3.jpg",
+]
+BOB_TRUTH = {BOB_IMAGES[0]: "Yes", BOB_IMAGES[1]: "No", BOB_IMAGES[2]: "Yes"}
+
+
+@pytest.fixture
+def bob_context(tmp_path):
+    context = CrowdContext.with_sqlite(str(tmp_path / "bob.db"), seed=7)
+    context.set_ground_truth(BOB_TRUTH.get)
+    yield context
+    context.close()
+
+
+def run_bob_experiment(context):
+    """Bob's five steps exactly as in Figure 2."""
+    data = context.CrowdData(BOB_IMAGES, table_name="image_label")      # step 1
+    data.set_presenter(ImageLabelPresenter(question="Is there a face?"))  # step 2
+    data.publish_task(n_assignments=3)                                   # step 3
+    data.get_result()                                                    # step 4
+    data.mv()                                                            # step 5
+    return data
+
+
+class TestBobExperiment:
+    def test_step1_table_has_id_and_object_columns(self, bob_context):
+        data = bob_context.CrowdData(BOB_IMAGES, table_name="image_label")
+        assert data.column("id") == [1, 2, 3]
+        assert data.column("object") == BOB_IMAGES
+
+    def test_step2_presenter_choice_leaves_table_unchanged(self, bob_context):
+        data = bob_context.CrowdData(BOB_IMAGES, table_name="image_label")
+        before = data.rows()
+        data.set_presenter(ImageLabelPresenter())
+        assert data.rows() == before
+
+    def test_step3_adds_task_column(self, bob_context):
+        data = bob_context.CrowdData(BOB_IMAGES, table_name="image_label")
+        data.set_presenter(ImageLabelPresenter())
+        data.publish_task(n_assignments=3)
+        assert all(task is not None for task in data.column("task"))
+        assert bob_context.client.statistics()["tasks"] == 3
+
+    def test_step4_adds_result_column_with_three_answers_each(self, bob_context):
+        data = run_bob_experiment(bob_context)
+        for result in data.column("result"):
+            assert result["complete"]
+            assert len(result["assignments"]) == 3
+
+    def test_step5_mv_column_and_its_quality(self, bob_context):
+        data = run_bob_experiment(bob_context)
+        mv = data.column("mv")
+        assert len(mv) == 3
+        assert set(mv) <= {"Yes", "No"}
+        # The default pool is accurate enough that 3-vote MV on 3 images is
+        # almost always perfect for this seed.
+        assert mv == [BOB_TRUTH[url] for url in BOB_IMAGES]
+
+    def test_persistent_columns_are_in_the_database(self, bob_context):
+        data = run_bob_experiment(bob_context)
+        assert data.cache.task_count() == 3
+        assert data.cache.result_count() == 3
+        # Derived columns (mv) are NOT persisted — they are recomputed.
+        stored_tables = bob_context.engine.list_tables()
+        assert "image_label::tasks" in stored_tables
+        assert "image_label::results" in stored_tables
+        assert not any("mv" in table for table in stored_tables)
+
+    def test_whole_experiment_is_recorded_in_manipulation_log(self, bob_context):
+        data = run_bob_experiment(bob_context)
+        assert data.log.operations() == [
+            "init", "set_presenter", "publish_task", "get_result", "quality_control",
+        ]
+
+    def test_experiment_is_deterministic_given_seed(self, tmp_path):
+        def run(path):
+            context = CrowdContext.with_sqlite(path, seed=7)
+            context.set_ground_truth(BOB_TRUTH.get)
+            data = run_bob_experiment(context)
+            labels = data.column("mv")
+            context.close()
+            return labels
+
+        assert run(str(tmp_path / "a.db")) == run(str(tmp_path / "b.db"))

@@ -1,0 +1,138 @@
+"""Integration test for Figure 3: Ally examines Bob's experiment.
+
+Ally receives Bob's code and database file.  She (a) reruns the code and gets
+the identical result without publishing a single crowd task, (b) extends the
+experiment with more images — only the new images reach the crowd — and
+(c) inspects the lineage of Bob's answers.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro import CrowdContext
+from repro.presenters import ImageLabelPresenter
+
+IMAGES = [f"http://img.example.org/shared/{i}.jpg" for i in range(8)]
+EXTRA_IMAGES = [f"http://img.example.org/ally/{i}.jpg" for i in range(4)]
+TRUTH = {url: ("Yes" if index % 2 == 0 else "No") for index, url in enumerate(IMAGES + EXTRA_IMAGES)}
+
+
+def run_experiment(context, images):
+    data = context.CrowdData(images, table_name="shared_experiment")
+    data.set_presenter(ImageLabelPresenter(question="Contains a bird?"))
+    data.publish_task(n_assignments=3)
+    data.get_result()
+    data.mv()
+    return data
+
+
+@pytest.fixture
+def shared_db(tmp_path):
+    """Bob runs the experiment and shares the database file."""
+    bob_db = str(tmp_path / "bob.db")
+    context = CrowdContext.with_sqlite(bob_db, seed=13)
+    context.set_ground_truth(TRUTH.get)
+    data = run_experiment(context, IMAGES)
+    bob_labels = data.column("mv")
+    context.close()
+    ally_db = str(tmp_path / "ally.db")
+    shutil.copy2(bob_db, ally_db)
+    return ally_db, bob_labels
+
+
+class TestAllyRerun:
+    def test_rerun_reproduces_bob_labels_without_crowd_work(self, shared_db):
+        ally_db, bob_labels = shared_db
+        context = CrowdContext.with_sqlite(ally_db, seed=99)  # different seed!
+        context.set_ground_truth(TRUTH.get)
+        data = run_experiment(context, IMAGES)
+        assert data.column("mv") == bob_labels
+        # Zero tasks were published on Ally's platform: everything was cached.
+        assert context.client.statistics()["tasks"] == 0
+        assert context.client.statistics()["task_runs"] == 0
+        context.close()
+
+    def test_rerun_without_ground_truth_still_works(self, shared_db):
+        # Ally does not even need Bob's ground-truth oracle: the answers are
+        # cached, so no simulated worker is ever asked.
+        ally_db, bob_labels = shared_db
+        context = CrowdContext.with_sqlite(ally_db, seed=1)
+        data = run_experiment(context, IMAGES)
+        assert data.column("mv") == bob_labels
+        context.close()
+
+    def test_show_tables_reveals_bob_experiment(self, shared_db):
+        ally_db, _ = shared_db
+        context = CrowdContext.with_sqlite(ally_db, seed=1)
+        assert "shared_experiment" in context.show_tables()
+        context.close()
+
+
+class TestAllyExtension:
+    def test_extension_publishes_only_new_images(self, shared_db):
+        ally_db, bob_labels = shared_db
+        context = CrowdContext.with_sqlite(ally_db, seed=21)
+        context.set_ground_truth(TRUTH.get)
+        data = run_experiment(context, IMAGES)
+        data.extend(EXTRA_IMAGES).publish_task(n_assignments=3).get_result().mv()
+        # Only Ally's extra images became crowd tasks.
+        assert context.client.statistics()["tasks"] == len(EXTRA_IMAGES)
+        # Bob's rows keep their original labels.
+        assert data.column("mv")[: len(IMAGES)] == bob_labels
+        assert len(data.column("mv")) == len(IMAGES) + len(EXTRA_IMAGES)
+        context.close()
+
+    def test_alternative_quality_control_is_recomputable(self, shared_db):
+        """Ally can apply a different aggregation to Bob's cached answers."""
+        ally_db, _ = shared_db
+        context = CrowdContext.with_sqlite(ally_db, seed=3)
+        data = run_experiment(context, IMAGES)
+        data.em()
+        assert len(data.column("em")) == len(IMAGES)
+        assert context.client.statistics()["tasks"] == 0
+        context.close()
+
+
+class TestAllyLineage:
+    def test_lineage_answers_paper_questions(self, shared_db):
+        """'When were the tasks published? Which workers did the tasks?'"""
+        ally_db, _ = shared_db
+        context = CrowdContext.with_sqlite(ally_db, seed=4)
+        data = run_experiment(context, IMAGES)
+        lineage = data.lineage()
+        # Which workers did the tasks?
+        workers = lineage.workers()
+        assert len(workers) >= 3
+        assert all(worker.startswith("w") for worker in workers)
+        # When were the tasks published / answers collected?
+        published_start, published_end = lineage.publication_window()
+        collected_start, collected_end = lineage.collection_window()
+        assert published_start <= published_end
+        assert collected_start <= collected_end
+        assert published_start <= collected_start
+        # Every answer is attributable.
+        assert len(lineage) == len(IMAGES) * 3
+        context.close()
+
+    def test_per_worker_contributions_sum_to_total_answers(self, shared_db):
+        ally_db, _ = shared_db
+        context = CrowdContext.with_sqlite(ally_db, seed=5)
+        data = run_experiment(context, IMAGES)
+        contributions = data.lineage().worker_contributions()
+        assert sum(contributions.values()) == len(IMAGES) * 3
+        context.close()
+
+    def test_manipulation_history_survives_sharing(self, shared_db):
+        ally_db, _ = shared_db
+        context = CrowdContext.with_sqlite(ally_db, seed=6)
+        data = context.CrowdData(IMAGES, table_name="shared_experiment")
+        history = data.manipulation_history()
+        # Bob's five steps are visible before Ally runs anything new
+        # (plus the init of Ally's own CrowdData construction).
+        operations = [manipulation.operation for manipulation in history]
+        for expected in ("set_presenter", "publish_task", "get_result", "quality_control"):
+            assert expected in operations
+        context.close()

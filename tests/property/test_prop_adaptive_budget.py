@@ -1,0 +1,104 @@
+"""Property-based tests for the adaptive policy and the budget tracker."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.budget import BudgetExceededError, BudgetTracker
+from repro.quality.adaptive import AdaptivePolicy
+
+answers_lists = st.lists(st.sampled_from(["Yes", "No", "Maybe"]), max_size=12)
+
+
+class TestAdaptivePolicyProperties:
+    @given(
+        answers=answers_lists,
+        max_assignments=st.integers(min_value=2, max_value=10),
+        extra=st.integers(min_value=1, max_value=5),
+        threshold=st.floats(min_value=0.5, max_value=1.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_next_batch_never_exceeds_the_cap(self, answers, max_assignments, extra, threshold):
+        policy = AdaptivePolicy(
+            initial_assignments=1,
+            min_assignments=1,
+            max_assignments=max_assignments,
+            extra_per_round=extra,
+            confidence_threshold=threshold,
+        )
+        batch = policy.next_batch(answers)
+        assert batch >= 0
+        assert len(answers) + batch <= max(len(answers), max_assignments)
+
+    @given(answers=answers_lists, threshold=st.floats(min_value=0.5, max_value=1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_resolved_items_request_nothing(self, answers, threshold):
+        policy = AdaptivePolicy(
+            initial_assignments=1, min_assignments=1, confidence_threshold=threshold
+        )
+        if policy.is_resolved(answers):
+            assert policy.next_batch(answers) == 0
+
+    @given(answers=answers_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_confidence_is_a_probability(self, answers):
+        for use_wilson in (False, True):
+            policy = AdaptivePolicy(use_wilson=use_wilson)
+            assert 0.0 <= policy.confidence(answers) <= 1.0
+
+    @given(answers=answers_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_wilson_is_never_more_optimistic_than_plain_share(self, answers):
+        assume(answers)
+        plain = AdaptivePolicy(use_wilson=False)
+        wilson = AdaptivePolicy(use_wilson=True)
+        assert wilson.confidence(answers) <= plain.confidence(answers) + 1e-9
+
+    @given(
+        unanimous_count=st.integers(min_value=2, max_value=10),
+        threshold=st.floats(min_value=0.5, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_unanimous_items_above_min_are_resolved(self, unanimous_count, threshold):
+        policy = AdaptivePolicy(
+            min_assignments=2, max_assignments=12, confidence_threshold=threshold
+        )
+        assert policy.is_resolved(["Yes"] * unanimous_count)
+
+
+class TestBudgetTrackerProperties:
+    @given(charges=st.lists(st.integers(min_value=0, max_value=50), max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_spend_equals_sum_of_charges(self, charges):
+        tracker = BudgetTracker(price_per_assignment=0.01)
+        for assignments in charges:
+            tracker.charge(assignments)
+        assert tracker.spent == pytest.approx(sum(charges) * 0.01)
+        assert tracker.total_assignments() == sum(charges)
+
+    @given(
+        budget_assignments=st.integers(min_value=1, max_value=100),
+        charges=st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=30),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_budget_is_never_exceeded(self, budget_assignments, charges):
+        price = 0.02
+        tracker = BudgetTracker(price_per_assignment=price, budget=budget_assignments * price)
+        for assignments in charges:
+            try:
+                tracker.charge(assignments)
+            except BudgetExceededError:
+                pass
+        assert tracker.spent <= tracker.budget + 1e-9
+        assert tracker.remaining is not None and tracker.remaining >= -1e-9
+
+    @given(charges=st.lists(st.integers(min_value=0, max_value=10), max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_summary_is_consistent(self, charges):
+        tracker = BudgetTracker(price_per_assignment=0.05)
+        for assignments in charges:
+            tracker.charge(assignments)
+        summary = tracker.summary()
+        assert summary["assignments"] == tracker.total_assignments()
+        assert summary["charges"] == len(charges)

@@ -1,0 +1,79 @@
+"""Property-based tests for CrowdData caching and transitive-join inference."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import CrowdContext
+from repro.operators.transitive_join import _UnionFind
+from repro.presenters import ImageLabelPresenter
+from repro.simulation import precision, recall
+
+
+class TestCrowdDataCachingInvariant:
+    @given(
+        num_images=st.integers(min_value=1, max_value=12),
+        redundancy=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rerun_never_publishes_new_tasks(self, num_images, redundancy, seed):
+        """For any experiment size and redundancy, a rerun is crowd-free."""
+        images = [f"http://img/{seed}/{i}.jpg" for i in range(num_images)]
+        context = CrowdContext.in_memory(seed=seed, ground_truth=lambda obj: "Yes")
+
+        def run():
+            data = context.CrowdData(images, "prop_table")
+            data.set_presenter(ImageLabelPresenter())
+            data.publish_task(n_assignments=redundancy).get_result().mv()
+            return data.column("mv")
+
+        first = run()
+        tasks_after_first = context.client.statistics()["tasks"]
+        second = run()
+        assert first == second
+        assert context.client.statistics()["tasks"] == tasks_after_first == num_images
+        context.close()
+
+
+class TestUnionFindProperties:
+    @given(
+        unions=st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=40
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_union_find_is_an_equivalence_relation(self, unions):
+        uf = _UnionFind()
+        for left, right in unions:
+            uf.union(left, right)
+        items = {item for pair in unions for item in pair}
+        for item in items:
+            assert uf.connected(item, item)
+        for left, right in unions:
+            assert uf.connected(left, right)
+            assert uf.connected(right, left)
+        # Transitivity over the recorded pairs.
+        for a, b in unions:
+            for c, d in unions:
+                if uf.connected(b, c):
+                    assert uf.connected(a, d)
+
+
+class TestPairMetricsProperties:
+    pair_sets = st.sets(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(lambda p: p[0] != p[1]),
+        max_size=20,
+    )
+
+    @given(predicted=pair_sets, truth=pair_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_precision_recall_bounds(self, predicted, truth):
+        assert 0.0 <= precision(predicted, truth) <= 1.0
+        assert 0.0 <= recall(predicted, truth) <= 1.0
+
+    @given(pairs=pair_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_perfect_prediction_scores_one(self, pairs):
+        assert precision(pairs, pairs) == 1.0
+        assert recall(pairs, pairs) == 1.0

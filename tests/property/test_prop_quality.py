@@ -1,0 +1,109 @@
+"""Property-based tests for the quality-control aggregators."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.quality import (
+    DawidSkeneAggregator,
+    MajorityVoteAggregator,
+    OneParameterEMAggregator,
+    WeightedVoteAggregator,
+)
+
+labels = st.sampled_from(["Yes", "No", "Maybe"])
+worker_ids = st.sampled_from([f"w{i}" for i in range(6)])
+
+# A vote table: 1-8 items, each with 1-7 (worker, answer) votes.
+vote_tables = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=7),
+    values=st.lists(st.tuples(worker_ids, labels), min_size=1, max_size=7),
+    min_size=1,
+    max_size=8,
+)
+
+AGGREGATORS = [
+    MajorityVoteAggregator(),
+    WeightedVoteAggregator(),
+    DawidSkeneAggregator(max_iterations=15),
+    OneParameterEMAggregator(max_iterations=15),
+]
+
+
+class TestAggregatorInvariants:
+    @given(votes=vote_tables)
+    @settings(max_examples=40, deadline=None)
+    def test_every_item_gets_a_decision_from_its_own_answers(self, votes):
+        for aggregator in AGGREGATORS:
+            result = aggregator.aggregate(votes)
+            assert set(result.decisions) == set(votes)
+            for item, decision in result.decisions.items():
+                answers_given = {answer for _, answer in votes[item]}
+                all_labels = {a for item_votes in votes.values() for _, a in item_votes}
+                # MV/WMV pick among the item's own answers; EM may pick any
+                # label seen in the problem (posterior over the full label set).
+                assert decision in (answers_given if aggregator.name in ("mv", "wmv") else all_labels)
+
+    @given(votes=vote_tables)
+    @settings(max_examples=40, deadline=None)
+    def test_confidences_are_probabilities(self, votes):
+        for aggregator in AGGREGATORS:
+            result = aggregator.aggregate(votes)
+            for confidence in result.confidences.values():
+                assert 0.0 <= confidence <= 1.0 + 1e-9
+
+    @given(votes=vote_tables)
+    @settings(max_examples=40, deadline=None)
+    def test_unanimous_items_keep_their_answer(self, votes):
+        unanimous = {
+            item: item_votes
+            for item, item_votes in votes.items()
+            if len({answer for _, answer in item_votes}) == 1
+        }
+        if not unanimous:
+            return
+        for aggregator in AGGREGATORS:
+            result = aggregator.aggregate(votes)
+            for item, item_votes in unanimous.items():
+                # EM can in principle overturn a unanimous item if the voters
+                # are estimated to be systematically wrong, but with at most 8
+                # items and no contradictory evidence this does not happen;
+                # MV/WMV must never overturn it.
+                if aggregator.name in ("mv", "wmv"):
+                    assert result.decisions[item] == item_votes[0][1]
+
+    @given(votes=vote_tables)
+    @settings(max_examples=30, deadline=None)
+    def test_aggregation_is_deterministic(self, votes):
+        for aggregator in AGGREGATORS:
+            first = aggregator.aggregate(votes)
+            second = aggregator.aggregate(votes)
+            assert first.decisions == second.decisions
+
+    @given(votes=vote_tables)
+    @settings(max_examples=30, deadline=None)
+    def test_worker_quality_estimates_are_probabilities(self, votes):
+        for aggregator in AGGREGATORS[1:]:
+            result = aggregator.aggregate(votes)
+            for quality in result.worker_quality.values():
+                assert 0.0 <= quality <= 1.0 + 1e-9
+
+
+class TestMajorityVoteDominance:
+    @given(
+        num_items=st.integers(min_value=1, max_value=10),
+        redundancy=st.integers(min_value=1, max_value=7),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unanimous_perfect_workers_recover_truth_exactly(self, num_items, redundancy, seed):
+        import random
+
+        rng = random.Random(seed)
+        truth = {item: rng.choice(["Yes", "No"]) for item in range(num_items)}
+        votes = {
+            item: [(f"w{j}", truth[item]) for j in range(redundancy)] for item in range(num_items)
+        }
+        result = MajorityVoteAggregator().aggregate(votes)
+        assert result.decisions == truth
+        assert all(confidence == 1.0 for confidence in result.confidences.values())

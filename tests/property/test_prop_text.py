@@ -1,0 +1,86 @@
+"""Property-based tests for the text-similarity utilities."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.hashing import stable_hash
+from repro.utils.text import (
+    edit_distance,
+    edit_similarity,
+    jaccard_similarity,
+    normalize_text,
+    tokenize,
+)
+
+texts = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd", "Zs"), max_codepoint=0x24F),
+    max_size=40,
+)
+
+
+class TestSimilarityProperties:
+    @given(left=texts, right=texts)
+    @settings(max_examples=150, deadline=None)
+    def test_jaccard_is_symmetric_and_bounded(self, left, right):
+        score = jaccard_similarity(left, right)
+        assert 0.0 <= score <= 1.0
+        assert score == jaccard_similarity(right, left)
+
+    @given(text=texts)
+    @settings(max_examples=100, deadline=None)
+    def test_jaccard_identity(self, text):
+        assert jaccard_similarity(text, text) == 1.0
+
+    @given(left=texts, right=texts)
+    @settings(max_examples=100, deadline=None)
+    def test_edit_distance_symmetry_and_bounds(self, left, right):
+        distance = edit_distance(left, right)
+        assert distance == edit_distance(right, left)
+        assert distance <= max(len(left), len(right))
+        assert (distance == 0) == (left == right)
+
+    @given(left=texts, right=texts, mid=texts)
+    @settings(max_examples=60, deadline=None)
+    def test_edit_distance_triangle_inequality(self, left, mid, right):
+        assert edit_distance(left, right) <= edit_distance(left, mid) + edit_distance(mid, right)
+
+    @given(left=texts, right=texts)
+    @settings(max_examples=100, deadline=None)
+    def test_edit_similarity_bounded(self, left, right):
+        assert 0.0 <= edit_similarity(left, right) <= 1.0
+
+
+class TestNormalisationProperties:
+    @given(text=texts)
+    @settings(max_examples=100, deadline=None)
+    def test_normalize_is_idempotent(self, text):
+        once = normalize_text(text)
+        assert normalize_text(once) == once
+
+    @given(text=texts)
+    @settings(max_examples=100, deadline=None)
+    def test_tokenize_output_is_lowercase_alnum(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+            assert token.isalnum()
+
+    @given(text=st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789 -_.", max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_tokenize_insensitive_to_case(self, text):
+        # Restricted to ASCII: Unicode case folding (e.g. 'ſ' -> 'S') can
+        # legitimately change which characters the tokenizer keeps.
+        assert tokenize(text.upper()) == tokenize(text.lower())
+
+
+class TestHashingProperties:
+    @given(value=st.dictionaries(st.text(max_size=6), st.integers(), max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_stable_hash_deterministic_across_key_order(self, value):
+        reordered = dict(reversed(list(value.items())))
+        assert stable_hash(value) == stable_hash(reordered)
+
+    @given(value=st.text(max_size=30), length=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=100, deadline=None)
+    def test_stable_hash_respects_length(self, value, length):
+        assert len(stable_hash(value, length=length)) == length

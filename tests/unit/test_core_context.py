@@ -1,0 +1,150 @@
+"""Unit tests for CrowdContext and ExperimentSession."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import CrowdContext, ExperimentSession
+from repro.config import PlatformConfig, ReprowdConfig, StorageConfig, WorkerPoolConfig
+from repro.exceptions import CrowdDataError
+from repro.platform.transport import FaultInjectingTransport
+from repro.presenters import ImageLabelPresenter
+
+
+class TestContextConstruction:
+    def test_default_is_in_memory(self):
+        context = CrowdContext()
+        assert context.db_path == ":memory:"
+        context.close()
+
+    def test_with_sqlite_creates_file(self, tmp_path):
+        path = str(tmp_path / "exp.db")
+        context = CrowdContext.with_sqlite(path)
+        context.CrowdData(["a"], "t")
+        context.flush()
+        assert os.path.exists(path)
+        context.close()
+
+    def test_fault_injection_configured_from_platform_config(self):
+        config = ReprowdConfig(
+            storage=StorageConfig(engine="memory"),
+            platform=PlatformConfig(failure_rate=0.5, seed=1),
+        )
+        context = CrowdContext(config=config)
+        assert isinstance(context.client.transport, FaultInjectingTransport)
+        context.close()
+
+    def test_explicit_transport_wins(self):
+        transport = FaultInjectingTransport(failure_rate=0.0, seed=1)
+        context = CrowdContext.in_memory(transport=transport)
+        assert context.client.transport is transport
+        context.close()
+
+    def test_context_manager_closes_engine(self, tmp_path):
+        path = str(tmp_path / "cm.db")
+        with CrowdContext.with_sqlite(path) as context:
+            context.CrowdData(["a"], "t")
+        # Closed cleanly; reopening works.
+        with CrowdContext.with_sqlite(path) as context:
+            assert "t" in context.show_tables()
+
+    def test_worker_pool_size_from_config(self):
+        config = ReprowdConfig(
+            storage=StorageConfig(engine="memory"),
+            workers=WorkerPoolConfig(size=7, seed=1),
+        )
+        context = CrowdContext(config=config)
+        assert len(context.worker_pool) == 7
+        context.close()
+
+
+class TestTableManagement:
+    def test_show_tables_lists_created_tables(self, context):
+        context.CrowdData(["a"], "t1")
+        context.CrowdData(["b"], "t2")
+        assert context.show_tables() == ["t1", "t2"]
+
+    def test_get_table(self, context):
+        data = context.CrowdData(["a"], "t1")
+        assert context.get_table("t1") is data
+        with pytest.raises(CrowdDataError):
+            context.get_table("missing")
+
+    def test_delete_table_removes_cache(self, sqlite_context, image_dataset):
+        data = sqlite_context.CrowdData(
+            image_dataset.images, "t", ground_truth=image_dataset.ground_truth
+        )
+        data.set_presenter(ImageLabelPresenter()).publish_task(2).get_result()
+        sqlite_context.delete_table("t")
+        assert "t" not in sqlite_context.show_tables()
+        fresh = sqlite_context.CrowdData(image_dataset.images, "t")
+        assert fresh.cache.task_count() == 0
+
+    def test_show_tables_sees_previous_runs(self, tmp_path):
+        path = str(tmp_path / "multi.db")
+        with CrowdContext.with_sqlite(path) as context:
+            context.CrowdData(["a"], "old_experiment")
+        with CrowdContext.with_sqlite(path) as context:
+            assert context.show_tables() == ["old_experiment"]
+
+    def test_describe(self, context):
+        context.CrowdData(["a"], "t1")
+        description = context.describe()
+        assert description["tables"] == ["t1"]
+        assert "storage" in description and "platform" in description
+
+
+class TestGroundTruth:
+    def test_context_level_oracle_used(self, accurate_context, image_dataset):
+        accurate_context.set_ground_truth(image_dataset.ground_truth)
+        data = accurate_context.CrowdData(image_dataset.images, "t")
+        data.set_presenter(ImageLabelPresenter()).publish_task(3).get_result().mv()
+        truth = [image_dataset.labels[url] for url in image_dataset.images]
+        agreement = sum(a == b for a, b in zip(data.column("mv"), truth)) / len(truth)
+        assert agreement >= 0.9
+
+    def test_table_level_oracle_overrides(self, accurate_context, image_dataset):
+        accurate_context.set_ground_truth(lambda obj: "No")
+        data = accurate_context.CrowdData(
+            image_dataset.images, "t", ground_truth=lambda obj: "Yes"
+        )
+        data.set_presenter(ImageLabelPresenter()).publish_task(3).get_result().mv()
+        assert set(data.column("mv")) == {"Yes"}
+
+
+class TestExportAndSession:
+    def test_export_database_copies_file(self, tmp_path, image_dataset):
+        src = str(tmp_path / "bob.db")
+        dst = str(tmp_path / "ally.db")
+        context = CrowdContext.with_sqlite(src)
+        context.CrowdData(["a"], "t")
+        context.export_database(dst)
+        assert os.path.exists(dst)
+        context.close()
+
+    def test_export_in_memory_rejected(self, context):
+        with pytest.raises(CrowdDataError):
+            context.export_database("/tmp/nowhere.db")
+
+    def test_session_run_and_share(self, tmp_path, image_dataset):
+        bob_session = ExperimentSession("bob", str(tmp_path / "bob.db"), seed=3)
+
+        def experiment(cc: CrowdContext):
+            cc.set_ground_truth(image_dataset.ground_truth)
+            data = cc.CrowdData(image_dataset.images, "imgs")
+            data.set_presenter(ImageLabelPresenter()).publish_task(3).get_result().mv()
+            return data.column("mv")
+
+        bob_labels = bob_session.run(experiment)
+        ally_session = bob_session.share(str(tmp_path / "ally.db"))
+        ally_labels = ally_session.run(experiment)
+        assert bob_labels == ally_labels
+        assert bob_session.runs == 1
+        assert ally_session.database_size_bytes() > 0
+
+    def test_share_before_run_rejected(self, tmp_path):
+        session = ExperimentSession("empty", str(tmp_path / "missing.db"))
+        with pytest.raises(CrowdDataError):
+            session.share(str(tmp_path / "copy.db"))

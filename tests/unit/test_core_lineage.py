@@ -1,0 +1,90 @@
+"""Unit tests for lineage records and lineage queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lineage import AnswerLineage, LineageQuery
+from repro.exceptions import LineageError
+
+
+def make_record(
+    worker="w1", answer="Yes", task=1, run=1, obj="k1",
+    published=0.0, submitted=10.0, latency=5.0, order=1,
+):
+    return AnswerLineage(
+        object_key=obj, task_id=task, run_id=run, worker_id=worker, answer=answer,
+        published_at=published, submitted_at=submitted, latency_seconds=latency,
+        assignment_order=order,
+    )
+
+
+@pytest.fixture
+def records():
+    return [
+        make_record(worker="w1", answer="Yes", task=1, run=1, obj="a", submitted=10, order=1),
+        make_record(worker="w2", answer="No", task=1, run=2, obj="a", submitted=12, order=2),
+        make_record(worker="w1", answer="Yes", task=2, run=3, obj="b", submitted=8, order=1,
+                    published=1.0),
+        make_record(worker="w3", answer="Yes", task=2, run=4, obj="b", submitted=20, order=2,
+                    published=1.0),
+    ]
+
+
+class TestAnswerLineage:
+    def test_dict_roundtrip(self):
+        record = make_record()
+        assert AnswerLineage.from_dict(record.to_dict()) == record
+
+
+class TestLineageQuery:
+    def test_empty_lineage_rejected(self):
+        with pytest.raises(LineageError):
+            LineageQuery([])
+
+    def test_workers_sorted_distinct(self, records):
+        assert LineageQuery(records).workers() == ["w1", "w2", "w3"]
+
+    def test_tasks(self, records):
+        assert LineageQuery(records).tasks() == [1, 2]
+
+    def test_records_in_submission_order(self, records):
+        ordered = LineageQuery(records).records()
+        assert [record.submitted_at for record in ordered] == [8, 10, 12, 20]
+
+    def test_answers_by_worker(self, records):
+        answers = LineageQuery(records).answers_by_worker("w1")
+        assert len(answers) == 2
+        assert [record.task_id for record in answers] == [2, 1]
+
+    def test_answers_for_object_in_assignment_order(self, records):
+        answers = LineageQuery(records).answers_for_object("a")
+        assert [record.assignment_order for record in answers] == [1, 2]
+
+    def test_worker_contributions(self, records):
+        assert LineageQuery(records).worker_contributions() == {"w1": 2, "w2": 1, "w3": 1}
+
+    def test_publication_and_collection_windows(self, records):
+        query = LineageQuery(records)
+        assert query.publication_window() == (0.0, 1.0)
+        assert query.collection_window() == (8, 20)
+
+    def test_mean_latency(self, records):
+        assert LineageQuery(records).mean_latency() == 5.0
+
+    def test_answer_distribution(self, records):
+        assert LineageQuery(records).answer_distribution() == {"Yes": 3, "No": 1}
+
+    def test_timeline_sorted_by_time(self, records):
+        timeline = LineageQuery(records).timeline()
+        times = [event["time"] for event in timeline]
+        assert times == sorted(times)
+        assert set(timeline[0]) == {"time", "worker", "task", "answer"}
+
+    def test_per_object_summary(self, records):
+        summary = LineageQuery(records).per_object_summary()
+        assert summary["a"]["answers"] == 2
+        assert summary["b"]["workers"] == ["w1", "w3"]
+
+    def test_len(self, records):
+        assert len(LineageQuery(records)) == 4

@@ -1,0 +1,145 @@
+"""Unit tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import (
+    make_entity_resolution_dataset,
+    make_image_label_dataset,
+    make_ranking_dataset,
+)
+from repro.datasets.products import make_product_name, perturb_product_name
+
+
+class TestImageLabelDataset:
+    def test_size_and_labels(self):
+        dataset = make_image_label_dataset(num_images=30, seed=1)
+        assert len(dataset) == 30
+        assert set(dataset.labels.values()) <= {"Yes", "No"}
+        assert all(url in dataset.labels for url in dataset.images)
+
+    def test_positive_fraction_respected(self):
+        dataset = make_image_label_dataset(num_images=1000, positive_fraction=0.8, seed=2)
+        share = sum(1 for label in dataset.labels.values() if label == "Yes") / 1000
+        assert share == pytest.approx(0.8, abs=0.05)
+
+    def test_custom_candidates(self):
+        dataset = make_image_label_dataset(num_images=50, candidates=["cat", "dog", "bird"], seed=3)
+        assert set(dataset.labels.values()) <= {"cat", "dog", "bird"}
+        assert dataset.candidates == ["cat", "dog", "bird"]
+
+    def test_ground_truth_oracle(self):
+        dataset = make_image_label_dataset(num_images=5, seed=4)
+        url = dataset.images[0]
+        assert dataset.ground_truth(url) == dataset.labels[url]
+        assert dataset.ground_truth("unknown") is None
+
+    def test_deterministic_given_seed(self):
+        a = make_image_label_dataset(num_images=20, seed=5)
+        b = make_image_label_dataset(num_images=20, seed=5)
+        assert a.images == b.images and a.labels == b.labels
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_image_label_dataset(num_images=0)
+        with pytest.raises(ValueError):
+            make_image_label_dataset(num_images=5, positive_fraction=2.0)
+
+
+class TestEntityResolutionDataset:
+    def test_cluster_structure(self):
+        dataset = make_entity_resolution_dataset(num_entities=10, duplicates_per_entity=4, seed=1)
+        assert len(dataset.clusters) == 10
+        assert len(dataset) == 40
+        assert all(len(cluster) == 4 for cluster in dataset.clusters)
+
+    def test_matching_pairs_count(self):
+        dataset = make_entity_resolution_dataset(num_entities=10, duplicates_per_entity=3, seed=1)
+        # Each cluster of 3 contributes C(3,2)=3 pairs.
+        assert len(dataset.matching_pairs) == 30
+
+    def test_is_match_symmetric(self):
+        dataset = make_entity_resolution_dataset(num_entities=5, duplicates_per_entity=2, seed=2)
+        left, right = dataset.clusters[0]
+        assert dataset.is_match(left, right)
+        assert dataset.is_match(right, left)
+
+    def test_cross_cluster_pairs_are_not_matches(self):
+        dataset = make_entity_resolution_dataset(num_entities=5, duplicates_per_entity=2, seed=3)
+        a = dataset.clusters[0][0]
+        b = dataset.clusters[1][0]
+        assert not dataset.is_match(a, b)
+
+    def test_pair_ground_truth_oracle(self):
+        dataset = make_entity_resolution_dataset(num_entities=5, duplicates_per_entity=2, seed=4)
+        left, right = dataset.clusters[0]
+        assert dataset.pair_ground_truth({"left_id": left, "right_id": right}) == "Yes"
+        other = dataset.clusters[1][0]
+        assert dataset.pair_ground_truth({"left_id": left, "right_id": other}) == "No"
+        assert dataset.pair_ground_truth("not a pair") is None
+
+    def test_records_have_name_and_attributes(self):
+        dataset = make_entity_resolution_dataset(num_entities=3, duplicates_per_entity=2, seed=5)
+        record = dataset.records[0]
+        assert "name" in record and "brand" in record and "price" in record
+
+    def test_extra_attributes_can_be_disabled(self):
+        dataset = make_entity_resolution_dataset(
+            num_entities=3, duplicates_per_entity=2, extra_attributes=False, seed=5
+        )
+        assert "brand" not in dataset.records[0]
+
+    def test_duplicates_are_textually_similar_but_not_identical(self):
+        dataset = make_entity_resolution_dataset(
+            num_entities=20, duplicates_per_entity=2, dirtiness=0.4, seed=6
+        )
+        from repro.operators.blocking import default_similarity
+
+        similarities = [
+            default_similarity(dataset.records[a], dataset.records[b])
+            for a, b in dataset.matching_pairs
+        ]
+        assert sum(similarities) / len(similarities) > 0.4
+
+    def test_deterministic_given_seed(self):
+        a = make_entity_resolution_dataset(num_entities=5, seed=7)
+        b = make_entity_resolution_dataset(num_entities=5, seed=7)
+        assert a.records == b.records
+
+
+class TestRankingDataset:
+    def test_hidden_order_is_strict(self):
+        dataset = make_ranking_dataset(num_items=15, seed=1)
+        scores = list(dataset.items.values())
+        assert len(set(scores)) == len(scores)
+
+    def test_better_and_ranking_agree(self):
+        dataset = make_ranking_dataset(num_items=10, seed=2)
+        ranking = dataset.ranking()
+        assert dataset.better(ranking[0], ranking[-1]) == ranking[0]
+
+    def test_pair_ground_truth(self):
+        dataset = make_ranking_dataset(num_items=6, seed=3)
+        best, worst = dataset.ranking()[0], dataset.ranking()[-1]
+        assert dataset.pair_ground_truth({"left": best, "right": worst}) == "A"
+        assert dataset.pair_ground_truth({"left": worst, "right": best}) == "B"
+
+
+class TestProductVocabulary:
+    def test_product_name_structure(self):
+        name = make_product_name(random.Random(1))
+        assert len(name.split()) == 4
+
+    def test_perturbation_changes_text_sometimes(self):
+        rng = random.Random(2)
+        original = make_product_name(rng)
+        perturbed = [perturb_product_name(original, rng, dirtiness=0.5) for _ in range(20)]
+        assert any(p != original for p in perturbed)
+
+    def test_zero_dirtiness_keeps_name(self):
+        rng = random.Random(3)
+        original = make_product_name(rng)
+        assert perturb_product_name(original, rng, dirtiness=0.0) == original

@@ -1,0 +1,130 @@
+"""Unit tests for similarity blocking and the machine-side join baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import make_entity_resolution_dataset
+from repro.operators import MachineOnlyJoin, SimilarityBlocker, all_pairs, blocked_pairs
+from repro.operators.blocking import default_similarity
+
+
+@pytest.fixture
+def er_records():
+    return make_entity_resolution_dataset(num_entities=15, duplicates_per_entity=3, seed=11)
+
+
+class TestAllPairs:
+    def test_pair_count(self):
+        assert len(all_pairs(range(10))) == 45
+
+    def test_pairs_are_ordered_and_distinct(self):
+        pairs = all_pairs([3, 1, 2])
+        assert pairs == [(1, 2), (1, 3), (2, 3)]
+
+    def test_single_item_no_pairs(self):
+        assert all_pairs([1]) == []
+
+
+class TestDefaultSimilarity:
+    def test_identical_records(self):
+        record = {"name": "apple laptop pro 15"}
+        assert default_similarity(record, record) == 1.0
+
+    def test_unrelated_records_low(self):
+        left = {"name": "apple laptop pro 15"}
+        right = {"name": "garmin smartwatch neo 900"}
+        assert default_similarity(left, right) < 0.3
+
+    def test_typo_tolerance_via_trigrams(self):
+        left = {"name": "samsung smartphone ultra 2300"}
+        right = {"name": "samsung smartphnoe ultra 2300"}
+        assert default_similarity(left, right) > 0.6
+
+
+class TestSimilarityBlocker:
+    def test_threshold_zero_keeps_all_pairs(self, er_records):
+        blocker = SimilarityBlocker(threshold=0.0, use_index=False)
+        result = blocker.block(er_records.records)
+        assert len(result.candidate_pairs) == result.total_pairs
+
+    def test_higher_threshold_keeps_fewer_pairs(self, er_records):
+        low = SimilarityBlocker(threshold=0.2).block(er_records.records)
+        high = SimilarityBlocker(threshold=0.6).block(er_records.records)
+        assert len(high.candidate_pairs) <= len(low.candidate_pairs)
+
+    def test_candidates_sorted_by_similarity_descending(self, er_records):
+        result = SimilarityBlocker(threshold=0.2).block(er_records.records)
+        scores = [score for _, _, score in result.candidate_pairs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_indexed_and_quadratic_agree(self, er_records):
+        indexed = SimilarityBlocker(threshold=0.3, use_index=True).block(er_records.records)
+        quadratic = SimilarityBlocker(threshold=0.3, use_index=False).block(er_records.records)
+        assert set(indexed.pairs()) == set(quadratic.pairs())
+
+    def test_index_reduces_comparisons(self, er_records):
+        indexed = SimilarityBlocker(threshold=0.3, use_index=True).block(er_records.records)
+        quadratic = SimilarityBlocker(threshold=0.3, use_index=False).block(er_records.records)
+        assert indexed.comparisons <= quadratic.comparisons
+
+    def test_blocking_recall_is_high_at_moderate_threshold(self, er_records):
+        result = SimilarityBlocker(threshold=0.3).block(er_records.records)
+        surviving = set(result.pairs())
+        recall = len(surviving & er_records.matching_pairs) / len(er_records.matching_pairs)
+        assert recall >= 0.9
+
+    def test_pruned_count(self, er_records):
+        result = SimilarityBlocker(threshold=0.3).block(er_records.records)
+        assert result.pruned() == result.total_pairs - len(result.candidate_pairs)
+
+    def test_two_sided_blocking(self, er_records):
+        ids = er_records.record_ids()
+        left = {i: er_records.records[i] for i in ids[: len(ids) // 2]}
+        right = {i: er_records.records[i] for i in ids[len(ids) // 2 :]}
+        result = SimilarityBlocker(threshold=0.3).block_two_sided(left, right)
+        assert result.total_pairs == len(left) * len(right)
+        for left_id, right_id, _ in result.candidate_pairs:
+            assert left_id in left and right_id in right
+
+    def test_two_sided_index_matches_quadratic(self, er_records):
+        ids = er_records.record_ids()
+        left = {i: er_records.records[i] for i in ids[:20]}
+        right = {i: er_records.records[i] for i in ids[20:]}
+        indexed = SimilarityBlocker(threshold=0.3, use_index=True).block_two_sided(left, right)
+        quadratic = SimilarityBlocker(threshold=0.3, use_index=False).block_two_sided(left, right)
+        assert set(indexed.pairs()) == set(quadratic.pairs())
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SimilarityBlocker(threshold=1.5)
+
+    def test_text_fields_restrict_similarity(self):
+        left = {"name": "identical name", "note": "aaa bbb ccc"}
+        right = {"name": "identical name", "note": "xxx yyy zzz"}
+        full = SimilarityBlocker(threshold=0.9)
+        name_only = SimilarityBlocker(threshold=0.9, text_fields=["name"],
+                                      similarity=lambda a, b: default_similarity(
+                                          {"name": a["name"]}, {"name": b["name"]}))
+        assert name_only.block({1: left, 2: right}).candidate_pairs
+        assert not full.block({1: left, 2: right}).candidate_pairs
+
+    def test_blocked_pairs_helper(self, er_records):
+        result = blocked_pairs(er_records.records, threshold=0.3)
+        assert result.candidate_pairs
+
+
+class TestMachineOnlyJoin:
+    def test_zero_crowd_tasks(self, er_records):
+        result = MachineOnlyJoin(threshold=0.5).join(er_records.records)
+        assert result.report.crowd_tasks == 0
+
+    def test_quality_below_crowd_hybrid(self, er_records):
+        """Machine-only matching is measurably worse than hybrid verification."""
+        machine = MachineOnlyJoin(threshold=0.5).join(er_records.records)
+        _, _, machine_f1 = machine.precision_recall_f1(er_records.matching_pairs)
+        assert machine_f1 < 0.95
+
+    def test_all_decisions_are_yes(self, er_records):
+        result = MachineOnlyJoin(threshold=0.6).join(er_records.records)
+        assert all(decision == "Yes" for decision in result.decisions.values())

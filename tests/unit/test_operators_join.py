@@ -1,0 +1,189 @@
+"""Unit tests for the crowdsourced join operators (CrowdER and transitive)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrowdContext
+from repro.datasets import make_entity_resolution_dataset
+from repro.operators import AllPairsCrowdJoin, CrowdJoin, TransitiveCrowdJoin
+from repro.operators.blocking import SimilarityBlocker
+
+
+@pytest.fixture
+def er():
+    return make_entity_resolution_dataset(num_entities=12, duplicates_per_entity=3, seed=11)
+
+
+@pytest.fixture
+def accurate_ctx():
+    from repro.config import ReprowdConfig, StorageConfig, WorkerPoolConfig
+
+    config = ReprowdConfig(
+        storage=StorageConfig(engine="memory"),
+        workers=WorkerPoolConfig(size=25, mean_accuracy=0.97, accuracy_spread=0.02, seed=7),
+    )
+    ctx = CrowdContext(config=config)
+    yield ctx
+    ctx.close()
+
+
+class TestCrowdJoin:
+    def test_finds_most_true_matches(self, accurate_ctx, er):
+        result = CrowdJoin(accurate_ctx, "join").join(er.records, ground_truth=er.pair_ground_truth)
+        precision, recall, f1 = result.precision_recall_f1(er.matching_pairs)
+        assert precision >= 0.9
+        assert recall >= 0.85
+        assert f1 >= 0.9
+
+    def test_blocking_prunes_most_pairs(self, accurate_ctx, er):
+        result = CrowdJoin(accurate_ctx, "join").join(er.records, ground_truth=er.pair_ground_truth)
+        report = result.report
+        assert report.total_candidates == len(er) * (len(er) - 1) // 2
+        assert report.crowd_tasks < report.total_candidates / 5
+        assert report.savings_fraction() > 0.8
+
+    def test_crowd_answers_match_redundancy(self, accurate_ctx, er):
+        result = CrowdJoin(accurate_ctx, "join", n_assignments=5).join(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        assert result.report.crowd_answers == result.report.crowd_tasks * 5
+
+    def test_decisions_cover_every_candidate_pair(self, accurate_ctx, er):
+        blocker = SimilarityBlocker(threshold=0.3)
+        result = CrowdJoin(accurate_ctx, "join", blocker=blocker).join(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        expected_pairs = {
+            (min(a, b), max(a, b)) for a, b, _ in blocker.block(er.records).candidate_pairs
+        }
+        assert set(result.decisions) == expected_pairs
+
+    def test_empty_candidate_set_returns_no_matches(self, accurate_ctx, er):
+        blocker = SimilarityBlocker(threshold=1.0)
+        result = CrowdJoin(accurate_ctx, "join", blocker=blocker).join(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        assert result.matches == set()
+        assert result.report.crowd_tasks == 0
+
+    def test_empty_records_rejected(self, accurate_ctx):
+        with pytest.raises(ValueError):
+            CrowdJoin(accurate_ctx, "join").join({})
+
+    def test_invalid_n_assignments(self, accurate_ctx):
+        from repro.exceptions import OperatorError
+
+        with pytest.raises(OperatorError):
+            CrowdJoin(accurate_ctx, "join", n_assignments=0)
+
+    def test_two_sided_join(self, accurate_ctx, er):
+        ids = er.record_ids()
+        left = {i: er.records[i] for i in ids if i % 2 == 0}
+        right = {i: er.records[i] for i in ids if i % 2 == 1}
+        result = CrowdJoin(accurate_ctx, "join2").join_two_sided(
+            left, right, ground_truth=er.pair_ground_truth
+        )
+        true_cross = {
+            pair for pair in er.matching_pairs
+            if (pair[0] in left and pair[1] in right) or (pair[0] in right and pair[1] in left)
+        }
+        _, recall, _ = result.precision_recall_f1(true_cross)
+        assert recall >= 0.8
+
+    def test_join_is_reproducible_within_shared_context(self, er, tmp_path):
+        """Re-running the join against the same DB publishes zero new tasks."""
+        path = str(tmp_path / "join.db")
+        ctx = CrowdContext.with_sqlite(path, seed=5)
+        first = CrowdJoin(ctx, "join").join(er.records, ground_truth=er.pair_ground_truth)
+        tasks_after_first = ctx.client.statistics()["tasks"]
+        second = CrowdJoin(ctx, "join").join(er.records, ground_truth=er.pair_ground_truth)
+        assert ctx.client.statistics()["tasks"] == tasks_after_first
+        assert first.matches == second.matches
+        ctx.close()
+
+    def test_crowddata_lineage_available(self, accurate_ctx, er):
+        result = CrowdJoin(accurate_ctx, "join").join(er.records, ground_truth=er.pair_ground_truth)
+        lineage = result.crowddata.lineage()
+        assert len(lineage) == result.report.crowd_answers
+
+
+class TestAllPairsCrowdJoin:
+    def test_asks_about_every_pair(self, accurate_ctx):
+        er_small = make_entity_resolution_dataset(num_entities=4, duplicates_per_entity=2, seed=3)
+        result = AllPairsCrowdJoin(accurate_ctx, "allpairs", n_assignments=1).join(
+            er_small.records, ground_truth=er_small.pair_ground_truth
+        )
+        n = len(er_small)
+        assert result.report.crowd_tasks == n * (n - 1) // 2
+
+    def test_costs_more_than_blocked_join(self, accurate_ctx, er):
+        er_small = make_entity_resolution_dataset(num_entities=6, duplicates_per_entity=2, seed=3)
+        blocked = CrowdJoin(accurate_ctx, "blocked", n_assignments=1).join(
+            er_small.records, ground_truth=er_small.pair_ground_truth
+        )
+        brute = AllPairsCrowdJoin(CrowdContext.in_memory(seed=5), "brute", n_assignments=1).join(
+            er_small.records, ground_truth=er_small.pair_ground_truth
+        )
+        assert brute.report.crowd_tasks > blocked.report.crowd_tasks
+
+
+class TestTransitiveCrowdJoin:
+    def test_never_asks_more_than_plain_crowder(self, er):
+        plain = CrowdJoin(CrowdContext.in_memory(seed=7), "plain").join(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        transitive = TransitiveCrowdJoin(CrowdContext.in_memory(seed=7), "trans").join(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        assert transitive.report.crowd_tasks <= plain.report.crowd_tasks
+
+    def test_inference_grows_with_cluster_size(self):
+        small_clusters = make_entity_resolution_dataset(
+            num_entities=12, duplicates_per_entity=2, seed=9
+        )
+        big_clusters = make_entity_resolution_dataset(
+            num_entities=6, duplicates_per_entity=5, seed=9
+        )
+        small_result = TransitiveCrowdJoin(CrowdContext.in_memory(seed=9), "s").join(
+            small_clusters.records, ground_truth=small_clusters.pair_ground_truth
+        )
+        big_result = TransitiveCrowdJoin(CrowdContext.in_memory(seed=9), "b").join(
+            big_clusters.records, ground_truth=big_clusters.pair_ground_truth
+        )
+        assert big_result.report.inferred > small_result.report.inferred
+
+    def test_quality_comparable_to_crowder(self, accurate_ctx, er):
+        transitive = TransitiveCrowdJoin(accurate_ctx, "trans").join(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        _, _, f1 = transitive.precision_recall_f1(er.matching_pairs)
+        assert f1 >= 0.85
+
+    def test_batch_size_one_is_sequential(self, er):
+        result = TransitiveCrowdJoin(
+            CrowdContext.in_memory(seed=7), "seq", batch_size=1
+        ).join(er.records, ground_truth=er.pair_ground_truth)
+        assert result.report.rounds == result.report.crowd_tasks
+
+    def test_decisions_cover_all_candidates(self, accurate_ctx, er):
+        blocker = SimilarityBlocker(threshold=0.3)
+        result = TransitiveCrowdJoin(accurate_ctx, "trans", blocker=blocker).join(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        candidates = blocker.block(er.records).candidate_pairs
+        assert len(result.decisions) == len(candidates)
+        assert result.report.crowd_tasks + result.report.inferred == len(candidates)
+
+    def test_random_ordering_supported(self, er):
+        result = TransitiveCrowdJoin(
+            CrowdContext.in_memory(seed=7), "rand", ordering="random"
+        ).join(er.records, ground_truth=er.pair_ground_truth)
+        assert result.report.extras["ordering"] == "random"
+
+    def test_invalid_parameters(self):
+        ctx = CrowdContext.in_memory()
+        with pytest.raises(ValueError):
+            TransitiveCrowdJoin(ctx, "t", batch_size=0)
+        with pytest.raises(ValueError):
+            TransitiveCrowdJoin(ctx, "t", ordering="by_price")

@@ -1,0 +1,134 @@
+"""Unit tests for the CrowdLabel and CrowdGroupBy operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AdaptivePolicy, CrowdContext
+from repro.config import ReprowdConfig, StorageConfig, WorkerPoolConfig
+from repro.datasets import make_image_label_dataset
+from repro.operators import CrowdGroupBy, CrowdLabel
+from repro.presenters import TextLabelPresenter
+
+
+def accurate_context(seed=7):
+    config = ReprowdConfig(
+        storage=StorageConfig(engine="memory"),
+        workers=WorkerPoolConfig(size=25, mean_accuracy=0.96, accuracy_spread=0.02, seed=seed),
+    )
+    return CrowdContext(config=config)
+
+
+@pytest.fixture
+def images():
+    return make_image_label_dataset(num_images=30, seed=7)
+
+
+@pytest.fixture
+def topics():
+    texts = [f"news item {i}" for i in range(24)]
+    labels = {text: ["politics", "sports", "tech"][i % 3] for i, text in enumerate(texts)}
+    return texts, labels
+
+
+class TestCrowdLabel:
+    def test_labels_match_truth_with_accurate_workers(self, images):
+        result = CrowdLabel(accurate_context(), "label").label(
+            images.images, ground_truth=images.ground_truth
+        )
+        assert result.accuracy_against(images.labels) >= 0.9
+        assert len(result.labels) == len(images.images)
+
+    def test_multiclass_vocabulary(self, topics):
+        texts, labels = topics
+        result = CrowdLabel(
+            accurate_context(),
+            "topics",
+            candidates=["politics", "sports", "tech"],
+            presenter=TextLabelPresenter(candidates=["politics", "sports", "tech"]),
+        ).label(texts, ground_truth=labels.get)
+        assert set(result.labels) <= {"politics", "sports", "tech"}
+        assert result.accuracy_against(labels) >= 0.85
+
+    def test_confidences_align_with_rows(self, images):
+        result = CrowdLabel(accurate_context(), "label").label(
+            images.images, ground_truth=images.ground_truth
+        )
+        assert len(result.confidences) == len(images.images)
+        assert all(0.0 <= confidence <= 1.0 for confidence in result.confidences)
+
+    def test_adaptive_mode_uses_fewer_answers(self, images):
+        fixed = CrowdLabel(accurate_context(), "fixed", n_assignments=5).label(
+            images.images, ground_truth=images.ground_truth
+        )
+        adaptive = CrowdLabel(
+            accurate_context(),
+            "adaptive",
+            adaptive=AdaptivePolicy(initial_assignments=2, max_assignments=5, confidence_threshold=0.7),
+        ).label(images.images, ground_truth=images.ground_truth)
+        assert adaptive.report.crowd_answers < fixed.report.crowd_answers
+        assert adaptive.report.extras["adaptive"] is True
+        assert adaptive.accuracy_against(images.labels) >= 0.85
+
+    def test_report_mean_answers(self, images):
+        result = CrowdLabel(accurate_context(), "label", n_assignments=3).label(
+            images.images, ground_truth=images.ground_truth
+        )
+        assert result.report.extras["mean_answers_per_item"] == pytest.approx(3.0)
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(ValueError):
+            CrowdLabel(accurate_context(), "label").label([])
+
+    def test_accuracy_requires_overlap(self, images):
+        result = CrowdLabel(accurate_context(), "label").label(
+            images.images, ground_truth=images.ground_truth
+        )
+        with pytest.raises(ValueError):
+            result.accuracy_against({"unknown": "Yes"})
+
+
+class TestCrowdGroupBy:
+    def test_groups_partition_items(self, topics):
+        texts, labels = topics
+        result = CrowdGroupBy(
+            accurate_context(), "groupby", candidates=["politics", "sports", "tech"]
+        ).group_by(texts, ground_truth=labels.get)
+        grouped_items = [item for group in result.groups.values() for item in group]
+        assert sorted(grouped_items) == sorted(texts)
+        assert sum(result.counts.values()) == len(texts)
+
+    def test_counts_match_truth_with_accurate_workers(self, topics):
+        texts, labels = topics
+        result = CrowdGroupBy(
+            accurate_context(), "groupby", candidates=["politics", "sports", "tech"]
+        ).group_by(texts, ground_truth=labels.get)
+        # 24 items spread evenly over 3 topics -> 8 each (small crowd noise allowed).
+        for label in ("politics", "sports", "tech"):
+            assert abs(result.counts[label] - 8) <= 2
+
+    def test_every_candidate_appears_even_if_empty(self):
+        texts = ["only politics story"]
+        result = CrowdGroupBy(
+            accurate_context(), "groupby_empty", candidates=["politics", "sports"]
+        ).group_by(texts, ground_truth=lambda obj: "politics")
+        assert result.counts["sports"] == 0
+
+    def test_aggregate_function_applied_per_group(self, topics):
+        texts, labels = topics
+        result = CrowdGroupBy(
+            accurate_context(), "groupby_agg", candidates=["politics", "sports", "tech"]
+        ).group_by(texts, ground_truth=labels.get, aggregate=len)
+        assert result.aggregates == result.counts
+
+    def test_largest_group(self):
+        texts = [f"item {i}" for i in range(9)]
+        truth = {text: ("a" if i < 6 else "b") for i, text in enumerate(texts)}
+        result = CrowdGroupBy(
+            accurate_context(), "groupby_largest", candidates=["a", "b"]
+        ).group_by(texts, ground_truth=truth.get)
+        assert result.largest_group() == "a"
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            CrowdGroupBy(accurate_context(), "bad", candidates=[])

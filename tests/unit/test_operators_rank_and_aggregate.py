@@ -1,0 +1,236 @@
+"""Unit tests for sort, max, top-k, filter, count and dedup operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrowdContext
+from repro.config import ReprowdConfig, StorageConfig, WorkerPoolConfig
+from repro.datasets import (
+    make_entity_resolution_dataset,
+    make_image_label_dataset,
+    make_ranking_dataset,
+)
+from repro.operators import (
+    CrowdCount,
+    CrowdDedup,
+    CrowdFilter,
+    CrowdMax,
+    CrowdSort,
+    CrowdTopK,
+)
+
+
+def accurate_context(seed=7):
+    config = ReprowdConfig(
+        storage=StorageConfig(engine="memory"),
+        workers=WorkerPoolConfig(size=25, mean_accuracy=0.98, accuracy_spread=0.01, seed=seed),
+    )
+    return CrowdContext(config=config)
+
+
+@pytest.fixture
+def ranking():
+    return make_ranking_dataset(num_items=10, seed=3)
+
+
+@pytest.fixture
+def images():
+    return make_image_label_dataset(num_images=24, positive_fraction=0.5, seed=5)
+
+
+class TestCrowdSort:
+    def test_recovers_hidden_order_with_accurate_workers(self, ranking):
+        result = CrowdSort(accurate_context(), "sort").sort(
+            list(ranking.items), ground_truth=ranking.pair_ground_truth
+        )
+        assert result.kendall_tau(ranking.ranking()) >= 0.85
+
+    def test_task_count_is_quadratic(self, ranking):
+        items = list(ranking.items)
+        result = CrowdSort(accurate_context(), "sort").sort(
+            items, ground_truth=ranking.pair_ground_truth
+        )
+        assert result.report.crowd_tasks == len(items) * (len(items) - 1) // 2
+
+    def test_scores_sum_to_number_of_comparisons(self, ranking):
+        result = CrowdSort(accurate_context(), "sort").sort(
+            list(ranking.items), ground_truth=ranking.pair_ground_truth
+        )
+        assert sum(result.scores.values()) == result.report.crowd_tasks
+
+    def test_single_item(self):
+        result = CrowdSort(accurate_context(), "sort").sort(["only"])
+        assert result.ranking == ["only"]
+        assert result.report.crowd_tasks == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CrowdSort(accurate_context(), "sort").sort([])
+
+    def test_kendall_tau_reversed_is_negative(self, ranking):
+        result = CrowdSort(accurate_context(), "sort").sort(
+            list(ranking.items), ground_truth=ranking.pair_ground_truth
+        )
+        assert result.kendall_tau(list(reversed(ranking.ranking()))) <= -0.85
+
+
+class TestCrowdMax:
+    def test_finds_best_item(self, ranking):
+        result = CrowdMax(accurate_context(), "max").max(
+            list(ranking.items), ground_truth=ranking.pair_ground_truth
+        )
+        assert result.winner == ranking.ranking()[0]
+
+    def test_uses_n_minus_one_comparisons(self, ranking):
+        items = list(ranking.items)
+        result = CrowdMax(accurate_context(), "max").max(
+            items, ground_truth=ranking.pair_ground_truth
+        )
+        assert result.report.crowd_tasks == len(items) - 1
+
+    def test_cheaper_than_sort(self, ranking):
+        items = list(ranking.items)
+        max_result = CrowdMax(accurate_context(), "max").max(
+            items, ground_truth=ranking.pair_ground_truth
+        )
+        sort_result = CrowdSort(accurate_context(seed=8), "sort").sort(
+            items, ground_truth=ranking.pair_ground_truth
+        )
+        assert max_result.report.crowd_tasks < sort_result.report.crowd_tasks
+
+    def test_single_item_needs_no_crowd(self):
+        result = CrowdMax(accurate_context(), "max").max(["only"])
+        assert result.winner == "only"
+        assert result.report.crowd_tasks == 0
+
+    def test_rounds_shrink_geometrically(self, ranking):
+        result = CrowdMax(accurate_context(), "max").max(
+            list(ranking.items), ground_truth=ranking.pair_ground_truth
+        )
+        sizes = [len(round_items) for round_items in result.rounds]
+        assert sizes[0] == len(ranking.items)
+        assert sizes[-1] == 1
+        assert all(later <= earlier for earlier, later in zip(sizes, sizes[1:]))
+
+
+class TestCrowdTopK:
+    def test_returns_k_items(self, ranking):
+        result = CrowdTopK(accurate_context(), "topk").top_k(
+            list(ranking.items), 3, ground_truth=ranking.pair_ground_truth
+        )
+        assert len(result.top_items) == 3
+
+    def test_high_recall_with_accurate_workers(self, ranking):
+        result = CrowdTopK(accurate_context(), "topk").top_k(
+            list(ranking.items), 3, ground_truth=ranking.pair_ground_truth
+        )
+        assert result.recall_against(ranking.ranking()[:3]) >= 2 / 3
+
+    def test_k_larger_than_input_is_clamped(self, ranking):
+        items = list(ranking.items)[:4]
+        result = CrowdTopK(accurate_context(), "topk").top_k(
+            items, 10, ground_truth=ranking.pair_ground_truth
+        )
+        assert sorted(result.top_items) == sorted(items)
+
+    def test_invalid_k(self, ranking):
+        with pytest.raises(ValueError):
+            CrowdTopK(accurate_context(), "topk").top_k(list(ranking.items), 0)
+
+
+class TestCrowdFilter:
+    def test_partitions_items(self, images):
+        result = CrowdFilter(accurate_context(), "filter").filter(
+            images.images, ground_truth=images.ground_truth
+        )
+        assert sorted(result.kept + result.rejected) == sorted(images.images)
+
+    def test_matches_ground_truth_with_accurate_workers(self, images):
+        result = CrowdFilter(accurate_context(), "filter").filter(
+            images.images, ground_truth=images.ground_truth
+        )
+        true_yes = {url for url, label in images.labels.items() if label == "Yes"}
+        agreement = len(set(result.kept) & true_yes) / max(1, len(true_yes))
+        assert agreement >= 0.85
+
+    def test_report_selectivity(self, images):
+        result = CrowdFilter(accurate_context(), "filter").filter(
+            images.images, ground_truth=images.ground_truth
+        )
+        assert result.report.extras["selectivity"] == pytest.approx(
+            len(result.kept) / len(images.images)
+        )
+
+    def test_custom_keep_answer(self, images):
+        result = CrowdFilter(accurate_context(), "filter", keep_answer="No").filter(
+            images.images, ground_truth=images.ground_truth
+        )
+        true_no = {url for url, label in images.labels.items() if label == "No"}
+        agreement = len(set(result.kept) & true_no) / max(1, len(true_no))
+        assert agreement >= 0.85
+
+
+class TestCrowdCount:
+    def test_estimate_close_to_truth(self, images):
+        result = CrowdCount(accurate_context(), "count", sample_size=20).count(
+            images.images, ground_truth=images.ground_truth
+        )
+        true_count = sum(1 for label in images.labels.values() if label == "Yes")
+        assert abs(result.estimate - true_count) <= 6
+
+    def test_sample_capped_at_population(self, images):
+        result = CrowdCount(accurate_context(), "count", sample_size=500).count(
+            images.images, ground_truth=images.ground_truth
+        )
+        assert result.sample_size == len(images.images)
+
+    def test_confidence_interval_contains_selectivity(self, images):
+        result = CrowdCount(accurate_context(), "count", sample_size=15).count(
+            images.images, ground_truth=images.ground_truth
+        )
+        low, high = result.confidence_interval
+        assert low <= result.selectivity <= high
+
+    def test_sampling_costs_less_than_full_filter(self, images):
+        count_result = CrowdCount(accurate_context(), "count", sample_size=10).count(
+            images.images, ground_truth=images.ground_truth
+        )
+        assert count_result.report.crowd_tasks == 10
+        assert count_result.report.crowd_tasks < len(images.images)
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(ValueError):
+            CrowdCount(accurate_context(), "count", sample_size=0)
+
+
+class TestCrowdDedup:
+    def test_recovers_cluster_count(self):
+        er = make_entity_resolution_dataset(num_entities=10, duplicates_per_entity=3, seed=11)
+        result = CrowdDedup(accurate_context(), "dedup").dedup(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        assert abs(result.num_entities() - len(er.clusters)) <= 2
+
+    def test_every_record_is_clustered_once(self):
+        er = make_entity_resolution_dataset(num_entities=8, duplicates_per_entity=3, seed=13)
+        result = CrowdDedup(accurate_context(), "dedup").dedup(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        clustered = [record_id for cluster in result.clusters for record_id in cluster]
+        assert sorted(clustered) == er.record_ids()
+
+    def test_canonical_member_of_cluster(self):
+        er = make_entity_resolution_dataset(num_entities=6, duplicates_per_entity=3, seed=15)
+        result = CrowdDedup(accurate_context(), "dedup").dedup(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        for index, cluster in enumerate(result.clusters):
+            assert result.canonical[index] in cluster
+
+    def test_without_transitivity_uses_plain_join(self):
+        er = make_entity_resolution_dataset(num_entities=6, duplicates_per_entity=2, seed=17)
+        result = CrowdDedup(accurate_context(), "dedup", use_transitivity=False).dedup(
+            er.records, ground_truth=er.pair_ground_truth
+        )
+        assert result.report.operator == "crowd_join"

@@ -1,0 +1,130 @@
+"""Unit tests for the platform client, transports and assignment strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.exceptions import NoEligibleWorkerError, PlatformError, PlatformUnavailableError
+from repro.platform.assignment import (
+    LeastLoadedAssignment,
+    RandomAssignment,
+    RoundRobinAssignment,
+)
+from repro.platform.client import PlatformClient
+from repro.platform.server import PlatformServer
+from repro.platform.transport import DirectTransport, FaultInjectingTransport
+from repro.workers.pool import WorkerPool
+
+
+@pytest.fixture
+def server():
+    pool = WorkerPool.uniform(size=8, accuracy=0.95, seed=2)
+    return PlatformServer(worker_pool=pool, config=PlatformConfig(seed=2))
+
+
+class TestClientBasics:
+    def test_wrong_api_key_rejected(self, server):
+        with pytest.raises(PlatformError):
+            PlatformClient(server, api_key="nope")
+
+    def test_create_and_find_project(self, server):
+        client = PlatformClient(server)
+        project = client.create_project("p", description="d")
+        assert client.find_project("p").project_id == project.project_id
+        assert client.get_project(project.project_id).name == "p"
+
+    def test_task_lifecycle(self, server):
+        client = PlatformClient(server)
+        project = client.create_project("p")
+        task = client.create_task(project.project_id, {"object": "x", "_true_answer": "Yes"}, 3)
+        assert client.get_task(task.task_id).task_id == task.task_id
+        assert client.pending_assignments(project.project_id) == 3
+        assert not client.is_task_complete(task.task_id)
+        client.simulate_work(project.project_id)
+        assert client.is_task_complete(task.task_id)
+        assert client.is_project_complete(project.project_id)
+        assert len(client.get_task_runs(task.task_id)) == 3
+
+    def test_delete_task_and_project(self, server):
+        client = PlatformClient(server)
+        project = client.create_project("p")
+        task = client.create_task(project.project_id, {"object": "x"})
+        client.delete_task(task.task_id)
+        assert client.list_tasks(project.project_id) == []
+        client.delete_project(project.project_id)
+        assert client.find_project("p") is None
+
+    def test_invalid_max_retries(self, server):
+        with pytest.raises(ValueError):
+            PlatformClient(server, max_retries=0)
+
+
+class TestFaultInjectingTransport:
+    def test_all_failures_eventually_propagate(self, server):
+        transport = FaultInjectingTransport(failure_rate=1.0, seed=1)
+        client = PlatformClient(server, transport=transport, max_retries=3)
+        with pytest.raises(PlatformUnavailableError):
+            client.create_project("p")
+        assert transport.failures_injected == 3
+
+    def test_partial_failures_are_retried_away(self, server):
+        transport = FaultInjectingTransport(failure_rate=0.4, seed=3)
+        client = PlatformClient(server, transport=transport, max_retries=10)
+        project = client.create_project("p")
+        for index in range(20):
+            client.create_task(project.project_id, {"object": index, "_true_answer": "Yes"}, 2)
+        client.simulate_work(project.project_id)
+        assert client.is_project_complete(project.project_id)
+        assert transport.failures_injected > 0
+
+    def test_duplicate_delivery_of_create_project_is_harmless(self, server):
+        transport = FaultInjectingTransport(duplicate_rate=1.0, seed=4)
+        client = PlatformClient(server, transport=transport)
+        client.create_project("p")
+        # Idempotent server-side creation: only one project despite the replay.
+        assert len(server.list_projects()) == 1
+        assert transport.duplicates_injected >= 1
+
+    def test_statistics(self):
+        transport = FaultInjectingTransport(failure_rate=0.0, seed=1)
+        transport.call("noop", lambda: 1)
+        assert transport.statistics()["calls"] == 1
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjectingTransport(failure_rate=1.5)
+
+    def test_direct_transport_passthrough(self):
+        assert DirectTransport().call("add", lambda a, b: a + b, 1, 2) == 3
+
+
+class TestAssignmentStrategies:
+    def test_random_assignment_distinct(self):
+        pool = WorkerPool.uniform(size=10, accuracy=0.9, seed=5)
+        workers = RandomAssignment().assign(pool, 4)
+        assert len({worker.worker_id for worker in workers}) == 4
+
+    def test_random_assignment_too_many(self):
+        pool = WorkerPool.uniform(size=3, accuracy=0.9, seed=5)
+        with pytest.raises(NoEligibleWorkerError):
+            RandomAssignment().assign(pool, 4)
+
+    def test_round_robin_cycles_through_pool(self):
+        pool = WorkerPool.uniform(size=4, accuracy=0.9, seed=5)
+        strategy = RoundRobinAssignment()
+        first = [worker.worker_id for worker in strategy.assign(pool, 2)]
+        second = [worker.worker_id for worker in strategy.assign(pool, 2)]
+        assert first + second == pool.worker_ids()
+
+    def test_least_loaded_prefers_idle_workers(self):
+        pool = WorkerPool.uniform(size=4, accuracy=0.9, seed=5)
+        busy = pool.workers[0]
+        busy.answered_tasks = 10
+        chosen = LeastLoadedAssignment().assign(pool, 3)
+        assert busy.worker_id not in {worker.worker_id for worker in chosen}
+
+    def test_invalid_n_assignments(self):
+        pool = WorkerPool.uniform(size=4, accuracy=0.9, seed=5)
+        with pytest.raises(ValueError):
+            RandomAssignment().assign(pool, 0)

@@ -1,0 +1,204 @@
+"""Unit tests for the simulated platform server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.exceptions import PlatformError, ProjectNotFoundError, TaskNotFoundError
+from repro.platform.models import Project, Task, TaskRun
+from repro.platform.server import PlatformServer
+from repro.workers.pool import WorkerPool
+
+
+@pytest.fixture
+def server():
+    pool = WorkerPool.uniform(size=10, accuracy=0.95, seed=1)
+    return PlatformServer(worker_pool=pool, config=PlatformConfig(seed=1))
+
+
+class TestModels:
+    def test_project_roundtrip(self):
+        project = Project(project_id=1, name="p", short_name="p", description="d")
+        assert Project.from_dict(project.to_dict()) == project
+
+    def test_task_roundtrip(self):
+        task = Task(task_id=3, project_id=1, info={"object": "x"}, n_assignments=5)
+        assert Task.from_dict(task.to_dict()) == task
+
+    def test_task_run_roundtrip(self):
+        run = TaskRun(
+            run_id=9, task_id=3, project_id=1, worker_id="w1", answer="Yes",
+            submitted_at=10.0, latency_seconds=4.0, assignment_order=2,
+        )
+        assert TaskRun.from_dict(run.to_dict()) == run
+
+
+class TestProjects:
+    def test_create_project(self, server):
+        project = server.create_project("my experiment", description="d")
+        assert project.project_id == 1
+        assert project.short_name == "my-experiment"
+
+    def test_create_is_idempotent_by_name(self, server):
+        first = server.create_project("p")
+        second = server.create_project("p")
+        assert first.project_id == second.project_id
+        assert len(server.list_projects()) == 1
+
+    def test_find_project(self, server):
+        server.create_project("p")
+        assert server.find_project("p") is not None
+        assert server.find_project("missing") is None
+
+    def test_get_missing_project_raises(self, server):
+        with pytest.raises(ProjectNotFoundError):
+            server.get_project(99)
+
+    def test_delete_project_removes_tasks(self, server):
+        project = server.create_project("p")
+        task = server.create_task(project.project_id, {"object": "x"})
+        server.delete_project(project.project_id)
+        with pytest.raises(ProjectNotFoundError):
+            server.get_project(project.project_id)
+        with pytest.raises(TaskNotFoundError):
+            server.get_task(task.task_id)
+
+    def test_authentication(self, server):
+        assert server.authenticate("test-api-key")
+        assert not server.authenticate("wrong")
+        with pytest.raises(PlatformError):
+            server.require_auth("wrong")
+
+
+class TestTasks:
+    def test_create_task_uses_default_redundancy(self, server):
+        project = server.create_project("p")
+        task = server.create_task(project.project_id, {"object": "x"})
+        assert task.n_assignments == server.config.default_redundancy
+
+    def test_create_task_overrides_redundancy(self, server):
+        project = server.create_project("p")
+        task = server.create_task(project.project_id, {"object": "x"}, n_assignments=7)
+        assert task.n_assignments == 7
+
+    def test_create_task_rejects_bad_redundancy(self, server):
+        project = server.create_project("p")
+        with pytest.raises(PlatformError):
+            server.create_task(project.project_id, {"object": "x"}, n_assignments=0)
+
+    def test_create_task_unknown_project(self, server):
+        with pytest.raises(ProjectNotFoundError):
+            server.create_task(42, {"object": "x"})
+
+    def test_list_tasks_in_publication_order(self, server):
+        project = server.create_project("p")
+        ids = [server.create_task(project.project_id, {"i": i}).task_id for i in range(5)]
+        assert [task.task_id for task in server.list_tasks(project.project_id)] == ids
+
+    def test_delete_task(self, server):
+        project = server.create_project("p")
+        task = server.create_task(project.project_id, {"object": "x"})
+        server.delete_task(task.task_id)
+        assert server.list_tasks(project.project_id) == []
+
+
+class TestWorkSimulation:
+    def test_pending_assignments_counts_missing_answers(self, server):
+        project = server.create_project("p")
+        server.create_task(project.project_id, {"object": "x", "_true_answer": "Yes"}, 3)
+        server.create_task(project.project_id, {"object": "y", "_true_answer": "No"}, 2)
+        assert server.pending_assignments(project.project_id) == 5
+
+    def test_simulate_work_fills_all_assignments(self, server):
+        project = server.create_project("p")
+        task = server.create_task(
+            project.project_id,
+            {"object": "x", "candidates": ["Yes", "No"], "_true_answer": "Yes"},
+            3,
+        )
+        created = server.simulate_work(project.project_id)
+        assert created == 3
+        assert server.is_task_complete(task.task_id)
+        assert server.pending_assignments(project.project_id) == 0
+
+    def test_simulate_work_is_idempotent_once_complete(self, server):
+        project = server.create_project("p")
+        server.create_task(project.project_id, {"object": "x", "_true_answer": "Yes"}, 3)
+        server.simulate_work(project.project_id)
+        assert server.simulate_work(project.project_id) == 0
+
+    def test_task_runs_have_distinct_workers(self, server):
+        project = server.create_project("p")
+        task = server.create_task(
+            project.project_id,
+            {"object": "x", "candidates": ["Yes", "No"], "_true_answer": "Yes"},
+            5,
+        )
+        server.simulate_work(project.project_id)
+        runs = server.get_task_runs(task.task_id)
+        assert len({run.worker_id for run in runs}) == 5
+
+    def test_redundancy_above_pool_size_reuses_workers(self):
+        pool = WorkerPool.uniform(size=2, accuracy=0.9, seed=1)
+        server = PlatformServer(worker_pool=pool, config=PlatformConfig(seed=1))
+        project = server.create_project("p")
+        task = server.create_task(project.project_id, {"object": "x", "_true_answer": "Yes"}, 4)
+        server.simulate_work(project.project_id)
+        assert len(server.get_task_runs(task.task_id)) == 4
+
+    def test_max_assignments_limits_progress(self, server):
+        project = server.create_project("p")
+        for index in range(4):
+            server.create_task(project.project_id, {"object": index, "_true_answer": "Yes"}, 3)
+        created = server.simulate_work(project.project_id, max_assignments=5)
+        assert created == 5
+        assert server.pending_assignments(project.project_id) == 7
+
+    def test_assignment_order_and_timestamps_increase(self, server):
+        project = server.create_project("p")
+        task = server.create_task(
+            project.project_id, {"object": "x", "_true_answer": "Yes"}, 3
+        )
+        server.simulate_work(project.project_id)
+        runs = server.get_task_runs(task.task_id)
+        assert [run.assignment_order for run in runs] == [1, 2, 3]
+        times = [run.submitted_at for run in runs]
+        assert times == sorted(times)
+        assert all(run.latency_seconds > 0 for run in runs)
+
+    def test_reliable_oracle_answers_match_truth(self):
+        pool = WorkerPool.uniform(size=5, accuracy=1.0, seed=1)
+        server = PlatformServer(worker_pool=pool, config=PlatformConfig(seed=1))
+        project = server.create_project("p")
+        task = server.create_task(
+            project.project_id,
+            {"object": "x", "candidates": ["Yes", "No"], "_true_answer": "No"},
+            3,
+        )
+        server.simulate_work(project.project_id)
+        assert all(run.answer == "No" for run in server.get_task_runs(task.task_id))
+
+    def test_custom_answer_oracle(self):
+        pool = WorkerPool.uniform(size=5, accuracy=1.0, seed=1)
+        server = PlatformServer(
+            worker_pool=pool,
+            config=PlatformConfig(seed=1),
+            answer_oracle=lambda info: "Cat" if "cat" in str(info["object"]) else "Dog",
+        )
+        project = server.create_project("p")
+        task = server.create_task(
+            project.project_id, {"object": "a cat picture", "candidates": ["Cat", "Dog"]}, 2
+        )
+        server.simulate_work()
+        assert {run.answer for run in server.get_task_runs(task.task_id)} == {"Cat"}
+
+    def test_statistics(self, server):
+        project = server.create_project("p")
+        server.create_task(project.project_id, {"object": "x", "_true_answer": "Yes"}, 3)
+        server.simulate_work()
+        stats = server.statistics()
+        assert stats["projects"] == 1
+        assert stats["tasks"] == 1
+        assert stats["task_runs"] == 3
+        assert stats["pending_assignments"] == 0

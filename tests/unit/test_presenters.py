@@ -1,0 +1,154 @@
+"""Unit tests for the task presenters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidAnswerError, PresenterError
+from repro.presenters import (
+    ImageComparisonPresenter,
+    ImageLabelPresenter,
+    RecordComparisonPresenter,
+    TextComparisonPresenter,
+    TextLabelPresenter,
+    registry,
+)
+from repro.presenters.base import BasePresenter, PresenterRegistry
+
+
+class TestImageLabelPresenter:
+    def test_render_includes_image_and_choices(self):
+        presenter = ImageLabelPresenter(question="Face?")
+        html = presenter.render("http://x/1.jpg")
+        assert 'src="http://x/1.jpg"' in html
+        assert "Face?" in html
+        assert 'value="Yes"' in html and 'value="No"' in html
+
+    def test_render_dict_object_with_caption(self):
+        html = ImageLabelPresenter().render({"url": "http://x/1.jpg", "caption": "A cat"})
+        assert "A cat" in html
+
+    def test_build_task_info(self):
+        info = ImageLabelPresenter(question="Q").build_task_info("http://x/1.jpg", true_answer="Yes")
+        assert info["task_type"] == "image_label"
+        assert info["object"] == "http://x/1.jpg"
+        assert info["candidates"] == ["Yes", "No"]
+        assert info["_true_answer"] == "Yes"
+
+    def test_build_task_info_without_truth(self):
+        info = ImageLabelPresenter().build_task_info("http://x/1.jpg")
+        assert "_true_answer" not in info
+
+
+class TestPairPresenters:
+    def test_image_cmp_accepts_tuple_and_dict(self):
+        presenter = ImageComparisonPresenter()
+        assert "left" in presenter.render(("http://a", "http://b"))
+        assert "right" in presenter.render({"left": "http://a", "right": "http://b"})
+
+    def test_image_cmp_rejects_non_pairs(self):
+        with pytest.raises(PresenterError):
+            ImageComparisonPresenter().render("just one url")
+
+    def test_text_cmp_renders_both_sides(self):
+        html = TextComparisonPresenter().render(("iphone 6", "apple iphone6"))
+        assert "iphone 6" in html and "apple iphone6" in html
+
+    def test_text_cmp_rejects_missing_keys(self):
+        with pytest.raises(PresenterError):
+            TextComparisonPresenter().render({"left": "only left"})
+
+    def test_record_cmp_renders_attribute_table(self):
+        html = RecordComparisonPresenter().render(
+            {"left": {"name": "a", "price": 1}, "right": {"name": "b"}}
+        )
+        assert "<table" in html
+        assert "price" in html
+
+    def test_record_cmp_rejects_non_mapping_sides(self):
+        with pytest.raises(PresenterError):
+            RecordComparisonPresenter().render(("not a dict", {"name": "b"}))
+
+
+class TestTextLabelPresenter:
+    def test_default_candidates(self):
+        assert TextLabelPresenter().candidates == ["Positive", "Neutral", "Negative"]
+
+    def test_custom_candidates(self):
+        presenter = TextLabelPresenter(candidates=["spam", "ham"])
+        assert presenter.candidates == ["spam", "ham"]
+
+
+class TestAnswerValidation:
+    def test_valid_answer_passes_through(self):
+        assert ImageLabelPresenter().validate_answer("Yes") == "Yes"
+
+    def test_case_insensitive_match_normalised(self):
+        assert ImageLabelPresenter().validate_answer("yes") == "Yes"
+
+    def test_invalid_answer_rejected(self):
+        with pytest.raises(InvalidAnswerError):
+            ImageLabelPresenter().validate_answer("Maybe")
+
+    def test_free_text_presenter_accepts_anything(self):
+        presenter = TextLabelPresenter(candidates=[])
+        assert presenter.validate_answer("anything at all") == "anything at all"
+
+
+class TestTemplateHtml:
+    def test_simple_presenter_embeds_placeholder(self):
+        assert "{{object}}" in ImageLabelPresenter().template_html()
+
+    def test_pair_presenter_falls_back_to_skeleton(self):
+        html = RecordComparisonPresenter().template_html()
+        assert "{{object}}" in html
+        assert "record_cmp" in html
+
+
+class TestRegistry:
+    def test_known_types_include_builtin_presenters(self):
+        for task_type in ("image_label", "image_cmp", "text_cmp", "text_label", "record_cmp"):
+            assert task_type in registry.known_types()
+
+    def test_build_from_description_roundtrip(self):
+        presenter = ImageLabelPresenter(question="Custom?", candidates=["A", "B"])
+        rebuilt = registry.build(presenter.describe())
+        assert isinstance(rebuilt, ImageLabelPresenter)
+        assert rebuilt.question == "Custom?"
+        assert rebuilt.candidates == ["A", "B"]
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(PresenterError):
+            registry.get("nonexistent_type")
+
+    def test_duplicate_registration_of_different_class_rejected(self):
+        local = PresenterRegistry()
+
+        @local.register
+        class One(BasePresenter):
+            task_type = "dup"
+
+            def render_object(self, obj):
+                return str(obj)
+
+        with pytest.raises(PresenterError):
+
+            @local.register
+            class Two(BasePresenter):
+                task_type = "dup"
+
+                def render_object(self, obj):
+                    return str(obj)
+
+    def test_re_registering_same_class_is_allowed(self):
+        local = PresenterRegistry()
+
+        class Solo(BasePresenter):
+            task_type = "solo"
+
+            def render_object(self, obj):
+                return str(obj)
+
+        local.register(Solo)
+        local.register(Solo)
+        assert local.get("solo") is Solo

@@ -1,0 +1,144 @@
+"""Unit tests for the EM-based aggregators (Dawid-Skene and one-parameter)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.quality import (
+    DawidSkeneAggregator,
+    OneParameterEMAggregator,
+    dawid_skene,
+    one_parameter_em,
+)
+
+
+def simulate_votes(
+    num_items: int,
+    workers: dict[str, float],
+    labels=("Yes", "No"),
+    redundancy: int | None = None,
+    seed: int = 1,
+):
+    """Build a vote table from workers with known accuracies.
+
+    Returns (votes, truth).  Every worker answers every item unless a
+    redundancy cap is given.
+    """
+    rng = random.Random(seed)
+    truth = {item: rng.choice(labels) for item in range(num_items)}
+    votes = {}
+    worker_ids = list(workers)
+    for item in range(num_items):
+        chosen = worker_ids if redundancy is None else rng.sample(worker_ids, redundancy)
+        item_votes = []
+        for worker_id in chosen:
+            accuracy = workers[worker_id]
+            if rng.random() < accuracy:
+                answer = truth[item]
+            else:
+                answer = rng.choice([label for label in labels if label != truth[item]])
+            item_votes.append((worker_id, answer))
+        votes[item] = item_votes
+    return votes, truth
+
+
+class TestDawidSkene:
+    def test_recovers_truth_with_good_workers(self):
+        workers = {f"w{i}": 0.9 for i in range(5)}
+        votes, truth = simulate_votes(60, workers, seed=3)
+        result = DawidSkeneAggregator().aggregate(votes)
+        assert result.accuracy_against(truth) >= 0.95
+
+    def test_beats_majority_vote_with_spammers(self):
+        # 3 spammers + 2 good workers: MV is dominated by noise, EM learns
+        # which workers to trust.
+        workers = {"g1": 0.95, "g2": 0.95, "s1": 0.5, "s2": 0.5, "s3": 0.5}
+        votes, truth = simulate_votes(150, workers, seed=5)
+        from repro.quality import MajorityVoteAggregator
+
+        em_accuracy = DawidSkeneAggregator().aggregate(votes).accuracy_against(truth)
+        mv_accuracy = MajorityVoteAggregator().aggregate(votes).accuracy_against(truth)
+        assert em_accuracy >= mv_accuracy
+
+    def test_worker_quality_orders_good_above_spammer(self):
+        workers = {"good": 0.95, "spam": 0.5, "ok": 0.8}
+        votes, _ = simulate_votes(200, workers, seed=7)
+        result = DawidSkeneAggregator().aggregate(votes)
+        assert result.worker_quality["good"] > result.worker_quality["spam"]
+
+    def test_confidences_are_probabilities(self):
+        workers = {f"w{i}": 0.8 for i in range(3)}
+        votes, _ = simulate_votes(20, workers, seed=9)
+        result = DawidSkeneAggregator().aggregate(votes)
+        assert all(0.0 <= c <= 1.0 for c in result.confidences.values())
+
+    def test_iteration_cap_respected(self):
+        workers = {f"w{i}": 0.7 for i in range(3)}
+        votes, _ = simulate_votes(30, workers, seed=11)
+        result = DawidSkeneAggregator(max_iterations=2).aggregate(votes)
+        assert result.iterations <= 2
+
+    def test_converges_before_cap_on_easy_problem(self):
+        workers = {f"w{i}": 0.99 for i in range(5)}
+        votes, _ = simulate_votes(40, workers, seed=13)
+        result = DawidSkeneAggregator(max_iterations=100).aggregate(votes)
+        assert result.iterations < 100
+
+    def test_multiclass_labels(self):
+        workers = {f"w{i}": 0.9 for i in range(5)}
+        votes, truth = simulate_votes(60, workers, labels=("A", "B", "C"), seed=15)
+        result = DawidSkeneAggregator().aggregate(votes)
+        assert result.accuracy_against(truth) >= 0.9
+
+    def test_partial_answer_matrix(self):
+        # Each item answered by only 3 of 7 workers.
+        workers = {f"w{i}": 0.85 for i in range(7)}
+        votes, truth = simulate_votes(80, workers, redundancy=3, seed=17)
+        result = DawidSkeneAggregator().aggregate(votes)
+        assert result.accuracy_against(truth) >= 0.8
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DawidSkeneAggregator(max_iterations=0)
+        with pytest.raises(ValueError):
+            DawidSkeneAggregator(tolerance=0)
+        with pytest.raises(ValueError):
+            DawidSkeneAggregator(smoothing=-1)
+
+    def test_convenience_function(self):
+        votes = {"x": [("w1", "Yes"), ("w2", "Yes"), ("w3", "No")]}
+        assert dawid_skene(votes)["x"] == "Yes"
+
+
+class TestOneParameterEM:
+    def test_recovers_truth_with_good_workers(self):
+        workers = {f"w{i}": 0.9 for i in range(5)}
+        votes, truth = simulate_votes(60, workers, seed=19)
+        result = OneParameterEMAggregator().aggregate(votes)
+        assert result.accuracy_against(truth) >= 0.95
+
+    def test_ability_estimates_separate_good_from_bad(self):
+        # A third worker is needed to break the two-worker symmetry in which
+        # "trust the bad worker" is an equally good explanation of the votes.
+        workers = {"good": 0.95, "bad": 0.55, "ok": 0.85}
+        votes, _ = simulate_votes(200, workers, seed=21)
+        result = OneParameterEMAggregator().aggregate(votes)
+        assert result.worker_quality["good"] > result.worker_quality["bad"]
+
+    def test_abilities_respect_floor(self):
+        workers = {"adversary": 0.05, "good": 0.95}
+        votes, _ = simulate_votes(100, workers, seed=23)
+        result = OneParameterEMAggregator(ability_floor=0.1).aggregate(votes)
+        assert all(0.1 <= quality <= 0.9 for quality in result.worker_quality.values())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            OneParameterEMAggregator(max_iterations=0)
+        with pytest.raises(ValueError):
+            OneParameterEMAggregator(ability_floor=0.6)
+
+    def test_convenience_function(self):
+        votes = {"x": [("w1", "Yes"), ("w2", "Yes"), ("w3", "No")]}
+        assert one_parameter_em(votes)["x"] == "Yes"

@@ -1,0 +1,178 @@
+"""Unit tests for gold-standard worker quality estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.quality import GoldStandard, WeightedVoteAggregator, inject_gold, majority_vote
+
+
+@pytest.fixture
+def votes():
+    """Two gold items (0, 1) and two real items (2, 3).
+
+    Worker ``spam`` answers gold questions wrong; workers ``good1``/``good2``
+    answer them right.
+    """
+    return {
+        0: [("good1", "Yes"), ("good2", "Yes"), ("spam", "No")],
+        1: [("good1", "No"), ("good2", "No"), ("spam", "Yes")],
+        2: [("good1", "Yes"), ("good2", "Yes"), ("spam", "No")],
+        3: [("good1", "No"), ("spam", "Yes"), ("spam2", "Yes")],
+    }
+
+
+GOLD = {0: "Yes", 1: "No"}
+
+
+class TestGoldEvaluation:
+    def test_accuracy_estimated_from_gold_only(self, votes):
+        report = GoldStandard(GOLD).evaluate(votes)
+        assert report.worker_accuracy["good1"] == 1.0
+        assert report.worker_accuracy["good2"] == 1.0
+        assert report.worker_accuracy["spam"] == 0.0
+        # spam2 never answered a gold question, so it has no estimate.
+        assert "spam2" not in report.worker_accuracy
+
+    def test_failed_workers_flagged(self, votes):
+        report = GoldStandard(GOLD, pass_threshold=0.6).evaluate(votes)
+        assert report.failed_workers == ["spam"]
+        assert report.passed_workers() == ["good1", "good2"]
+
+    def test_min_gold_answers_protects_underobserved_workers(self, votes):
+        report = GoldStandard(GOLD, pass_threshold=0.6, min_gold_answers=3).evaluate(votes)
+        # spam answered only 2 gold questions (< 3), so it is not flagged.
+        assert report.failed_workers == []
+
+    def test_gold_answer_counts(self, votes):
+        report = GoldStandard(GOLD).evaluate(votes)
+        assert report.gold_answers == {"good1": 2, "good2": 2, "spam": 2}
+
+    def test_empty_gold_rejected(self):
+        with pytest.raises(ValueError):
+            GoldStandard({})
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            GoldStandard(GOLD, pass_threshold=1.5)
+
+
+class TestGoldFiltering:
+    def test_failed_workers_votes_removed(self, votes):
+        gold = GoldStandard(GOLD)
+        filtered = gold.filter_votes(votes)
+        assert all(worker != "spam" for worker, _ in filtered[2])
+        # Majority vote over filtered answers now ignores the spammer.
+        assert majority_vote({2: filtered[2]})[2] == "Yes"
+
+    def test_items_answered_only_by_failed_workers_keep_answers(self):
+        votes = {
+            0: [("spam", "No")],
+            1: [("spam", "Yes")],
+            5: [("spam", "Yes")],
+        }
+        gold = GoldStandard({0: "Yes", 1: "No"})
+        filtered = gold.filter_votes(votes)
+        assert filtered[5] == [("spam", "Yes")]
+
+    def test_non_gold_items(self, votes):
+        gold = GoldStandard(GOLD)
+        non_gold = gold.non_gold_items(votes)
+        assert set(non_gold) == {2, 3}
+
+    def test_gold_accuracies_feed_weighted_vote(self, votes):
+        gold = GoldStandard(GOLD)
+        report = gold.evaluate(votes)
+        aggregator = WeightedVoteAggregator(worker_accuracy=report.worker_accuracy)
+        decisions = aggregator.aggregate(gold.non_gold_items(votes)).decisions
+        # good1 outweighs spam+spam2 on item 3 because their gold accuracy is 0 / unknown.
+        assert decisions[2] == "Yes"
+
+
+class TestInjectGold:
+    def test_interleaves_at_cadence(self):
+        objects = [f"real{i}" for i in range(10)]
+        gold_objects = {"gold_a": "Yes", "gold_b": "No"}
+        combined, positions = inject_gold(objects, gold_objects, every=5)
+        assert len(combined) == 12
+        assert set(positions.values()) == {"Yes", "No"}
+        for index, answer in positions.items():
+            assert combined[index] in gold_objects
+            assert gold_objects[combined[index]] == answer
+
+    def test_leftover_gold_appended(self):
+        combined, positions = inject_gold(["a", "b"], {"g1": "Yes", "g2": "No"}, every=5)
+        assert len(combined) == 4
+        assert len(positions) == 2
+
+    def test_real_object_order_preserved(self):
+        objects = [f"real{i}" for i in range(7)]
+        combined, positions = inject_gold(objects, {"g": "Yes"}, every=3)
+        reals = [obj for index, obj in enumerate(combined) if index not in positions]
+        assert reals == objects
+
+    def test_invalid_cadence(self):
+        with pytest.raises(ValueError):
+            inject_gold(["a"], {"g": "Yes"}, every=0)
+
+
+class TestGoldEndToEnd:
+    def test_gold_filtering_improves_mv_with_spammer_heavy_pool(self):
+        """End-to-end: inject gold, estimate workers, filter, aggregate."""
+        from repro import CrowdContext
+        from repro.config import ReprowdConfig, StorageConfig, WorkerPoolConfig
+        from repro.datasets import make_image_label_dataset
+        from repro.presenters import ImageLabelPresenter
+        from repro.quality import MajorityVoteAggregator
+
+        dataset = make_image_label_dataset(num_images=40, seed=23)
+        gold_dataset = make_image_label_dataset(num_images=8, seed=99)
+        combined, gold_positions = inject_gold(
+            dataset.images, {url: gold_dataset.labels[url] for url in gold_dataset.images}, every=5
+        )
+
+        def truth(obj):
+            return dataset.ground_truth(obj) or gold_dataset.ground_truth(obj)
+
+        config = ReprowdConfig(
+            storage=StorageConfig(engine="memory"),
+            workers=WorkerPoolConfig(
+                size=20, mean_accuracy=0.85, spammer_fraction=0.5, seed=23
+            ),
+        )
+        cc = CrowdContext(config=config, ground_truth=truth)
+        data = (
+            cc.CrowdData(combined, "gold_e2e")
+            .set_presenter(ImageLabelPresenter())
+            .publish_task(n_assignments=5)
+            .get_result()
+        )
+        votes = {
+            index: [(a["worker_id"], a["answer"]) for a in row["assignments"]]
+            for index, row in enumerate(data.column("result"))
+        }
+        objects = data.column("object")
+        real_truth = {
+            index: dataset.labels[obj]
+            for index, obj in enumerate(objects)
+            if obj in dataset.labels
+        }
+
+        plain = MajorityVoteAggregator().aggregate(votes)
+        gold = GoldStandard(gold_positions, pass_threshold=0.6)
+        report = gold.evaluate(votes)
+        filtered = gold.filter_votes(votes, report)
+        cleaned = MajorityVoteAggregator().aggregate(filtered)
+
+        # The pool is half spammers (ids w0000..w0009 by construction).  With
+        # only ~2 gold answers per worker the estimate is noisy, so we check
+        # that the flagged set is dominated by true spammers and that
+        # filtering does not hurt accuracy materially (it usually helps).
+        assert report.failed_workers
+        true_spammers = {f"w{i:04d}" for i in range(10)}
+        flagged_correctly = len(set(report.failed_workers) & true_spammers)
+        assert flagged_correctly / len(report.failed_workers) >= 0.6
+        plain_accuracy = plain.accuracy_against(real_truth)
+        cleaned_accuracy = cleaned.accuracy_against(real_truth)
+        assert cleaned_accuracy >= plain_accuracy - 0.05
+        cc.close()

@@ -1,0 +1,95 @@
+"""Unit tests for spammer detection and confidence measures."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import InsufficientAnswersError
+from repro.quality import answer_entropy, detect_spammers, spammer_score, vote_confidence
+from repro.quality.confidence import wilson_lower_bound
+
+
+class TestSpammerScore:
+    def test_perfect_worker_scores_one(self):
+        assert spammer_score(1.0, 2) == 1.0
+
+    def test_chance_level_scores_zero(self):
+        assert spammer_score(0.5, 2) == 0.0
+        assert spammer_score(0.25, 4) == 0.0
+
+    def test_below_chance_scores_zero(self):
+        assert spammer_score(0.3, 2) == 0.0
+
+    def test_midway_score(self):
+        assert spammer_score(0.75, 2) == pytest.approx(0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            spammer_score(1.5, 2)
+        with pytest.raises(ValueError):
+            spammer_score(0.5, 0)
+
+
+class TestDetectSpammers:
+    def test_flags_low_quality_workers(self):
+        quality = {"good": 0.95, "spam": 0.52, "ok": 0.8}
+        assert detect_spammers(quality, num_labels=2, threshold=0.3) == ["spam"]
+
+    def test_threshold_zero_flags_nothing_above_chance(self):
+        quality = {"good": 0.9, "spam": 0.55}
+        assert detect_spammers(quality, num_labels=2, threshold=0.0) == []
+
+    def test_result_is_sorted(self):
+        quality = {"z": 0.5, "a": 0.5}
+        assert detect_spammers(quality, num_labels=2) == ["a", "z"]
+
+
+class TestVoteConfidence:
+    def test_majority_share(self):
+        assert vote_confidence(["Yes", "Yes", "No"]) == pytest.approx(2 / 3)
+
+    def test_unanimous(self):
+        assert vote_confidence(["A", "A"]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(InsufficientAnswersError):
+            vote_confidence([])
+
+
+class TestAnswerEntropy:
+    def test_unanimous_is_zero(self):
+        assert answer_entropy(["Yes", "Yes", "Yes"]) == 0.0
+
+    def test_fifty_fifty_is_one_bit(self):
+        assert answer_entropy(["Yes", "No"]) == pytest.approx(1.0)
+
+    def test_uniform_four_way_is_two_bits(self):
+        assert answer_entropy(["a", "b", "c", "d"]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InsufficientAnswersError):
+            answer_entropy([])
+
+
+class TestWilsonLowerBound:
+    def test_bounded_below_point_estimate(self):
+        assert wilson_lower_bound(8, 10) < 0.8
+
+    def test_more_data_tightens_bound(self):
+        assert wilson_lower_bound(80, 100) > wilson_lower_bound(8, 10)
+
+    def test_zero_successes(self):
+        assert wilson_lower_bound(0, 10) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InsufficientAnswersError):
+            wilson_lower_bound(1, 0)
+        with pytest.raises(ValueError):
+            wilson_lower_bound(11, 10)
+
+    def test_monotone_in_successes(self):
+        bounds = [wilson_lower_bound(successes, 20) for successes in range(21)]
+        assert bounds == sorted(bounds)
+        assert not math.isnan(bounds[-1])

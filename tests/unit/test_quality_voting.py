@@ -1,0 +1,130 @@
+"""Unit tests for majority vote, weighted vote, and the aggregator registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InsufficientAnswersError, QualityControlError
+from repro.quality import (
+    MajorityVoteAggregator,
+    WeightedVoteAggregator,
+    get_aggregator,
+    majority_vote,
+    weighted_vote,
+)
+from repro.quality.aggregation import known_aggregators
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        votes = {"img1": [("w1", "Yes"), ("w2", "Yes"), ("w3", "No")]}
+        assert majority_vote(votes) == {"img1": "Yes"}
+
+    def test_confidence_is_vote_share(self):
+        votes = {"img1": [("w1", "Yes"), ("w2", "Yes"), ("w3", "No")]}
+        result = MajorityVoteAggregator().aggregate(votes)
+        assert result.confidences["img1"] == pytest.approx(2 / 3)
+
+    def test_unanimous(self):
+        votes = {"x": [("w1", "A"), ("w2", "A")]}
+        result = MajorityVoteAggregator().aggregate(votes)
+        assert result.decisions["x"] == "A"
+        assert result.confidences["x"] == 1.0
+
+    def test_lexicographic_tie_break_is_deterministic(self):
+        votes = {"x": [("w1", "B"), ("w2", "A")]}
+        assert majority_vote(votes)["x"] == "A"
+
+    def test_first_tie_break_uses_submission_order(self):
+        votes = {"x": [("w1", "B"), ("w2", "A")]}
+        assert majority_vote(votes, tie_break="first")["x"] == "B"
+
+    def test_invalid_tie_break(self):
+        with pytest.raises(ValueError):
+            MajorityVoteAggregator(tie_break="coin_flip")
+
+    def test_multiple_items(self):
+        votes = {
+            1: [("w1", "Yes"), ("w2", "No"), ("w3", "No")],
+            2: [("w1", "Yes"), ("w2", "Yes"), ("w3", "Yes")],
+        }
+        decisions = majority_vote(votes)
+        assert decisions == {1: "No", 2: "Yes"}
+
+    def test_empty_problem_rejected(self):
+        with pytest.raises(InsufficientAnswersError):
+            MajorityVoteAggregator().aggregate({})
+
+    def test_item_with_no_answers_rejected(self):
+        with pytest.raises(InsufficientAnswersError):
+            MajorityVoteAggregator().aggregate({"x": []})
+
+    def test_accuracy_against(self):
+        votes = {
+            1: [("w1", "Yes"), ("w2", "Yes")],
+            2: [("w1", "No"), ("w2", "No")],
+        }
+        result = MajorityVoteAggregator().aggregate(votes)
+        assert result.accuracy_against({1: "Yes", 2: "Yes"}) == 0.5
+
+    def test_accuracy_against_no_overlap_raises(self):
+        result = MajorityVoteAggregator().aggregate({1: [("w", "Yes")]})
+        with pytest.raises(QualityControlError):
+            result.accuracy_against({99: "Yes"})
+
+    def test_decision_accessor(self):
+        result = MajorityVoteAggregator().aggregate({1: [("w", "Yes")]})
+        assert result.decision(1) == "Yes"
+        with pytest.raises(QualityControlError):
+            result.decision(2)
+
+
+class TestWeightedVote:
+    def test_reliable_workers_outvote_unreliable_majority(self):
+        # Two unreliable workers say No, one highly reliable worker says Yes.
+        votes = {"x": [("good", "Yes"), ("bad1", "No"), ("bad2", "No")]}
+        accuracy = {"good": 0.99, "bad1": 0.55, "bad2": 0.55}
+        assert weighted_vote(votes, worker_accuracy=accuracy)["x"] == "Yes"
+
+    def test_equal_weights_reduce_to_majority(self):
+        votes = {"x": [("w1", "Yes"), ("w2", "Yes"), ("w3", "No")]}
+        assert weighted_vote(votes)["x"] == "Yes"
+
+    def test_unknown_workers_use_default_accuracy(self):
+        votes = {"x": [("unknown1", "A"), ("unknown2", "B"), ("unknown3", "B")]}
+        assert weighted_vote(votes, worker_accuracy={})["x"] == "B"
+
+    def test_confidence_between_zero_and_one(self):
+        votes = {"x": [("w1", "Yes"), ("w2", "No")]}
+        result = WeightedVoteAggregator().aggregate(votes)
+        assert 0.0 <= result.confidences["x"] <= 1.0
+
+    def test_worker_quality_reported(self):
+        votes = {"x": [("w1", "Yes")]}
+        result = WeightedVoteAggregator(worker_accuracy={"w1": 0.8}).aggregate(votes)
+        assert result.worker_quality == {"w1": 0.8}
+
+    def test_invalid_default_accuracy(self):
+        with pytest.raises(ValueError):
+            WeightedVoteAggregator(default_accuracy=1.0)
+
+    def test_extreme_accuracies_do_not_blow_up(self):
+        votes = {"x": [("perfect", "Yes"), ("terrible", "No")]}
+        accuracy = {"perfect": 1.0, "terrible": 0.0}
+        assert weighted_vote(votes, worker_accuracy=accuracy)["x"] == "Yes"
+
+
+class TestRegistry:
+    def test_known_aggregators(self):
+        names = known_aggregators()
+        for name in ("mv", "wmv", "em", "glad"):
+            assert name in names
+
+    def test_get_aggregator_with_kwargs(self):
+        aggregator = get_aggregator("mv", tie_break="first")
+        assert isinstance(aggregator, MajorityVoteAggregator)
+        assert aggregator.tie_break == "first"
+
+    def test_unknown_aggregator(self):
+        with pytest.raises(QualityControlError):
+            get_aggregator("blockchain")

@@ -1,0 +1,150 @@
+"""Unit tests for metrics, crash injection and the sweep runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CrashInjected
+from repro.simulation import (
+    CrashPlan,
+    CrashingEngine,
+    ExperimentRunner,
+    accuracy,
+    f1_score,
+    pair_metrics,
+    precision,
+    recall,
+    run_with_crashes,
+)
+from repro.storage import MemoryEngine
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy({1: "a", 2: "b"}, {1: "a", 2: "c"}) == 0.5
+
+    def test_accuracy_ignores_missing_items(self):
+        assert accuracy({1: "a", 99: "x"}, {1: "a", 2: "b"}) == 1.0
+
+    def test_accuracy_requires_overlap(self):
+        with pytest.raises(ValueError):
+            accuracy({1: "a"}, {2: "b"})
+
+    def test_precision_recall_perfect(self):
+        predicted = {(1, 2), (3, 4)}
+        assert precision(predicted, predicted) == 1.0
+        assert recall(predicted, predicted) == 1.0
+        assert f1_score(predicted, predicted) == 1.0
+
+    def test_pair_order_is_normalised(self):
+        assert precision({(2, 1)}, {(1, 2)}) == 1.0
+
+    def test_empty_prediction_conventions(self):
+        assert precision(set(), {(1, 2)}) == 1.0
+        assert recall(set(), {(1, 2)}) == 0.0
+        assert recall({(1, 2)}, set()) == 1.0
+
+    def test_f1_zero_when_disjoint(self):
+        assert f1_score({(1, 2)}, {(3, 4)}) == 0.0
+
+    def test_pair_metrics_bundle(self):
+        metrics = pair_metrics({(1, 2), (5, 6)}, {(1, 2), (3, 4)})
+        assert metrics["precision"] == 0.5
+        assert metrics["recall"] == 0.5
+        assert metrics["f1"] == 0.5
+
+
+class TestCrashInjection:
+    def test_plan_fires_once_at_threshold(self):
+        plan = CrashPlan(crash_after_writes=3)
+        plan.note_write()
+        plan.note_write()
+        with pytest.raises(CrashInjected):
+            plan.note_write()
+        # Once fired, further writes do not raise again.
+        plan.note_write()
+        assert plan.fired
+
+    def test_disabled_plan_never_fires(self):
+        plan = CrashPlan(crash_after_writes=None)
+        for _ in range(100):
+            plan.note_write()
+        assert not plan.fired
+
+    def test_crashing_engine_counts_only_writes(self):
+        engine = CrashingEngine(MemoryEngine(), CrashPlan(crash_after_writes=2))
+        engine.create_table("t")
+        engine.put("t", "a", 1)
+        engine.get("t", "a")
+        engine.contains("t", "a")
+        with pytest.raises(CrashInjected):
+            engine.put("t", "b", 2)
+        # The write that triggered the crash is still durable underneath.
+        assert engine.inner.get("t", "b") == 2
+
+    def test_delete_counts_as_write_only_when_something_deleted(self):
+        engine = CrashingEngine(MemoryEngine(), CrashPlan(crash_after_writes=2))
+        engine.create_table("t")
+        engine.put("t", "a", 1)
+        engine.delete("t", "missing")  # no-op, not counted
+        with pytest.raises(CrashInjected):
+            engine.delete("t", "a")
+
+    def test_run_with_crashes_reaches_completion(self):
+        durable = MemoryEngine()
+
+        def experiment(engine):
+            engine.create_table("t")
+            for index in range(10):
+                if not engine.contains("t", f"k{index}"):
+                    engine.put("t", f"k{index}", index)
+            return engine.count("t")
+
+        report = run_with_crashes(experiment, durable, crash_points=[2, 5, 8])
+        # The experiment is idempotent, so each retry has less left to write;
+        # the third crash point (8 writes) is never reached because only 3
+        # writes remain by then — which is exactly the recovery behaviour the
+        # harness is meant to surface.
+        assert report.crashes == 2
+        assert report.attempts == 4
+        assert report.completed_result == 10
+
+    def test_run_with_crashes_without_crash_points(self):
+        durable = MemoryEngine()
+
+        def experiment(engine):
+            engine.create_table("t")
+            engine.put("t", "x", 1)
+            return "done"
+
+        report = run_with_crashes(experiment, durable, crash_points=[])
+        assert report.crashes == 0
+        assert report.completed_result == "done"
+
+
+class TestExperimentRunner:
+    def test_grid_is_cartesian_product_with_seeds(self):
+        runner = ExperimentRunner("sweep", base_seed=100)
+        points = runner.grid(a=[1, 2], b=["x", "y", "z"])
+        assert len(points) == 6
+        assert points[0]["seed"] == 100
+        assert points[-1]["seed"] == 105
+        assert {point["a"] for point in points} == {1, 2}
+
+    def test_run_collects_rows_in_order(self):
+        runner = ExperimentRunner("sweep")
+        result = runner.sweep(lambda point: {"double": point["a"] * 2}, a=[1, 2, 3])
+        assert result.column("double") == [2, 4, 6]
+
+    def test_table_rendering(self):
+        runner = ExperimentRunner("my sweep")
+        result = runner.sweep(lambda point: {"value": point["a"] / 3}, a=[1, 2])
+        table = result.to_table(columns=["a", "value"])
+        assert "my sweep" in table
+        assert "0.333" in table
+        assert table.count("\n") >= 3
+
+    def test_empty_result_table(self):
+        from repro.simulation.experiment import SweepResult
+
+        assert "(no rows)" in SweepResult(name="empty").to_table()

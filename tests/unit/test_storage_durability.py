@@ -1,0 +1,149 @@
+"""Durability and recovery tests for the persistent storage engines."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import CorruptLogError
+from repro.storage import LogStructuredEngine, SqliteEngine
+
+
+class TestSqliteDurability:
+    def test_data_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "d.db")
+        engine = SqliteEngine(path)
+        engine.create_table("t")
+        engine.put("t", "k", {"v": 1})
+        engine.close()
+
+        reopened = SqliteEngine(path)
+        assert reopened.get("t", "k") == {"v": 1}
+        assert reopened.list_tables() == ["t"]
+        reopened.close()
+
+    def test_two_logical_tables_share_one_file(self, tmp_path):
+        path = str(tmp_path / "shared.db")
+        engine = SqliteEngine(path)
+        engine.create_table("alpha")
+        engine.create_table("beta")
+        engine.put("alpha", "k", "a")
+        engine.put("beta", "k", "b")
+        assert engine.get("alpha", "k") == "a"
+        assert engine.get("beta", "k") == "b"
+        engine.close()
+
+    def test_versions_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "v.db")
+        engine = SqliteEngine(path)
+        engine.create_table("t")
+        engine.put("t", "k", 1)
+        engine.put("t", "k", 2)
+        engine.close()
+        reopened = SqliteEngine(path)
+        assert reopened.get_record("t", "k").version == 2
+        reopened.close()
+
+    def test_memory_path_supported(self):
+        engine = SqliteEngine(":memory:")
+        engine.create_table("t")
+        engine.put("t", "k", 1)
+        assert engine.get("t", "k") == 1
+        engine.close()
+
+
+class TestLogEngineRecovery:
+    def test_data_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "log_db")
+        engine = LogStructuredEngine(path, snapshot_every=1000)
+        engine.create_table("t")
+        for index in range(20):
+            engine.put("t", f"k{index}", index)
+        engine.close()
+
+        reopened = LogStructuredEngine(path, snapshot_every=1000)
+        assert reopened.count("t") == 20
+        assert reopened.get("t", "k7") == 7
+        reopened.close()
+
+    def test_recovery_without_snapshot(self, tmp_path):
+        """Simulate a crash before close(): only the log exists."""
+        path = str(tmp_path / "crashy")
+        engine = LogStructuredEngine(path, snapshot_every=10_000)
+        engine.create_table("t")
+        engine.put("t", "a", 1)
+        engine.put("t", "b", 2)
+        engine.flush()
+        # Abandon without close() — no snapshot is written.
+        reopened = LogStructuredEngine(path, snapshot_every=10_000)
+        assert reopened.get("t", "a") == 1
+        assert reopened.get("t", "b") == 2
+        assert reopened.recovered_operations >= 3
+        reopened.close()
+
+    def test_snapshot_bounds_replay(self, tmp_path):
+        path = str(tmp_path / "snap")
+        engine = LogStructuredEngine(path, snapshot_every=5)
+        engine.create_table("t")
+        for index in range(23):
+            engine.put("t", f"k{index}", index)
+        engine.close()
+        reopened = LogStructuredEngine(path, snapshot_every=5)
+        assert reopened.count("t") == 23
+        # Everything up to the final snapshot is loaded from it, so replay is short.
+        assert reopened.recovered_operations <= 5
+        reopened.close()
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "torn")
+        engine = LogStructuredEngine(path, snapshot_every=10_000)
+        engine.create_table("t")
+        engine.put("t", "a", 1)
+        engine.flush()
+        with open(engine.log_path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "put", "table": "t", "key": "b"')  # torn write
+        reopened = LogStructuredEngine(path, snapshot_every=10_000)
+        assert reopened.get("t", "a") == 1
+        assert reopened.get("t", "b") is None
+        reopened.close()
+
+    def test_corruption_in_the_middle_raises(self, tmp_path):
+        path = str(tmp_path / "corrupt")
+        engine = LogStructuredEngine(path, snapshot_every=10_000)
+        engine.create_table("t")
+        engine.put("t", "a", 1)
+        engine.close()
+        with open(engine.log_path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        lines[0] = "NOT JSON AT ALL\n"
+        with open(engine.log_path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        with pytest.raises(CorruptLogError):
+            LogStructuredEngine(path, snapshot_every=10_000)
+
+    def test_unknown_operation_raises(self, tmp_path):
+        path = str(tmp_path / "unknown_op")
+        engine = LogStructuredEngine(path, snapshot_every=10_000)
+        engine.create_table("t")
+        engine.close()
+        with open(engine.log_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"op": "explode", "table": "t", "seq": 99}) + "\n")
+            handle.write(json.dumps({"op": "create_table", "table": "x", "seq": 100}) + "\n")
+        with pytest.raises(CorruptLogError):
+            LogStructuredEngine(path, snapshot_every=10_000)
+
+    def test_delete_survives_recovery(self, tmp_path):
+        path = str(tmp_path / "del")
+        engine = LogStructuredEngine(path, snapshot_every=10_000)
+        engine.create_table("t")
+        engine.put("t", "a", 1)
+        engine.delete("t", "a")
+        engine.flush()
+        reopened = LogStructuredEngine(path, snapshot_every=10_000)
+        assert reopened.get("t", "a") is None
+        reopened.close()
+
+    def test_invalid_snapshot_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            LogStructuredEngine(str(tmp_path / "bad"), snapshot_every=0)

@@ -1,0 +1,150 @@
+"""Unit tests exercising every storage engine through the common interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import StorageConfig
+from repro.exceptions import (
+    ConfigurationError,
+    DuplicateKeyError,
+    StorageError,
+    TableNotFoundError,
+)
+from repro.storage import LogStructuredEngine, MemoryEngine, SqliteEngine, open_engine
+
+
+class TestTableManagement:
+    def test_create_and_list(self, any_engine):
+        any_engine.create_table("t1")
+        any_engine.create_table("t2")
+        assert any_engine.list_tables() == ["t1", "t2"]
+
+    def test_create_is_idempotent(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.create_table("t")
+        assert any_engine.list_tables() == ["t"]
+
+    def test_has_table(self, any_engine):
+        assert not any_engine.has_table("t")
+        any_engine.create_table("t")
+        assert any_engine.has_table("t")
+
+    def test_drop_table(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put("t", "k", 1)
+        any_engine.drop_table("t")
+        assert not any_engine.has_table("t")
+
+    def test_drop_missing_table_is_noop(self, any_engine):
+        any_engine.drop_table("nope")
+
+    def test_operations_on_missing_table_raise(self, any_engine):
+        with pytest.raises(TableNotFoundError):
+            any_engine.put("missing", "k", 1)
+        with pytest.raises(TableNotFoundError):
+            any_engine.get("missing", "k")
+        with pytest.raises(TableNotFoundError):
+            list(any_engine.scan("missing"))
+
+
+class TestRecordAccess:
+    def test_put_and_get(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put("t", "k", {"a": 1})
+        assert any_engine.get("t", "k") == {"a": 1}
+
+    def test_get_default(self, any_engine):
+        any_engine.create_table("t")
+        assert any_engine.get("t", "missing", default="fallback") == "fallback"
+
+    def test_put_overwrites_and_bumps_version(self, any_engine):
+        any_engine.create_table("t")
+        first = any_engine.put("t", "k", 1)
+        second = any_engine.put("t", "k", 2)
+        assert first.version == 1
+        assert second.version == 2
+        assert any_engine.get("t", "k") == 2
+
+    def test_put_new_rejects_duplicates(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put_new("t", "k", 1)
+        with pytest.raises(DuplicateKeyError):
+            any_engine.put_new("t", "k", 2)
+
+    def test_delete(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put("t", "k", 1)
+        assert any_engine.delete("t", "k") is True
+        assert any_engine.delete("t", "k") is False
+        assert any_engine.get("t", "k") is None
+
+    def test_contains(self, any_engine):
+        any_engine.create_table("t")
+        assert not any_engine.contains("t", "k")
+        any_engine.put("t", "k", 1)
+        assert any_engine.contains("t", "k")
+
+    def test_scan_preserves_insertion_order(self, any_engine):
+        any_engine.create_table("t")
+        for index in range(10):
+            any_engine.put("t", f"k{index}", index)
+        keys = [record.key for record in any_engine.scan("t")]
+        assert keys == [f"k{index}" for index in range(10)]
+
+    def test_count(self, any_engine):
+        any_engine.create_table("t")
+        assert any_engine.count("t") == 0
+        any_engine.put("t", "a", 1)
+        any_engine.put("t", "b", 2)
+        assert any_engine.count("t") == 2
+
+    def test_keys_values_items(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put("t", "a", 1)
+        any_engine.put("t", "b", 2)
+        assert any_engine.keys("t") == ["a", "b"]
+        assert any_engine.values("t") == [1, 2]
+        assert any_engine.items("t") == [("a", 1), ("b", 2)]
+
+    def test_non_json_value_rejected(self, any_engine):
+        any_engine.create_table("t")
+        with pytest.raises(StorageError):
+            any_engine.put("t", "k", object())
+
+    def test_complex_nested_values_roundtrip(self, any_engine):
+        any_engine.create_table("t")
+        value = {"list": [1, "two", None], "nested": {"x": [True, False]}}
+        any_engine.put("t", "k", value)
+        assert any_engine.get("t", "k") == value
+
+    def test_describe(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put("t", "k", 1)
+        description = any_engine.describe()
+        assert description["tables"] == {"t": 1}
+
+
+class TestOpenEngine:
+    def test_open_memory(self):
+        engine = open_engine(StorageConfig(engine="memory"))
+        assert isinstance(engine, MemoryEngine)
+
+    def test_open_sqlite(self, tmp_path):
+        engine = open_engine(StorageConfig(engine="sqlite", path=str(tmp_path / "x.db")))
+        assert isinstance(engine, SqliteEngine)
+        engine.close()
+
+    def test_open_log(self, tmp_path):
+        engine = open_engine(StorageConfig(engine="log", path=str(tmp_path / "x")))
+        assert isinstance(engine, LogStructuredEngine)
+        engine.close()
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(ConfigurationError):
+            open_engine(StorageConfig(engine="postgres"))
+
+    def test_context_manager_closes(self, tmp_path):
+        with open_engine(StorageConfig(engine="sqlite", path=str(tmp_path / "cm.db"))) as engine:
+            engine.create_table("t")
+            engine.put("t", "k", 1)

@@ -1,0 +1,65 @@
+"""Unit tests for repro.storage.schema and repro.storage.records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CrowdDataError, StorageError
+from repro.storage.records import Record, RecordCodec
+from repro.storage.schema import ColumnSpec, TableSchema
+
+
+class TestRecord:
+    def test_bump_increments_version(self):
+        record = Record(key="k", value=1)
+        bumped = record.bump(2)
+        assert bumped.version == 2
+        assert bumped.value == 2
+        assert record.version == 1  # original unchanged
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        value = {"a": [1, 2, {"b": None}]}
+        assert RecordCodec.decode(RecordCodec.encode(value)) == value
+
+    def test_encode_rejects_non_json(self):
+        with pytest.raises(StorageError):
+            RecordCodec.encode(object())
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(StorageError):
+            RecordCodec.decode("{not json")
+
+
+class TestTableSchema:
+    def test_standard_schema_columns(self):
+        schema = TableSchema.standard("imgs")
+        assert schema.column_names() == ["id", "object", "task", "result"]
+
+    def test_standard_persists_task_and_result_only(self):
+        schema = TableSchema.standard("imgs")
+        assert schema.persistent_columns() == ["task", "result"]
+
+    def test_standard_with_derived(self):
+        schema = TableSchema.standard("imgs", derived=["mv"])
+        assert schema.has_column("mv")
+        assert not schema.column("mv").persistent
+
+    def test_add_duplicate_column_rejected(self):
+        schema = TableSchema.standard("imgs")
+        with pytest.raises(CrowdDataError):
+            schema.add_column(ColumnSpec("task"))
+
+    def test_missing_column_lookup_raises(self):
+        schema = TableSchema.standard("imgs")
+        with pytest.raises(CrowdDataError):
+            schema.column("nope")
+
+    def test_describe_is_json_friendly(self):
+        description = TableSchema.standard("imgs").describe()
+        assert description[0] == {
+            "name": "id",
+            "persistent": False,
+            "description": "row identifier",
+        }

@@ -1,0 +1,35 @@
+"""Unit tests for repro.utils.hashing."""
+
+from __future__ import annotations
+
+from repro.utils.hashing import stable_hash, stable_json
+
+
+class TestStableJson:
+    def test_sorts_dict_keys(self):
+        assert stable_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_handles_nested_structures(self):
+        assert stable_json({"a": [1, {"b": 2}]}) == '{"a":[1,{"b":2}]}'
+
+    def test_non_json_values_fall_back_to_repr(self):
+        encoded = stable_json({"a": {1, 2}})
+        assert "a" in encoded  # did not raise
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash({"x": 1}) == stable_hash({"x": 1})
+
+    def test_key_order_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_different_values_differ(self):
+        assert stable_hash({"x": 1}) != stable_hash({"x": 2})
+
+    def test_length_parameter(self):
+        assert len(stable_hash("value", length=8)) == 8
+        assert len(stable_hash("value", length=40)) == 40
+
+    def test_strings_and_numbers_distinguished(self):
+        assert stable_hash("1") != stable_hash(1)

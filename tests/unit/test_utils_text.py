@@ -1,0 +1,150 @@
+"""Unit tests for repro.utils.text."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.text import (
+    cosine_similarity,
+    edit_distance,
+    edit_similarity,
+    jaccard_similarity,
+    ngrams,
+    normalize_text,
+    overlap_coefficient,
+    record_text,
+    token_vector,
+    tokenize,
+)
+
+
+class TestNormalizeText:
+    def test_lowercases(self):
+        assert normalize_text("HELLO World") == "hello world"
+
+    def test_collapses_whitespace(self):
+        assert normalize_text("  a   b\t c  ") == "a b c"
+
+    def test_empty_string(self):
+        assert normalize_text("") == ""
+
+
+class TestTokenize:
+    def test_splits_on_punctuation(self):
+        assert tokenize("Apple iPhone-6, 16GB!") == ["apple", "iphone", "6", "16gb"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_numbers_kept(self):
+        assert tokenize("model 1234") == ["model", "1234"]
+
+
+class TestNgrams:
+    def test_basic_trigram(self):
+        assert ngrams("abcd", 3) == ["abc", "bcd"]
+
+    def test_short_string_returns_whole(self):
+        assert ngrams("ab", 3) == ["ab"]
+
+    def test_empty_string(self):
+        assert ngrams("", 3) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams("abc", 0)
+
+    def test_normalises_before_gramming(self):
+        assert ngrams("A  B", 3) == ["a b"]
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity("apple pie", "apple pie") == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity("apple", "banana") == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard_similarity("a b c", "b c d") == pytest.approx(2 / 4)
+
+    def test_both_empty(self):
+        assert jaccard_similarity("", "") == 1.0
+
+    def test_one_empty(self):
+        assert jaccard_similarity("apple", "") == 0.0
+
+    def test_symmetry(self):
+        assert jaccard_similarity("a b c", "c d") == jaccard_similarity("c d", "a b c")
+
+    def test_accepts_token_iterables(self):
+        assert jaccard_similarity(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+
+
+class TestOverlapCoefficient:
+    def test_subset_is_one(self):
+        assert overlap_coefficient("a b", "a b c d") == 1.0
+
+    def test_disjoint(self):
+        assert overlap_coefficient("a", "b") == 0.0
+
+    def test_both_empty(self):
+        assert overlap_coefficient("", "") == 1.0
+
+
+class TestCosine:
+    def test_identical(self):
+        assert cosine_similarity("a b c", "a b c") == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert cosine_similarity("a", "b") == 0.0
+
+    def test_accepts_counters(self):
+        assert cosine_similarity(token_vector("a a b"), token_vector("a b")) > 0.9
+
+    def test_both_empty(self):
+        assert cosine_similarity("", "") == 1.0
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert edit_distance("kitten", "kitten") == 0
+
+    def test_classic_example(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+    def test_empty_vs_word(self):
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "") == 3
+
+    def test_symmetry(self):
+        assert edit_distance("abcdef", "azced") == edit_distance("azced", "abcdef")
+
+    def test_single_substitution(self):
+        assert edit_distance("cat", "car") == 1
+
+
+class TestEditSimilarity:
+    def test_identical(self):
+        assert edit_similarity("same", "same") == 1.0
+
+    def test_both_empty(self):
+        assert edit_similarity("", "") == 1.0
+
+    def test_bounded(self):
+        assert 0.0 <= edit_similarity("abc", "xyz") <= 1.0
+
+    def test_one_char_off(self):
+        assert edit_similarity("cat", "car") == pytest.approx(2 / 3)
+
+
+class TestRecordText:
+    def test_dict_record_sorted_keys(self):
+        assert record_text({"b": "world", "a": "Hello"}) == "hello world"
+
+    def test_dict_record_selected_fields(self):
+        record = {"name": "Apple", "price": 10, "id": 3}
+        assert record_text(record, fields=["name"]) == "apple"
+
+    def test_sequence_record(self):
+        assert record_text(["A", 1, "b"]) == "a 1 b"

@@ -1,0 +1,52 @@
+"""Unit tests for repro.utils.timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.timing import SimulatedClock, Stopwatch
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        with Stopwatch() as sw:
+            total = sum(range(1000))
+        assert total == 499500
+        assert sw.elapsed >= 0.0
+
+    def test_elapsed_zero_before_use(self):
+        assert Stopwatch().elapsed == 0.0
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(5.0)
+        clock.advance(2.5)
+        assert clock.now == 7.5
+
+    def test_tick_advances_one_second(self):
+        clock = SimulatedClock()
+        clock.tick()
+        assert clock.now == 1.0
+
+    def test_negative_advance_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_history_records_each_advance(self):
+        clock = SimulatedClock()
+        clock.advance(1.0)
+        clock.advance(2.0)
+        assert clock.history == [1.0, 3.0]
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.advance(10.0)
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.history == []

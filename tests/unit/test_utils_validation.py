@@ -1,0 +1,81 @@
+"""Unit tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import (
+    require_fraction,
+    require_in,
+    require_non_empty,
+    require_positive,
+    require_type,
+    require_unique,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive("x", 3) == 3
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError, match="x"):
+            require_positive("x", 0)
+
+    def test_allows_zero_when_requested(self):
+        assert require_positive("x", 0, allow_zero=True) == 0
+
+    def test_rejects_negative_even_with_allow_zero(self):
+        with pytest.raises(ValueError):
+            require_positive("x", -1, allow_zero=True)
+
+
+class TestRequireFraction:
+    def test_accepts_bounds(self):
+        assert require_fraction("p", 0.0) == 0.0
+        assert require_fraction("p", 1.0) == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            require_fraction("p", 1.5)
+        with pytest.raises(ValueError):
+            require_fraction("p", -0.1)
+
+
+class TestRequireNonEmpty:
+    def test_accepts_non_empty(self):
+        assert require_non_empty("items", [1]) == [1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="items"):
+            require_non_empty("items", [])
+
+
+class TestRequireIn:
+    def test_accepts_member(self):
+        assert require_in("mode", "a", {"a", "b"}) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="mode"):
+            require_in("mode", "c", {"a", "b"})
+
+
+class TestRequireType:
+    def test_accepts_matching_type(self):
+        assert require_type("n", 5, int) == 5
+
+    def test_accepts_tuple_of_types(self):
+        assert require_type("n", 5.0, (int, float)) == 5.0
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="n must be int"):
+            require_type("n", "5", int)
+
+
+class TestRequireUnique:
+    def test_accepts_unique_values(self):
+        assert require_unique("ids", [1, 2, 3]) == [1, 2, 3]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            require_unique("ids", [1, 2, 1])

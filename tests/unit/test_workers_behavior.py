@@ -1,0 +1,129 @@
+"""Unit tests for worker behaviour models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workers.behavior import (
+    AdversarialWorker,
+    ConfusionMatrixWorker,
+    NoisyWorker,
+    ReliableWorker,
+    SpammerWorker,
+)
+
+CANDIDATES = ["Yes", "No"]
+
+
+def answer_many(behavior, true_answer, n=2000, seed=1, candidates=CANDIDATES):
+    rng = random.Random(seed)
+    return [behavior.answer(candidates, true_answer, rng) for _ in range(n)]
+
+
+class TestReliableWorker:
+    def test_always_correct(self):
+        answers = answer_many(ReliableWorker(), "Yes", n=100)
+        assert all(answer == "Yes" for answer in answers)
+
+    def test_without_truth_picks_a_candidate(self):
+        answers = answer_many(ReliableWorker(), None, n=50)
+        assert set(answers) <= set(CANDIDATES)
+
+    def test_expected_accuracy(self):
+        assert ReliableWorker().expected_accuracy(2) == 1.0
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            ReliableWorker().answer([], "Yes", random.Random(0))
+
+
+class TestNoisyWorker:
+    def test_accuracy_near_nominal(self):
+        answers = answer_many(NoisyWorker(accuracy=0.8), "Yes")
+        observed = sum(answer == "Yes" for answer in answers) / len(answers)
+        assert observed == pytest.approx(0.8, abs=0.04)
+
+    def test_zero_accuracy_always_wrong(self):
+        answers = answer_many(NoisyWorker(accuracy=0.0), "Yes", n=200)
+        assert all(answer == "No" for answer in answers)
+
+    def test_perfect_accuracy_always_right(self):
+        answers = answer_many(NoisyWorker(accuracy=1.0), "No", n=200)
+        assert all(answer == "No" for answer in answers)
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            NoisyWorker(accuracy=1.5)
+
+    def test_single_candidate_returns_it(self):
+        answers = answer_many(NoisyWorker(accuracy=0.5), "Only", n=50, candidates=["Only"])
+        assert all(answer == "Only" for answer in answers)
+
+    def test_multiclass_errors_spread_over_wrong_labels(self):
+        candidates = ["a", "b", "c", "d"]
+        answers = answer_many(NoisyWorker(accuracy=0.5), "a", candidates=candidates)
+        wrong = [answer for answer in answers if answer != "a"]
+        assert set(wrong) == {"b", "c", "d"}
+
+    def test_expected_accuracy(self):
+        assert NoisyWorker(accuracy=0.73).expected_accuracy(2) == 0.73
+
+
+class TestSpammerWorker:
+    def test_roughly_uniform(self):
+        answers = answer_many(SpammerWorker(), "Yes")
+        observed = sum(answer == "Yes" for answer in answers) / len(answers)
+        assert observed == pytest.approx(0.5, abs=0.05)
+
+    def test_expected_accuracy_is_chance(self):
+        assert SpammerWorker().expected_accuracy(4) == 0.25
+
+    def test_expected_accuracy_invalid_candidates(self):
+        with pytest.raises(ValueError):
+            SpammerWorker().expected_accuracy(0)
+
+
+class TestAdversarialWorker:
+    def test_always_wrong(self):
+        answers = answer_many(AdversarialWorker(), "Yes", n=200)
+        assert all(answer == "No" for answer in answers)
+
+    def test_expected_accuracy_zero(self):
+        assert AdversarialWorker().expected_accuracy(2) == 0.0
+
+    def test_single_candidate_forced_correct(self):
+        answers = answer_many(AdversarialWorker(), "Only", n=20, candidates=["Only"])
+        assert all(answer == "Only" for answer in answers)
+
+
+class TestConfusionMatrixWorker:
+    def test_follows_confusion_rows(self):
+        worker = ConfusionMatrixWorker(
+            {
+                "Yes": {"Yes": 0.9, "No": 0.1},
+                "No": {"Yes": 0.3, "No": 0.7},
+            }
+        )
+        yes_answers = answer_many(worker, "Yes")
+        observed = sum(answer == "Yes" for answer in yes_answers) / len(yes_answers)
+        assert observed == pytest.approx(0.9, abs=0.03)
+
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrixWorker({"Yes": {"Yes": 0.5, "No": 0.1}})
+
+    def test_unknown_truth_falls_back_to_uniform(self):
+        worker = ConfusionMatrixWorker({"Yes": {"Yes": 1.0}})
+        answers = answer_many(worker, "Maybe", n=100)
+        assert set(answers) <= set(CANDIDATES)
+
+    def test_expected_accuracy_is_mean_diagonal(self):
+        worker = ConfusionMatrixWorker(
+            {
+                "Yes": {"Yes": 0.8, "No": 0.2},
+                "No": {"Yes": 0.4, "No": 0.6},
+            }
+        )
+        assert worker.expected_accuracy(2) == pytest.approx(0.7)

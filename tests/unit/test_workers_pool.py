@@ -1,0 +1,161 @@
+"""Unit tests for the worker pool, latency models and skill profiles."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import WorkerPoolConfig
+from repro.exceptions import NoEligibleWorkerError
+from repro.workers import (
+    AdversarialWorker,
+    ConstantLatency,
+    LogNormalLatency,
+    NoisyWorker,
+    SimulatedWorker,
+    SkillProfile,
+    SpammerWorker,
+    UniformLatency,
+    WorkerPool,
+)
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        assert ConstantLatency(12.0).sample(random.Random(0)) == 12.0
+
+    def test_constant_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(0.0)
+
+    def test_uniform_bounds(self):
+        model = UniformLatency(low=5.0, high=10.0)
+        rng = random.Random(1)
+        samples = [model.sample(rng) for _ in range(200)]
+        assert all(5.0 <= sample <= 10.0 for sample in samples)
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(low=10.0, high=5.0)
+
+    def test_lognormal_positive_and_spread(self):
+        model = LogNormalLatency(median=30.0, sigma=0.5)
+        rng = random.Random(2)
+        samples = [model.sample(rng) for _ in range(500)]
+        assert all(sample > 0 for sample in samples)
+        assert min(samples) < 30.0 < max(samples)
+
+
+class TestSkillProfile:
+    def test_uniform_profile_is_identity(self):
+        assert SkillProfile.uniform().effective_accuracy(0.8, "image_label") == 0.8
+
+    def test_multiplier_applied(self):
+        profile = SkillProfile.from_mapping({"image_label": 0.5})
+        assert profile.effective_accuracy(0.8, "image_label") == pytest.approx(0.4)
+
+    def test_clamped_to_one(self):
+        profile = SkillProfile.from_mapping({"easy": 1.5})
+        assert profile.effective_accuracy(0.9, "easy") == 1.0
+
+    def test_unknown_task_type_untouched(self):
+        profile = SkillProfile.from_mapping({"image_label": 0.5})
+        assert profile.effective_accuracy(0.8, "text_label") == 0.8
+
+    def test_invalid_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            SkillProfile.from_mapping({"x": 2.0})
+
+
+class TestWorkerPoolConstruction:
+    def test_from_config_size(self):
+        pool = WorkerPool.from_config(WorkerPoolConfig(size=10, seed=1))
+        assert len(pool) == 10
+        assert len(set(pool.worker_ids())) == 10
+
+    def test_from_config_spammer_fraction(self):
+        pool = WorkerPool.from_config(
+            WorkerPoolConfig(size=20, spammer_fraction=0.25, seed=1)
+        )
+        stats = pool.statistics()
+        assert stats["behaviors"].get("SpammerWorker", 0) == 5
+
+    def test_from_config_adversarial_fraction(self):
+        pool = WorkerPool.from_config(
+            WorkerPoolConfig(size=10, adversarial_fraction=0.2, seed=1)
+        )
+        assert pool.statistics()["behaviors"].get("AdversarialWorker", 0) == 2
+
+    def test_uniform_pool(self):
+        pool = WorkerPool.uniform(size=5, accuracy=0.9)
+        assert len(pool) == 5
+        assert all(isinstance(worker.behavior, NoisyWorker) for worker in pool)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(NoEligibleWorkerError):
+            WorkerPool([])
+
+    def test_deterministic_generation(self):
+        pool_a = WorkerPool.from_config(WorkerPoolConfig(size=8, seed=3))
+        pool_b = WorkerPool.from_config(WorkerPoolConfig(size=8, seed=3))
+        accs_a = [worker.behavior.accuracy for worker in pool_a if isinstance(worker.behavior, NoisyWorker)]
+        accs_b = [worker.behavior.accuracy for worker in pool_b if isinstance(worker.behavior, NoisyWorker)]
+        assert accs_a == accs_b
+
+
+class TestWorkerPoolSampling:
+    def test_draw_excludes(self):
+        pool = WorkerPool.uniform(size=3, accuracy=0.9, seed=4)
+        excluded = pool.worker_ids()[:2]
+        for _ in range(20):
+            worker = pool.draw(exclude=excluded)
+            assert worker.worker_id not in excluded
+
+    def test_draw_all_excluded_raises(self):
+        pool = WorkerPool.uniform(size=2, accuracy=0.9)
+        with pytest.raises(NoEligibleWorkerError):
+            pool.draw(exclude=pool.worker_ids())
+
+    def test_draw_distinct(self):
+        pool = WorkerPool.uniform(size=10, accuracy=0.9)
+        workers = pool.draw_distinct(5)
+        assert len({worker.worker_id for worker in workers}) == 5
+
+    def test_draw_distinct_too_many_raises(self):
+        pool = WorkerPool.uniform(size=3, accuracy=0.9)
+        with pytest.raises(NoEligibleWorkerError):
+            pool.draw_distinct(4)
+
+    def test_worker_lookup(self):
+        pool = WorkerPool.uniform(size=3, accuracy=0.9)
+        worker_id = pool.worker_ids()[1]
+        assert pool.worker(worker_id).worker_id == worker_id
+        with pytest.raises(NoEligibleWorkerError):
+            pool.worker("nope")
+
+
+class TestSimulatedWorkerAnswer:
+    def test_answer_returns_latency(self):
+        worker = SimulatedWorker("w1", NoisyWorker(0.9), latency=ConstantLatency(20.0))
+        answer, latency = worker.answer(["Yes", "No"], "Yes", random.Random(0))
+        assert answer in ("Yes", "No")
+        assert latency == 20.0
+        assert worker.answered_tasks == 1
+
+    def test_skill_profile_degrades_accuracy(self):
+        profile = SkillProfile.from_mapping({"hard_task": 0.5})
+        worker = SimulatedWorker("w1", NoisyWorker(1.0), skills=profile)
+        rng = random.Random(5)
+        answers = [
+            worker.answer(["Yes", "No"], "Yes", rng, task_type="hard_task")[0]
+            for _ in range(2000)
+        ]
+        accuracy = sum(answer == "Yes" for answer in answers) / len(answers)
+        assert accuracy == pytest.approx(0.5, abs=0.05)
+
+    def test_statistics_counts_answers(self):
+        pool = WorkerPool.uniform(size=2, accuracy=1.0)
+        worker = pool.workers[0]
+        worker.answer(["Yes", "No"], "Yes", pool.rng)
+        assert pool.statistics()["answers_given"] == 1
