@@ -1,0 +1,20 @@
+# Developer entry points. Tier-1 CI runs `make test`.
+
+PYTEST = PYTHONPATH=src python -m pytest
+
+.PHONY: test test-fast bench bench-smoke
+
+test:
+	$(PYTEST) -x -q
+
+# Quick loop: skip Hypothesis property suites and slow-marked tests.
+test-fast:
+	$(PYTEST) -x -q -m "not property and not slow"
+
+# Full benchmark harness (writes tables under benchmarks/results/).
+bench:
+	$(PYTEST) benchmarks -q
+
+# One-iteration benchmark sanity pass at toy scale (seconds, not minutes).
+bench-smoke:
+	$(PYTEST) benchmarks/bench_bulk_path.py -q --bench-scale=smoke

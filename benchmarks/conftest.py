@@ -14,6 +14,24 @@ import pytest
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def pytest_addoption(parser):
+    """Register the --bench-scale option (see ``make bench-smoke``)."""
+    parser.addoption(
+        "--bench-scale",
+        action="store",
+        default="full",
+        choices=("full", "smoke"),
+        help="'full' runs benchmarks at paper scale; 'smoke' shrinks them to a "
+        "seconds-long single-iteration sanity pass without speedup assertions.",
+    )
+
+
+@pytest.fixture
+def bench_scale(request) -> str:
+    """The requested benchmark scale: 'full' (default) or 'smoke'."""
+    return request.config.getoption("--bench-scale")
+
+
 def emit(name: str, text: str) -> None:
     """Print *text* and persist it under benchmarks/results/<name>.txt."""
     os.makedirs(RESULTS_DIR, exist_ok=True)

@@ -7,11 +7,20 @@ program is as if it has never crashed".  The cache keys both columns by a
 position — so re-running a program that builds its input list in a different
 order, filters it, or extends it still reuses every previously published
 task and collected answer.
+
+The bulk entry points (:meth:`FaultRecoveryCache.get_tasks`,
+:meth:`~FaultRecoveryCache.put_tasks`, :meth:`~FaultRecoveryCache.get_results`,
+:meth:`~FaultRecoveryCache.put_results`) back CrowdData's batched publish and
+collect path.  Bulk writes use the engines' ``put_new``-per-key semantics
+(``put_many(..., if_absent=True)``): a key that already survived an earlier
+run is never overwritten or version-bumped, so a crash in the middle of a
+batch write followed by a rerun fills only the missing keys — crowd work is
+never re-purchased and never duplicated.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.storage.engine import StorageEngine
 from repro.utils.hashing import stable_hash
@@ -51,8 +60,25 @@ class FaultRecoveryCache:
         """Persist the task descriptor for *key* (idempotent overwrite)."""
         self.engine.put(self._tasks_table, key, task)
 
+    def get_tasks(self, keys: Sequence[str]) -> list[dict[str, Any] | None]:
+        """Return the cached descriptor (or None) per key, in one read."""
+        return self.engine.get_many(self._tasks_table, keys)
+
+    def put_tasks(self, tasks: Mapping[str, dict[str, Any]]) -> None:
+        """Persist a batch of task descriptors with put_new-per-key semantics.
+
+        Descriptors already in the cache — e.g. the surviving prefix of a
+        batch that crashed half-way — are left untouched, so a rerun can
+        replay the whole batch without duplicating anything.
+        """
+        self.engine.put_many(self._tasks_table, list(tasks.items()), if_absent=True)
+
     def task_count(self) -> int:
-        """Number of cached task descriptors."""
+        """Number of cached task descriptors.
+
+        Delegates to the engine's ``count``, which is constant-space on
+        every engine (SQL ``COUNT(*)`` / dict length) — no scan involved.
+        """
         return self.engine.count(self._tasks_table)
 
     # -- result column --------------------------------------------------------------
@@ -64,6 +90,14 @@ class FaultRecoveryCache:
     def put_result(self, key: str, task_runs: list[dict[str, Any]]) -> None:
         """Persist the complete list of task runs for *key*."""
         self.engine.put(self._results_table, key, task_runs)
+
+    def get_results(self, keys: Sequence[str]) -> list[Any]:
+        """Return the cached result (or None) per key, in one read."""
+        return self.engine.get_many(self._results_table, keys)
+
+    def put_results(self, results: Mapping[str, Any]) -> None:
+        """Persist a batch of complete results with put_new-per-key semantics."""
+        self.engine.put_many(self._results_table, list(results.items()), if_absent=True)
 
     def result_count(self) -> int:
         """Number of cached (complete) results."""
@@ -87,9 +121,30 @@ class FaultRecoveryCache:
             self.engine.drop_table(name)
             self.engine.create_table(name)
 
+    #: Records fetched per page when walking a whole cache table.
+    scan_page_size = 512
+
+    def iter_cached_objects(self) -> Iterable[str]:
+        """Yield every cached object key, paging through the engine.
+
+        Uses the key-only paginated scan so at most :attr:`scan_page_size`
+        keys are materialised at a time and no task descriptor is ever read
+        or decoded — a million-task cache never has to fit in memory to be
+        enumerated.
+        """
+        cursor: str | None = None
+        while True:
+            page = self.engine.scan_keys(
+                self._tasks_table, limit=self.scan_page_size, start_after=cursor
+            )
+            yield from page
+            if len(page) < self.scan_page_size:
+                return
+            cursor = page[-1]
+
     def all_cached_objects(self) -> list[str]:
         """Return every cached object key (task-column keys)."""
-        return self.engine.keys(self._tasks_table)
+        return list(self.iter_cached_objects())
 
     def describe(self) -> dict[str, Any]:
         """Return cache statistics for the examination API."""

@@ -14,17 +14,34 @@ re-running the same program — after a crash or on Ally's machine — publishes
 no duplicate tasks and re-collects no answers.  Every verb is appended to the
 manipulation log and every answer carries lineage, which is what makes the
 experiment examinable.
+
+Bulk execution path
+-------------------
+
+``publish_task`` and ``get_result`` are batched end to end: one
+``get_many`` against the cache, one ``create_tasks`` /
+``get_task_runs_for_project`` platform round-trip, and one ``put_many``
+back to the cache — the cost of a verb is O(1) round-trips in the number of
+rows instead of O(n).  The fault-recovery contract is unchanged:
+
+* every ``create_tasks`` spec carries the row's object key as a platform
+  ``dedup_key``, so replaying a batch (client retry, crash before the cache
+  write, rerun on Ally's machine against Bob's still-running server) returns
+  the existing tasks instead of duplicating them;
+* cache batch writes use ``put_new`` semantics per key
+  (``put_many(..., if_absent=True)``): a crash mid-batch leaves a durable
+  prefix that the rerun never overwrites or version-bumps.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.core.budget import BudgetTracker
+from repro.core.budget import BudgetExceededError, BudgetTracker
 from repro.core.cache import FaultRecoveryCache
 from repro.core.lineage import AnswerLineage, LineageQuery
 from repro.core.manipulations import Manipulation, ManipulationLog
-from repro.exceptions import CrowdDataError, TaskNotFoundError
+from repro.exceptions import CrowdDataError
 from repro.platform.client import PlatformClient
 from repro.presenters.base import BasePresenter, registry as presenter_registry
 from repro.quality.adaptive import AdaptiveCollectionStats, AdaptivePolicy
@@ -165,34 +182,75 @@ class CrowdData:
         """
         presenter = self._require_presenter()
         self._ensure_project(presenter)
+        keys = self._object_keys(presenter)
+        cached = self.cache.get_tasks(keys)
         cache_hits = 0
-        published = 0
-        for index, obj in enumerate(self.data["object"]):
-            key = self.cache.object_key(obj, presenter.task_type)
-            cached = self.cache.get_task(key)
-            if cached is not None:
-                self.data["task"][index] = cached
+        # Row indexes awaiting a descriptor, grouped by object key so a key
+        # repeated across rows is published (and charged) exactly once.
+        pending: dict[str, list[int]] = {}
+        for index, descriptor in enumerate(cached):
+            if descriptor is not None:
+                self.data["task"][index] = descriptor
                 cache_hits += 1
-                continue
-            if self.budget is not None:
-                self.budget.charge(n_assignments, label=f"{self.table_name}:{key}")
-            true_answer = self.ground_truth(obj) if self.ground_truth else None
-            info = presenter.build_task_info(obj, true_answer=true_answer)
-            task = self.client.create_task(
-                self.project_id, info, n_assignments=n_assignments
-            )
-            descriptor = {
-                "task_id": task.task_id,
-                "project_id": task.project_id,
-                "object_key": key,
-                "n_assignments": task.n_assignments,
-                "published_at": task.created_at,
-                "task_type": presenter.task_type,
-                "priority": priority,
-            }
-            self.cache.put_task(key, descriptor)
-            self.data["task"][index] = descriptor
-            published += 1
+            else:
+                pending.setdefault(keys[index], []).append(index)
+        if pending:
+            # Under a hard budget, publish only the affordable prefix: its
+            # crowd work is durable (platform + cache), spend matches tasks
+            # actually purchased, and the overflow raises below so a rerun
+            # with more budget resumes from where this one stopped.
+            publish_keys = list(pending)
+            overflow = 0
+            if self.budget is not None and self.budget.budget is not None:
+                per_task = n_assignments * self.budget.price_per_assignment
+                if per_task > 0:
+                    remaining = max(0.0, self.budget.budget - self.budget.spent)
+                    affordable = min(
+                        len(publish_keys), int((remaining + 1e-9) // per_task)
+                    )
+                    overflow = len(publish_keys) - affordable
+                    publish_keys = publish_keys[:affordable]
+            if publish_keys:
+                specs = []
+                for key in publish_keys:
+                    obj = self.data["object"][pending[key][0]]
+                    true_answer = self.ground_truth(obj) if self.ground_truth else None
+                    specs.append(
+                        {
+                            "info": presenter.build_task_info(obj, true_answer=true_answer),
+                            "n_assignments": n_assignments,
+                            "dedup_key": key,
+                        }
+                    )
+                tasks = self.client.create_tasks(self.project_id, specs)
+                # Charge only once the platform accepted the batch, so
+                # recorded spend never exceeds crowd work actually purchased.
+                if self.budget is not None:
+                    for key in publish_keys:
+                        self.budget.charge(
+                            n_assignments, label=f"{self.table_name}:{key}"
+                        )
+                descriptors: dict[str, dict[str, Any]] = {}
+                for key, task in zip(publish_keys, tasks):
+                    descriptors[key] = {
+                        "task_id": task.task_id,
+                        "project_id": task.project_id,
+                        "object_key": key,
+                        "n_assignments": task.n_assignments,
+                        "published_at": task.created_at,
+                        "task_type": presenter.task_type,
+                        "priority": priority,
+                    }
+                self.cache.put_tasks(descriptors)
+                for key in publish_keys:
+                    for index in pending[key]:
+                        self.data["task"][index] = descriptors[key]
+            if overflow:
+                raise BudgetExceededError(
+                    overflow * n_assignments * self.budget.price_per_assignment,
+                    self.budget.spent,
+                    self.budget.budget,
+                )
         self.log.record(
             "publish_task",
             parameters={"n_assignments": n_assignments, "priority": priority},
@@ -202,6 +260,13 @@ class CrowdData:
             timestamp=self.clock.now,
         )
         return self
+
+    def _object_keys(self, presenter: BasePresenter) -> list[str]:
+        """Return each row's durable cache key, in row order."""
+        return [
+            self.cache.object_key(obj, presenter.task_type)
+            for obj in self.data["object"]
+        ]
 
     def _ensure_project(self, presenter: BasePresenter) -> None:
         """Create (or re-attach to) the platform project for this table."""
@@ -233,12 +298,12 @@ class CrowdData:
                 partial result, mirroring the original's non-blocking mode.
         """
         presenter = self._require_presenter()
+        keys = self._object_keys(presenter)
+        cached = self.cache.get_results(keys)
         cache_hits = 0
-        for index, obj in enumerate(self.data["object"]):
-            key = self.cache.object_key(obj, presenter.task_type)
-            cached = self.cache.get_result(key)
-            if cached is not None:
-                self.data["result"][index] = cached
+        for index, result in enumerate(cached):
+            if result is not None:
+                self.data["result"][index] = result
                 cache_hits += 1
         missing = [
             index for index, value in enumerate(self.data["result"]) if value is None
@@ -248,25 +313,35 @@ class CrowdData:
                 raise CrowdDataError(
                     "no tasks have been published — call publish_task() before get_result()"
                 )
+            for index in missing:
+                if self.data["task"][index] is None:
+                    raise CrowdDataError(
+                        f"row {index} has no published task; publish_task() must cover every row"
+                    )
             # A cached task may reference a task id the current platform does
             # not know about (e.g. the platform was redeployed between runs).
             # Re-publish those tasks first so the experiment self-heals, then
             # simulate the crowd once for everything that is pending.
-            for index in missing:
-                descriptor = self.data["task"][index]
-                if descriptor is None:
-                    raise CrowdDataError(
-                        f"row {index} has no published task; publish_task() must cover every row"
-                    )
-                try:
-                    self.client.get_task(descriptor["task_id"])
-                except TaskNotFoundError:
-                    self.data["task"][index] = self._republish(index, descriptor)
+            known = self.client.get_task_runs_for_project(self.project_id)
+            stale = [
+                index
+                for index in missing
+                if self.data["task"][index]["task_id"] not in known
+            ]
+            if stale:
+                self._republish_many(stale)
             if blocking:
                 self.client.simulate_work(project_id=self.project_id)
+            if blocking or stale:
+                runs_by_task = self.client.get_task_runs_for_project(self.project_id)
+            else:
+                # Nothing changed since the staleness check: reuse its map
+                # instead of fetching the whole project a second time.
+                runs_by_task = known
+            to_cache: dict[str, Any] = {}
             for index in missing:
                 descriptor = self.data["task"][index]
-                runs = self.client.get_task_runs(descriptor["task_id"])
+                runs = runs_by_task.get(descriptor["task_id"], [])
                 complete = len(runs) >= descriptor["n_assignments"]
                 run_payloads = [run.to_dict() for run in runs]
                 result = {
@@ -281,7 +356,9 @@ class CrowdData:
                     # Only complete results are persisted: a partial result
                     # must be re-fetched on the next run so late answers are
                     # picked up.
-                    self.cache.put_result(descriptor["object_key"], result)
+                    to_cache[descriptor["object_key"]] = result
+            if to_cache:
+                self.cache.put_results(to_cache)
         self.log.record(
             "get_result",
             parameters={"blocking": blocking},
@@ -309,11 +386,10 @@ class CrowdData:
         presenter = self._require_presenter()
         stats = AdaptiveCollectionStats()
         cache_hits = 0
-        for index, obj in enumerate(self.data["object"]):
-            key = self.cache.object_key(obj, presenter.task_type)
-            cached = self.cache.get_result(key)
-            if cached is not None:
-                self.data["result"][index] = cached
+        cached = self.cache.get_results(self._object_keys(presenter))
+        for index, result in enumerate(cached):
+            if result is not None:
+                self.data["result"][index] = result
                 cache_hits += 1
         missing = [
             index for index, value in enumerate(self.data["result"]) if value is None
@@ -325,15 +401,18 @@ class CrowdData:
             )
         if missing:
             for index in missing:
-                descriptor = self.data["task"][index]
-                if descriptor is None:
+                if self.data["task"][index] is None:
                     raise CrowdDataError(
                         f"row {index} has no published task; publish_task() must cover every row"
                     )
-                try:
-                    self.client.get_task(descriptor["task_id"])
-                except TaskNotFoundError:
-                    self.data["task"][index] = self._republish(index, descriptor)
+            known = self.client.get_task_runs_for_project(self.project_id)
+            stale = [
+                index
+                for index in missing
+                if self.data["task"][index]["task_id"] not in known
+            ]
+            if stale:
+                self._republish_many(stale)
             unresolved = list(missing)
             while unresolved:
                 self.client.simulate_work(project_id=self.project_id)
@@ -358,9 +437,11 @@ class CrowdData:
                     self.cache.put_task(descriptor["object_key"], descriptor)
                     still_unresolved.append(index)
                 unresolved = still_unresolved
+            runs_by_task = self.client.get_task_runs_for_project(self.project_id)
+            to_cache: dict[str, Any] = {}
             for index in missing:
                 descriptor = self.data["task"][index]
-                runs = self.client.get_task_runs(descriptor["task_id"])
+                runs = runs_by_task.get(descriptor["task_id"], [])
                 answers = [run.answer for run in runs]
                 stats.answers_collected += len(runs)
                 if len(runs) >= policy.max_assignments and not (
@@ -378,7 +459,9 @@ class CrowdData:
                     "assignments": [run.to_dict() for run in runs],
                 }
                 self.data["result"][index] = result
-                self.cache.put_result(descriptor["object_key"], result)
+                to_cache[descriptor["object_key"]] = result
+            if to_cache:
+                self.cache.put_results(to_cache)
         self._last_adaptive_stats = stats
         self.log.record(
             "get_result_adaptive",
@@ -399,26 +482,43 @@ class CrowdData:
         """Statistics of the most recent adaptive collection, if any."""
         return getattr(self, "_last_adaptive_stats", None)
 
-    def _republish(self, index: int, old_descriptor: dict[str, Any]) -> dict[str, Any]:
-        """Re-publish one row's task when the platform no longer knows it."""
+    def _republish_many(self, indexes: list[int]) -> None:
+        """Re-publish rows whose cached task the platform no longer knows.
+
+        One ``create_tasks`` call for the whole batch; the refreshed
+        descriptors overwrite the stale cache entries (deliberately *not*
+        ``put_new`` semantics — the old descriptor is known-dead).
+        """
         presenter = self._require_presenter()
         self._ensure_project(presenter)
-        obj = self.data["object"][index]
-        true_answer = self.ground_truth(obj) if self.ground_truth else None
-        info = presenter.build_task_info(obj, true_answer=true_answer)
-        task = self.client.create_task(
-            self.project_id, info, n_assignments=old_descriptor["n_assignments"]
-        )
-        descriptor = dict(old_descriptor)
-        descriptor.update(
-            {
-                "task_id": task.task_id,
-                "project_id": task.project_id,
-                "published_at": task.created_at,
-            }
-        )
-        self.cache.put_task(old_descriptor["object_key"], descriptor)
-        return descriptor
+        specs = []
+        for index in indexes:
+            obj = self.data["object"][index]
+            old_descriptor = self.data["task"][index]
+            true_answer = self.ground_truth(obj) if self.ground_truth else None
+            specs.append(
+                {
+                    "info": presenter.build_task_info(obj, true_answer=true_answer),
+                    "n_assignments": old_descriptor["n_assignments"],
+                    "dedup_key": old_descriptor["object_key"],
+                }
+            )
+        tasks = self.client.create_tasks(self.project_id, specs)
+        refreshed: dict[str, dict[str, Any]] = {}
+        for index, task in zip(indexes, tasks):
+            old_descriptor = self.data["task"][index]
+            descriptor = dict(old_descriptor)
+            descriptor.update(
+                {
+                    "task_id": task.task_id,
+                    "project_id": task.project_id,
+                    "published_at": task.created_at,
+                }
+            )
+            self.data["task"][index] = descriptor
+            refreshed[old_descriptor["object_key"]] = descriptor
+        for key, descriptor in refreshed.items():
+            self.cache.put_task(key, descriptor)
 
     # -- step 5: quality control -------------------------------------------------------------
 

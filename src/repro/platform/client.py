@@ -13,7 +13,7 @@ against a flaky PyBossa deployment.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 from repro.exceptions import PlatformUnavailableError
 from repro.platform.models import Project, Task, TaskRun
@@ -90,7 +90,11 @@ class PlatformClient:
     # -- tasks -------------------------------------------------------------------
 
     def create_task(
-        self, project_id: int, info: dict[str, Any], n_assignments: int | None = None
+        self,
+        project_id: int,
+        info: dict[str, Any],
+        n_assignments: int | None = None,
+        dedup_key: str | None = None,
     ) -> Task:
         """Publish one task and return its descriptor."""
         return self._call(
@@ -99,6 +103,21 @@ class PlatformClient:
             project_id,
             info,
             n_assignments=n_assignments,
+            dedup_key=dedup_key,
+        )
+
+    def create_tasks(
+        self, project_id: int, task_specs: Sequence[dict[str, Any]]
+    ) -> list[Task]:
+        """Publish a batch of tasks in one round-trip; return them in order.
+
+        Each spec carries ``info`` plus optional ``n_assignments`` and
+        ``dedup_key``.  Give every spec a ``dedup_key`` when publishing from
+        durable state: the retry loop may replay the whole batch after an
+        ambiguous failure, and only dedup keys make that replay harmless.
+        """
+        return self._call(
+            "create_tasks", self.server.create_tasks, project_id, list(task_specs)
         )
 
     def get_task(self, task_id: int) -> Task:
@@ -124,6 +143,14 @@ class PlatformClient:
     def get_task_runs(self, task_id: int) -> list[TaskRun]:
         """Return the answers collected so far for *task_id*."""
         return self._call("get_task_runs", self.server.get_task_runs, task_id)
+
+    def get_task_runs_for_project(self, project_id: int) -> dict[int, list[TaskRun]]:
+        """Return every task's runs of *project_id* in one call, by task id."""
+        return self._call(
+            "get_task_runs_for_project",
+            self.server.get_task_runs_for_project,
+            project_id,
+        )
 
     def is_task_complete(self, task_id: int) -> bool:
         """Return True when the task has all requested answers."""

@@ -11,7 +11,7 @@ known, in which case workers guess among the candidates).
 from __future__ import annotations
 
 import re
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.config import PlatformConfig
 from repro.exceptions import PlatformError, ProjectNotFoundError, TaskNotFoundError
@@ -58,6 +58,7 @@ class PlatformServer:
         self._projects_by_name: dict[str, int] = {}
         self._tasks: dict[int, Task] = {}
         self._tasks_by_project: dict[int, list[int]] = {}
+        self._tasks_by_dedup: dict[tuple[int, str], int] = {}
         self._task_runs: dict[int, list[TaskRun]] = {}
         self._next_project_id = 1
         self._next_task_id = 1
@@ -127,21 +128,41 @@ class PlatformServer:
         for task_id in self._tasks_by_project.pop(project_id, []):
             self._tasks.pop(task_id, None)
             self._task_runs.pop(task_id, None)
+        self._tasks_by_dedup = {
+            key: task_id
+            for key, task_id in self._tasks_by_dedup.items()
+            if key[0] != project_id
+        }
         self._projects_by_name.pop(project.name, None)
         del self._projects[project_id]
 
     # -- tasks -----------------------------------------------------------------------
 
     def create_task(
-        self, project_id: int, info: dict[str, Any], n_assignments: int | None = None
+        self,
+        project_id: int,
+        info: dict[str, Any],
+        n_assignments: int | None = None,
+        dedup_key: str | None = None,
     ) -> Task:
-        """Publish a task in *project_id* and return it."""
+        """Publish a task in *project_id* and return it.
+
+        Args:
+            project_id: The owning project.
+            info: Task payload shown to workers.
+            n_assignments: Requested redundancy (platform default when None).
+            dedup_key: Optional client-supplied idempotency key.  When a
+                live task of the same project was already created with this
+                key, that task is returned instead of a duplicate — the
+                property that makes retried and re-run batch publishes safe.
+        """
         self.get_project(project_id)
-        redundancy = (
-            self.config.default_redundancy if n_assignments is None else n_assignments
-        )
-        if redundancy <= 0:
-            raise PlatformError(f"n_assignments must be positive, got {redundancy}")
+        redundancy = self._check_redundancy(n_assignments)
+        if dedup_key is not None:
+            existing_id = self._tasks_by_dedup.get((project_id, dedup_key))
+            # A stale mapping (task deleted since) must not resurrect it.
+            if existing_id is not None and existing_id in self._tasks:
+                return self._tasks[existing_id]
         task = Task(
             task_id=self._next_task_id,
             project_id=project_id,
@@ -152,8 +173,46 @@ class PlatformServer:
         self._tasks[task.task_id] = task
         self._tasks_by_project[project_id].append(task.task_id)
         self._task_runs[task.task_id] = []
+        if dedup_key is not None:
+            self._tasks_by_dedup[(project_id, dedup_key)] = task.task_id
         self._next_task_id += 1
         return task
+
+    def create_tasks(
+        self, project_id: int, task_specs: Sequence[dict[str, Any]]
+    ) -> list[Task]:
+        """Publish a batch of tasks in one call; return them in spec order.
+
+        Each spec is a dict with ``info`` (required), ``n_assignments`` and
+        ``dedup_key`` (both optional) — the same parameters
+        :meth:`create_task` takes per call.  All specs are validated before
+        any task is created, so a bad spec can never leave the batch
+        half-published; specs whose ``dedup_key`` matches an existing task
+        return that task, making the whole batch idempotent under client
+        retries and crash-and-rerun.
+        """
+        self.get_project(project_id)
+        validated: list[tuple[dict[str, Any], int | None, str | None]] = []
+        for spec in task_specs:
+            if "info" not in spec:
+                raise PlatformError(f"task spec is missing 'info': {spec!r}")
+            n_assignments = spec.get("n_assignments")
+            self._check_redundancy(n_assignments)
+            validated.append((spec["info"], n_assignments, spec.get("dedup_key")))
+        return [
+            self.create_task(
+                project_id, info, n_assignments=n_assignments, dedup_key=dedup_key
+            )
+            for info, n_assignments, dedup_key in validated
+        ]
+
+    def _check_redundancy(self, n_assignments: int | None) -> int:
+        redundancy = (
+            self.config.default_redundancy if n_assignments is None else n_assignments
+        )
+        if redundancy <= 0:
+            raise PlatformError(f"n_assignments must be positive, got {redundancy}")
+        return redundancy
 
     def get_task(self, task_id: int) -> Task:
         """Return the task with *task_id*."""
@@ -200,6 +259,19 @@ class PlatformServer:
         for task in self.list_tasks(project_id):
             runs.extend(self._task_runs[task.task_id])
         return runs
+
+    def get_task_runs_for_project(self, project_id: int) -> dict[int, list[TaskRun]]:
+        """Return every task's runs of *project_id*, keyed by task id.
+
+        One call replaces a :meth:`get_task_runs` round-trip per task when
+        collecting a whole experiment; tasks with no answers yet map to an
+        empty list, so membership also tells the caller which cached task
+        ids the platform still knows about.
+        """
+        return {
+            task.task_id: list(self._task_runs[task.task_id])
+            for task in self.list_tasks(project_id)
+        }
 
     def pending_assignments(self, project_id: int | None = None) -> int:
         """Return the number of assignments still waiting for a worker."""

@@ -18,7 +18,7 @@ provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.exceptions import CrashInjected
 from repro.storage.engine import StorageEngine
@@ -110,11 +110,44 @@ class CrashingEngine(StorageEngine):
     def contains(self, table_name: str, key: str) -> bool:
         return self.inner.contains(table_name, key)
 
-    def scan(self, table_name: str) -> Iterator[Record]:
-        return self.inner.scan(table_name)
+    def scan(
+        self, table_name: str, limit: int | None = None, start_after: str | None = None
+    ) -> Iterator[Record]:
+        return self.inner.scan(table_name, limit=limit, start_after=start_after)
 
     def count(self, table_name: str) -> int:
         return self.inner.count(table_name)
+
+    # -- bulk record access (writes counted per item) --------------------------------
+
+    def put_many(
+        self,
+        table_name: str,
+        items: Iterable[tuple[str, Any]],
+        if_absent: bool = False,
+    ) -> list[Record]:
+        """Write the batch one item at a time so a crash can land mid-batch.
+
+        Deliberately *not* delegated to the inner engine's atomic batch
+        write: each item becomes durable individually and counts as one
+        write, which is the hardest recovery scenario — a prefix of the
+        batch survives the crash and the rerun must fill only the gap.
+        """
+        records: list[Record] = []
+        for key, value in items:
+            if if_absent:
+                existing = self.inner.get_record(table_name, key)
+                if existing is not None:
+                    records.append(existing)
+                    continue
+            records.append(self.inner.put(table_name, key, value))
+            self.plan.note_write()
+        return records
+
+    def get_many(
+        self, table_name: str, keys: Sequence[str], default: Any = None
+    ) -> list[Any]:
+        return self.inner.get_many(table_name, keys, default)
 
     # -- lifecycle -----------------------------------------------------------------------
 

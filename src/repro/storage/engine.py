@@ -10,16 +10,76 @@ Engines expose a minimal durable table API:
 This is intentionally smaller than SQL — it is exactly what CrowdData's
 fault-recovery cache needs, and keeping it small makes the engines easy to
 swap and to property-test against each other.
+
+Bulk API contract
+-----------------
+
+The hot path of CrowdData (publishing thousands of tasks, collecting as many
+answers) goes through three bulk operations that every engine must honour
+identically — the cross-engine property tests treat the three engines as one
+equivalence class:
+
+* ``put_many(table, items, if_absent=False)`` writes a batch of (key, value)
+  pairs **in item order** and returns one :class:`Record` per item.  Each
+  item behaves exactly like an individual ``put``: an existing key is
+  overwritten and its version bumped, and a key repeated within the batch is
+  bumped once per occurrence.  With ``if_absent=True`` every item instead
+  gets ``put_new`` semantics per key — a key that already exists (in the
+  table, or earlier in the same batch) is left untouched and its *existing*
+  record is returned.  That is the mode the fault-recovery cache uses: a
+  crash mid-batch followed by a rerun fills only the missing keys and never
+  bumps a surviving record, so crowd work is never duplicated.  Durable
+  engines make the batch one transaction/append; crashing mid-batch must
+  never leave a torn record, only a prefix (SQLite: all-or-nothing
+  transaction; log engine: one group append that recovery either replays
+  whole or discards).
+* ``get_many(table, keys, default)`` returns one value per requested key, in
+  request order, substituting *default* for absent keys.
+* ``scan(table, limit=None, start_after=None)`` pages through a table in
+  insertion order.  ``start_after`` is an exclusive cursor: the key of the
+  last record of the previous page.  Passing a cursor that is not currently
+  a key of the table raises :class:`~repro.exceptions.StorageError`, and a
+  negative ``limit`` raises ``ValueError``.  Walking pages of any size and
+  concatenating them yields exactly the unpaginated scan.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.config import StorageConfig
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, StorageError
 from repro.storage.records import Record
+
+
+def paginate_records(
+    records: Sequence[Record],
+    table_name: str,
+    limit: int | None,
+    start_after: str | None,
+) -> list[Record]:
+    """Apply the ``scan`` pagination contract to an in-memory record list.
+
+    Shared by the dict-backed engines (memory, log) so their cursor and
+    limit semantics cannot drift from each other; the SQLite engine
+    implements the same contract natively in SQL.
+    """
+    if limit is not None and limit < 0:
+        raise ValueError(f"scan limit must be non-negative, got {limit}")
+    records = list(records)
+    if start_after is not None:
+        index = next(
+            (i for i, record in enumerate(records) if record.key == start_after), None
+        )
+        if index is None:
+            raise StorageError(
+                f"scan cursor {start_after!r} is not a key of table {table_name!r}"
+            )
+        records = records[index + 1 :]
+    if limit is not None:
+        records = records[:limit]
+    return records
 
 
 class StorageEngine(abc.ABC):
@@ -73,12 +133,67 @@ class StorageEngine(abc.ABC):
         """Return True when *key* exists in *table_name*."""
 
     @abc.abstractmethod
-    def scan(self, table_name: str) -> Iterator[Record]:
-        """Yield every record of *table_name* in insertion order."""
+    def scan(
+        self, table_name: str, limit: int | None = None, start_after: str | None = None
+    ) -> Iterator[Record]:
+        """Yield records of *table_name* in insertion order, paginated.
+
+        Args:
+            table_name: The table to scan.
+            limit: Maximum number of records to yield (all when None).
+            start_after: Exclusive cursor — yield only records inserted after
+                the record whose key is *start_after*.  Raises
+                :class:`~repro.exceptions.StorageError` when the cursor is
+                not currently a key of the table.
+        """
 
     @abc.abstractmethod
     def count(self, table_name: str) -> int:
         """Return the number of records in *table_name*."""
+
+    # -- bulk record access --------------------------------------------------
+
+    def put_many(
+        self,
+        table_name: str,
+        items: Iterable[tuple[str, Any]],
+        if_absent: bool = False,
+    ) -> list[Record]:
+        """Write a batch of (key, value) pairs; return one record per item.
+
+        See the module docstring for the full bulk contract.  This base
+        implementation is the naive row-at-a-time loop; engines override it
+        with a single transaction (SQLite), a single group append (log) or a
+        dict-level loop (memory).
+        """
+        records: list[Record] = []
+        for key, value in items:
+            if if_absent:
+                existing = self.get_record(table_name, key)
+                if existing is not None:
+                    records.append(existing)
+                    continue
+            records.append(self.put(table_name, key, value))
+        return records
+
+    def get_many(
+        self, table_name: str, keys: Sequence[str], default: Any = None
+    ) -> list[Any]:
+        """Return one value per key in *keys* order, *default* when absent."""
+        return [self.get(table_name, key, default) for key in keys]
+
+    def scan_keys(
+        self, table_name: str, limit: int | None = None, start_after: str | None = None
+    ) -> list[str]:
+        """Key-only page of :meth:`scan`, same pagination contract.
+
+        Engines whose values are expensive to materialise (SQLite) override
+        this to skip reading and decoding the values entirely.
+        """
+        return [
+            record.key
+            for record in self.scan(table_name, limit=limit, start_after=start_after)
+        ]
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -13,10 +13,10 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.exceptions import CorruptLogError, DuplicateKeyError, TableNotFoundError
-from repro.storage.engine import StorageEngine
+from repro.storage.engine import StorageEngine, paginate_records
 from repro.storage.records import Record, RecordCodec
 
 
@@ -28,6 +28,7 @@ class LogStructuredEngine(StorageEngine):
     _OP_CREATE = "create_table"
     _OP_DROP = "drop_table"
     _OP_PUT = "put"
+    _OP_PUT_MANY = "put_many"
     _OP_DELETE = "delete"
 
     def __init__(self, path: str, snapshot_every: int = 1000) -> None:
@@ -106,6 +107,12 @@ class LogStructuredEngine(StorageEngine):
             table[entry["key"]] = Record(
                 key=entry["key"], value=entry["value"], version=entry["version"]
             )
+        elif op == self._OP_PUT_MANY:
+            table = self._tables.setdefault(entry["table"], {})
+            for item in entry["entries"]:
+                table[item["key"]] = Record(
+                    key=item["key"], value=item["value"], version=item["version"]
+                )
         elif op == self._OP_DELETE:
             table = self._tables.get(entry["table"])
             if table is not None:
@@ -221,11 +228,59 @@ class LogStructuredEngine(StorageEngine):
     def contains(self, table_name: str, key: str) -> bool:
         return key in self._table(table_name)
 
-    def scan(self, table_name: str) -> Iterator[Record]:
-        yield from list(self._table(table_name).values())
+    def scan(
+        self, table_name: str, limit: int | None = None, start_after: str | None = None
+    ) -> Iterator[Record]:
+        records = list(self._table(table_name).values())
+        yield from paginate_records(records, table_name, limit, start_after)
 
     def count(self, table_name: str) -> int:
         return len(self._table(table_name))
+
+    # -- bulk record access -------------------------------------------------------
+
+    def put_many(
+        self,
+        table_name: str,
+        items: Iterable[tuple[str, Any]],
+        if_absent: bool = False,
+    ) -> list[Record]:
+        """Batch write as one atomic group append (one fsync for the batch).
+
+        Recovery replays the group record whole; a crash while appending it
+        tears the final line, which recovery discards — so the durable state
+        is all of the batch or none of it.
+        """
+        table = self._table(table_name)
+        items = list(items)
+        # Validate the whole batch before mutating anything: a bad value must
+        # not leave the in-memory state ahead of the durable log.
+        for _, value in items:
+            RecordCodec.encode(value)
+        records: list[Record] = []
+        writes: list[dict[str, Any]] = []
+        for key, value in items:
+            existing = table.get(key)
+            if if_absent and existing is not None:
+                records.append(existing)
+                continue
+            record = existing.bump(value) if existing else Record(key=key, value=value)
+            table[key] = record
+            writes.append({"key": key, "value": value, "version": record.version})
+            records.append(record)
+        if writes:
+            self._append({"op": self._OP_PUT_MANY, "table": table_name, "entries": writes})
+        return records
+
+    def get_many(
+        self, table_name: str, keys: Sequence[str], default: Any = None
+    ) -> list[Any]:
+        table = self._table(table_name)
+        values: list[Any] = []
+        for key in keys:
+            record = table.get(key)
+            values.append(record.value if record is not None else default)
+        return values
 
     # -- lifecycle ---------------------------------------------------------------
 

@@ -8,10 +8,10 @@ property-tested against.
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.exceptions import DuplicateKeyError, TableNotFoundError
-from repro.storage.engine import StorageEngine
+from repro.storage.engine import StorageEngine, paginate_records
 from repro.storage.records import Record, RecordCodec
 
 
@@ -75,12 +75,50 @@ class MemoryEngine(StorageEngine):
     def contains(self, table_name: str, key: str) -> bool:
         return key in self._table(table_name)
 
-    def scan(self, table_name: str) -> Iterator[Record]:
+    def scan(
+        self, table_name: str, limit: int | None = None, start_after: str | None = None
+    ) -> Iterator[Record]:
         # dict preserves insertion order, matching the durable engines.
-        yield from list(self._table(table_name).values())
+        records = list(self._table(table_name).values())
+        yield from paginate_records(records, table_name, limit, start_after)
 
     def count(self, table_name: str) -> int:
         return len(self._table(table_name))
+
+    # -- bulk record access -------------------------------------------------
+
+    def put_many(
+        self,
+        table_name: str,
+        items: Iterable[tuple[str, Any]],
+        if_absent: bool = False,
+    ) -> list[Record]:
+        table = self._table(table_name)
+        items = list(items)
+        # Validate the whole batch before mutating anything, so a bad value
+        # cannot leave a half-applied batch (matches the durable engines).
+        for _, value in items:
+            RecordCodec.encode(value)
+        records: list[Record] = []
+        for key, value in items:
+            existing = table.get(key)
+            if if_absent and existing is not None:
+                records.append(existing)
+                continue
+            record = existing.bump(value) if existing else Record(key=key, value=value)
+            table[key] = record
+            records.append(record)
+        return records
+
+    def get_many(
+        self, table_name: str, keys: Sequence[str], default: Any = None
+    ) -> list[Any]:
+        table = self._table(table_name)
+        values: list[Any] = []
+        for key in keys:
+            record = table.get(key)
+            values.append(record.value if record is not None else default)
+        return values
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 import os
 import sqlite3
 import threading
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.exceptions import DuplicateKeyError, StorageError, TableNotFoundError
 from repro.storage.engine import StorageEngine
@@ -183,17 +183,64 @@ class SqliteEngine(StorageEngine):
             )
             return cursor.fetchone() is not None
 
-    def scan(self, table_name: str) -> Iterator[Record]:
+    def scan(
+        self, table_name: str, limit: int | None = None, start_after: str | None = None
+    ) -> Iterator[Record]:
+        if limit is not None and limit < 0:
+            raise ValueError(f"scan limit must be non-negative, got {limit}")
         with self._lock:
             self._require_table(table_name)
-            cursor = self._conn.execute(
+            clauses = "table_name = ?"
+            params: list[Any] = [table_name]
+            if start_after is not None:
+                cursor = self._conn.execute(
+                    "SELECT seq FROM reprowd_records WHERE table_name = ? AND key = ?",
+                    (table_name, start_after),
+                )
+                row = cursor.fetchone()
+                if row is None:
+                    raise StorageError(
+                        f"scan cursor {start_after!r} is not a key of table {table_name!r}"
+                    )
+                clauses += " AND seq > ?"
+                params.append(row[0])
+            sql = (
                 "SELECT key, value, version FROM reprowd_records "
-                "WHERE table_name = ? ORDER BY seq",
-                (table_name,),
+                f"WHERE {clauses} ORDER BY seq"
             )
-            rows = cursor.fetchall()
+            if limit is not None:
+                sql += " LIMIT ?"
+                params.append(limit)
+            rows = self._conn.execute(sql, params).fetchall()
         for key, value, version in rows:
             yield Record(key=key, value=RecordCodec.decode(value), version=version)
+
+    def scan_keys(
+        self, table_name: str, limit: int | None = None, start_after: str | None = None
+    ) -> list[str]:
+        if limit is not None and limit < 0:
+            raise ValueError(f"scan limit must be non-negative, got {limit}")
+        with self._lock:
+            self._require_table(table_name)
+            clauses = "table_name = ?"
+            params: list[Any] = [table_name]
+            if start_after is not None:
+                cursor = self._conn.execute(
+                    "SELECT seq FROM reprowd_records WHERE table_name = ? AND key = ?",
+                    (table_name, start_after),
+                )
+                row = cursor.fetchone()
+                if row is None:
+                    raise StorageError(
+                        f"scan cursor {start_after!r} is not a key of table {table_name!r}"
+                    )
+                clauses += " AND seq > ?"
+                params.append(row[0])
+            sql = f"SELECT key FROM reprowd_records WHERE {clauses} ORDER BY seq"
+            if limit is not None:
+                sql += " LIMIT ?"
+                params.append(limit)
+            return [row[0] for row in self._conn.execute(sql, params).fetchall()]
 
     def count(self, table_name: str) -> int:
         with self._lock:
@@ -203,6 +250,91 @@ class SqliteEngine(StorageEngine):
                 (table_name,),
             )
             return int(cursor.fetchone()[0])
+
+    # -- bulk record access ----------------------------------------------------
+
+    #: Keys per IN-clause chunk; well below SQLite's bound-parameter limit.
+    _CHUNK = 400
+
+    def _fetch_records(self, table_name: str, keys: Sequence[str]) -> dict[str, tuple[str, int]]:
+        """Return raw (encoded value, version) per existing key, chunked."""
+        found: dict[str, tuple[str, int]] = {}
+        distinct = list(dict.fromkeys(keys))
+        for start in range(0, len(distinct), self._CHUNK):
+            chunk = distinct[start : start + self._CHUNK]
+            placeholders = ",".join("?" * len(chunk))
+            cursor = self._conn.execute(
+                "SELECT key, value, version FROM reprowd_records "
+                f"WHERE table_name = ? AND key IN ({placeholders})",
+                (table_name, *chunk),
+            )
+            for key, value, version in cursor.fetchall():
+                found[key] = (value, version)
+        return found
+
+    def put_many(
+        self,
+        table_name: str,
+        items: Iterable[tuple[str, Any]],
+        if_absent: bool = False,
+    ) -> list[Record]:
+        """Batch write as a single transaction: one read, one ``executemany``."""
+        items = list(items)
+        with self._lock:
+            self._require_table(table_name)
+            if not items:
+                return []
+            raw = self._fetch_records(table_name, [key for key, _ in items])
+            # Replay put semantics in memory, then write only each key's
+            # final state; intermediate versions of a key repeated in the
+            # batch exist only in the returned records, exactly as if the
+            # puts had run one at a time.
+            stored: dict[str, Record] = {}
+            pending: dict[str, tuple[str, int]] = {}
+            records: list[Record] = []
+            for key, value in items:
+                encoded = RecordCodec.encode(value)
+                prior = stored.get(key)
+                if prior is None and key in raw:
+                    existing_value, existing_version = raw[key]
+                    prior = Record(
+                        key=key,
+                        value=RecordCodec.decode(existing_value),
+                        version=existing_version,
+                    )
+                    stored[key] = prior
+                if if_absent and prior is not None:
+                    records.append(prior)
+                    continue
+                record = prior.bump(value) if prior else Record(key=key, value=value)
+                stored[key] = record
+                pending[key] = (encoded, record.version)
+                records.append(record)
+            if pending:
+                self._conn.executemany(
+                    "INSERT INTO reprowd_records (table_name, key, value, version) "
+                    "VALUES (?, ?, ?, ?) "
+                    "ON CONFLICT (table_name, key) "
+                    "DO UPDATE SET value = excluded.value, version = excluded.version",
+                    [
+                        (table_name, key, encoded, version)
+                        for key, (encoded, version) in pending.items()
+                    ],
+                )
+                self._commit()
+            return records
+
+    def get_many(
+        self, table_name: str, keys: Sequence[str], default: Any = None
+    ) -> list[Any]:
+        with self._lock:
+            self._require_table(table_name)
+            raw = self._fetch_records(table_name, keys)
+        values: list[Any] = []
+        for key in keys:
+            hit = raw.get(key)
+            values.append(RecordCodec.decode(hit[0]) if hit is not None else default)
+        return values
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -2,7 +2,21 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under tests/property with the ``property`` marker.
+
+    Lets ``-m "not property"`` (see ``make test-fast``) skip the Hypothesis
+    suites without each file having to declare a pytestmark.
+    """
+    for item in items:
+        path = str(item.fspath).replace(os.sep, "/")
+        if "/tests/property/" in path:
+            item.add_marker(pytest.mark.property)
 
 from repro import CrowdContext
 from repro.config import ReprowdConfig, StorageConfig, WorkerPoolConfig

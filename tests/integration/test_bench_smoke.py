@@ -1,0 +1,33 @@
+"""Tier-1 smoke of the bulk-path benchmark: one iteration at toy scale.
+
+Keeps ``benchmarks/bench_bulk_path.py`` importable and behaviourally correct
+on every test run without paying its 5k-object cost — the full run (and its
+3x speedup assertion) stays behind ``make bench``.  The benchmark module is
+loaded by file path because benchmarks/ is a script directory, not a
+package.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+BENCH_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "bench_bulk_path.py"
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location("bench_bulk_path_smoke", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bulk_benchmark_smoke_single_iteration(tmp_path):
+    bench = load_bench_module()
+    # run_comparison itself asserts both modes end with identical platform
+    # and cache state; at toy scale we check the harness, not the speedup.
+    comparison = bench.run_comparison(str(tmp_path), 40)
+    assert comparison["row"]["cached_tasks"] == 40
+    assert comparison["bulk"]["cached_results"] == 40
+    assert comparison["bulk"]["task_runs"] == 40 * bench.REDUNDANCY
+    assert comparison["speedup"] > 0

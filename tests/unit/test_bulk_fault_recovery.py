@@ -1,0 +1,136 @@
+"""Crash injection in the middle of bulk cache writes.
+
+The bulk publish path creates every platform task *before* the batch cache
+write, so a crash mid-``put_many`` is the hardest recovery case: the platform
+knows all N tasks but the durable cache only a prefix.  These tests crash
+there (via :class:`repro.simulation.crash.CrashingEngine`, whose
+``put_many`` deliberately makes each item durable individually so the crash
+lands inside the batch) and prove the rerun publishes zero duplicate tasks,
+re-collects zero answers, and never overwrites a surviving cache record —
+every cached record must still be at version 1 after any number of reruns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrowdContext
+from repro.config import PlatformConfig, WorkerPoolConfig
+from repro.core.cache import FaultRecoveryCache
+from repro.exceptions import CrashInjected
+from repro.platform.client import PlatformClient
+from repro.platform.server import PlatformServer
+from repro.presenters import ImageLabelPresenter
+from repro.simulation import CrashPlan, CrashingEngine
+from repro.storage import SqliteEngine
+from repro.workers.pool import WorkerPool
+
+NUM_IMAGES = 12
+REDUNDANCY = 3
+
+
+@pytest.fixture
+def images():
+    return [f"img-{index:03d}.png" for index in range(NUM_IMAGES)]
+
+
+@pytest.fixture
+def durable_platform():
+    pool = WorkerPool.from_config(WorkerPoolConfig(size=20, mean_accuracy=0.95, seed=11))
+    return PlatformClient(PlatformServer(worker_pool=pool, config=PlatformConfig(seed=11)))
+
+
+def experiment(engine, client, images):
+    context = CrowdContext(engine=engine, client=client, ground_truth=lambda obj: "Yes")
+    data = context.CrowdData(images, "bulk_crash")
+    data.set_presenter(ImageLabelPresenter())
+    data.publish_task(n_assignments=REDUNDANCY)
+    data.get_result()
+    return data
+
+
+def cache_versions(engine, table):
+    return [record.version for record in engine.scan(f"bulk_crash::{table}")]
+
+
+class TestCrashMidBatchPublish:
+    # Writes before the task batch: __tables__ + init log + presenter meta +
+    # set_presenter log + project meta = 5; the task put_many spans writes
+    # 6..17, so these points all land strictly inside the batch.
+    @pytest.mark.parametrize("crash_after", [6, 9, 13, 16])
+    def test_rerun_publishes_zero_duplicate_tasks(
+        self, tmp_path, images, durable_platform, crash_after
+    ):
+        durable = SqliteEngine(str(tmp_path / "crash.db"))
+        with pytest.raises(CrashInjected):
+            experiment(
+                CrashingEngine(durable, CrashPlan(crash_after_writes=crash_after)),
+                durable_platform,
+                images,
+            )
+        # The batch create_tasks call ran before the crashing cache write:
+        # the platform already has every task, the cache only a prefix.
+        assert durable_platform.statistics()["tasks"] == NUM_IMAGES
+        cached_before_rerun = durable.count("bulk_crash::tasks")
+        assert 0 < cached_before_rerun < NUM_IMAGES
+
+        data = experiment(durable, durable_platform, images)
+        stats = durable_platform.statistics()
+        assert stats["tasks"] == NUM_IMAGES
+        assert stats["task_runs"] == NUM_IMAGES * REDUNDANCY
+        assert all(result["complete"] for result in data.column("result"))
+        # put_new semantics per key: the surviving prefix was never rewritten.
+        assert cache_versions(durable, "tasks") == [1] * NUM_IMAGES
+        durable.close()
+
+
+class TestCrashMidBatchCollect:
+    @pytest.mark.parametrize("crash_offset", [1, 5, 11])
+    def test_rerun_recollects_zero_answers(
+        self, tmp_path, images, durable_platform, crash_offset
+    ):
+        durable = SqliteEngine(str(tmp_path / "collect.db"))
+        # Clean publish+collect counts 5 + 12 + 1 + 12 + 1 writes; crash the
+        # first attempt inside the result batch (writes 19..30).
+        crash_after = 5 + NUM_IMAGES + 1 + crash_offset
+        with pytest.raises(CrashInjected):
+            experiment(
+                CrashingEngine(durable, CrashPlan(crash_after_writes=crash_after)),
+                durable_platform,
+                images,
+            )
+        runs_after_crash = durable_platform.statistics()["task_runs"]
+        assert runs_after_crash == NUM_IMAGES * REDUNDANCY
+        cached_results = durable.count("bulk_crash::results")
+        assert 0 < cached_results < NUM_IMAGES
+
+        data = experiment(durable, durable_platform, images)
+        stats = durable_platform.statistics()
+        # Zero new answers were purchased by the rerun.
+        assert stats["task_runs"] == runs_after_crash
+        assert stats["tasks"] == NUM_IMAGES
+        assert all(result["complete"] for result in data.column("result"))
+        assert cache_versions(durable, "results") == [1] * NUM_IMAGES
+        durable.close()
+
+
+class TestCacheBatchIdempotence:
+    def test_put_tasks_rerun_fills_only_the_gap(self, tmp_path):
+        """Direct cache-level proof: replaying a crashed batch bumps nothing."""
+        durable = SqliteEngine(str(tmp_path / "cache.db"))
+        batch = {f"k{index}": {"task_id": index} for index in range(10)}
+
+        crashing = CrashingEngine(durable, CrashPlan(crash_after_writes=4))
+        cache = FaultRecoveryCache(crashing, "t")
+        with pytest.raises(CrashInjected):
+            cache.put_tasks(batch)
+        assert durable.count("t::tasks") == 4
+
+        rerun_cache = FaultRecoveryCache(durable, "t")
+        rerun_cache.put_tasks(batch)
+        assert rerun_cache.task_count() == 10
+        assert [record.version for record in durable.scan("t::tasks")] == [1] * 10
+        assert rerun_cache.get_tasks(sorted(batch)) == [
+            batch[key] for key in sorted(batch)
+        ]
+        durable.close()

@@ -2,8 +2,49 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core.cache import FaultRecoveryCache
 from repro.core.manipulations import Manipulation, ManipulationLog
+
+
+class TestCacheBulkAccess:
+    def test_get_tasks_aligns_with_requested_keys(self, memory_engine):
+        cache = FaultRecoveryCache(memory_engine, "imgs")
+        cache.put_task("a", {"task_id": 1})
+        cache.put_task("c", {"task_id": 3})
+        assert cache.get_tasks(["a", "b", "c"]) == [{"task_id": 1}, None, {"task_id": 3}]
+
+    def test_put_tasks_never_overwrites_survivors(self, memory_engine):
+        cache = FaultRecoveryCache(memory_engine, "imgs")
+        cache.put_task("a", {"task_id": 1})
+        cache.put_tasks({"a": {"task_id": 99}, "b": {"task_id": 2}})
+        assert cache.get_task("a") == {"task_id": 1}
+        assert cache.get_task("b") == {"task_id": 2}
+        assert memory_engine.get_record("imgs::tasks", "a").version == 1
+
+    def test_put_and_get_results_batch(self, memory_engine):
+        cache = FaultRecoveryCache(memory_engine, "imgs")
+        cache.put_results({"a": {"complete": True}, "b": {"complete": True}})
+        assert cache.get_results(["b", "missing", "a"]) == [
+            {"complete": True}, None, {"complete": True}
+        ]
+        assert cache.result_count() == 2
+
+    @pytest.mark.parametrize("num_keys", [0, 1, 1200])
+    def test_all_cached_objects_pages_through_the_table(self, memory_engine, num_keys):
+        cache = FaultRecoveryCache(memory_engine, "imgs")
+        expected = [f"key-{index:04d}" for index in range(num_keys)]
+        cache.put_tasks({key: {"task_id": index} for index, key in enumerate(expected)})
+        # 1200 keys span three scan_page_size=512 pages, 0 and 1 the edges.
+        assert cache.all_cached_objects() == expected
+        assert cache.task_count() == num_keys
+
+    def test_iter_cached_objects_is_lazy_per_page(self, memory_engine):
+        cache = FaultRecoveryCache(memory_engine, "imgs")
+        cache.put_tasks({f"k{index}": {} for index in range(5)})
+        iterator = cache.iter_cached_objects()
+        assert next(iterator) == "k0"
 
 
 class TestCacheKeys:

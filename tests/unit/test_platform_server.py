@@ -103,6 +103,195 @@ class TestTasks:
         assert server.list_tasks(project.project_id) == []
 
 
+class TestBatchPublish:
+    def test_create_tasks_returns_tasks_in_spec_order(self, server):
+        project = server.create_project("p")
+        tasks = server.create_tasks(
+            project.project_id, [{"info": {"i": i}} for i in range(5)]
+        )
+        assert [task.info["i"] for task in tasks] == list(range(5))
+        assert [task.task_id for task in server.list_tasks(project.project_id)] == [
+            task.task_id for task in tasks
+        ]
+
+    def test_batch_redundancy_matches_single_publish(self, server):
+        project = server.create_project("p")
+        single_default = server.create_task(project.project_id, {"object": "a"})
+        single_custom = server.create_task(project.project_id, {"object": "b"}, 7)
+        batch_default, batch_custom = server.create_tasks(
+            project.project_id,
+            [{"info": {"object": "c"}}, {"info": {"object": "d"}, "n_assignments": 7}],
+        )
+        assert batch_default.n_assignments == single_default.n_assignments
+        assert batch_custom.n_assignments == single_custom.n_assignments
+
+    def test_bad_spec_publishes_nothing(self, server):
+        project = server.create_project("p")
+        with pytest.raises(PlatformError):
+            server.create_tasks(
+                project.project_id,
+                [{"info": {"i": 0}}, {"info": {"i": 1}, "n_assignments": 0}],
+            )
+        with pytest.raises(PlatformError):
+            server.create_tasks(project.project_id, [{"n_assignments": 3}])
+        assert server.list_tasks(project.project_id) == []
+
+    def test_create_tasks_unknown_project(self, server):
+        with pytest.raises(ProjectNotFoundError):
+            server.create_tasks(42, [{"info": {}}])
+
+    def test_dedup_key_makes_batch_publish_idempotent(self, server):
+        project = server.create_project("p")
+        specs = [{"info": {"i": i}, "dedup_key": f"k{i}"} for i in range(4)]
+        first = server.create_tasks(project.project_id, specs)
+        replayed = server.create_tasks(project.project_id, specs)
+        assert [task.task_id for task in replayed] == [task.task_id for task in first]
+        assert len(server.list_tasks(project.project_id)) == 4
+
+    def test_dedup_is_shared_between_single_and_batch_publish(self, server):
+        project = server.create_project("p")
+        single = server.create_task(project.project_id, {"i": 0}, dedup_key="k0")
+        (batched,) = server.create_tasks(
+            project.project_id, [{"info": {"i": 0}, "dedup_key": "k0"}]
+        )
+        assert batched.task_id == single.task_id
+
+    def test_dedup_is_scoped_per_project(self, server):
+        first = server.create_project("p1")
+        second = server.create_project("p2")
+        task_a = server.create_task(first.project_id, {"i": 0}, dedup_key="k")
+        task_b = server.create_task(second.project_id, {"i": 0}, dedup_key="k")
+        assert task_a.task_id != task_b.task_id
+
+    def test_deleted_task_is_not_resurrected_by_dedup(self, server):
+        project = server.create_project("p")
+        task = server.create_task(project.project_id, {"i": 0}, dedup_key="k")
+        server.delete_task(task.task_id)
+        fresh = server.create_task(project.project_id, {"i": 0}, dedup_key="k")
+        assert fresh.task_id != task.task_id
+
+    def test_get_task_runs_for_project_covers_every_task(self, server):
+        project = server.create_project("p")
+        tasks = server.create_tasks(
+            project.project_id,
+            [{"info": {"i": i, "_true_answer": "Yes"}, "n_assignments": 2} for i in range(3)],
+        )
+        runs_map = server.get_task_runs_for_project(project.project_id)
+        assert runs_map == {task.task_id: [] for task in tasks}
+        server.simulate_work(project.project_id)
+        runs_map = server.get_task_runs_for_project(project.project_id)
+        assert set(runs_map) == {task.task_id for task in tasks}
+        assert all(len(runs) == 2 for runs in runs_map.values())
+        for task in tasks:
+            assert [run.run_id for run in runs_map[task.task_id]] == [
+                run.run_id for run in server.get_task_runs(task.task_id)
+            ]
+
+    def test_assignment_strategy_identical_between_single_and_batch(self):
+        """The same crowd answers the same tasks whichever way they were
+        published: worker selection must not depend on the publish batching."""
+        from repro.platform.assignment import RoundRobinAssignment
+
+        def build_server():
+            pool = WorkerPool.uniform(size=6, accuracy=1.0, seed=5)
+            return PlatformServer(
+                worker_pool=pool,
+                config=PlatformConfig(seed=5),
+                assignment=RoundRobinAssignment(),
+            )
+
+        infos = [{"i": i, "candidates": ["Yes", "No"], "_true_answer": "Yes"} for i in range(4)]
+
+        single = build_server()
+        project = single.create_project("p")
+        for info in infos:
+            single.create_task(project.project_id, info, 3)
+        single.simulate_work(project.project_id)
+
+        batch = build_server()
+        project_b = batch.create_project("p")
+        batch.create_tasks(
+            project_b.project_id, [{"info": info, "n_assignments": 3} for info in infos]
+        )
+        batch.simulate_work(project_b.project_id)
+
+        single_runs = [
+            (run.task_id, run.worker_id, run.answer)
+            for run in single.project_task_runs(project.project_id)
+        ]
+        batch_runs = [
+            (run.task_id, run.worker_id, run.answer)
+            for run in batch.project_task_runs(project_b.project_id)
+        ]
+        assert single_runs == batch_runs
+
+
+class TestBatchBudgetCharging:
+    def test_bulk_publish_charges_like_single_publish(self, tmp_path):
+        """One charge per row at the same price whichever path publishes."""
+        from repro import CrowdContext
+        from repro.core.budget import BudgetTracker
+        from repro.presenters import ImageLabelPresenter
+
+        def spend(objects) -> tuple[float, int]:
+            budget = BudgetTracker(price_per_assignment=0.05)
+            context = CrowdContext.in_memory(budget=budget)
+            data = context.CrowdData(objects, "budgeted")
+            data.set_presenter(ImageLabelPresenter())
+            data.publish_task(n_assignments=3)
+            context.close()
+            return budget.spent, len(budget.charges)
+
+        objects = [f"img-{i}.png" for i in range(6)]
+        bulk_spent, bulk_charges = spend(objects)
+        expected = sum(spend([obj])[0] for obj in objects)
+        assert bulk_spent == pytest.approx(expected)
+        assert bulk_charges == len(objects)
+
+    def test_tight_budget_publishes_affordable_prefix_only(self):
+        """Spend always equals crowd work actually purchased: a batch the
+        budget cannot cover publishes its affordable prefix, charges exactly
+        that, and raises so a rerun with more budget resumes."""
+        from repro import CrowdContext
+        from repro.core.budget import BudgetExceededError, BudgetTracker
+        from repro.presenters import ImageLabelPresenter
+
+        budget = BudgetTracker(price_per_assignment=0.10, budget=0.90)  # 3 tasks at r=3
+        context = CrowdContext.in_memory(budget=budget)
+        data = context.CrowdData([f"img-{i}.png" for i in range(5)], "tight")
+        data.set_presenter(ImageLabelPresenter())
+        with pytest.raises(BudgetExceededError):
+            data.publish_task(n_assignments=3)
+        assert context.client.statistics()["tasks"] == 3
+        assert budget.total_assignments() == 9
+        assert budget.spent == pytest.approx(0.90)
+
+    def test_republished_rows_are_not_recharged(self):
+        """A rerun with a warm cache publishes and charges nothing."""
+        from repro import CrowdContext
+        from repro.core.budget import BudgetTracker
+        from repro.presenters import ImageLabelPresenter
+        from repro.storage import MemoryEngine
+
+        engine = MemoryEngine()
+        first_budget = BudgetTracker()
+        context = CrowdContext.in_memory(engine=engine, budget=first_budget)
+        objects = [f"img-{i}.png" for i in range(4)]
+        context.CrowdData(objects, "warm").set_presenter(
+            ImageLabelPresenter()
+        ).publish_task(n_assignments=3)
+
+        rerun_budget = BudgetTracker()
+        rerun = CrowdContext.in_memory(
+            engine=engine, client=context.client, budget=rerun_budget
+        )
+        rerun.CrowdData(objects, "warm").set_presenter(
+            ImageLabelPresenter()
+        ).publish_task(n_assignments=3)
+        assert rerun_budget.spent == 0.0
+        assert context.client.statistics()["tasks"] == len(objects)
+
+
 class TestWorkSimulation:
     def test_pending_assignments_counts_missing_answers(self, server):
         project = server.create_project("p")

@@ -125,6 +125,117 @@ class TestRecordAccess:
         assert description["tables"] == {"t": 1}
 
 
+class TestBulkOperations:
+    def test_put_many_inserts_and_returns_records(self, any_engine):
+        any_engine.create_table("t")
+        records = any_engine.put_many("t", [("a", 1), ("b", 2), ("c", 3)])
+        assert [(r.key, r.value, r.version) for r in records] == [
+            ("a", 1, 1), ("b", 2, 1), ("c", 3, 1)
+        ]
+        assert any_engine.items("t") == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_put_many_upserts_and_bumps_versions(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put("t", "a", "old")
+        records = any_engine.put_many("t", [("a", "new"), ("b", 1)])
+        assert records[0].version == 2
+        assert any_engine.get("t", "a") == "new"
+        # The upsert keeps the original insertion position, like single put.
+        assert any_engine.keys("t") == ["a", "b"]
+
+    def test_put_many_repeated_key_bumps_per_occurrence(self, any_engine):
+        any_engine.create_table("t")
+        records = any_engine.put_many("t", [("a", 1), ("a", 2), ("a", 3)])
+        assert [r.version for r in records] == [1, 2, 3]
+        assert any_engine.get_record("t", "a").version == 3
+        assert any_engine.get("t", "a") == 3
+
+    def test_put_many_if_absent_skips_existing_keys(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put("t", "a", "kept")
+        records = any_engine.put_many(
+            "t", [("a", "ignored"), ("b", 1), ("b", 2)], if_absent=True
+        )
+        assert [(r.key, r.value, r.version) for r in records] == [
+            ("a", "kept", 1), ("b", 1, 1), ("b", 1, 1)
+        ]
+        assert any_engine.get("t", "a") == "kept"
+        assert any_engine.get("t", "b") == 1
+        assert any_engine.get_record("t", "b").version == 1
+
+    def test_put_many_empty_batch(self, any_engine):
+        any_engine.create_table("t")
+        assert any_engine.put_many("t", []) == []
+        with pytest.raises(TableNotFoundError):
+            any_engine.put_many("missing", [])
+
+    def test_put_many_rejects_unencodable_values_without_partial_write(self, any_engine):
+        any_engine.create_table("t")
+        with pytest.raises(StorageError):
+            any_engine.put_many("t", [("a", 1), ("b", object())])
+        # All-or-nothing: the valid prefix must not have been applied.
+        assert any_engine.items("t") == []
+
+    def test_get_many_preserves_order_and_defaults(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put_many("t", [("a", 1), ("b", None)])
+        assert any_engine.get_many("t", ["b", "missing", "a", "a"]) == [None, None, 1, 1]
+        assert any_engine.get_many("t", ["missing"], default="x") == ["x"]
+        with pytest.raises(TableNotFoundError):
+            any_engine.get_many("missing", ["a"])
+
+    def test_scan_limit_pages_in_insertion_order(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put_many("t", [(f"k{i}", i) for i in range(7)])
+        first = list(any_engine.scan("t", limit=3))
+        assert [r.key for r in first] == ["k0", "k1", "k2"]
+        second = list(any_engine.scan("t", limit=3, start_after=first[-1].key))
+        assert [r.key for r in second] == ["k3", "k4", "k5"]
+        tail = list(any_engine.scan("t", limit=3, start_after=second[-1].key))
+        assert [r.key for r in tail] == ["k6"]
+
+    def test_scan_keys_pages_without_values(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put_many("t", [(f"k{i}", {"payload": i}) for i in range(5)])
+        assert any_engine.scan_keys("t") == [f"k{i}" for i in range(5)]
+        assert any_engine.scan_keys("t", limit=2, start_after="k1") == ["k2", "k3"]
+        with pytest.raises(StorageError):
+            any_engine.scan_keys("t", start_after="missing")
+
+    def test_scan_zero_limit_and_unknown_cursor(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put("t", "a", 1)
+        assert list(any_engine.scan("t", limit=0)) == []
+        with pytest.raises(ValueError):
+            list(any_engine.scan("t", limit=-1))
+        with pytest.raises(StorageError):
+            list(any_engine.scan("t", start_after="missing"))
+
+    def test_put_many_is_durable(self, tmp_path):
+        for name, build in {
+            "sqlite": lambda p: SqliteEngine(str(p / "bulk.db")),
+            "log": lambda p: LogStructuredEngine(str(p / "bulk_log"), snapshot_every=100),
+        }.items():
+            engine = build(tmp_path)
+            engine.create_table("t")
+            engine.put_many("t", [(f"k{i}", i) for i in range(5)])
+            engine.close()
+            reopened = build(tmp_path)
+            assert reopened.items("t") == [(f"k{i}", i) for i in range(5)], name
+            reopened.close()
+
+    def test_log_engine_batch_is_one_append(self, tmp_path):
+        engine = LogStructuredEngine(str(tmp_path / "grouped"), snapshot_every=100)
+        engine.create_table("t")
+        engine.put_many("t", [(f"k{i}", i) for i in range(50)])
+        engine.flush()
+        with open(engine.log_path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        # create_table + one group record for the whole 50-item batch.
+        assert len(lines) == 2
+        engine.close()
+
+
 class TestOpenEngine:
     def test_open_memory(self):
         engine = open_engine(StorageConfig(engine="memory"))
