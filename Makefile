@@ -2,7 +2,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast bench bench-smoke
+.PHONY: test test-fast bench bench-smoke docs-check
 
 test:
 	$(PYTEST) -x -q
@@ -17,4 +17,8 @@ bench:
 
 # One-iteration benchmark sanity pass at toy scale (seconds, not minutes).
 bench-smoke:
-	$(PYTEST) benchmarks/bench_bulk_path.py -q --bench-scale=smoke
+	$(PYTEST) benchmarks/bench_bulk_path.py benchmarks/bench_sharded_scan.py -q --bench-scale=smoke
+
+# Lint README/docs links and run examples/quickstart.py headlessly.
+docs-check:
+	PYTHONPATH=src python tools/docs_check.py

@@ -1,0 +1,191 @@
+"""E9: sharded storage + streaming collection at scale.
+
+Part 1 — storage: the same ``put_many`` + full-scan + paginated-scan workload
+runs against one SQLite file and against :class:`ShardedEngine` over N SQLite
+shard files (N = 4 and 8), reporting throughput per configuration.  Sharding
+buys write/scan parallelism *across files* (independent shard transactions,
+per-shard pagination) at the cost of an envelope decode and a k-way merge on
+read; the table makes that trade measurable rather than assumed.  Contents
+are asserted identical across configurations, so the numbers compare equal
+work.
+
+Part 2 — streaming: a 10k-task project is collected through
+``iter_task_runs_for_project``; the harness records the largest page the
+pipeline ever held and asserts it stays bounded by ``page_size`` — the
+"projects larger than memory" guarantee, observed rather than claimed.
+
+Run ``pytest benchmarks/bench_sharded_scan.py -q --bench-scale=smoke`` for a
+seconds-long sanity pass at toy scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import PlatformConfig, WorkerPoolConfig
+from repro.platform.client import PlatformClient
+from repro.platform.server import PlatformServer
+from repro.simulation import ExperimentRunner
+from repro.storage import ShardedEngine, SqliteEngine
+from repro.utils.timing import Stopwatch
+from repro.workers.pool import WorkerPool
+
+pytestmark = pytest.mark.slow
+
+NUM_RECORDS = 20_000
+SMOKE_RECORDS = 400
+STREAM_TASKS = 10_000
+SMOKE_STREAM_TASKS = 300
+PAGE_SIZE = 500
+SCAN_PAGE = 512
+
+
+def build_engine(base_dir: str, shards: int):
+    """One SQLite file for ``shards == 1``, else a sharded engine over N files."""
+    if shards == 1:
+        return SqliteEngine(os.path.join(base_dir, "single.db"))
+    return ShardedEngine(
+        [
+            SqliteEngine(os.path.join(base_dir, f"shard-{shards}-{index:02d}.db"))
+            for index in range(shards)
+        ]
+    )
+
+
+def run_storage_config(base_dir: str, shards: int, num_records: int) -> dict:
+    """Load, scan and page one configuration; return its throughput row."""
+    engine = build_engine(base_dir, shards)
+    engine.create_table("bench")
+    items = [(f"key-{index:08d}", {"payload": index}) for index in range(num_records)]
+
+    with Stopwatch() as put:
+        engine.put_many("bench", items)
+    with Stopwatch() as scan:
+        scanned = sum(1 for _ in engine.scan("bench"))
+    with Stopwatch() as paged:
+        walked, cursor = 0, None
+        while True:
+            page = list(engine.scan("bench", limit=SCAN_PAGE, start_after=cursor))
+            walked += len(page)
+            if len(page) < SCAN_PAGE:
+                break
+            cursor = page[-1].key
+
+    assert scanned == num_records and walked == num_records
+    assert [r.key for r in engine.scan("bench", limit=3)] == [
+        "key-00000000",
+        "key-00000001",
+        "key-00000002",
+    ]
+    row = {
+        "shards": shards,
+        "records": num_records,
+        "put_many_seconds": round(put.elapsed, 3),
+        "put_krows_per_s": round(num_records / max(put.elapsed, 1e-9) / 1000, 1),
+        "scan_seconds": round(scan.elapsed, 3),
+        "scan_krows_per_s": round(num_records / max(scan.elapsed, 1e-9) / 1000, 1),
+        "paged_scan_seconds": round(paged.elapsed, 3),
+    }
+    engine.close()
+    return row
+
+
+def run_streaming_collection(num_tasks: int, page_size: int) -> dict:
+    """Collect a *num_tasks* project page by page; report peak residency."""
+    pool = WorkerPool.from_config(WorkerPoolConfig(size=50, mean_accuracy=0.9, seed=7))
+    client = PlatformClient(PlatformServer(worker_pool=pool, config=PlatformConfig(seed=7)))
+    project = client.create_project("stream-bench")
+    client.create_tasks(
+        project.project_id,
+        [
+            {"info": {"url": f"img-{i:05d}", "_true_answer": "Yes"}, "n_assignments": 1}
+            for i in range(num_tasks)
+        ],
+    )
+    client.simulate_work(project_id=project.project_id)
+
+    peak_tasks_resident = 0
+    peak_runs_resident = 0
+    collected = 0
+    with Stopwatch() as collect:
+        cursor = None
+        while True:
+            page = client.get_task_runs_page(project.project_id, page_size, start_after=cursor)
+            peak_tasks_resident = max(peak_tasks_resident, len(page))
+            peak_runs_resident = max(
+                peak_runs_resident, sum(len(runs) for _, runs in page)
+            )
+            collected += len(page)
+            if len(page) < page_size:
+                break
+            cursor = page[-1][0]
+
+    assert collected == num_tasks
+    assert peak_tasks_resident <= page_size, (
+        f"streaming held {peak_tasks_resident} tasks resident, page_size={page_size}"
+    )
+    return {
+        "tasks": num_tasks,
+        "page_size": page_size,
+        "peak_tasks_resident": peak_tasks_resident,
+        "peak_runs_resident": peak_runs_resident,
+        "collect_seconds": round(collect.elapsed, 3),
+        "ktasks_per_s": round(num_tasks / max(collect.elapsed, 1e-9) / 1000, 1),
+    }
+
+
+def test_sharded_scan_throughput(record_table, tmp_path, bench_scale):
+    smoke = bench_scale == "smoke"
+    num_records = SMOKE_RECORDS if smoke else NUM_RECORDS
+    rows = [
+        run_storage_config(str(tmp_path), shards, num_records) for shards in (1, 4, 8)
+    ]
+
+    runner = ExperimentRunner(
+        f"E9 — sharded vs single-file put_many/scan ({num_records} records, sqlite shards)"
+    )
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = rows
+    record_table(
+        "E9_sharded_scan",
+        sweep.to_table(
+            columns=[
+                "shards",
+                "records",
+                "put_many_seconds",
+                "put_krows_per_s",
+                "scan_seconds",
+                "scan_krows_per_s",
+                "paged_scan_seconds",
+            ]
+        ),
+    )
+
+
+def test_streaming_collection_bounded_residency(record_table, bench_scale):
+    smoke = bench_scale == "smoke"
+    num_tasks = SMOKE_STREAM_TASKS if smoke else STREAM_TASKS
+    page_size = 50 if smoke else PAGE_SIZE
+    row = run_streaming_collection(num_tasks, page_size)
+
+    runner = ExperimentRunner(
+        f"E9 — streaming collection ({num_tasks} tasks, page_size {page_size}, "
+        f"peak resident {row['peak_tasks_resident']} tasks)"
+    )
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = [row]
+    record_table(
+        "E9_streaming_collection",
+        sweep.to_table(
+            columns=[
+                "tasks",
+                "page_size",
+                "peak_tasks_resident",
+                "peak_runs_resident",
+                "collect_seconds",
+                "ktasks_per_s",
+            ]
+        ),
+    )

@@ -23,18 +23,26 @@ class StorageConfig:
     """Configuration of the persistence layer.
 
     Attributes:
-        engine: One of ``"sqlite"``, ``"memory"`` or ``"log"``.
+        engine: One of ``"sqlite"``, ``"memory"``, ``"log"`` or ``"sharded"``.
         path: Filesystem path of the database (ignored for ``"memory"``).
+            For ``"sharded"`` this is a *directory*; each shard lives in its
+            own file underneath it (``shard-00.db``, ``shard-01.db``, ...).
         synchronous: When True the SQLite engine commits after every write,
             matching the durability the paper relies on for crash-and-rerun.
         snapshot_every: For the log-structured engine, how many log records
             are written between snapshots.
+        shards: For the sharded engine, how many child engines keys are
+            hash-partitioned across.
+        shard_engine: For the sharded engine, the child engine type — one of
+            ``"sqlite"``, ``"memory"`` or ``"log"``.
     """
 
     engine: str = "sqlite"
     path: str = DEFAULT_DB_FILENAME
     synchronous: bool = True
     snapshot_every: int = 1000
+    shards: int = 4
+    shard_engine: str = "sqlite"
 
     def with_path(self, path: str) -> "StorageConfig":
         """Return a copy of this config pointing at *path*."""

@@ -92,8 +92,29 @@ class FaultRecoveryCache:
         self.engine.put(self._results_table, key, task_runs)
 
     def get_results(self, keys: Sequence[str]) -> list[Any]:
-        """Return the cached result (or None) per key, in one read."""
+        """Return the cached result (or None) per key, in one read.
+
+        Materialises one value per key; for row counts that may dwarf memory
+        use :meth:`iter_results` instead.
+        """
         return self.engine.get_many(self._results_table, keys)
+
+    def iter_results(
+        self, keys: Sequence[str], page_size: int | None = None
+    ) -> Iterable[tuple[int, Any]]:
+        """Yield ``(position, cached result or None)`` per key, page by page.
+
+        The streaming sibling of :meth:`get_results`: each engine
+        ``get_many`` materialises at most *page_size* values (complete
+        results carry every task run, so they are the heavy objects of the
+        cache), keeping the collection path's resident footprint bounded by
+        the page size rather than the project size.
+        """
+        page_size = page_size or self.scan_page_size
+        for start in range(0, len(keys), page_size):
+            chunk = keys[start : start + page_size]
+            values = self.engine.get_many(self._results_table, chunk)
+            yield from zip(range(start, start + len(chunk)), values)
 
     def put_results(self, results: Mapping[str, Any]) -> None:
         """Persist a batch of complete results with put_new-per-key semantics."""

@@ -19,10 +19,10 @@ Bulk execution path
 -------------------
 
 ``publish_task`` and ``get_result`` are batched end to end: one
-``get_many`` against the cache, one ``create_tasks`` /
-``get_task_runs_for_project`` platform round-trip, and one ``put_many``
-back to the cache — the cost of a verb is O(1) round-trips in the number of
-rows instead of O(n).  The fault-recovery contract is unchanged:
+``get_many`` against the cache, one ``create_tasks`` platform round-trip,
+and one ``put_many`` back to the cache — the cost of a verb is O(1)
+round-trips in the number of rows instead of O(n).  The fault-recovery
+contract is unchanged:
 
 * every ``create_tasks`` spec carries the row's object key as a platform
   ``dedup_key``, so replaying a batch (client retry, crash before the cache
@@ -31,6 +31,22 @@ rows instead of O(n).  The fault-recovery contract is unchanged:
 * cache batch writes use ``put_new`` semantics per key
   (``put_many(..., if_absent=True)``): a crash mid-batch leaves a durable
   prefix that the rerun never overwrites or version-bumps.
+
+Streaming collection
+--------------------
+
+Collection no longer materialises a whole project's answers at once.
+``get_result`` reads the cache through ``FaultRecoveryCache.iter_results``
+(one ``get_many`` per page), checks for stale cached tasks against the
+platform's id-only page stream (``iter_project_task_ids`` — one integer per
+task, no runs shipped), then walks ``PlatformClient.
+iter_task_runs_for_project(page_size)``: each page carries at most
+``collect_page_size`` tasks' runs, rows are filled as their page arrives,
+and complete results are flushed to the cache one ``put_many`` per page.  At
+no point are more than one page of task runs resident in the pipeline, so a
+project larger than memory collects in space bounded by the page size — and
+a crash between page flushes leaves durable page-prefixes that the rerun's
+``if_absent`` batch writes heal, exactly like the single-batch path did.
 """
 
 from __future__ import annotations
@@ -288,8 +304,17 @@ class CrowdData:
 
     # -- step 4: collect results -------------------------------------------------------------
 
+    #: Tasks per platform round-trip and results per cache batch write when
+    #: collecting — the bound on how many task runs are resident at once.
+    collect_page_size = 500
+
     def get_result(self, blocking: bool = True) -> "CrowdData":
         """Collect crowd answers, adding the persistent ``result`` column.
+
+        Collection streams: cached results are read one page at a time, the
+        platform's answers arrive in pages of :attr:`collect_page_size`
+        tasks, and complete results are flushed to the fault-recovery cache
+        per page — a project larger than memory collects in bounded space.
 
         Args:
             blocking: When True (default) the call simulates crowd work until
@@ -298,67 +323,27 @@ class CrowdData:
                 partial result, mirroring the original's non-blocking mode.
         """
         presenter = self._require_presenter()
-        keys = self._object_keys(presenter)
-        cached = self.cache.get_results(keys)
-        cache_hits = 0
-        for index, result in enumerate(cached):
-            if result is not None:
-                self.data["result"][index] = result
-                cache_hits += 1
-        missing = [
-            index for index, value in enumerate(self.data["result"]) if value is None
-        ]
+        cache_hits = self._load_cached_results(presenter)
+        missing = self._missing_rows("get_result()")
         if missing:
-            if self.project_id is None:
-                raise CrowdDataError(
-                    "no tasks have been published — call publish_task() before get_result()"
-                )
-            for index in missing:
-                if self.data["task"][index] is None:
-                    raise CrowdDataError(
-                        f"row {index} has no published task; publish_task() must cover every row"
-                    )
-            # A cached task may reference a task id the current platform does
-            # not know about (e.g. the platform was redeployed between runs).
-            # Re-publish those tasks first so the experiment self-heals, then
-            # simulate the crowd once for everything that is pending.
-            known = self.client.get_task_runs_for_project(self.project_id)
-            stale = [
-                index
-                for index in missing
-                if self.data["task"][index]["task_id"] not in known
-            ]
-            if stale:
-                self._republish_many(stale)
+            self._heal_stale_tasks(missing)
             if blocking:
                 self.client.simulate_work(project_id=self.project_id)
-            if blocking or stale:
-                runs_by_task = self.client.get_task_runs_for_project(self.project_id)
-            else:
-                # Nothing changed since the staleness check: reuse its map
-                # instead of fetching the whole project a second time.
-                runs_by_task = known
-            to_cache: dict[str, Any] = {}
-            for index in missing:
-                descriptor = self.data["task"][index]
-                runs = runs_by_task.get(descriptor["task_id"], [])
+
+            def build(descriptor: dict[str, Any], runs: list) -> tuple[dict[str, Any], bool]:
                 complete = len(runs) >= descriptor["n_assignments"]
-                run_payloads = [run.to_dict() for run in runs]
                 result = {
                     "object_key": descriptor["object_key"],
                     "task_id": descriptor["task_id"],
                     "published_at": descriptor["published_at"],
                     "complete": complete,
-                    "assignments": run_payloads,
+                    "assignments": [run.to_dict() for run in runs],
                 }
-                self.data["result"][index] = result
-                if complete:
-                    # Only complete results are persisted: a partial result
-                    # must be re-fetched on the next run so late answers are
-                    # picked up.
-                    to_cache[descriptor["object_key"]] = result
-            if to_cache:
-                self.cache.put_results(to_cache)
+                # Only complete results are persisted: a partial result must
+                # be re-fetched on the next run so late answers are picked up.
+                return result, complete
+
+            self._collect_streaming(missing, build)
         self.log.record(
             "get_result",
             parameters={"blocking": blocking},
@@ -368,6 +353,104 @@ class CrowdData:
             timestamp=self.clock.now,
         )
         return self
+
+    def _load_cached_results(self, presenter: BasePresenter) -> int:
+        """Fill rows from the cache, one page at a time; return the hit count."""
+        keys = self._object_keys(presenter)
+        cache_hits = 0
+        for index, result in self.cache.iter_results(keys, self.collect_page_size):
+            if result is not None:
+                self.data["result"][index] = result
+                cache_hits += 1
+        return cache_hits
+
+    def _missing_rows(self, verb: str) -> list[int]:
+        """Rows still lacking a result, validated as collectable."""
+        missing = [
+            index for index, value in enumerate(self.data["result"]) if value is None
+        ]
+        if not missing:
+            return missing
+        if self.project_id is None:
+            raise CrowdDataError(
+                f"no tasks have been published — call publish_task() before {verb}"
+            )
+        for index in missing:
+            if self.data["task"][index] is None:
+                raise CrowdDataError(
+                    f"row {index} has no published task; publish_task() must cover every row"
+                )
+        return missing
+
+    def _heal_stale_tasks(self, missing: list[int]) -> None:
+        """Re-publish cached tasks the current platform does not know.
+
+        A cached descriptor may reference a task id from a platform that was
+        since redeployed.  Membership is checked against the platform's
+        id-only page stream — one integer per task crosses the wire, no task
+        runs — and the stale rows are re-published in one batch so the
+        experiment self-heals.
+        """
+        known_ids = set(
+            self.client.iter_project_task_ids(self.project_id, self.collect_page_size)
+        )
+        stale = [
+            index
+            for index in missing
+            if self.data["task"][index]["task_id"] not in known_ids
+        ]
+        if stale:
+            self._republish_many(stale)
+
+    def _collect_streaming(
+        self,
+        missing: list[int],
+        build: Callable[[dict[str, Any], list], tuple[dict[str, Any], bool]],
+    ) -> None:
+        """Fill *missing* rows from the platform's paged task-run stream.
+
+        *build* maps ``(descriptor, runs)`` to ``(result, cache_it)``.  Rows
+        are filled as their page arrives and cache-worthy results are flushed
+        with one batch write per :attr:`collect_page_size` results, so peak
+        resident task runs are bounded by the page size.  The stream stops as
+        soon as every missing row is resolved.
+        """
+        waiting: dict[int, list[int]] = {}
+        for index in missing:
+            waiting.setdefault(self.data["task"][index]["task_id"], []).append(index)
+        to_cache: dict[str, Any] = {}
+
+        def fill(task_id: int, indexes: list[int], runs: list) -> None:
+            # Build per row, not per task: rows sharing a task each get their
+            # own result exactly as the batched path produced them.
+            for index in indexes:
+                descriptor = self.data["task"][index]
+                result, cache_it = build(descriptor, runs)
+                self.data["result"][index] = result
+                if cache_it:
+                    to_cache[descriptor["object_key"]] = result
+
+        def flush() -> None:
+            if to_cache:
+                self.cache.put_results(dict(to_cache))
+                to_cache.clear()
+
+        for task_id, runs in self.client.iter_task_runs_for_project(
+            self.project_id, self.collect_page_size
+        ):
+            indexes = waiting.pop(task_id, None)
+            if indexes is None:
+                continue
+            fill(task_id, indexes, runs)
+            if len(to_cache) >= self.collect_page_size:
+                flush()
+            if not waiting:
+                break
+        # Tasks the stream did not return get an empty answer list — the
+        # same default the batched map lookup used.
+        for task_id, indexes in list(waiting.items()):
+            fill(task_id, indexes, [])
+        flush()
 
     def get_result_adaptive(self, policy: AdaptivePolicy | None = None) -> "CrowdData":
         """Collect answers with adaptive redundancy (budget-aware ``get_result``).
@@ -385,34 +468,10 @@ class CrowdData:
         policy = policy or AdaptivePolicy()
         presenter = self._require_presenter()
         stats = AdaptiveCollectionStats()
-        cache_hits = 0
-        cached = self.cache.get_results(self._object_keys(presenter))
-        for index, result in enumerate(cached):
-            if result is not None:
-                self.data["result"][index] = result
-                cache_hits += 1
-        missing = [
-            index for index, value in enumerate(self.data["result"]) if value is None
-        ]
-        if missing and self.project_id is None:
-            raise CrowdDataError(
-                "no tasks have been published — call publish_task() before "
-                "get_result_adaptive()"
-            )
+        cache_hits = self._load_cached_results(presenter)
+        missing = self._missing_rows("get_result_adaptive()")
         if missing:
-            for index in missing:
-                if self.data["task"][index] is None:
-                    raise CrowdDataError(
-                        f"row {index} has no published task; publish_task() must cover every row"
-                    )
-            known = self.client.get_task_runs_for_project(self.project_id)
-            stale = [
-                index
-                for index in missing
-                if self.data["task"][index]["task_id"] not in known
-            ]
-            if stale:
-                self._republish_many(stale)
+            self._heal_stale_tasks(missing)
             unresolved = list(missing)
             while unresolved:
                 self.client.simulate_work(project_id=self.project_id)
@@ -437,11 +496,8 @@ class CrowdData:
                     self.cache.put_task(descriptor["object_key"], descriptor)
                     still_unresolved.append(index)
                 unresolved = still_unresolved
-            runs_by_task = self.client.get_task_runs_for_project(self.project_id)
-            to_cache: dict[str, Any] = {}
-            for index in missing:
-                descriptor = self.data["task"][index]
-                runs = runs_by_task.get(descriptor["task_id"], [])
+
+            def build(descriptor: dict[str, Any], runs: list) -> tuple[dict[str, Any], bool]:
                 answers = [run.answer for run in runs]
                 stats.answers_collected += len(runs)
                 if len(runs) >= policy.max_assignments and not (
@@ -458,10 +514,9 @@ class CrowdData:
                     "adaptive": True,
                     "assignments": [run.to_dict() for run in runs],
                 }
-                self.data["result"][index] = result
-                to_cache[descriptor["object_key"]] = result
-            if to_cache:
-                self.cache.put_results(to_cache)
+                return result, True
+
+            self._collect_streaming(missing, build)
         self._last_adaptive_stats = stats
         self.log.record(
             "get_result_adaptive",

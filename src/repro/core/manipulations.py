@@ -65,7 +65,17 @@ class Manipulation:
 
 
 class ManipulationLog:
-    """Durable, append-only log of a table's manipulations."""
+    """Durable, append-only log of a table's manipulations.
+
+    Appends are batched: :meth:`record_many` persists any number of
+    manipulations with a single engine ``put_many`` — one transaction on
+    SQLite, one group append (one fsync) on the log-structured engine — and
+    :meth:`record` is the single-entry case of the same path.  The next
+    sequence is re-read from the durable count per batch (``count`` is O(1)
+    on every engine), so several log instances over the same table — e.g. a
+    table re-opened while an old handle is still alive — interleave without
+    overwriting each other's entries.
+    """
 
     def __init__(self, engine: StorageEngine, table_name: str):
         self.engine = engine
@@ -83,18 +93,49 @@ class ManipulationLog:
         timestamp: float = 0.0,
     ) -> Manipulation:
         """Append one manipulation and return it."""
-        sequence = self.engine.count(self._log_table) + 1
-        manipulation = Manipulation(
-            sequence=sequence,
-            operation=operation,
-            parameters=dict(parameters or {}),
-            columns_added=list(columns_added or []),
-            rows_affected=rows_affected,
-            cache_hits=cache_hits,
-            timestamp=timestamp,
-        )
-        self.engine.put(self._log_table, f"{sequence:08d}", manipulation.to_dict())
-        return manipulation
+        return self.record_many(
+            [
+                {
+                    "operation": operation,
+                    "parameters": parameters,
+                    "columns_added": columns_added,
+                    "rows_affected": rows_affected,
+                    "cache_hits": cache_hits,
+                    "timestamp": timestamp,
+                }
+            ]
+        )[0]
+
+    def record_many(self, entries: list[dict[str, Any]]) -> list[Manipulation]:
+        """Append a batch of manipulations atomically; return them in order.
+
+        Each entry is a dict of :meth:`record` keyword arguments with a
+        required ``"operation"``.  The whole batch becomes one engine
+        ``put_many``, so either every entry is durable or none is.
+        """
+        next_sequence = self.engine.count(self._log_table) + 1
+        manipulations: list[Manipulation] = []
+        for offset, entry in enumerate(entries):
+            manipulations.append(
+                Manipulation(
+                    sequence=next_sequence + offset,
+                    operation=entry["operation"],
+                    parameters=dict(entry.get("parameters") or {}),
+                    columns_added=list(entry.get("columns_added") or []),
+                    rows_affected=entry.get("rows_affected", 0),
+                    cache_hits=entry.get("cache_hits", 0),
+                    timestamp=entry.get("timestamp", 0.0),
+                )
+            )
+        if manipulations:
+            self.engine.put_many(
+                self._log_table,
+                [
+                    (f"{manipulation.sequence:08d}", manipulation.to_dict())
+                    for manipulation in manipulations
+                ],
+            )
+        return manipulations
 
     def history(self) -> list[Manipulation]:
         """Return every manipulation in sequence order."""

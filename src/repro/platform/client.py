@@ -13,7 +13,7 @@ against a flaky PyBossa deployment.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.exceptions import PlatformUnavailableError
 from repro.platform.models import Project, Task, TaskRun
@@ -145,12 +145,71 @@ class PlatformClient:
         return self._call("get_task_runs", self.server.get_task_runs, task_id)
 
     def get_task_runs_for_project(self, project_id: int) -> dict[int, list[TaskRun]]:
-        """Return every task's runs of *project_id* in one call, by task id."""
+        """Return every task's runs of *project_id* in one call, by task id.
+
+        Materialises the whole project; prefer
+        :meth:`iter_task_runs_for_project` for projects that may not fit in
+        memory.
+        """
         return self._call(
             "get_task_runs_for_project",
             self.server.get_task_runs_for_project,
             project_id,
         )
+
+    def list_project_task_ids(
+        self, project_id: int, limit: int, start_after: int | None = None
+    ) -> list[int]:
+        """One page of the project's task ids (exclusive *start_after* cursor)."""
+        return self._call(
+            "list_project_task_ids",
+            self.server.list_project_task_ids,
+            project_id,
+            limit,
+            start_after=start_after,
+        )
+
+    def iter_project_task_ids(
+        self, project_id: int, page_size: int = 500
+    ) -> Iterator[int]:
+        """Generate every task id of *project_id*, one retried call per page."""
+        cursor: int | None = None
+        while True:
+            page = self.list_project_task_ids(project_id, page_size, start_after=cursor)
+            yield from page
+            if len(page) < page_size:
+                return
+            cursor = page[-1]
+
+    def get_task_runs_page(
+        self, project_id: int, limit: int, start_after: int | None = None
+    ) -> list[tuple[int, list[TaskRun]]]:
+        """One page of ``(task_id, runs)`` pairs (exclusive cursor contract)."""
+        return self._call(
+            "get_task_runs_page",
+            self.server.get_task_runs_page,
+            project_id,
+            limit,
+            start_after=start_after,
+        )
+
+    def iter_task_runs_for_project(
+        self, project_id: int, page_size: int = 500
+    ) -> Iterator[tuple[int, list[TaskRun]]]:
+        """Generate every task's ``(task_id, runs)`` pair, page by page.
+
+        Streaming sibling of :meth:`get_task_runs_for_project`: identical
+        contents, but each transport round-trip carries at most *page_size*
+        tasks' runs, and each page is retried independently — a transport
+        failure mid-stream re-fetches one page, not the whole project.
+        """
+        cursor: int | None = None
+        while True:
+            page = self.get_task_runs_page(project_id, page_size, start_after=cursor)
+            yield from page
+            if len(page) < page_size:
+                return
+            cursor = page[-1][0]
 
     def is_task_complete(self, task_id: int) -> bool:
         """Return True when the task has all requested answers."""

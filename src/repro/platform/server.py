@@ -6,12 +6,27 @@ one :class:`repro.platform.models.TaskRun` per answer.  Ground truth for the
 simulated workers comes from an *answer oracle*: a callable mapping a task's
 ``info`` payload to the hidden true answer (or None when no ground truth is
 known, in which case workers guess among the candidates).
+
+Result retrieval comes in three shapes, from smallest to largest scope:
+
+* ``get_task_runs(task_id)`` — one task's answers (one round-trip per task,
+  the seed behaviour);
+* ``get_task_runs_for_project(project_id)`` — every task's answers as one
+  dict (one round-trip, but the whole project resident in memory at once);
+* the **streaming pipeline** — ``list_project_task_ids`` /
+  ``get_task_runs_page`` return fixed-size pages in publication order with
+  an exclusive task-id cursor (the storage layer's ``scan`` contract
+  transplanted to the platform), and ``iter_task_runs_for_project`` chains
+  the pages into a generator so a project larger than memory can be
+  collected in bounded space.  Pages are stable under appends: tasks created
+  while iterating (e.g. a republish) only ever land after the cursor.
 """
 
 from __future__ import annotations
 
+import bisect
 import re
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.config import PlatformConfig
 from repro.exceptions import PlatformError, ProjectNotFoundError, TaskNotFoundError
@@ -272,6 +287,69 @@ class PlatformServer:
             task.task_id: list(self._task_runs[task.task_id])
             for task in self.list_tasks(project_id)
         }
+
+    def _task_id_page(
+        self, project_id: int, limit: int, start_after: int | None
+    ) -> list[int]:
+        """One page of task ids of *project_id* after the exclusive cursor."""
+        if limit <= 0:
+            raise PlatformError(f"page limit must be positive, got {limit}")
+        self.get_project(project_id)
+        task_ids = self._tasks_by_project[project_id]
+        if start_after is None:
+            position = 0
+        else:
+            # Ids come from a monotonic counter, so the per-project list is
+            # sorted even after deletions — resolve the cursor by bisection
+            # rather than an O(project) list.index per page.
+            position = bisect.bisect_left(task_ids, start_after)
+            if position == len(task_ids) or task_ids[position] != start_after:
+                raise PlatformError(
+                    f"cursor task {start_after} is not a task of project {project_id}"
+                )
+            position += 1
+        return list(task_ids[position : position + limit])
+
+    def list_project_task_ids(
+        self, project_id: int, limit: int, start_after: int | None = None
+    ) -> list[int]:
+        """One page of the project's task ids, in publication order.
+
+        ``start_after`` is an exclusive task-id cursor (the last id of the
+        previous page); an id the project does not contain raises
+        :class:`PlatformError`.  This is the cheap membership stream the
+        collection path uses to detect stale cached tasks without shipping
+        any task runs.
+        """
+        return self._task_id_page(project_id, limit, start_after)
+
+    def get_task_runs_page(
+        self, project_id: int, limit: int, start_after: int | None = None
+    ) -> list[tuple[int, list[TaskRun]]]:
+        """One page of ``(task_id, task_runs)`` pairs, in publication order.
+
+        Same cursor contract as :meth:`list_project_task_ids`; at most
+        *limit* tasks' runs are materialised per call, which is what bounds
+        the memory footprint of a streaming collection.
+        """
+        page = self._task_id_page(project_id, limit, start_after)
+        return [(task_id, list(self._task_runs[task_id])) for task_id in page]
+
+    def iter_task_runs_for_project(
+        self, project_id: int, page_size: int = 500
+    ) -> Iterator[tuple[int, list[TaskRun]]]:
+        """Generate every task's ``(task_id, runs)`` pair, one page at a time.
+
+        Streaming sibling of :meth:`get_task_runs_for_project`: identical
+        contents, but only *page_size* tasks' runs are resident at once.
+        """
+        cursor: int | None = None
+        while True:
+            page = self.get_task_runs_page(project_id, page_size, start_after=cursor)
+            yield from page
+            if len(page) < page_size:
+                return
+            cursor = page[-1][0]
 
     def pending_assignments(self, project_id: int | None = None) -> int:
         """Return the number of assignments still waiting for a worker."""

@@ -31,6 +31,24 @@ class DirectTransport(Transport):
         return method(*args, **kwargs)
 
 
+class CountingTransport(Transport):
+    """Direct transport that tallies round-trips per server call name.
+
+    The streaming tests and benchmarks use it to prove a paged collection
+    costs exactly ``ceil(tasks / page_size)`` round-trips — the observable
+    that distinguishes true streaming from a hidden full fetch.
+    """
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.calls_by_name: dict[str, int] = {}
+
+    def call(self, name: str, method: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        self.calls += 1
+        self.calls_by_name[name] = self.calls_by_name.get(name, 0) + 1
+        return method(*args, **kwargs)
+
+
 class FaultInjectingTransport(Transport):
     """Randomly fails calls and replays successful ones.
 

@@ -10,12 +10,16 @@ interface with three implementations:
   original Reprowd.
 * :class:`LogStructuredEngine` — an append-only log with periodic snapshots,
   used to study recovery behaviour and crash injection at the storage level.
+* :class:`ShardedEngine` — hash-partitions keys across N child engines
+  (sqlite shard files by default) behind the same interface, merge-scanning
+  shards to preserve global insertion order.
 """
 
 from repro.storage.engine import StorageEngine, open_engine
 from repro.storage.memory_engine import MemoryEngine
 from repro.storage.sqlite_engine import SqliteEngine
 from repro.storage.log_engine import LogStructuredEngine
+from repro.storage.sharded_engine import ShardedEngine, shard_index
 from repro.storage.records import Record, RecordCodec
 from repro.storage.schema import ColumnSpec, TableSchema
 
@@ -25,6 +29,8 @@ __all__ = [
     "MemoryEngine",
     "SqliteEngine",
     "LogStructuredEngine",
+    "ShardedEngine",
+    "shard_index",
     "Record",
     "RecordCodec",
     "ColumnSpec",

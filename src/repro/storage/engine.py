@@ -46,6 +46,7 @@ equivalence class:
 from __future__ import annotations
 
 import abc
+import os
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.config import StorageConfig
@@ -145,6 +146,12 @@ class StorageEngine(abc.ABC):
                 the record whose key is *start_after*.  Raises
                 :class:`~repro.exceptions.StorageError` when the cursor is
                 not currently a key of the table.
+
+        A negative *limit* raises ``ValueError``; ``limit=0`` yields nothing;
+        a cursor at the last record yields an empty page.  Walking pages of
+        any size and chaining ``start_after`` to each page's final key
+        concatenates to exactly the unpaginated scan — the invariant the
+        streaming collection path and the sharded merge-scan both rely on.
         """
 
     @abc.abstractmethod
@@ -161,10 +168,24 @@ class StorageEngine(abc.ABC):
     ) -> list[Record]:
         """Write a batch of (key, value) pairs; return one record per item.
 
-        See the module docstring for the full bulk contract.  This base
-        implementation is the naive row-at-a-time loop; engines override it
-        with a single transaction (SQLite), a single group append (log) or a
-        dict-level loop (memory).
+        Contract (see also the module docstring):
+
+        * Items apply **in order**, each with single-``put`` semantics: an
+          existing key is overwritten and version-bumped once per occurrence.
+          With ``if_absent=True`` every item has ``put_new``-per-key
+          semantics instead — a key already present (in the table or earlier
+          in the batch) is left untouched and its existing record returned.
+        * **Validation is all-or-nothing**: every value is checked for
+          JSON-encodability before anything is written, so a bad value never
+          leaves a half-applied batch.
+        * **Atomicity** is per engine: SQLite commits the batch as one
+          transaction, the log engine appends one group record (recovery
+          replays it whole or discards it), the sharded engine issues one
+          child batch per shard — so a crash can leave *whole-shard*
+          prefixes, which ``if_absent=True`` reruns heal.
+
+        This base implementation is the naive row-at-a-time loop; engines
+        override it with their atomic batch primitive.
         """
         records: list[Record] = []
         for key, value in items:
@@ -179,7 +200,12 @@ class StorageEngine(abc.ABC):
     def get_many(
         self, table_name: str, keys: Sequence[str], default: Any = None
     ) -> list[Any]:
-        """Return one value per key in *keys* order, *default* when absent."""
+        """Return one value per key in *keys* order, *default* when absent.
+
+        *keys* may repeat; the result always has exactly ``len(keys)``
+        entries, positionally aligned with the request.  Purely a read — no
+        version is bumped and no record is created for missing keys.
+        """
         return [self.get(table_name, key, default) for key in keys]
 
     def scan_keys(
@@ -187,8 +213,12 @@ class StorageEngine(abc.ABC):
     ) -> list[str]:
         """Key-only page of :meth:`scan`, same pagination contract.
 
-        Engines whose values are expensive to materialise (SQLite) override
-        this to skip reading and decoding the values entirely.
+        ``start_after`` is an exclusive cursor that must currently be a key
+        of the table (:class:`~repro.exceptions.StorageError` otherwise), a
+        negative ``limit`` raises ``ValueError``, and walking pages of any
+        size concatenates to the full unpaginated key list in insertion
+        order.  Engines whose values are expensive to materialise (SQLite)
+        override this to skip reading and decoding the values entirely.
         """
         return [
             record.key
@@ -242,6 +272,7 @@ def open_engine(config: StorageConfig) -> StorageEngine:
     # Imported here to avoid circular imports between engine modules.
     from repro.storage.log_engine import LogStructuredEngine
     from repro.storage.memory_engine import MemoryEngine
+    from repro.storage.sharded_engine import ShardedEngine
     from repro.storage.sqlite_engine import SqliteEngine
 
     if config.engine == "memory":
@@ -250,6 +281,38 @@ def open_engine(config: StorageConfig) -> StorageEngine:
         return SqliteEngine(config.path, synchronous=config.synchronous)
     if config.engine == "log":
         return LogStructuredEngine(config.path, snapshot_every=config.snapshot_every)
+    if config.engine == "sharded":
+        if config.shards < 1:
+            raise ConfigurationError(
+                f"sharded engine needs at least 1 shard, got {config.shards}"
+            )
+        shards: list[StorageEngine] = []
+        for index in range(config.shards):
+            if config.shard_engine == "memory":
+                shards.append(MemoryEngine())
+            elif config.shard_engine == "sqlite":
+                shards.append(
+                    SqliteEngine(
+                        os.path.join(config.path, f"shard-{index:02d}.db"),
+                        synchronous=config.synchronous,
+                    )
+                )
+            elif config.shard_engine == "log":
+                shards.append(
+                    LogStructuredEngine(
+                        os.path.join(config.path, f"shard-{index:02d}"),
+                        snapshot_every=config.snapshot_every,
+                    )
+                )
+            else:
+                for shard in shards:
+                    shard.close()
+                raise ConfigurationError(
+                    f"unknown shard engine {config.shard_engine!r}; "
+                    "expected 'memory', 'sqlite' or 'log'"
+                )
+        return ShardedEngine(shards)
     raise ConfigurationError(
-        f"unknown storage engine {config.engine!r}; expected 'memory', 'sqlite' or 'log'"
+        f"unknown storage engine {config.engine!r}; "
+        "expected 'memory', 'sqlite', 'log' or 'sharded'"
     )

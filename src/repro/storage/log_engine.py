@@ -130,14 +130,21 @@ class LogStructuredEngine(StorageEngine):
     def _logged_seq(self) -> int:
         return getattr(self, "_seq", 0)
 
-    def _append(self, entry: dict[str, Any]) -> None:
+    def _append(self, entry: dict[str, Any], weight: int = 1) -> None:
+        """Append one log entry; *weight* is its cost toward the snapshot cadence.
+
+        A group append (``put_many``) is one entry and one fsync but carries
+        many records, so it weighs as many operations — otherwise a bulk
+        workload could write arbitrarily long log tails between snapshots
+        and pay for them at recovery time.
+        """
         seq = self._logged_seq() + 1
         self._seq = seq
         entry["seq"] = seq
         self._log_file.write(json.dumps(entry, sort_keys=True) + "\n")
         self._log_file.flush()
         os.fsync(self._log_file.fileno())
-        self._ops_since_snapshot += 1
+        self._ops_since_snapshot += max(1, weight)
         if self._ops_since_snapshot >= self.snapshot_every:
             self._write_snapshot()
 
@@ -269,7 +276,10 @@ class LogStructuredEngine(StorageEngine):
             writes.append({"key": key, "value": value, "version": record.version})
             records.append(record)
         if writes:
-            self._append({"op": self._OP_PUT_MANY, "table": table_name, "entries": writes})
+            self._append(
+                {"op": self._OP_PUT_MANY, "table": table_name, "entries": writes},
+                weight=len(writes),
+            )
         return records
 
     def get_many(

@@ -1,0 +1,389 @@
+"""Sharded storage engine: N child engines behind one ``StorageEngine`` face.
+
+Every key is routed to one of N child engines (shards) by a stable hash of
+the key, so a table's records — and therefore its write load and its on-disk
+footprint — spread evenly across shard files instead of funnelling through a
+single SQLite file.  The children are ordinary engines (any mix the factory
+can build: sqlite files, log directories, in-memory dicts), which keeps the
+sharding logic engine-agnostic and lets every child keep its own durability
+story.
+
+The hard part is honouring the single-engine contract *exactly*, so the
+cross-engine property suites can treat the sharded engine as just another
+member of the equivalence class:
+
+* **Insertion order.** ``scan`` must yield records in global insertion order,
+  but each child only knows its own local order.  The sharded engine
+  therefore wraps every stored value in a tiny envelope ``{"s": seq, "v":
+  value}`` carrying a per-table global sequence number assigned at first
+  insert (and kept across overwrites, matching how an upsert keeps its
+  original scan position on every other engine).  Within one shard, records
+  are always inserted in ascending ``seq`` order, so each shard's local scan
+  is already sorted by ``seq`` — a lazy k-way merge on ``seq`` across the
+  shard streams reconstructs the exact global order without materialising
+  any shard's table.
+* **Pagination.** ``(limit, start_after)`` hold across shards: the cursor
+  key is routed to its owning shard to resolve its sequence number (raising
+  :class:`~repro.exceptions.StorageError` for an unknown cursor, like every
+  other engine), and the merge then yields only records with a larger
+  sequence, up to ``limit``.  Shard streams are themselves paginated
+  (``_merge_page_size`` records per shard page), so a merge-scan holds
+  O(shards x page) records, never a whole table.
+* **Batches.** ``put_many`` validates the entire batch up front, assigns
+  sequence numbers in item order, then fans out one child ``put_many`` per
+  shard — one transaction/group-append *per shard*.  A crash between shard
+  transactions can leave some shards applied and others not; that is exactly
+  the torn-batch shape the fault-recovery cache already heals, because its
+  batches use ``if_absent=True`` (put_new-per-key) semantics and a rerun
+  fills only the missing keys.
+
+The sequence counter is not persisted separately: it is recovered lazily per
+table by taking the maximum envelope sequence across shards, so reopening a
+sharded database needs no extra metadata file and cannot disagree with the
+data it describes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.exceptions import DuplicateKeyError, StorageError, TableNotFoundError
+from repro.storage.engine import StorageEngine
+from repro.storage.records import Record, RecordCodec
+
+#: Envelope field holding the global insertion sequence number.
+_SEQ = "s"
+#: Envelope field holding the caller's actual value.
+_VALUE = "v"
+
+_ABSENT = object()
+
+
+def shard_index(key: str, num_shards: int) -> int:
+    """Return the stable shard index for *key* among *num_shards* shards.
+
+    Uses SHA-1 rather than Python's builtin ``hash`` so the routing is
+    identical across processes and interpreter runs — reopening a sharded
+    database must send every key back to the shard that stored it.
+    """
+    digest = hashlib.sha1(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+class ShardedEngine(StorageEngine):
+    """Hash-partitions one logical table space over N child engines."""
+
+    engine_name = "sharded"
+
+    #: Records fetched per shard page during a merge-scan.
+    _merge_page_size = 256
+
+    def __init__(self, shards: Sequence[StorageEngine]):
+        """Wrap *shards* (at least one child engine, already open)."""
+        if not shards:
+            raise ValueError("ShardedEngine needs at least one child engine")
+        self.shards = list(shards)
+        # Next global sequence number per table, recovered lazily from the
+        # shards on first write after open.
+        self._next_seq: dict[str, int] = {}
+        self._closed = False
+
+    # -- routing and envelopes -----------------------------------------------
+
+    def _shard(self, key: str) -> StorageEngine:
+        return self.shards[shard_index(key, len(self.shards))]
+
+    @staticmethod
+    def _wrap(seq: int, value: Any) -> dict[str, Any]:
+        return {_SEQ: seq, _VALUE: value}
+
+    @staticmethod
+    def _unwrap(record: Record) -> Record:
+        return Record(
+            key=record.key, value=record.value[_VALUE], version=record.version
+        )
+
+    def _require_table(self, table_name: str) -> None:
+        if not self.shards[0].has_table(table_name):
+            raise TableNotFoundError(table_name)
+
+    def _allocate_seq(self, table_name: str, count: int = 1) -> int:
+        """Reserve *count* sequence numbers; return the first.
+
+        On the first allocation for a table after open, the counter is
+        recovered as one past the largest envelope sequence stored in any
+        shard.  Within a shard insertion order is ascending sequence order,
+        so the shard's maximum is its *last* record — found by paging the
+        key-only scan (bounded memory, no value decoding) and reading one
+        record per shard.
+        """
+        next_seq = self._next_seq.get(table_name)
+        if next_seq is None:
+            next_seq = 1
+            for shard in self.shards:
+                last_key = self._last_key(shard, table_name)
+                if last_key is not None:
+                    last = shard.get_record(table_name, last_key)
+                    next_seq = max(next_seq, last.value[_SEQ] + 1)
+        self._next_seq[table_name] = next_seq + count
+        return next_seq
+
+    def _last_key(self, shard: StorageEngine, table_name: str) -> str | None:
+        """Return the key of the shard's last record, paging in bounded memory."""
+        cursor: str | None = None
+        last: str | None = None
+        while True:
+            page = shard.scan_keys(
+                table_name, limit=self._merge_page_size, start_after=cursor
+            )
+            if page:
+                last = page[-1]
+            if len(page) < self._merge_page_size:
+                return last
+            cursor = page[-1]
+
+    # -- table management ------------------------------------------------------
+
+    def create_table(self, table_name: str) -> None:
+        for shard in self.shards:
+            shard.create_table(table_name)
+
+    def drop_table(self, table_name: str) -> None:
+        for shard in self.shards:
+            shard.drop_table(table_name)
+        self._next_seq.pop(table_name, None)
+
+    def list_tables(self) -> list[str]:
+        names: set[str] = set()
+        for shard in self.shards:
+            names.update(shard.list_tables())
+        return sorted(names)
+
+    def has_table(self, table_name: str) -> bool:
+        return all(shard.has_table(table_name) for shard in self.shards)
+
+    # -- record access ---------------------------------------------------------
+
+    def put(self, table_name: str, key: str, value: Any) -> Record:
+        RecordCodec.encode(value)
+        shard = self._shard(key)
+        existing = shard.get_record(table_name, key)
+        if existing is not None:
+            seq = existing.value[_SEQ]
+        else:
+            seq = self._allocate_seq(table_name)
+        return self._unwrap(shard.put(table_name, key, self._wrap(seq, value)))
+
+    def put_new(self, table_name: str, key: str, value: Any) -> Record:
+        shard = self._shard(key)
+        if shard.get_record(table_name, key) is not None:
+            raise DuplicateKeyError(table_name, key)
+        return self.put(table_name, key, value)
+
+    def get(self, table_name: str, key: str, default: Any = None) -> Any:
+        record = self._shard(key).get_record(table_name, key)
+        return record.value[_VALUE] if record is not None else default
+
+    def get_record(self, table_name: str, key: str) -> Record | None:
+        record = self._shard(key).get_record(table_name, key)
+        return self._unwrap(record) if record is not None else None
+
+    def delete(self, table_name: str, key: str) -> bool:
+        return self._shard(key).delete(table_name, key)
+
+    def contains(self, table_name: str, key: str) -> bool:
+        return self._shard(key).contains(table_name, key)
+
+    def count(self, table_name: str) -> int:
+        return sum(shard.count(table_name) for shard in self.shards)
+
+    # -- merge scan ------------------------------------------------------------
+
+    def _shard_stream(
+        self, shard: StorageEngine, table_name: str, start_key: str | None
+    ) -> Iterator[tuple[int, Record]]:
+        """Yield (seq, raw record) from one shard in ascending-seq order.
+
+        Pages through the child's own paginated scan (from the shard-local
+        exclusive cursor *start_key*) so no shard table is ever materialised
+        whole.
+        """
+        cursor = start_key
+        while True:
+            page = list(
+                shard.scan(table_name, limit=self._merge_page_size, start_after=cursor)
+            )
+            for record in page:
+                yield (record.value[_SEQ], record)
+            if len(page) < self._merge_page_size:
+                return
+            cursor = page[-1].key
+
+    def _local_cursor(
+        self, shard: StorageEngine, table_name: str, min_seq: int
+    ) -> str | None:
+        """Translate the global cursor into one shard's exclusive scan cursor.
+
+        Returns the key of the shard's last record with sequence <= *min_seq*
+        (or None when the shard holds none).  Within a shard insertion order
+        is ascending sequence order, so the boundary is found by walking
+        key-only pages — one single-record read per page decides whether the
+        whole page is before the cursor — and binary-searching inside the one
+        page that straddles it.  Memory stays bounded by the merge page size
+        and no shard value is ever decoded wholesale.
+        """
+        cursor: str | None = None
+        best: str | None = None
+        while True:
+            page = shard.scan_keys(
+                table_name, limit=self._merge_page_size, start_after=cursor
+            )
+            if not page:
+                return best
+            last_seq = shard.get_record(table_name, page[-1]).value[_SEQ]
+            if last_seq <= min_seq:
+                best = page[-1]
+                if len(page) < self._merge_page_size:
+                    return best
+                cursor = page[-1]
+                continue
+            # The boundary lies inside this page: binary search it.
+            low, high = 0, len(page)
+            while low < high:
+                mid = (low + high) // 2
+                if shard.get_record(table_name, page[mid]).value[_SEQ] <= min_seq:
+                    low = mid + 1
+                else:
+                    high = mid
+            return page[low - 1] if low else best
+
+    def _merged(
+        self, table_name: str, limit: int | None, start_after: str | None
+    ) -> Iterator[Record]:
+        if limit is not None and limit < 0:
+            raise ValueError(f"scan limit must be non-negative, got {limit}")
+        self._require_table(table_name)
+        min_seq: int | None = None
+        if start_after is not None:
+            cursor_record = self._shard(start_after).get_record(table_name, start_after)
+            if cursor_record is None:
+                raise StorageError(
+                    f"scan cursor {start_after!r} is not a key of table {table_name!r}"
+                )
+            min_seq = cursor_record.value[_SEQ]
+        streams = [
+            self._shard_stream(
+                shard,
+                table_name,
+                None if min_seq is None else self._local_cursor(shard, table_name, min_seq),
+            )
+            for shard in self.shards
+        ]
+        yielded = 0
+        for _, record in heapq.merge(*streams, key=lambda pair: pair[0]):
+            if limit is not None and yielded >= limit:
+                return
+            yield self._unwrap(record)
+            yielded += 1
+
+    def scan(
+        self, table_name: str, limit: int | None = None, start_after: str | None = None
+    ) -> Iterator[Record]:
+        yield from self._merged(table_name, limit, start_after)
+
+    # -- bulk record access ------------------------------------------------------
+
+    def put_many(
+        self,
+        table_name: str,
+        items: Iterable[tuple[str, Any]],
+        if_absent: bool = False,
+    ) -> list[Record]:
+        """Fan a batch out per shard: one child ``put_many`` (one transaction
+        or group append) per shard touched, after validating every value."""
+        self._require_table(table_name)
+        items = list(items)
+        if not items:
+            return []
+        for _, value in items:
+            RecordCodec.encode(value)
+
+        # Resolve existing sequence numbers for every distinct key with one
+        # get_many per shard.
+        distinct = list(dict.fromkeys(key for key, _ in items))
+        by_shard_keys: dict[int, list[str]] = {}
+        for key in distinct:
+            by_shard_keys.setdefault(shard_index(key, len(self.shards)), []).append(key)
+        seqs: dict[str, int] = {}
+        for index, keys in by_shard_keys.items():
+            envelopes = self.shards[index].get_many(table_name, keys, default=_ABSENT)
+            for key, envelope in zip(keys, envelopes):
+                if envelope is not _ABSENT:
+                    seqs[key] = envelope[_SEQ]
+
+        # Assign fresh sequence numbers in item order so the merge-scan order
+        # of new keys matches their position in the batch, then build each
+        # shard's sub-batch preserving relative item order.
+        new_keys = [key for key in distinct if key not in seqs]
+        if new_keys:
+            first = self._allocate_seq(table_name, count=len(new_keys))
+            order_of_first_occurrence: dict[str, int] = {}
+            for key, _ in items:
+                if key not in seqs and key not in order_of_first_occurrence:
+                    order_of_first_occurrence[key] = first + len(order_of_first_occurrence)
+            seqs.update(order_of_first_occurrence)
+
+        shard_items: dict[int, list[tuple[str, Any]]] = {}
+        for key, value in items:
+            shard_items.setdefault(shard_index(key, len(self.shards)), []).append(
+                (key, self._wrap(seqs[key], value))
+            )
+        shard_results: dict[int, Iterator[Record]] = {
+            index: iter(
+                self.shards[index].put_many(table_name, batch, if_absent=if_absent)
+            )
+            for index, batch in shard_items.items()
+        }
+        return [
+            self._unwrap(next(shard_results[shard_index(key, len(self.shards))]))
+            for key, _ in items
+        ]
+
+    def get_many(
+        self, table_name: str, keys: Sequence[str], default: Any = None
+    ) -> list[Any]:
+        self._require_table(table_name)
+        by_shard: dict[int, list[str]] = {}
+        for key in keys:
+            by_shard.setdefault(shard_index(key, len(self.shards)), []).append(key)
+        found: dict[str, Any] = {}
+        for index, shard_keys in by_shard.items():
+            envelopes = self.shards[index].get_many(
+                table_name, shard_keys, default=_ABSENT
+            )
+            for key, envelope in zip(shard_keys, envelopes):
+                if envelope is not _ABSENT:
+                    found[key] = envelope[_VALUE]
+        return [found.get(key, default) for key in keys]
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def flush(self) -> None:
+        for shard in self.shards:
+            shard.flush()
+
+    def close(self) -> None:
+        if not self._closed:
+            for shard in self.shards:
+                shard.close()
+            self._closed = True
+
+    def describe(self) -> dict[str, Any]:
+        description = super().describe()
+        description["shards"] = [
+            {"engine": shard.engine_name, "records": sum(shard.describe()["tables"].values())}
+            for shard in self.shards
+        ]
+        return description

@@ -25,7 +25,14 @@ from repro.datasets import (
     make_image_label_dataset,
     make_ranking_dataset,
 )
-from repro.storage import MemoryEngine, SqliteEngine, LogStructuredEngine
+from repro.storage import MemoryEngine, ShardedEngine, SqliteEngine, LogStructuredEngine
+
+
+def make_sharded_engine(base_path, num_shards=3):
+    """A sharded engine over *num_shards* SQLite shard files under *base_path*."""
+    return ShardedEngine(
+        [SqliteEngine(str(base_path / f"shard-{index:02d}.db")) for index in range(num_shards)]
+    )
 
 
 @pytest.fixture
@@ -52,13 +59,23 @@ def log_engine(tmp_path):
     engine.close()
 
 
-@pytest.fixture(params=["memory", "sqlite", "log"])
+@pytest.fixture
+def sharded_engine(tmp_path):
+    """A fresh sharded engine over three SQLite shard files."""
+    engine = make_sharded_engine(tmp_path)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(params=["memory", "sqlite", "log", "sharded"])
 def any_engine(request, tmp_path):
     """Parametrised fixture running a test against every engine."""
     if request.param == "memory":
         engine = MemoryEngine()
     elif request.param == "sqlite":
         engine = SqliteEngine(str(tmp_path / "any.db"))
+    elif request.param == "sharded":
+        engine = make_sharded_engine(tmp_path)
     else:
         engine = LogStructuredEngine(str(tmp_path / "any_log"), snapshot_every=50)
     yield engine

@@ -1,0 +1,50 @@
+"""Tier-1 smoke of ``make docs-check``.
+
+Keeps the documentation contract enforced on every test run: README.md and
+docs/*.md must exist and be link-lint clean, and the quickstart example must
+run headlessly and reproduce from its cache.  The checker module is loaded
+by file path because tools/ is a script directory, not a package.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CHECKER_PATH = REPO_ROOT / "tools" / "docs_check.py"
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location("docs_check_smoke", CHECKER_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_documentation_set_exists():
+    assert (REPO_ROOT / "README.md").exists()
+    assert (REPO_ROOT / "docs" / "architecture.md").exists()
+
+
+def test_links_are_clean():
+    checker = load_checker()
+    problems = []
+    for doc_path in checker.iter_doc_files():
+        problems.extend(checker.lint_links(doc_path))
+    assert problems == []
+
+
+def test_lint_catches_a_broken_link(tmp_path):
+    checker = load_checker()
+    bad = tmp_path / "bad.md"
+    bad.write_text("see [missing](no/such/file.py) and [ok](https://example.org)")
+    problems = checker.lint_links(str(bad))
+    assert len(problems) == 1
+    assert "no/such/file.py" in problems[0]
+
+
+def test_docs_check_passes_end_to_end():
+    """The exact check `make docs-check` runs, quickstart included."""
+    checker = load_checker()
+    assert checker.main([]) == 0

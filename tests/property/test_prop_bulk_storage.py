@@ -16,7 +16,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import StorageError
-from repro.storage import LogStructuredEngine, MemoryEngine, SqliteEngine
+from repro.storage import LogStructuredEngine, MemoryEngine, ShardedEngine, SqliteEngine
 
 # JSON-friendly values the engines must round-trip faithfully.
 json_values = st.recursive(
@@ -86,7 +86,23 @@ def build_engines(tmp_path_factory):
         "memory": MemoryEngine(),
         "sqlite": SqliteEngine(str(base / "p.db")),
         "log": LogStructuredEngine(str(base / "p"), snapshot_every=5),
+        # Small merge pages force the k-way merge-scan to actually paginate.
+        "sharded": _sharded(base),
     }
+
+
+def _sharded(base):
+    engine = ShardedEngine(
+        [SqliteEngine(str(base / f"shard-{index}.db")) for index in range(3)]
+    )
+    engine._merge_page_size = 4
+    return engine
+
+
+def close_engines(engines):
+    for name, engine in engines.items():
+        if name != "memory":
+            engine.close()
 
 
 class TestBulkEquivalenceClass:
@@ -125,8 +141,7 @@ class TestBulkEquivalenceClass:
                 position = present_keys.index(cursor)
                 assert suffix == reference_state["items"][position + 1 :], name
 
-        engines["sqlite"].close()
-        engines["log"].close()
+        close_engines(engines)
 
     @given(ops=operations)
     @settings(max_examples=25, deadline=None)
@@ -155,5 +170,4 @@ class TestBulkEquivalenceClass:
                 list(engine.scan("t", start_after=bad_cursor))
             with pytest.raises(ValueError):
                 list(engine.scan("t", limit=-1))
-        engines["sqlite"].close()
-        engines["log"].close()
+        close_engines(engines)

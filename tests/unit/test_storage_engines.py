@@ -11,7 +11,14 @@ from repro.exceptions import (
     StorageError,
     TableNotFoundError,
 )
-from repro.storage import LogStructuredEngine, MemoryEngine, SqliteEngine, open_engine
+from repro.storage import (
+    LogStructuredEngine,
+    MemoryEngine,
+    ShardedEngine,
+    SqliteEngine,
+    open_engine,
+    shard_index,
+)
 
 
 class TestTableManagement:
@@ -215,6 +222,9 @@ class TestBulkOperations:
         for name, build in {
             "sqlite": lambda p: SqliteEngine(str(p / "bulk.db")),
             "log": lambda p: LogStructuredEngine(str(p / "bulk_log"), snapshot_every=100),
+            "sharded": lambda p: ShardedEngine(
+                [SqliteEngine(str(p / f"bulk-shard-{i}.db")) for i in range(3)]
+            ),
         }.items():
             engine = build(tmp_path)
             engine.create_table("t")
@@ -236,6 +246,129 @@ class TestBulkOperations:
         engine.close()
 
 
+class TestScanPaginationContract:
+    """The ``(limit, start_after)`` edge cases, identical on every engine."""
+
+    def test_empty_table_scans_empty(self, any_engine):
+        any_engine.create_table("t")
+        assert list(any_engine.scan("t")) == []
+        assert list(any_engine.scan("t", limit=0)) == []
+        assert list(any_engine.scan("t", limit=5)) == []
+        assert any_engine.scan_keys("t") == []
+        assert any_engine.scan_keys("t", limit=3) == []
+
+    def test_cursor_at_last_record_yields_empty_page(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put_many("t", [("a", 1), ("b", 2), ("c", 3)])
+        assert list(any_engine.scan("t", start_after="c")) == []
+        assert list(any_engine.scan("t", limit=4, start_after="c")) == []
+        assert any_engine.scan_keys("t", start_after="c") == []
+
+    def test_limit_zero_with_and_without_cursor(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put_many("t", [("a", 1), ("b", 2)])
+        assert list(any_engine.scan("t", limit=0)) == []
+        assert list(any_engine.scan("t", limit=0, start_after="a")) == []
+        assert any_engine.scan_keys("t", limit=0) == []
+
+    def test_limit_past_end_truncates_cleanly(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put_many("t", [("a", 1), ("b", 2), ("c", 3)])
+        assert [r.key for r in any_engine.scan("t", limit=99)] == ["a", "b", "c"]
+        assert [r.key for r in any_engine.scan("t", limit=99, start_after="b")] == ["c"]
+
+    def test_deleted_key_is_not_a_valid_cursor(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put_many("t", [("a", 1), ("b", 2)])
+        any_engine.delete("t", "a")
+        with pytest.raises(StorageError):
+            list(any_engine.scan("t", start_after="a"))
+
+    def test_page_walk_concatenates_to_full_scan(self, any_engine):
+        any_engine.create_table("t")
+        any_engine.put_many("t", [(f"k{i}", i) for i in range(11)])
+        for page_size in (1, 2, 3, 5, 11, 20):
+            walked, cursor = [], None
+            while True:
+                page = list(any_engine.scan("t", limit=page_size, start_after=cursor))
+                walked.extend(r.key for r in page)
+                if len(page) < page_size:
+                    break
+                cursor = page[-1].key
+            assert walked == [f"k{i}" for i in range(11)], page_size
+
+
+class TestShardedEngine:
+    """Behaviour specific to the sharded engine: routing, recovery, merging."""
+
+    def build(self, tmp_path, num_shards=4):
+        return ShardedEngine(
+            [SqliteEngine(str(tmp_path / f"s{i}.db")) for i in range(num_shards)]
+        )
+
+    def test_keys_spread_across_shards(self, tmp_path):
+        engine = self.build(tmp_path)
+        engine.create_table("t")
+        engine.put_many("t", [(f"k{i}", i) for i in range(64)])
+        populated = [shard for shard in engine.shards if shard.count("t") > 0]
+        assert len(populated) == 4
+        assert sum(shard.count("t") for shard in engine.shards) == 64
+        engine.close()
+
+    def test_routing_is_stable_across_reopen(self, tmp_path):
+        keys = [f"key-{i}" for i in range(50)]
+        before = [shard_index(key, 4) for key in keys]
+        engine = self.build(tmp_path)
+        engine.create_table("t")
+        engine.put_many("t", list(zip(keys, range(50))))
+        engine.close()
+
+        reopened = self.build(tmp_path)
+        assert [shard_index(key, 4) for key in keys] == before
+        assert reopened.get_many("t", keys) == list(range(50))
+        assert [r.key for r in reopened.scan("t")] == keys
+        reopened.close()
+
+    def test_insertion_order_survives_reopen_and_new_writes(self, tmp_path):
+        engine = self.build(tmp_path)
+        engine.create_table("t")
+        engine.put_many("t", [("a", 1), ("b", 2), ("c", 3)])
+        engine.close()
+        # The sequence counter is recovered from the shards, so records
+        # written after the reopen must land after every surviving record.
+        reopened = self.build(tmp_path)
+        reopened.put("t", "d", 4)
+        reopened.put_many("t", [("e", 5), ("a", 10)])
+        assert [r.key for r in reopened.scan("t")] == ["a", "b", "c", "d", "e"]
+        assert reopened.get("t", "a") == 10
+        reopened.close()
+
+    def test_merge_scan_paginates_inside_shards(self, tmp_path):
+        engine = self.build(tmp_path, num_shards=3)
+        engine._merge_page_size = 4
+        engine.create_table("t")
+        engine.put_many("t", [(f"k{i:03d}", i) for i in range(30)])
+        assert [r.key for r in engine.scan("t")] == [f"k{i:03d}" for i in range(30)]
+        page = list(engine.scan("t", limit=7, start_after="k009"))
+        assert [r.key for r in page] == [f"k{i:03d}" for i in range(10, 17)]
+        engine.close()
+
+    def test_describe_reports_shards(self, tmp_path):
+        engine = self.build(tmp_path, num_shards=2)
+        engine.create_table("t")
+        engine.put("t", "k", 1)
+        description = engine.describe()
+        assert description["engine"] == "sharded"
+        assert description["tables"] == {"t": 1}
+        assert len(description["shards"]) == 2
+        assert sum(entry["records"] for entry in description["shards"]) == 1
+        engine.close()
+
+    def test_requires_at_least_one_shard(self):
+        with pytest.raises(ValueError):
+            ShardedEngine([])
+
+
 class TestOpenEngine:
     def test_open_memory(self):
         engine = open_engine(StorageConfig(engine="memory"))
@@ -250,6 +383,34 @@ class TestOpenEngine:
         engine = open_engine(StorageConfig(engine="log", path=str(tmp_path / "x")))
         assert isinstance(engine, LogStructuredEngine)
         engine.close()
+
+    def test_open_sharded(self, tmp_path):
+        config = StorageConfig(engine="sharded", path=str(tmp_path / "shards"), shards=4)
+        engine = open_engine(config)
+        assert isinstance(engine, ShardedEngine)
+        assert len(engine.shards) == 4
+        assert all(isinstance(shard, SqliteEngine) for shard in engine.shards)
+        engine.create_table("t")
+        engine.put("t", "k", 1)
+        engine.close()
+        reopened = open_engine(config)
+        assert reopened.get("t", "k") == 1
+        reopened.close()
+
+    def test_open_sharded_memory_children(self, tmp_path):
+        engine = open_engine(
+            StorageConfig(engine="sharded", path=str(tmp_path), shards=2, shard_engine="memory")
+        )
+        assert all(isinstance(shard, MemoryEngine) for shard in engine.shards)
+        engine.close()
+
+    def test_open_sharded_rejects_bad_configs(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            open_engine(StorageConfig(engine="sharded", path=str(tmp_path), shards=0))
+        with pytest.raises(ConfigurationError):
+            open_engine(
+                StorageConfig(engine="sharded", path=str(tmp_path), shard_engine="postgres")
+            )
 
     def test_unknown_engine_raises(self):
         with pytest.raises(ConfigurationError):

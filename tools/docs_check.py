@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Documentation checker: link-lint the markdown docs, then smoke the quickstart.
+
+Two checks, both cheap enough for tier-1 (see ``make docs-check`` and
+``tests/integration/test_docs_check.py``):
+
+1. **Link lint** — every relative link or image target in ``README.md`` and
+   ``docs/*.md`` must point at a file or directory that exists in the repo.
+   External (``http(s)://``, ``mailto:``) and pure-anchor (``#...``) targets
+   are skipped; a ``path#fragment`` target is checked for the path part.
+2. **Quickstart smoke** — ``examples/quickstart.py`` runs headlessly against
+   a throwaway database and its output must prove the fault-recovery
+   guarantee the README promises: the second run publishes zero new tasks.
+
+Exit status 0 when everything passes; 1 with a per-problem report otherwise.
+
+Usage:
+    PYTHONPATH=src python tools/docs_check.py [--skip-quickstart]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Markdown inline links and images: [text](target) / ![alt](target).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Target prefixes that are not filesystem paths.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_doc_files() -> list[str]:
+    """The markdown files under the documentation contract."""
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs_dir, name))
+    return files
+
+
+def lint_links(doc_path: str) -> list[str]:
+    """Return one problem string per broken relative link in *doc_path*."""
+    problems: list[str] = []
+    with open(doc_path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(doc_path), path))
+        if not os.path.exists(resolved):
+            relative = os.path.relpath(doc_path, REPO_ROOT)
+            problems.append(f"{relative}: broken link target {target!r}")
+    return problems
+
+
+def run_quickstart() -> list[str]:
+    """Run the quickstart headlessly; return problems (empty when healthy)."""
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    result = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "examples", "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    if result.returncode != 0:
+        tail = (result.stderr or result.stdout).strip().splitlines()[-5:]
+        return ["examples/quickstart.py exited non-zero: " + " | ".join(tail)]
+    # The second run must replay entirely from the cache.
+    published = re.findall(r"crowd tasks published this run\s*:\s*(\d+)", result.stdout)
+    if len(published) < 2 or published[-1] != "0":
+        return [
+            "examples/quickstart.py did not reproduce from cache "
+            f"(published-per-run counts: {published})"
+        ]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--skip-quickstart",
+        action="store_true",
+        help="only lint links, do not execute examples/quickstart.py",
+    )
+    args = parser.parse_args(argv)
+
+    problems: list[str] = []
+    checked = 0
+    for doc_path in iter_doc_files():
+        if not os.path.exists(doc_path):
+            problems.append(f"missing documentation file: {os.path.relpath(doc_path, REPO_ROOT)}")
+            continue
+        checked += 1
+        problems.extend(lint_links(doc_path))
+    if not args.skip_quickstart:
+        problems.extend(run_quickstart())
+
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s) in {checked} file(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    quickstart_note = "skipped" if args.skip_quickstart else "ok"
+    print(f"docs-check: {checked} markdown file(s) link-clean, quickstart {quickstart_note}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
