@@ -2,7 +2,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast bench bench-smoke docs-check
+.PHONY: test test-fast bench bench-smoke docs-check check
 
 test:
 	$(PYTEST) -x -q
@@ -17,8 +17,11 @@ bench:
 
 # One-iteration benchmark sanity pass at toy scale (seconds, not minutes).
 bench-smoke:
-	$(PYTEST) benchmarks/bench_bulk_path.py benchmarks/bench_sharded_scan.py -q --bench-scale=smoke
+	$(PYTEST) benchmarks/bench_bulk_path.py benchmarks/bench_sharded_scan.py benchmarks/bench_platform_store.py -q --bench-scale=smoke
 
 # Lint README/docs links and run examples/quickstart.py headlessly.
 docs-check:
 	PYTHONPATH=src python tools/docs_check.py
+
+# The pre-PR gate: quick tests, docs lint + quickstart, benchmark smoke.
+check: test-fast docs-check bench-smoke

@@ -42,21 +42,26 @@ PAGE_SIZE = 500
 SCAN_PAGE = 512
 
 
-def build_engine(base_dir: str, shards: int):
+def build_engine(base_dir: str, shards: int, workers: int = 0):
     """One SQLite file for ``shards == 1``, else a sharded engine over N files."""
     if shards == 1:
         return SqliteEngine(os.path.join(base_dir, "single.db"))
     return ShardedEngine(
         [
-            SqliteEngine(os.path.join(base_dir, f"shard-{shards}-{index:02d}.db"))
+            SqliteEngine(
+                os.path.join(base_dir, f"shard-{shards}-w{workers}-{index:02d}.db")
+            )
             for index in range(shards)
-        ]
+        ],
+        shard_workers=workers,
     )
 
 
-def run_storage_config(base_dir: str, shards: int, num_records: int) -> dict:
+def run_storage_config(
+    base_dir: str, shards: int, num_records: int, workers: int = 0
+) -> dict:
     """Load, scan and page one configuration; return its throughput row."""
-    engine = build_engine(base_dir, shards)
+    engine = build_engine(base_dir, shards, workers)
     engine.create_table("bench")
     items = [(f"key-{index:08d}", {"payload": index}) for index in range(num_records)]
 
@@ -81,6 +86,7 @@ def run_storage_config(base_dir: str, shards: int, num_records: int) -> dict:
     ]
     row = {
         "shards": shards,
+        "workers": workers,
         "records": num_records,
         "put_many_seconds": round(put.elapsed, 3),
         "put_krows_per_s": round(num_records / max(put.elapsed, 1e-9) / 1000, 1),
@@ -139,12 +145,17 @@ def run_streaming_collection(num_tasks: int, page_size: int) -> dict:
 def test_sharded_scan_throughput(record_table, tmp_path, bench_scale):
     smoke = bench_scale == "smoke"
     num_records = SMOKE_RECORDS if smoke else NUM_RECORDS
+    # workers=0 is the serial baseline; workers=N fans each put_many batch
+    # out as one thread per shard — the before/after pair for the same N.
+    configurations = [(1, 0), (4, 0), (4, 4), (8, 0), (8, 8)]
     rows = [
-        run_storage_config(str(tmp_path), shards, num_records) for shards in (1, 4, 8)
+        run_storage_config(str(tmp_path), shards, num_records, workers)
+        for shards, workers in configurations
     ]
 
     runner = ExperimentRunner(
-        f"E9 — sharded vs single-file put_many/scan ({num_records} records, sqlite shards)"
+        f"E9 — sharded vs single-file put_many/scan ({num_records} records, sqlite "
+        "shards, serial vs per-shard-parallel writes)"
     )
     sweep = runner.run([{}], lambda point: {})
     sweep.rows = rows
@@ -153,6 +164,7 @@ def test_sharded_scan_throughput(record_table, tmp_path, bench_scale):
         sweep.to_table(
             columns=[
                 "shards",
+                "workers",
                 "records",
                 "put_many_seconds",
                 "put_krows_per_s",

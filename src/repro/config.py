@@ -35,6 +35,9 @@ class StorageConfig:
             hash-partitioned across.
         shard_engine: For the sharded engine, the child engine type — one of
             ``"sqlite"``, ``"memory"`` or ``"log"``.
+        shard_workers: For the sharded engine, the number of threads a
+            ``put_many`` batch fans out over (one child transaction per
+            shard).  0 (the default) keeps shard writes serial.
     """
 
     engine: str = "sqlite"
@@ -43,6 +46,7 @@ class StorageConfig:
     snapshot_every: int = 1000
     shards: int = 4
     shard_engine: str = "sqlite"
+    shard_workers: int = 0
 
     def with_path(self, path: str) -> "StorageConfig":
         """Return a copy of this config pointing at *path*."""
@@ -65,6 +69,15 @@ class PlatformConfig:
             delivered twice by the transport, exercising idempotent result
             ingestion.
         seed: Seed for the platform's internal randomness.
+        store: Which task store backs the server's state — ``"memory"``
+            (the default in-process dicts) or ``"durable"`` (projects,
+            tasks, task runs, dedup keys and id counters live on a storage
+            engine, so the platform survives a restart).
+        store_engine: For a durable store, the :class:`StorageConfig` of the
+            engine holding the platform's tables.  When None, a
+            :class:`~repro.core.context.CrowdContext` shares its own cache
+            engine — the whole experiment (client cache and platform state)
+            then lives in one sharable artifact.
     """
 
     name: str = "simulated-pybossa"
@@ -73,6 +86,8 @@ class PlatformConfig:
     failure_rate: float = 0.0
     duplicate_delivery_rate: float = 0.0
     seed: int = DEFAULT_SEED
+    store: str = "memory"
+    store_engine: StorageConfig | None = None
 
 
 @dataclass(frozen=True)
@@ -133,10 +148,32 @@ class ReprowdConfig:
         )
 
     @classmethod
+    def durable(cls, path: str, seed: int = DEFAULT_SEED) -> "ReprowdConfig":
+        """Return a SQLite configuration whose *platform* state is durable too.
+
+        On top of :meth:`sqlite` (the client-side fault-recovery cache in
+        the file at *path*), the simulated platform keeps its projects,
+        tasks, task runs and id counters in the same file — so killing and
+        reopening the whole experiment, server included, resumes with
+        identical ids and no re-purchased crowd work.
+        """
+        return cls(
+            storage=StorageConfig(engine="sqlite", path=path),
+            platform=PlatformConfig(seed=seed, store="durable"),
+            workers=WorkerPoolConfig(seed=seed),
+            seed=seed,
+        )
+
+    @classmethod
     def from_mapping(cls, mapping: Mapping[str, Any]) -> "ReprowdConfig":
         """Build a configuration from a nested mapping (e.g. parsed JSON)."""
         storage = StorageConfig(**dict(mapping.get("storage", {})))
-        platform = PlatformConfig(**dict(mapping.get("platform", {})))
+        platform_mapping = dict(mapping.get("platform", {}))
+        if isinstance(platform_mapping.get("store_engine"), Mapping):
+            platform_mapping["store_engine"] = StorageConfig(
+                **dict(platform_mapping["store_engine"])
+            )
+        platform = PlatformConfig(**platform_mapping)
         workers = WorkerPoolConfig(**dict(mapping.get("workers", {})))
         seed = int(mapping.get("seed", DEFAULT_SEED))
         return cls(storage=storage, platform=platform, workers=workers, seed=seed)

@@ -21,6 +21,7 @@ from repro.core.manipulations import ManipulationLog
 from repro.exceptions import CrowdDataError
 from repro.platform.client import PlatformClient
 from repro.platform.server import PlatformServer
+from repro.platform.store import open_task_store
 from repro.platform.transport import FaultInjectingTransport, Transport
 from repro.storage.engine import StorageEngine, open_engine
 from repro.utils.timing import SimulatedClock
@@ -62,6 +63,7 @@ class CrowdContext:
         self.ground_truth = ground_truth
         self.budget = budget
 
+        self._owns_server = client is None
         if client is not None:
             self.client = client
             self.server = client.server
@@ -75,10 +77,15 @@ class CrowdContext:
                     duplicate_rate=self.config.platform.duplicate_delivery_rate,
                     seed=self.config.platform.seed,
                 )
+            # With PlatformConfig(store="durable") and no explicit
+            # store_engine, the platform's state shares this context's
+            # engine: cache and platform land in one sharable artifact, and
+            # reopening the same file reopens the same platform.
             self.server = PlatformServer(
                 worker_pool=self.worker_pool,
                 config=self.config.platform,
                 clock=self.clock,
+                store=open_task_store(self.config.platform, shared_engine=self.engine),
             )
             self.client = PlatformClient(self.server, transport=transport)
 
@@ -177,11 +184,17 @@ class CrowdContext:
     # -- lifecycle -------------------------------------------------------------------------
 
     def flush(self) -> None:
-        """Flush the storage engine (commit pending writes)."""
+        """Flush the storage engine and the server's task store."""
+        if self._owns_server:
+            self.server.flush()
         self.engine.flush()
 
     def close(self) -> None:
-        """Flush and close the storage engine."""
+        """Flush and close the storage engine (and the server's own store)."""
+        if self._owns_server:
+            # Closes only what the store owns: a shared engine (the durable
+            # platform default) is left for the line below.
+            self.server.close()
         self.engine.close()
 
     def __enter__(self) -> "CrowdContext":

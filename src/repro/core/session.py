@@ -32,6 +32,11 @@ class ExperimentSession:
         db_path: Path of the SQLite database file backing the experiment.
         seed: Seed forwarded to the context configuration.
         runs: Number of times :meth:`run` has been called on this object.
+        durable_platform: When True, the simulated platform's own state
+            (projects, tasks, task runs, id counters) lives in the database
+            file too (:meth:`ReprowdConfig.durable`), so the platform — not
+            just the client cache — survives crash-and-rerun and travels
+            with the shared artifact.
     """
 
     name: str
@@ -39,11 +44,13 @@ class ExperimentSession:
     seed: int = 7
     runs: int = 0
     context_kwargs: dict[str, Any] = field(default_factory=dict)
+    durable_platform: bool = False
 
     def open_context(self) -> CrowdContext:
         """Open a CrowdContext over this session's database file."""
+        factory = ReprowdConfig.durable if self.durable_platform else ReprowdConfig.sqlite
         return CrowdContext(
-            config=ReprowdConfig.sqlite(self.db_path, seed=self.seed), **self.context_kwargs
+            config=factory(self.db_path, seed=self.seed), **self.context_kwargs
         )
 
     def run(self, experiment: Experiment) -> Any:
@@ -74,6 +81,7 @@ class ExperimentSession:
             db_path=destination,
             seed=self.seed,
             context_kwargs=dict(self.context_kwargs),
+            durable_platform=self.durable_platform,
         )
 
     def database_size_bytes(self) -> int:

@@ -37,6 +37,22 @@ class DuplicateKeyError(StorageError):
         self.key = key
 
 
+class UnknownCursorError(StorageError):
+    """Raised when a ``scan`` cursor is not currently a key of the table.
+
+    A dedicated subclass (with one shared message) so the stale-cursor
+    case is distinguishable from every other storage failure rather than a
+    generic :class:`StorageError` each engine words its own way.
+    """
+
+    def __init__(self, table_name: str, start_after: str):
+        super().__init__(
+            f"scan cursor {start_after!r} is not a key of table {table_name!r}"
+        )
+        self.table_name = table_name
+        self.start_after = start_after
+
+
 class CorruptLogError(StorageError):
     """Raised when a log-structured engine finds an unreadable log entry."""
 

@@ -18,7 +18,18 @@ from repro.platform.assignment import (
 from repro.platform.client import PlatformClient
 from repro.platform.models import Project, Task, TaskRun
 from repro.platform.server import PlatformServer
-from repro.platform.transport import DirectTransport, FaultInjectingTransport, Transport
+from repro.platform.store import (
+    DurableTaskStore,
+    MemoryTaskStore,
+    TaskStore,
+    open_task_store,
+)
+from repro.platform.transport import (
+    CountingTransport,
+    DirectTransport,
+    FaultInjectingTransport,
+    Transport,
+)
 
 __all__ = [
     "AssignmentStrategy",
@@ -30,7 +41,12 @@ __all__ = [
     "Task",
     "TaskRun",
     "PlatformServer",
+    "TaskStore",
+    "MemoryTaskStore",
+    "DurableTaskStore",
+    "open_task_store",
     "Transport",
     "DirectTransport",
+    "CountingTransport",
     "FaultInjectingTransport",
 ]

@@ -1,11 +1,20 @@
 """The simulated crowdsourcing platform server.
 
-Holds projects, tasks and task runs; when asked to ``simulate_work`` it draws
-workers from the pool, has them answer every pending assignment and records
-one :class:`repro.platform.models.TaskRun` per answer.  Ground truth for the
-simulated workers comes from an *answer oracle*: a callable mapping a task's
-``info`` payload to the hidden true answer (or None when no ground truth is
-known, in which case workers guess among the candidates).
+Holds projects, tasks and task runs in a pluggable
+:class:`~repro.platform.store.TaskStore`; when asked to ``simulate_work`` it
+draws workers from the pool, has them answer every pending assignment and
+records one :class:`repro.platform.models.TaskRun` per answer.  Ground truth
+for the simulated workers comes from an *answer oracle*: a callable mapping a
+task's ``info`` payload to the hidden true answer (or None when no ground
+truth is known, in which case workers guess among the candidates).
+
+The server owns validation, redundancy policy and the work simulation; all
+state — projects, tasks, task runs, dedup keys and id counters — lives in the
+store.  With the default :class:`~repro.platform.store.MemoryTaskStore` the
+behaviour is the original in-process simulator; with a
+:class:`~repro.platform.store.DurableTaskStore` the platform itself survives
+crash-and-rerun: a server reconstructed on the same storage engine resumes
+with identical ids, identical dedup behaviour and working page cursors.
 
 Result retrieval comes in three shapes, from smallest to largest scope:
 
@@ -24,18 +33,21 @@ Result retrieval comes in three shapes, from smallest to largest scope:
 
 from __future__ import annotations
 
-import bisect
 import re
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.config import PlatformConfig
 from repro.exceptions import PlatformError, ProjectNotFoundError, TaskNotFoundError
 from repro.platform.assignment import AssignmentStrategy, RandomAssignment
 from repro.platform.models import Project, Task, TaskRun
+from repro.platform.store import TaskStore, open_task_store
 from repro.utils.timing import SimulatedClock
 from repro.workers.pool import WorkerPool
 
 AnswerOracle = Callable[[dict[str, Any]], Any]
+
+#: A validated task spec: (info, resolved redundancy, dedup key or None).
+_ValidatedSpec = tuple[dict[str, Any], int, "str | None"]
 
 
 def _default_oracle(task_info: dict[str, Any]) -> Any:
@@ -46,6 +58,9 @@ def _default_oracle(task_info: dict[str, Any]) -> Any:
 class PlatformServer:
     """In-process stand-in for a PyBossa server."""
 
+    #: Tasks fetched per store page when walking a whole project internally.
+    _work_page_size = 500
+
     def __init__(
         self,
         worker_pool: WorkerPool,
@@ -53,6 +68,7 @@ class PlatformServer:
         assignment: AssignmentStrategy | None = None,
         clock: SimulatedClock | None = None,
         answer_oracle: AnswerOracle | None = None,
+        store: TaskStore | None = None,
     ):
         """Create a server backed by *worker_pool*.
 
@@ -62,22 +78,25 @@ class PlatformServer:
             assignment: Worker-selection policy; random when omitted.
             clock: Simulated clock shared with the rest of the experiment.
             answer_oracle: Maps a task's ``info`` to its hidden true answer.
+            store: Task store holding the server's state.  When omitted it
+                is built from ``config.store`` / ``config.store_engine``
+                (the default configuration yields the in-memory store).
+                Passing a :class:`DurableTaskStore` opened on a previously
+                used engine *reopens* that platform: ids, dedup keys and
+                page cursors resume where the dead server left off.
         """
         self.config = config or PlatformConfig()
         self.worker_pool = worker_pool
         self.assignment = assignment or RandomAssignment()
         self.clock = clock or SimulatedClock()
         self.answer_oracle = answer_oracle or _default_oracle
-
-        self._projects: dict[int, Project] = {}
-        self._projects_by_name: dict[str, int] = {}
-        self._tasks: dict[int, Task] = {}
-        self._tasks_by_project: dict[int, list[int]] = {}
-        self._tasks_by_dedup: dict[tuple[int, str], int] = {}
-        self._task_runs: dict[int, list[TaskRun]] = {}
-        self._next_project_id = 1
-        self._next_task_id = 1
-        self._next_run_id = 1
+        self.store = store or open_task_store(self.config)
+        # A reopened durable store may carry timestamps from a previous
+        # life while this clock starts fresh; fast-forward so nothing new
+        # is ever stamped before the surviving answers.
+        latest = self.store.latest_timestamp()
+        if latest > self.clock.now:
+            self.clock.advance(latest - self.clock.now)
 
     # -- authentication -------------------------------------------------------
 
@@ -100,20 +119,18 @@ class PlatformServer:
         Idempotent creation is what lets a re-run of Bob's code map onto the
         same server-side project instead of creating a duplicate.
         """
-        if name in self._projects_by_name:
-            return self._projects[self._projects_by_name[name]]
+        existing_id = self.store.find_project_id(name)
+        if existing_id is not None:
+            return self.store.get_project(existing_id)
         project = Project(
-            project_id=self._next_project_id,
+            project_id=self.store.allocate_project_id(),
             name=name,
             short_name=self._short_name(name),
             description=description,
             task_presenter=task_presenter,
             created_at=self.clock.now,
         )
-        self._projects[project.project_id] = project
-        self._projects_by_name[name] = project.project_id
-        self._tasks_by_project[project.project_id] = []
-        self._next_project_id += 1
+        self.store.put_project(project)
         return project
 
     @staticmethod
@@ -123,33 +140,23 @@ class PlatformServer:
 
     def get_project(self, project_id: int) -> Project:
         """Return the project with *project_id*."""
-        try:
-            return self._projects[project_id]
-        except KeyError:
-            raise ProjectNotFoundError(project_id) from None
+        project = self.store.get_project(project_id)
+        if project is None:
+            raise ProjectNotFoundError(project_id)
+        return project
 
     def find_project(self, name: str) -> Project | None:
         """Return the project named *name*, or None."""
-        project_id = self._projects_by_name.get(name)
-        return self._projects.get(project_id) if project_id is not None else None
+        project_id = self.store.find_project_id(name)
+        return self.store.get_project(project_id) if project_id is not None else None
 
     def list_projects(self) -> list[Project]:
         """Return every project ordered by id."""
-        return [self._projects[pid] for pid in sorted(self._projects)]
+        return [self.store.get_project(pid) for pid in self.store.list_project_ids()]
 
     def delete_project(self, project_id: int) -> None:
         """Delete a project together with its tasks and task runs."""
-        project = self.get_project(project_id)
-        for task_id in self._tasks_by_project.pop(project_id, []):
-            self._tasks.pop(task_id, None)
-            self._task_runs.pop(task_id, None)
-        self._tasks_by_dedup = {
-            key: task_id
-            for key, task_id in self._tasks_by_dedup.items()
-            if key[0] != project_id
-        }
-        self._projects_by_name.pop(project.name, None)
-        del self._projects[project_id]
+        self.store.remove_project(self.get_project(project_id))
 
     # -- tasks -----------------------------------------------------------------------
 
@@ -173,25 +180,7 @@ class PlatformServer:
         """
         self.get_project(project_id)
         redundancy = self._check_redundancy(n_assignments)
-        if dedup_key is not None:
-            existing_id = self._tasks_by_dedup.get((project_id, dedup_key))
-            # A stale mapping (task deleted since) must not resurrect it.
-            if existing_id is not None and existing_id in self._tasks:
-                return self._tasks[existing_id]
-        task = Task(
-            task_id=self._next_task_id,
-            project_id=project_id,
-            info=dict(info),
-            n_assignments=redundancy,
-            created_at=self.clock.now,
-        )
-        self._tasks[task.task_id] = task
-        self._tasks_by_project[project_id].append(task.task_id)
-        self._task_runs[task.task_id] = []
-        if dedup_key is not None:
-            self._tasks_by_dedup[(project_id, dedup_key)] = task.task_id
-        self._next_task_id += 1
-        return task
+        return self._create_tasks(project_id, [(info, redundancy, dedup_key)])[0]
 
     def create_tasks(
         self, project_id: int, task_specs: Sequence[dict[str, Any]]
@@ -207,19 +196,76 @@ class PlatformServer:
         retries and crash-and-rerun.
         """
         self.get_project(project_id)
-        validated: list[tuple[dict[str, Any], int | None, str | None]] = []
+        validated: list[_ValidatedSpec] = []
         for spec in task_specs:
             if "info" not in spec:
                 raise PlatformError(f"task spec is missing 'info': {spec!r}")
-            n_assignments = spec.get("n_assignments")
-            self._check_redundancy(n_assignments)
-            validated.append((spec["info"], n_assignments, spec.get("dedup_key")))
-        return [
-            self.create_task(
-                project_id, info, n_assignments=n_assignments, dedup_key=dedup_key
-            )
-            for info, n_assignments, dedup_key in validated
-        ]
+            redundancy = self._check_redundancy(spec.get("n_assignments"))
+            validated.append((spec["info"], redundancy, spec.get("dedup_key")))
+        return self._create_tasks(project_id, validated)
+
+    def _create_tasks(
+        self, project_id: int, validated: Sequence[_ValidatedSpec]
+    ) -> list[Task]:
+        """Create the already-validated *validated* specs as one store batch.
+
+        Dedup keys are resolved in bulk first (one store lookup for the
+        whole batch plus one liveness check on the named tasks — a stale
+        mapping left by a deleted task must not resurrect it).  The
+        remaining specs get consecutive ids from one counter reservation and
+        land in the store as a single ``add_tasks`` batch, so the durable
+        cost of a publish stays O(1) engine round-trips in the batch size.
+        """
+        dedup_keys = [key for _, _, key in validated if key is not None]
+        live: dict[str, Task] = {}
+        if dedup_keys:
+            resolved = self.store.resolve_dedup_keys(project_id, dedup_keys)
+            if resolved:
+                keys = list(resolved)
+                tasks = self.store.get_tasks([resolved[key] for key in keys])
+                live = {key: task for key, task in zip(keys, tasks) if task is not None}
+            if live:
+                # A replay after a crash inside a previous add_tasks batch
+                # may find live tasks whose index entries were never
+                # written; healing them here is what makes the publish
+                # replay converge instead of leaving invisible tasks.
+                distinct = {task.task_id: task for task in live.values()}
+                self.store.ensure_indexed(list(distinct.values()))
+
+        # Plan each spec: an existing task (dedup hit) or an index into the
+        # to-be-created list.  A dedup key repeated within the batch dedupes
+        # onto its first occurrence, exactly like sequential single creates.
+        new_specs: list[_ValidatedSpec] = []
+        slots: list[Task | int] = []
+        claimed: dict[str, int] = {}
+        for info, redundancy, dedup_key in validated:
+            if dedup_key is not None:
+                if dedup_key in live:
+                    slots.append(live[dedup_key])
+                    continue
+                if dedup_key in claimed:
+                    slots.append(claimed[dedup_key])
+                    continue
+                claimed[dedup_key] = len(new_specs)
+            slots.append(len(new_specs))
+            new_specs.append((info, redundancy, dedup_key))
+
+        created: list[Task] = []
+        if new_specs:
+            first_id = self.store.allocate_task_ids(len(new_specs))
+            now = self.clock.now
+            created = [
+                Task(
+                    task_id=first_id + offset,
+                    project_id=project_id,
+                    info=dict(info),
+                    n_assignments=redundancy,
+                    created_at=now,
+                )
+                for offset, (info, redundancy, _) in enumerate(new_specs)
+            ]
+            self.store.add_tasks(created, [key for _, _, key in new_specs])
+        return [slot if isinstance(slot, Task) else created[slot] for slot in slots]
 
     def _check_redundancy(self, n_assignments: int | None) -> int:
         redundancy = (
@@ -231,22 +277,22 @@ class PlatformServer:
 
     def get_task(self, task_id: int) -> Task:
         """Return the task with *task_id*."""
-        try:
-            return self._tasks[task_id]
-        except KeyError:
-            raise TaskNotFoundError(task_id) from None
+        task = self.store.get_task(task_id)
+        if task is None:
+            raise TaskNotFoundError(task_id)
+        return task
 
     def list_tasks(self, project_id: int) -> list[Task]:
         """Return every task of *project_id* in publication order."""
         self.get_project(project_id)
-        return [self._tasks[tid] for tid in self._tasks_by_project[project_id]]
+        tasks = self.store.get_tasks(self.store.project_task_ids(project_id))
+        # A crash mid-delete can leave an index entry whose task record is
+        # already gone; surface the live tasks, not a None.
+        return [task for task in tasks if task is not None]
 
     def delete_task(self, task_id: int) -> None:
         """Delete a task and its task runs."""
-        task = self.get_task(task_id)
-        self._tasks_by_project[task.project_id].remove(task_id)
-        self._task_runs.pop(task_id, None)
-        del self._tasks[task_id]
+        self.store.remove_task(self.get_task(task_id))
 
     def extend_task_redundancy(self, task_id: int, extra: int) -> Task:
         """Request *extra* additional assignments for an existing task.
@@ -259,6 +305,7 @@ class PlatformServer:
         task = self.get_task(task_id)
         task.n_assignments += extra
         task.completed_at = None
+        self.store.update_task(task)
         return task
 
     # -- task runs --------------------------------------------------------------------
@@ -266,13 +313,16 @@ class PlatformServer:
     def get_task_runs(self, task_id: int) -> list[TaskRun]:
         """Return the task runs collected so far for *task_id*."""
         self.get_task(task_id)
-        return list(self._task_runs[task_id])
+        return self.store.runs_for_task(task_id)
 
     def project_task_runs(self, project_id: int) -> list[TaskRun]:
         """Return every task run of *project_id*, grouped by task order."""
+        self.get_project(project_id)
         runs: list[TaskRun] = []
-        for task in self.list_tasks(project_id):
-            runs.extend(self._task_runs[task.task_id])
+        for task_runs in self.store.runs_for_tasks(
+            self.store.project_task_ids(project_id)
+        ):
+            runs.extend(task_runs)
         return runs
 
     def get_task_runs_for_project(self, project_id: int) -> dict[int, list[TaskRun]]:
@@ -283,10 +333,9 @@ class PlatformServer:
         empty list, so membership also tells the caller which cached task
         ids the platform still knows about.
         """
-        return {
-            task.task_id: list(self._task_runs[task.task_id])
-            for task in self.list_tasks(project_id)
-        }
+        self.get_project(project_id)
+        task_ids = self.store.project_task_ids(project_id)
+        return dict(zip(task_ids, self.store.runs_for_tasks(task_ids)))
 
     def _task_id_page(
         self, project_id: int, limit: int, start_after: int | None
@@ -295,20 +344,7 @@ class PlatformServer:
         if limit <= 0:
             raise PlatformError(f"page limit must be positive, got {limit}")
         self.get_project(project_id)
-        task_ids = self._tasks_by_project[project_id]
-        if start_after is None:
-            position = 0
-        else:
-            # Ids come from a monotonic counter, so the per-project list is
-            # sorted even after deletions — resolve the cursor by bisection
-            # rather than an O(project) list.index per page.
-            position = bisect.bisect_left(task_ids, start_after)
-            if position == len(task_ids) or task_ids[position] != start_after:
-                raise PlatformError(
-                    f"cursor task {start_after} is not a task of project {project_id}"
-                )
-            position += 1
-        return list(task_ids[position : position + limit])
+        return self.store.task_id_page(project_id, limit, start_after)
 
     def list_project_task_ids(
         self, project_id: int, limit: int, start_after: int | None = None
@@ -319,7 +355,9 @@ class PlatformServer:
         previous page); an id the project does not contain raises
         :class:`PlatformError`.  This is the cheap membership stream the
         collection path uses to detect stale cached tasks without shipping
-        any task runs.
+        any task runs.  On a durable store the cursor survives a server
+        restart: the reopened server serves the next page as if nothing
+        happened.
         """
         return self._task_id_page(project_id, limit, start_after)
 
@@ -333,7 +371,7 @@ class PlatformServer:
         the memory footprint of a streaming collection.
         """
         page = self._task_id_page(project_id, limit, start_after)
-        return [(task_id, list(self._task_runs[task_id])) for task_id in page]
+        return list(zip(page, self.store.runs_for_tasks(page)))
 
     def iter_task_runs_for_project(
         self, project_id: int, page_size: int = 500
@@ -351,25 +389,63 @@ class PlatformServer:
                 return
             cursor = page[-1][0]
 
+    def _iter_task_id_pages(self, project_id: int) -> Iterator[list[int]]:
+        """Walk a project's task-id pages — the one cursor loop every
+        internal whole-project walk shares."""
+        cursor: int | None = None
+        while True:
+            page = self.store.task_id_page(project_id, self._work_page_size, cursor)
+            if page:
+                yield page
+            if len(page) < self._work_page_size:
+                return
+            cursor = page[-1]
+
+    def _iter_tasks(self, project_id: int) -> Iterator[Task]:
+        """Walk a project's tasks in publication order, one store page at a time."""
+        for page in self._iter_task_id_pages(project_id):
+            for task in self.store.get_tasks(page):
+                if task is not None:
+                    yield task
+
+    def _iter_task_run_counts(self, project_id: int) -> Iterator[tuple[Task, int]]:
+        """Walk ``(task, collected-run count)`` pairs in bounded memory.
+
+        One id page, one bulk task read and one bulk run-count read per
+        ``_work_page_size`` chunk, so completion checks over a project
+        larger than memory never materialise it.
+        """
+        for page in self._iter_task_id_pages(project_id):
+            counts = self.store.run_counts_for_tasks(page)
+            for task, count in zip(self.store.get_tasks(page), counts):
+                if task is not None:
+                    yield task, count
+
     def pending_assignments(self, project_id: int | None = None) -> int:
         """Return the number of assignments still waiting for a worker."""
-        tasks: Iterable[Task]
         if project_id is None:
-            tasks = self._tasks.values()
+            project_ids = self.store.list_project_ids()
         else:
-            tasks = self.list_tasks(project_id)
+            self.get_project(project_id)
+            project_ids = [project_id]
         return sum(
-            max(0, task.n_assignments - len(self._task_runs[task.task_id])) for task in tasks
+            max(0, task.n_assignments - count)
+            for pid in project_ids
+            for task, count in self._iter_task_run_counts(pid)
         )
 
     def is_task_complete(self, task_id: int) -> bool:
         """Return True when the task has received all requested answers."""
         task = self.get_task(task_id)
-        return len(self._task_runs[task_id]) >= task.n_assignments
+        return self.store.run_count(task_id) >= task.n_assignments
 
     def is_project_complete(self, project_id: int) -> bool:
         """Return True when every task of the project is complete."""
-        return all(self.is_task_complete(task.task_id) for task in self.list_tasks(project_id))
+        self.get_project(project_id)
+        return all(
+            count >= task.n_assignments
+            for task, count in self._iter_task_run_counts(project_id)
+        )
 
     # -- work simulation -----------------------------------------------------------------
 
@@ -389,22 +465,38 @@ class PlatformServer:
         """
         created = 0
         if project_id is None:
-            project_ids = sorted(self._projects)
+            project_ids = self.store.list_project_ids()
         else:
             self.get_project(project_id)
             project_ids = [project_id]
         for pid in project_ids:
-            for task in self.list_tasks(pid):
+            for task in self._iter_tasks(pid):
                 created += self._fill_task(task, max_assignments, created)
                 if max_assignments is not None and created >= max_assignments:
                     return created
         return created
 
     def _fill_task(self, task: Task, max_assignments: int | None, created_so_far: int) -> int:
-        """Fill one task's missing assignments; return answers created."""
-        runs = self._task_runs[task.task_id]
+        """Fill one task's missing assignments; return answers created.
+
+        All new runs of the task land in the store as one ``append_runs``
+        batch — on a durable store that is one engine write per task, and a
+        crash between tasks leaves whole-task prefixes that a rerun of
+        ``simulate_work`` tops up idempotently.
+        """
+        runs = self.store.runs_for_task(task.task_id)
         missing = task.n_assignments - len(runs)
         if missing <= 0:
+            if task.completed_at is None:
+                # Heals the crash window between a durable append_runs and
+                # its update_task: the answers landed but the completion
+                # stamp did not, and no further answers will ever be
+                # created to set it.  Stamp with the final answer's own
+                # submission time, never before it.
+                task.completed_at = max(
+                    (run.submitted_at for run in runs), default=self.clock.now
+                )
+                self.store.update_task(task)
             return 0
         if max_assignments is not None:
             missing = min(missing, max(0, max_assignments - created_so_far))
@@ -419,9 +511,12 @@ class PlatformServer:
             # always have something to pick from.
             candidates = ["Yes", "No"] if true_answer is None else [true_answer, "No"]
         task_type = task.info.get("task_type")
-        created = 0
+        answers: list[tuple[str, Any, float, float]] = []
         for _ in range(missing):
-            worker = self._pick_worker(task, already_assigned)
+            collected = len(runs) + len(answers)
+            worker = self._pick_worker(
+                task, already_assigned, task.n_assignments - collected
+            )
             already_assigned.add(worker.worker_id)
             answer, latency = worker.answer(
                 candidates,
@@ -430,30 +525,37 @@ class PlatformServer:
                 task_type=task_type,
             )
             self.clock.advance(latency)
-            run = TaskRun(
-                run_id=self._next_run_id,
+            answers.append((worker.worker_id, answer, latency, self.clock.now))
+        # Ids are reserved after the answers so the store can persist the
+        # advanced clock in the same counter write; the reservation still
+        # lands before the runs themselves, so a crash in between leaves an
+        # id gap, never a reused id.
+        first_run_id = self.store.allocate_run_ids(missing, clock_time=self.clock.now)
+        new_runs = [
+            TaskRun(
+                run_id=first_run_id + offset,
                 task_id=task.task_id,
                 project_id=task.project_id,
-                worker_id=worker.worker_id,
+                worker_id=worker_id,
                 answer=answer,
-                submitted_at=self.clock.now,
+                submitted_at=submitted_at,
                 latency_seconds=latency,
-                assignment_order=len(runs) + 1,
+                assignment_order=len(runs) + offset + 1,
             )
-            self._next_run_id += 1
-            runs.append(run)
-            created += 1
-        if len(runs) >= task.n_assignments and task.completed_at is None:
+            for offset, (worker_id, answer, latency, submitted_at) in enumerate(answers)
+        ]
+        self.store.append_runs(task.task_id, new_runs)
+        if len(runs) + len(new_runs) >= task.n_assignments and task.completed_at is None:
             task.completed_at = self.clock.now
-        return created
+            self.store.update_task(task)
+        return len(new_runs)
 
-    def _pick_worker(self, task: Task, exclude: set[str]):
+    def _pick_worker(self, task: Task, exclude: set[str], remaining: int):
         """Pick a worker for *task* honouring distinct-worker redundancy."""
         if len(exclude) >= len(self.worker_pool):
             # Redundancy exceeds pool size; fall back to reusing workers
             # rather than deadlocking the experiment.
             return self.worker_pool.draw()
-        remaining = task.n_assignments - len(self._task_runs[task.task_id])
         workers = self.assignment.assign(self.worker_pool, 1) if remaining else []
         if workers and workers[0].worker_id not in exclude:
             return workers[0]
@@ -463,11 +565,25 @@ class PlatformServer:
 
     def statistics(self) -> dict[str, Any]:
         """Return platform-wide counters for dashboards and tests."""
+        # describe() embeds counts(), so read them from it rather than
+        # paying the store's table counts twice.
+        store_info = self.store.describe()
         return {
-            "projects": len(self._projects),
-            "tasks": len(self._tasks),
-            "task_runs": sum(len(runs) for runs in self._task_runs.values()),
+            "projects": store_info["projects"],
+            "tasks": store_info["tasks"],
+            "task_runs": store_info["task_runs"],
             "pending_assignments": self.pending_assignments(),
             "clock": self.clock.now,
             "workers": self.worker_pool.statistics(),
+            "store": store_info,
         }
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush the task store's buffered writes to durable storage."""
+        self.store.flush()
+
+    def close(self) -> None:
+        """Close the task store (and any engine the store owns)."""
+        self.store.close()

@@ -1,0 +1,797 @@
+"""TaskStore: pluggable persistence for the platform server's state.
+
+The server used to hold every project, task and task run in six in-process
+dicts, so the simulated platform could neither survive a restart nor exceed
+memory.  This module extracts that state behind one contract with two
+implementations:
+
+* :class:`MemoryTaskStore` — the original dicts, still the default and the
+  reference semantics the durable store is tested against;
+* :class:`DurableTaskStore` — maps the same state onto any
+  :class:`~repro.storage.engine.StorageEngine` (memory, sqlite, log,
+  sharded) using namespaced tables, the engines' ``put_many`` /
+  ``scan(limit, start_after)`` bulk contract, and the ``to_dict`` /
+  ``from_dict`` serialisers already on the platform models.
+
+Key namespacing (``DurableTaskStore``, default namespace ``platform``):
+
+=============================  =============================================
+table                          contents
+=============================  =============================================
+``platform::projects``         zero-padded project id -> ``Project.to_dict``
+``platform::project_names``    project name -> project id
+``platform::tasks``            zero-padded task id -> ``Task.to_dict``
+``platform::runs``             zero-padded task id -> list of
+                               ``TaskRun.to_dict`` (one record per task)
+``platform::meta``             id counters (``next_project_id``,
+                               ``next_task_id``, ``next_run_id``)
+``platform::task_index::<p>``  per-project publication-order task-id index
+``platform::dedup::<p>``       per-project dedup key -> task id
+=============================  =============================================
+
+Task ids come from a durable monotonic counter and their keys are
+zero-padded, so sorting a table's keys restores publication order no matter
+what physical insertion order a crash (or a later heal) left behind; the
+per-project index table therefore serves the server's exclusive task-id
+page cursor from its sorted key list — a cursor handed out before a server
+restart keeps working on the reopened store.
+
+Recovery invariants (what a reopened server is promised):
+
+* **Identical ids** — the next project/task/run id is read back from the
+  ``meta`` table; a crash between counter bump and entity write can only
+  leave an unused id gap, never a reused id.
+* **Identical dedup behaviour** — dedup keys live next to the tasks they
+  name; replaying a ``create_tasks`` batch after a restart returns the
+  surviving tasks instead of duplicates.
+* **Identical page cursors** — the task-id index is durable, so a streaming
+  collection interrupted mid-``iter_task_runs_for_project`` resumes from its
+  last cursor on the reopened server.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+from typing import Any, Sequence
+
+from repro.config import PlatformConfig
+from repro.exceptions import ConfigurationError, PlatformError
+from repro.platform.models import Project, Task, TaskRun
+from repro.storage.engine import StorageEngine, open_engine
+
+
+def _cursor_error(start_after: int, project_id: int) -> PlatformError:
+    """The error every store raises for a page cursor the project lacks."""
+    return PlatformError(
+        f"cursor task {start_after} is not a task of project {project_id}"
+    )
+
+
+def _page_task_ids(
+    task_ids: Sequence[int], limit: int | None, start_after: int | None, project_id: int
+) -> list[int]:
+    """Apply the exclusive-cursor page contract to a sorted task-id list.
+
+    Shared by both store implementations so their cursor semantics cannot
+    drift: ids come from a monotonic counter, so the per-project list is
+    sorted and the cursor resolves by bisection rather than a linear scan.
+    """
+    if start_after is None:
+        position = 0
+    else:
+        position = bisect.bisect_left(task_ids, start_after)
+        if position == len(task_ids) or task_ids[position] != start_after:
+            raise _cursor_error(start_after, project_id)
+        position += 1
+    end = None if limit is None else position + limit
+    return list(task_ids[position:end])
+
+
+class TaskStore(abc.ABC):
+    """Persistence contract behind :class:`~repro.platform.server.PlatformServer`.
+
+    The server is the only consumer: it owns validation, redundancy and
+    worker simulation, and goes through the store for every read and write
+    of projects, tasks, task runs, dedup mappings and id counters.  Stores
+    return model objects (:class:`Project`, :class:`Task`,
+    :class:`TaskRun`), never raw records.
+    """
+
+    #: Name reported by :meth:`describe`, overridden by subclasses.
+    store_name = "abstract"
+
+    # -- id counters -------------------------------------------------------
+
+    @abc.abstractmethod
+    def allocate_project_id(self) -> int:
+        """Reserve and return the next project id (durable before use)."""
+
+    @abc.abstractmethod
+    def allocate_task_ids(self, count: int) -> int:
+        """Reserve *count* consecutive task ids; return the first."""
+
+    @abc.abstractmethod
+    def allocate_run_ids(self, count: int, clock_time: float | None = None) -> int:
+        """Reserve *count* consecutive task-run ids; return the first.
+
+        *clock_time*, when given, is recorded as the store's latest
+        persisted timestamp in the same write (see
+        :meth:`latest_timestamp`) — the server passes its clock after the
+        answers being persisted were stamped, so the record rides the
+        counter write instead of costing one of its own.
+        """
+
+    # -- projects ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def put_project(self, project: Project) -> None:
+        """Store a new project (and prepare its per-project indexes)."""
+
+    @abc.abstractmethod
+    def get_project(self, project_id: int) -> Project | None:
+        """Return the project with *project_id*, or None."""
+
+    @abc.abstractmethod
+    def find_project_id(self, name: str) -> int | None:
+        """Return the id of the project named *name*, or None."""
+
+    @abc.abstractmethod
+    def list_project_ids(self) -> list[int]:
+        """Return every project id in ascending order."""
+
+    @abc.abstractmethod
+    def remove_project(self, project: Project) -> None:
+        """Delete *project* together with its tasks, runs and dedup keys."""
+
+    # -- tasks -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def add_tasks(self, tasks: Sequence[Task], dedup_keys: Sequence[str | None]) -> None:
+        """Store new *tasks* (one batch) and register their dedup keys.
+
+        ``dedup_keys`` is positionally aligned with ``tasks``; a None entry
+        registers nothing for that task.  A dedup key that already maps to a
+        (possibly deleted) task is overwritten — liveness is re-checked at
+        resolve time, so a stale mapping can never resurrect a deleted task.
+        """
+
+    @abc.abstractmethod
+    def get_task(self, task_id: int) -> Task | None:
+        """Return the task with *task_id*, or None."""
+
+    @abc.abstractmethod
+    def get_tasks(self, task_ids: Sequence[int]) -> list[Task | None]:
+        """Return one task (or None) per requested id, in request order."""
+
+    @abc.abstractmethod
+    def update_task(self, task: Task) -> None:
+        """Persist mutated fields of an existing task (redundancy, completion)."""
+
+    @abc.abstractmethod
+    def remove_task(self, task: Task) -> None:
+        """Delete *task* and its runs (its dedup mapping may go stale)."""
+
+    @abc.abstractmethod
+    def project_task_ids(self, project_id: int) -> list[int]:
+        """Return every task id of *project_id* in publication order."""
+
+    @abc.abstractmethod
+    def task_id_page(
+        self, project_id: int, limit: int | None, start_after: int | None
+    ) -> list[int]:
+        """One publication-order page of task ids after the exclusive cursor.
+
+        Raises :class:`~repro.exceptions.PlatformError` when *start_after*
+        is not currently a task of the project — the same contract
+        (transplanted from the storage ``scan``) on every implementation.
+        """
+
+    @abc.abstractmethod
+    def resolve_dedup_keys(self, project_id: int, keys: Sequence[str]) -> dict[str, int]:
+        """Map each known dedup key of *project_id* to the task id it names.
+
+        Returned ids are raw mappings; callers must re-check task liveness
+        (a mapping may survive its task's deletion).
+        """
+
+    def ensure_indexed(self, tasks: Sequence[Task]) -> None:
+        """Repair the publication-order index entries of existing *tasks*.
+
+        Called by the server for dedup *hits* of a ``create_tasks`` replay:
+        on a durable store a crash inside a previous :meth:`add_tasks` can
+        have persisted the dedup mapping and task records without their
+        index entries, and the replay is the natural place to heal that
+        torn batch.  A no-op when every entry is present (and always for
+        the memory store, whose ``add_tasks`` cannot tear).
+        """
+
+    def latest_timestamp(self) -> float:
+        """Return the largest simulated-clock timestamp the store persisted.
+
+        The server fast-forwards its clock past this value on construction,
+        so a platform reopened after a restart (whose fresh clock starts at
+        zero) never stamps new answers *before* answers that already exist.
+        0.0 for stores with no persisted state.
+        """
+        return 0.0
+
+    # -- task runs ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def runs_for_task(self, task_id: int) -> list[TaskRun]:
+        """Return the runs of *task_id* in submission order ([] when none)."""
+
+    @abc.abstractmethod
+    def runs_for_tasks(self, task_ids: Sequence[int]) -> list[list[TaskRun]]:
+        """Bulk :meth:`runs_for_task`: one run list per id, in request order."""
+
+    @abc.abstractmethod
+    def append_runs(self, task_id: int, runs: Sequence[TaskRun]) -> None:
+        """Append *runs* to the task's answer list (one durable write)."""
+
+    # -- derived reads shared by both implementations ----------------------
+
+    def run_count(self, task_id: int) -> int:
+        """Return how many runs *task_id* has collected."""
+        return len(self.runs_for_task(task_id))
+
+    def run_counts_for_tasks(self, task_ids: Sequence[int]) -> list[int]:
+        """Bulk :meth:`run_count`, positionally aligned with *task_ids*."""
+        return [len(runs) for runs in self.runs_for_tasks(task_ids)]
+
+    # -- introspection and lifecycle ---------------------------------------
+
+    @abc.abstractmethod
+    def counts(self) -> dict[str, int]:
+        """Return ``{"projects": n, "tasks": n, "task_runs": n}``."""
+
+    def describe(self) -> dict[str, Any]:
+        """Return a JSON-friendly summary for dashboards and tests."""
+        return {"store": self.store_name, **self.counts()}
+
+    def flush(self) -> None:
+        """Force buffered writes to durable storage (no-op by default)."""
+
+    def close(self) -> None:
+        """Release resources held by the store (no-op by default)."""
+
+
+class MemoryTaskStore(TaskStore):
+    """The seed behaviour: every dict the server used to hold, unchanged.
+
+    Model objects are stored by reference (a task returned by the server is
+    the stored task), which is exactly what the in-process simulator always
+    did; :meth:`update_task` is therefore a no-op for objects obtained from
+    this store.
+    """
+
+    store_name = "memory"
+
+    def __init__(self) -> None:
+        self._projects: dict[int, Project] = {}
+        self._projects_by_name: dict[str, int] = {}
+        self._tasks: dict[int, Task] = {}
+        self._tasks_by_project: dict[int, list[int]] = {}
+        self._tasks_by_dedup: dict[tuple[int, str], int] = {}
+        self._task_runs: dict[int, list[TaskRun]] = {}
+        self._next_project_id = 1
+        self._next_task_id = 1
+        self._next_run_id = 1
+
+    # -- id counters -------------------------------------------------------
+
+    def allocate_project_id(self) -> int:
+        allocated = self._next_project_id
+        self._next_project_id += 1
+        return allocated
+
+    def allocate_task_ids(self, count: int) -> int:
+        first = self._next_task_id
+        self._next_task_id += count
+        return first
+
+    def allocate_run_ids(self, count: int, clock_time: float | None = None) -> int:
+        first = self._next_run_id
+        self._next_run_id += count
+        return first
+
+    # -- projects ----------------------------------------------------------
+
+    def put_project(self, project: Project) -> None:
+        self._projects[project.project_id] = project
+        self._projects_by_name[project.name] = project.project_id
+        self._tasks_by_project[project.project_id] = []
+
+    def get_project(self, project_id: int) -> Project | None:
+        return self._projects.get(project_id)
+
+    def find_project_id(self, name: str) -> int | None:
+        return self._projects_by_name.get(name)
+
+    def list_project_ids(self) -> list[int]:
+        return sorted(self._projects)
+
+    def remove_project(self, project: Project) -> None:
+        for task_id in self._tasks_by_project.pop(project.project_id, []):
+            self._tasks.pop(task_id, None)
+            self._task_runs.pop(task_id, None)
+        self._tasks_by_dedup = {
+            key: task_id
+            for key, task_id in self._tasks_by_dedup.items()
+            if key[0] != project.project_id
+        }
+        self._projects_by_name.pop(project.name, None)
+        self._projects.pop(project.project_id, None)
+
+    # -- tasks -------------------------------------------------------------
+
+    def add_tasks(self, tasks: Sequence[Task], dedup_keys: Sequence[str | None]) -> None:
+        for task, dedup_key in zip(tasks, dedup_keys):
+            self._tasks[task.task_id] = task
+            self._tasks_by_project[task.project_id].append(task.task_id)
+            self._task_runs[task.task_id] = []
+            if dedup_key is not None:
+                self._tasks_by_dedup[(task.project_id, dedup_key)] = task.task_id
+
+    def get_task(self, task_id: int) -> Task | None:
+        return self._tasks.get(task_id)
+
+    def get_tasks(self, task_ids: Sequence[int]) -> list[Task | None]:
+        return [self._tasks.get(task_id) for task_id in task_ids]
+
+    def update_task(self, task: Task) -> None:
+        self._tasks[task.task_id] = task
+
+    def remove_task(self, task: Task) -> None:
+        self._tasks_by_project[task.project_id].remove(task.task_id)
+        self._task_runs.pop(task.task_id, None)
+        self._tasks.pop(task.task_id, None)
+
+    def project_task_ids(self, project_id: int) -> list[int]:
+        return list(self._tasks_by_project[project_id])
+
+    def task_id_page(
+        self, project_id: int, limit: int | None, start_after: int | None
+    ) -> list[int]:
+        return _page_task_ids(
+            self._tasks_by_project[project_id], limit, start_after, project_id
+        )
+
+    def resolve_dedup_keys(self, project_id: int, keys: Sequence[str]) -> dict[str, int]:
+        resolved: dict[str, int] = {}
+        for key in keys:
+            task_id = self._tasks_by_dedup.get((project_id, key))
+            if task_id is not None:
+                resolved[key] = task_id
+        return resolved
+
+    # -- task runs ---------------------------------------------------------
+
+    def runs_for_task(self, task_id: int) -> list[TaskRun]:
+        return list(self._task_runs.get(task_id, []))
+
+    def runs_for_tasks(self, task_ids: Sequence[int]) -> list[list[TaskRun]]:
+        return [list(self._task_runs.get(task_id, [])) for task_id in task_ids]
+
+    def append_runs(self, task_id: int, runs: Sequence[TaskRun]) -> None:
+        self._task_runs.setdefault(task_id, []).extend(runs)
+
+    def run_count(self, task_id: int) -> int:
+        return len(self._task_runs.get(task_id, ()))
+
+    def run_counts_for_tasks(self, task_ids: Sequence[int]) -> list[int]:
+        return [len(self._task_runs.get(task_id, ())) for task_id in task_ids]
+
+    # -- introspection -----------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "projects": len(self._projects),
+            "tasks": len(self._tasks),
+            "task_runs": sum(len(runs) for runs in self._task_runs.values()),
+        }
+
+
+class DurableTaskStore(TaskStore):
+    """Platform state on a :class:`StorageEngine` — restartable and sharable.
+
+    See the module docstring for the table layout and recovery invariants.
+    Writes are batched through the engine's ``put_many`` wherever the server
+    hands over a batch (``create_tasks``, per-task run appends), so the
+    durable cost of the bulk execution path stays O(1) engine round-trips in
+    the batch size.
+    """
+
+    store_name = "durable"
+
+    def __init__(
+        self,
+        engine: StorageEngine,
+        namespace: str = "platform",
+        owns_engine: bool = False,
+    ) -> None:
+        """Open the store on *engine*.
+
+        Args:
+            engine: Any open storage engine; may be shared with the
+                fault-recovery cache (the platform's tables are namespaced).
+            namespace: Table-name prefix isolating this store's tables.
+            owns_engine: When True, :meth:`close` also closes the engine.
+        """
+        self._engine = engine
+        self._namespace = namespace
+        self._owns_engine = owns_engine
+        self._projects_table = f"{namespace}::projects"
+        self._names_table = f"{namespace}::project_names"
+        self._tasks_table = f"{namespace}::tasks"
+        self._runs_table = f"{namespace}::runs"
+        self._meta_table = f"{namespace}::meta"
+        for table in (
+            self._projects_table,
+            self._names_table,
+            self._tasks_table,
+            self._runs_table,
+            self._meta_table,
+        ):
+            engine.create_table(table)
+        #: Cached next-id counters; authoritative copy lives in the meta
+        #: table and is re-read lazily after a reopen.
+        self._counters: dict[str, int] = {}
+        #: Cached total run count; recovered by one scan on first use.
+        self._total_runs: int | None = None
+        #: Cached copy of the persisted latest-timestamp meta record.
+        self._latest_timestamp: float | None = None
+        #: Cached sorted task-id list per project, loaded from the index
+        #: table on first use and maintained incrementally — pages are then
+        #: O(page), not one index scan per page.  Like the counters, the
+        #: cache assumes this store object is the engine's only writer.
+        self._project_ids: dict[int, list[int]] = {}
+
+    # -- keys and tables ---------------------------------------------------
+
+    @staticmethod
+    def _id_key(entity_id: int) -> str:
+        """Zero-padded id key: lexicographic order == numeric order."""
+        return f"{entity_id:012d}"
+
+    def _index_table(self, project_id: int) -> str:
+        return f"{self._namespace}::task_index::{self._id_key(project_id)}"
+
+    def _dedup_table(self, project_id: int) -> str:
+        return f"{self._namespace}::dedup::{self._id_key(project_id)}"
+
+    # -- id counters -------------------------------------------------------
+
+    def _allocate(
+        self, counter: str, count: int, clock_time: float | None = None
+    ) -> int:
+        next_id = self._counters.get(counter)
+        if next_id is None:
+            next_id = int(self._engine.get(self._meta_table, counter, default=1))
+        # Persist the bumped counter *before* the ids are used: a crash in
+        # between leaves an unused gap, never a reused id.  A clock record
+        # rides in the same meta batch for free.
+        self._counters[counter] = next_id + count
+        items: list[tuple[str, Any]] = [(counter, next_id + count)]
+        if clock_time is not None and clock_time > self.latest_timestamp():
+            self._latest_timestamp = clock_time
+            items.append(("latest_timestamp", clock_time))
+        self._engine.put_many(self._meta_table, items)
+        return next_id
+
+    def _record_latest(self, clock_time: float) -> None:
+        """Persist *clock_time* as the latest timestamp when it advances it."""
+        if clock_time > self.latest_timestamp():
+            self._latest_timestamp = clock_time
+            self._engine.put(self._meta_table, "latest_timestamp", clock_time)
+
+    def latest_timestamp(self) -> float:
+        if self._latest_timestamp is None:
+            self._latest_timestamp = float(
+                self._engine.get(self._meta_table, "latest_timestamp", default=0.0)
+            )
+        return self._latest_timestamp
+
+    def allocate_project_id(self) -> int:
+        return self._allocate("next_project_id", 1)
+
+    def allocate_task_ids(self, count: int) -> int:
+        return self._allocate("next_task_id", count)
+
+    def allocate_run_ids(self, count: int, clock_time: float | None = None) -> int:
+        return self._allocate("next_run_id", count, clock_time=clock_time)
+
+    # -- projects ----------------------------------------------------------
+
+    def put_project(self, project: Project) -> None:
+        self._engine.create_table(self._index_table(project.project_id))
+        self._engine.create_table(self._dedup_table(project.project_id))
+        self._engine.put(
+            self._projects_table, self._id_key(project.project_id), project.to_dict()
+        )
+        self._engine.put(self._names_table, project.name, project.project_id)
+        self._project_ids[project.project_id] = []
+        self._record_latest(project.created_at)
+
+    def get_project(self, project_id: int) -> Project | None:
+        payload = self._engine.get(self._projects_table, self._id_key(project_id))
+        return Project.from_dict(payload) if payload is not None else None
+
+    def find_project_id(self, name: str) -> int | None:
+        project_id = self._engine.get(self._names_table, name)
+        return int(project_id) if project_id is not None else None
+
+    def list_project_ids(self) -> list[int]:
+        # Ids are monotonic, so insertion order is ascending id order.
+        return [int(key) for key in self._engine.scan_keys(self._projects_table)]
+
+    def remove_project(self, project: Project) -> None:
+        # Per task: index entry first (never a dangling id), then runs,
+        # then the record; project record last, so an interrupted delete
+        # can simply be retried — the project stays discoverable until
+        # everything it owns is gone.
+        index_table = self._index_table(project.project_id)
+        for task_id in self.project_task_ids(project.project_id):
+            key = self._id_key(task_id)
+            if self._total_runs is not None:
+                self._total_runs -= len(
+                    self._engine.get(self._runs_table, key, default=[])
+                )
+            self._engine.delete(index_table, key)
+            self._engine.delete(self._runs_table, key)
+            self._engine.delete(self._tasks_table, key)
+        self._project_ids.pop(project.project_id, None)
+        self._engine.drop_table(index_table)
+        self._engine.drop_table(self._dedup_table(project.project_id))
+        self._engine.delete(self._names_table, project.name)
+        self._engine.delete(self._projects_table, self._id_key(project.project_id))
+
+    # -- tasks -------------------------------------------------------------
+
+    def add_tasks(self, tasks: Sequence[Task], dedup_keys: Sequence[str | None]) -> None:
+        if not tasks:
+            return
+        # One batch per table, in crash-safe order (a crash can only fall
+        # *between* engine batches): dedup mappings first — a mapping to a
+        # task that was never written fails the liveness check and the
+        # replay simply re-creates under fresh ids.  Task records second —
+        # with the mapping present, a replay now resolves to live tasks and
+        # returns them instead of duplicating crowd work.  Index entries
+        # last — a replay that resolves a hit heals any entries the crash
+        # swallowed via :meth:`ensure_indexed`.  No ordering leaves a
+        # window where a replay double-publishes.  (A spec *without* a
+        # dedup key cannot be recognised by any replay; a crash before its
+        # index entry leaves an unreachable task record — a storage leak
+        # only, invisible to every page and to :meth:`counts`, which reads
+        # the index.)
+        index_items: dict[int, list[tuple[str, Any]]] = {}
+        dedup_items: dict[int, list[tuple[str, Any]]] = {}
+        for task, dedup_key in zip(tasks, dedup_keys):
+            index_items.setdefault(task.project_id, []).append(
+                (self._id_key(task.task_id), task.task_id)
+            )
+            if dedup_key is not None:
+                dedup_items.setdefault(task.project_id, []).append(
+                    (dedup_key, task.task_id)
+                )
+        for project_id, items in dedup_items.items():
+            self._engine.put_many(self._dedup_table(project_id), items)
+        self._engine.put_many(
+            self._tasks_table,
+            [(self._id_key(task.task_id), task.to_dict()) for task in tasks],
+        )
+        for project_id, items in index_items.items():
+            self._engine.put_many(self._index_table(project_id), items)
+            cached = self._project_ids.get(project_id)
+            if cached is not None:
+                # Fresh ids come from the monotonic counter, so they all
+                # sort after anything already cached.
+                cached.extend(task_id for _, task_id in items)
+        self._record_latest(max(task.created_at for task in tasks))
+
+    def ensure_indexed(self, tasks: Sequence[Task]) -> None:
+        by_project: dict[int, list[Task]] = {}
+        for task in tasks:
+            by_project.setdefault(task.project_id, []).append(task)
+        for project_id, group in by_project.items():
+            table = self._index_table(project_id)
+            keys = [self._id_key(task.task_id) for task in group]
+            present = self._engine.get_many(table, keys)
+            missing = [
+                (key, task.task_id)
+                for key, task, value in zip(keys, group, present)
+                if value is None
+            ]
+            if missing:
+                # Healed entries land at the engine's tail; harmless,
+                # because per-project pages are served from the *sorted*
+                # key list, never from physical insertion order.  The
+                # cached list is reloaded rather than patched in place.
+                self._engine.put_many(table, missing)
+                self._project_ids.pop(project_id, None)
+
+    def get_task(self, task_id: int) -> Task | None:
+        payload = self._engine.get(self._tasks_table, self._id_key(task_id))
+        return Task.from_dict(payload) if payload is not None else None
+
+    def get_tasks(self, task_ids: Sequence[int]) -> list[Task | None]:
+        payloads = self._engine.get_many(
+            self._tasks_table, [self._id_key(task_id) for task_id in task_ids]
+        )
+        return [
+            Task.from_dict(payload) if payload is not None else None
+            for payload in payloads
+        ]
+
+    def update_task(self, task: Task) -> None:
+        self._engine.put(self._tasks_table, self._id_key(task.task_id), task.to_dict())
+
+    def remove_task(self, task: Task) -> None:
+        key = self._id_key(task.task_id)
+        if self._total_runs is not None:
+            self._total_runs -= len(self._engine.get(self._runs_table, key, default=[]))
+        # Index entry first: a crash mid-delete then leaves an *invisible*
+        # orphan (task/runs no project lists) rather than a dangling index
+        # entry that resolves to nothing.
+        self._engine.delete(self._index_table(task.project_id), key)
+        self._engine.delete(self._runs_table, key)
+        self._engine.delete(self._tasks_table, key)
+        cached = self._project_ids.get(task.project_id)
+        if cached is not None:
+            position = bisect.bisect_left(cached, task.task_id)
+            if position < len(cached) and cached[position] == task.task_id:
+                del cached[position]
+
+    def _sorted_task_ids(self, project_id: int) -> list[int]:
+        """The project's task ids, ascending — cached after one index scan.
+
+        Zero-padded keys make lexicographic order numeric order, and ids
+        are monotonic, so sorting restores publication order regardless of
+        the index's physical insertion order (entries healed by
+        ``ensure_indexed`` after a torn batch land at the engine's tail).
+        """
+        cached = self._project_ids.get(project_id)
+        if cached is None:
+            cached = sorted(
+                int(key)
+                for key in self._engine.scan_keys(self._index_table(project_id))
+            )
+            self._project_ids[project_id] = cached
+        return cached
+
+    def project_task_ids(self, project_id: int) -> list[int]:
+        return list(self._sorted_task_ids(project_id))
+
+    def task_id_page(
+        self, project_id: int, limit: int | None, start_after: int | None
+    ) -> list[int]:
+        return _page_task_ids(
+            self._sorted_task_ids(project_id), limit, start_after, project_id
+        )
+
+    def resolve_dedup_keys(self, project_id: int, keys: Sequence[str]) -> dict[str, int]:
+        if not keys:
+            return {}
+        values = self._engine.get_many(self._dedup_table(project_id), list(keys))
+        return {
+            key: int(task_id)
+            for key, task_id in zip(keys, values)
+            if task_id is not None
+        }
+
+    # -- task runs ---------------------------------------------------------
+
+    def _decode_runs(self, payload: Any) -> list[TaskRun]:
+        return [TaskRun.from_dict(entry) for entry in payload]
+
+    def runs_for_task(self, task_id: int) -> list[TaskRun]:
+        payload = self._engine.get(self._runs_table, self._id_key(task_id), default=[])
+        return self._decode_runs(payload)
+
+    def runs_for_tasks(self, task_ids: Sequence[int]) -> list[list[TaskRun]]:
+        payloads = self._engine.get_many(
+            self._runs_table,
+            [self._id_key(task_id) for task_id in task_ids],
+            default=[],
+        )
+        return [self._decode_runs(payload) for payload in payloads]
+
+    def append_runs(self, task_id: int, runs: Sequence[TaskRun]) -> None:
+        if not runs:
+            return
+        key = self._id_key(task_id)
+        # Copy before extending: the memory engine hands out its stored list
+        # by reference, and the stored value must only change via put.
+        stored = list(self._engine.get(self._runs_table, key, default=[]))
+        stored.extend(run.to_dict() for run in runs)
+        self._engine.put(self._runs_table, key, stored)
+        if self._total_runs is not None:
+            self._total_runs += len(runs)
+
+    def run_count(self, task_id: int) -> int:
+        payload = self._engine.get(self._runs_table, self._id_key(task_id), default=[])
+        return len(payload)
+
+    def run_counts_for_tasks(self, task_ids: Sequence[int]) -> list[int]:
+        payloads = self._engine.get_many(
+            self._runs_table,
+            [self._id_key(task_id) for task_id in task_ids],
+            default=[],
+        )
+        return [len(payload) for payload in payloads]
+
+    # -- introspection and lifecycle ---------------------------------------
+
+    def _count_total_runs(self) -> int:
+        if self._total_runs is None:
+            # One recovery scan on the first counts() after (re)open;
+            # maintained incrementally afterwards.  (Deliberately *not* a
+            # persisted counter: the scan reflects what actually survived a
+            # crash, which a counter written ahead of the runs would not.)
+            self._total_runs = sum(
+                len(record.value) for record in self._engine.scan(self._runs_table)
+            )
+        return self._total_runs
+
+    def counts(self) -> dict[str, int]:
+        project_ids = self.list_project_ids()
+        return {
+            "projects": len(project_ids),
+            # Count *indexed* tasks: an unreachable record left by a crash
+            # before its index entry (see add_tasks) must not skew stats.
+            "tasks": sum(
+                self._engine.count(self._index_table(project_id))
+                for project_id in project_ids
+            ),
+            "task_runs": self._count_total_runs(),
+        }
+
+    def describe(self) -> dict[str, Any]:
+        description = super().describe()
+        description["engine"] = self._engine.engine_name
+        description["namespace"] = self._namespace
+        return description
+
+    def flush(self) -> None:
+        self._engine.flush()
+
+    def close(self) -> None:
+        if self._owns_engine:
+            self._engine.close()
+
+
+def open_task_store(
+    config: PlatformConfig, shared_engine: StorageEngine | None = None
+) -> TaskStore:
+    """Build the task store described by ``config.store`` / ``config.store_engine``.
+
+    Args:
+        config: Platform configuration.  ``store`` selects ``"memory"``
+            (default) or ``"durable"``; for a durable store,
+            ``store_engine`` (a :class:`~repro.config.StorageConfig`) names
+            the engine to open — the store then owns and closes it.
+        shared_engine: An already-open engine to piggyback on when
+            ``store == "durable"`` and no ``store_engine`` is configured.
+            This is how :class:`~repro.core.context.CrowdContext` keeps the
+            whole experiment — client cache *and* platform state — in one
+            sharable artifact.
+
+    Raises:
+        ConfigurationError: Unknown ``store`` kind, or a durable store with
+            neither ``store_engine`` nor *shared_engine*.
+    """
+    if config.store == "memory":
+        return MemoryTaskStore()
+    if config.store == "durable":
+        if config.store_engine is not None:
+            return DurableTaskStore(open_engine(config.store_engine), owns_engine=True)
+        if shared_engine is not None:
+            return DurableTaskStore(shared_engine)
+        raise ConfigurationError(
+            "PlatformConfig(store='durable') needs a store_engine (or an engine "
+            "to share, as CrowdContext provides)"
+        )
+    raise ConfigurationError(
+        f"unknown platform task store {config.store!r}; expected 'memory' or 'durable'"
+    )

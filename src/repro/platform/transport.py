@@ -31,7 +31,31 @@ class DirectTransport(Transport):
         return method(*args, **kwargs)
 
 
-class CountingTransport(Transport):
+class PerNameCallCounter:
+    """Mixin tallying transport call attempts per server call name.
+
+    Shared by :class:`CountingTransport` and
+    :class:`FaultInjectingTransport` so both expose the same observables
+    (``calls``, ``calls_by_name``): streaming tests use them to prove a
+    paged collection costs exactly ``ceil(tasks / page_size)`` round-trips,
+    and fault-injection tests use them to assert *which* calls were retried
+    after an injected failure, not just how many.
+    """
+
+    def _reset_counters(self) -> None:
+        self.calls = 0
+        self.calls_by_name: dict[str, int] = {}
+
+    def _count_call(self, name: str) -> None:
+        self.calls += 1
+        self.calls_by_name[name] = self.calls_by_name.get(name, 0) + 1
+
+    def call_counts(self) -> dict[str, Any]:
+        """Return the attempt tallies, total and per call name."""
+        return {"calls": self.calls, "calls_by_name": dict(self.calls_by_name)}
+
+
+class CountingTransport(PerNameCallCounter, Transport):
     """Direct transport that tallies round-trips per server call name.
 
     The streaming tests and benchmarks use it to prove a paged collection
@@ -40,16 +64,18 @@ class CountingTransport(Transport):
     """
 
     def __init__(self) -> None:
-        self.calls = 0
-        self.calls_by_name: dict[str, int] = {}
+        self._reset_counters()
 
     def call(self, name: str, method: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
-        self.calls += 1
-        self.calls_by_name[name] = self.calls_by_name.get(name, 0) + 1
+        self._count_call(name)
         return method(*args, **kwargs)
 
+    def statistics(self) -> dict[str, Any]:
+        """Return the round-trip counters (same shape across transports)."""
+        return self.call_counts()
 
-class FaultInjectingTransport(Transport):
+
+class FaultInjectingTransport(PerNameCallCounter, Transport):
     """Randomly fails calls and replays successful ones.
 
     Args:
@@ -60,20 +86,28 @@ class FaultInjectingTransport(Transport):
             client retry).  Server operations must be idempotent for the
             experiment to survive this.
         seed: Seed for the transport's randomness.
+
+    Every call attempt — including the ones that fail before reaching the
+    server — is tallied in ``calls`` / ``calls_by_name``, and injected
+    failures are additionally tallied per name in ``failures_by_name``, so
+    a test can assert e.g. that a retried ``create_tasks`` really was the
+    call that failed.
     """
 
     def __init__(self, failure_rate: float = 0.0, duplicate_rate: float = 0.0, seed: int = 7):
         self.failure_rate = require_fraction("failure_rate", failure_rate)
         self.duplicate_rate = require_fraction("duplicate_rate", duplicate_rate)
         self._rng = random.Random(seed)
+        self._reset_counters()
         self.failures_injected = 0
         self.duplicates_injected = 0
-        self.calls = 0
+        self.failures_by_name: dict[str, int] = {}
 
     def call(self, name: str, method: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
-        self.calls += 1
+        self._count_call(name)
         if self._rng.random() < self.failure_rate:
             self.failures_injected += 1
+            self.failures_by_name[name] = self.failures_by_name.get(name, 0) + 1
             raise PlatformUnavailableError(f"injected transport failure during {name!r}")
         result = method(*args, **kwargs)
         if self._rng.random() < self.duplicate_rate:
@@ -81,10 +115,11 @@ class FaultInjectingTransport(Transport):
             result = method(*args, **kwargs)
         return result
 
-    def statistics(self) -> dict[str, int]:
-        """Return counters describing the faults injected so far."""
+    def statistics(self) -> dict[str, Any]:
+        """Return fault and per-call-name counters for the faults injected so far."""
         return {
-            "calls": self.calls,
+            **self.call_counts(),
             "failures_injected": self.failures_injected,
             "duplicates_injected": self.duplicates_injected,
+            "failures_by_name": dict(self.failures_by_name),
         }

@@ -50,7 +50,7 @@ import os
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.config import StorageConfig
-from repro.exceptions import ConfigurationError, StorageError
+from repro.exceptions import ConfigurationError, UnknownCursorError
 from repro.storage.records import Record
 
 
@@ -74,9 +74,7 @@ def paginate_records(
             (i for i, record in enumerate(records) if record.key == start_after), None
         )
         if index is None:
-            raise StorageError(
-                f"scan cursor {start_after!r} is not a key of table {table_name!r}"
-            )
+            raise UnknownCursorError(table_name, start_after)
         records = records[index + 1 :]
     if limit is not None:
         records = records[:limit]
@@ -311,7 +309,7 @@ def open_engine(config: StorageConfig) -> StorageEngine:
                     f"unknown shard engine {config.shard_engine!r}; "
                     "expected 'memory', 'sqlite' or 'log'"
                 )
-        return ShardedEngine(shards)
+        return ShardedEngine(shards, shard_workers=config.shard_workers)
     raise ConfigurationError(
         f"unknown storage engine {config.engine!r}; "
         "expected 'memory', 'sqlite', 'log' or 'sharded'"

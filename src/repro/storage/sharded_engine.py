@@ -31,11 +31,15 @@ member of the equivalence class:
   O(shards x page) records, never a whole table.
 * **Batches.** ``put_many`` validates the entire batch up front, assigns
   sequence numbers in item order, then fans out one child ``put_many`` per
-  shard — one transaction/group-append *per shard*.  A crash between shard
-  transactions can leave some shards applied and others not; that is exactly
-  the torn-batch shape the fault-recovery cache already heals, because its
-  batches use ``if_absent=True`` (put_new-per-key) semantics and a rerun
-  fills only the missing keys.
+  shard — one transaction/group-append *per shard*.  With ``shard_workers``
+  > 0 the per-shard transactions run concurrently on a thread pool (the
+  shards are independent files, so the only shared resource is the disk);
+  the default keeps them serial.  A crash mid-batch can leave some shards
+  applied and others not — a shard *prefix* when serial, an arbitrary
+  whole-shard *subset* when parallel; either way it is the torn-batch shape
+  the fault-recovery cache already heals, because its batches use
+  ``if_absent=True`` (put_new-per-key) semantics and a rerun fills only the
+  missing keys.
 
 The sequence counter is not persisted separately: it is recovered lazily per
 table by taking the maximum envelope sequence across shards, so reopening a
@@ -47,9 +51,11 @@ from __future__ import annotations
 
 import hashlib
 import heapq
+from concurrent.futures import ThreadPoolExecutor
+from itertools import islice
 from typing import Any, Iterable, Iterator, Sequence
 
-from repro.exceptions import DuplicateKeyError, StorageError, TableNotFoundError
+from repro.exceptions import DuplicateKeyError, TableNotFoundError, UnknownCursorError
 from repro.storage.engine import StorageEngine
 from repro.storage.records import Record, RecordCodec
 
@@ -80,11 +86,23 @@ class ShardedEngine(StorageEngine):
     #: Records fetched per shard page during a merge-scan.
     _merge_page_size = 256
 
-    def __init__(self, shards: Sequence[StorageEngine]):
-        """Wrap *shards* (at least one child engine, already open)."""
+    def __init__(self, shards: Sequence[StorageEngine], shard_workers: int = 0):
+        """Wrap *shards* (at least one child engine, already open).
+
+        Args:
+            shards: The child engines keys are hash-partitioned across.
+            shard_workers: Number of threads a ``put_many`` batch fans its
+                per-shard child transactions out over.  0 (the default)
+                keeps shard writes serial; any positive value caps the pool
+                size (never more threads than shards touched).  Safe because
+                each shard's sub-batch goes to exactly one thread and every
+                child engine serialises its own access.
+        """
         if not shards:
             raise ValueError("ShardedEngine needs at least one child engine")
         self.shards = list(shards)
+        self.shard_workers = max(0, int(shard_workers))
+        self._executor: ThreadPoolExecutor | None = None
         # Next global sequence number per table, recovered lazily from the
         # shards on first write after open.
         self._next_seq: dict[str, int] = {}
@@ -180,7 +198,11 @@ class ShardedEngine(StorageEngine):
         shard = self._shard(key)
         if shard.get_record(table_name, key) is not None:
             raise DuplicateKeyError(table_name, key)
-        return self.put(table_name, key, value)
+        # The key is known absent, so skip put()'s second existence read
+        # and allocate its sequence number directly.
+        RecordCodec.encode(value)
+        seq = self._allocate_seq(table_name)
+        return self._unwrap(shard.put(table_name, key, self._wrap(seq, value)))
 
     def get(self, table_name: str, key: str, default: Any = None) -> Any:
         record = self._shard(key).get_record(table_name, key)
@@ -269,9 +291,7 @@ class ShardedEngine(StorageEngine):
         if start_after is not None:
             cursor_record = self._shard(start_after).get_record(table_name, start_after)
             if cursor_record is None:
-                raise StorageError(
-                    f"scan cursor {start_after!r} is not a key of table {table_name!r}"
-                )
+                raise UnknownCursorError(table_name, start_after)
             min_seq = cursor_record.value[_SEQ]
         streams = [
             self._shard_stream(
@@ -281,12 +301,13 @@ class ShardedEngine(StorageEngine):
             )
             for shard in self.shards
         ]
-        yielded = 0
-        for _, record in heapq.merge(*streams, key=lambda pair: pair[0]):
-            if limit is not None and yielded >= limit:
-                return
+        merged = heapq.merge(*streams, key=lambda pair: pair[0])
+        if limit is not None:
+            # islice stops *at* the limit rather than pulling one extra
+            # merge item (which could trigger a whole discarded shard page).
+            merged = islice(merged, limit)
+        for _, record in merged:
             yield self._unwrap(record)
-            yielded += 1
 
     def scan(
         self, table_name: str, limit: int | None = None, start_after: str | None = None
@@ -340,16 +361,54 @@ class ShardedEngine(StorageEngine):
             shard_items.setdefault(shard_index(key, len(self.shards)), []).append(
                 (key, self._wrap(seqs[key], value))
             )
-        shard_results: dict[int, Iterator[Record]] = {
-            index: iter(
-                self.shards[index].put_many(table_name, batch, if_absent=if_absent)
-            )
-            for index, batch in shard_items.items()
+        shard_results = {
+            index: iter(batch_records)
+            for index, batch_records in self._run_shard_batches(
+                table_name, shard_items, if_absent
+            ).items()
         }
         return [
             self._unwrap(next(shard_results[shard_index(key, len(self.shards))]))
             for key, _ in items
         ]
+
+    def _run_shard_batches(
+        self,
+        table_name: str,
+        shard_items: dict[int, list[tuple[str, Any]]],
+        if_absent: bool,
+    ) -> dict[int, list[Record]]:
+        """Issue one child ``put_many`` per shard touched, serial or threaded.
+
+        With ``shard_workers`` > 0 and more than one shard touched, the
+        child transactions run concurrently on a pool — each shard is an
+        independent engine (its own file, its own lock), so the batches
+        cannot contend on anything but the disk.  Per-shard atomicity is
+        unchanged (one transaction/group-append per shard); a crash
+        mid-batch leaves an arbitrary whole-shard *subset* applied when
+        parallel (a prefix when serial), which ``if_absent=True`` reruns
+        heal either way.
+        """
+        if self.shard_workers and len(shard_items) > 1:
+            futures = {
+                index: self._shard_pool().submit(
+                    self.shards[index].put_many, table_name, batch, if_absent
+                )
+                for index, batch in shard_items.items()
+            }
+            return {index: future.result() for index, future in futures.items()}
+        return {
+            index: self.shards[index].put_many(table_name, batch, if_absent=if_absent)
+            for index, batch in shard_items.items()
+        }
+
+    def _shard_pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(self.shard_workers, len(self.shards)),
+                thread_name_prefix="shard-put",
+            )
+        return self._executor
 
     def get_many(
         self, table_name: str, keys: Sequence[str], default: Any = None
@@ -376,12 +435,16 @@ class ShardedEngine(StorageEngine):
 
     def close(self) -> None:
         if not self._closed:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
             for shard in self.shards:
                 shard.close()
             self._closed = True
 
     def describe(self) -> dict[str, Any]:
         description = super().describe()
+        description["shard_workers"] = self.shard_workers
         description["shards"] = [
             {"engine": shard.engine_name, "records": sum(shard.describe()["tables"].values())}
             for shard in self.shards

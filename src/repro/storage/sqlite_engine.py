@@ -17,7 +17,12 @@ import sqlite3
 import threading
 from typing import Any, Iterable, Iterator, Sequence
 
-from repro.exceptions import DuplicateKeyError, StorageError, TableNotFoundError
+from repro.exceptions import (
+    DuplicateKeyError,
+    StorageError,
+    TableNotFoundError,
+    UnknownCursorError,
+)
 from repro.storage.engine import StorageEngine
 from repro.storage.records import Record, RecordCodec
 
@@ -199,9 +204,7 @@ class SqliteEngine(StorageEngine):
                 )
                 row = cursor.fetchone()
                 if row is None:
-                    raise StorageError(
-                        f"scan cursor {start_after!r} is not a key of table {table_name!r}"
-                    )
+                    raise UnknownCursorError(table_name, start_after)
                 clauses += " AND seq > ?"
                 params.append(row[0])
             sql = (
@@ -231,9 +234,7 @@ class SqliteEngine(StorageEngine):
                 )
                 row = cursor.fetchone()
                 if row is None:
-                    raise StorageError(
-                        f"scan cursor {start_after!r} is not a key of table {table_name!r}"
-                    )
+                    raise UnknownCursorError(table_name, start_after)
                 clauses += " AND seq > ?"
                 params.append(row[0])
             sql = f"SELECT key FROM reprowd_records WHERE {clauses} ORDER BY seq"

@@ -1,9 +1,10 @@
-"""Tier-1 smoke of the bulk-path benchmark: one iteration at toy scale.
+"""Tier-1 smoke of the benchmark harnesses: one iteration at toy scale.
 
-Keeps ``benchmarks/bench_bulk_path.py`` importable and behaviourally correct
-on every test run without paying its 5k-object cost — the full run (and its
-3x speedup assertion) stays behind ``make bench``.  The benchmark module is
-loaded by file path because benchmarks/ is a script directory, not a
+Keeps ``benchmarks/bench_bulk_path.py`` and
+``benchmarks/bench_platform_store.py`` importable and behaviourally correct
+on every test run without paying their full-scale cost — the full runs (and
+their speedup assertions) stay behind ``make bench``.  The benchmark modules
+are loaded by file path because benchmarks/ is a script directory, not a
 package.
 """
 
@@ -12,18 +13,18 @@ from __future__ import annotations
 import importlib.util
 from pathlib import Path
 
-BENCH_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "bench_bulk_path.py"
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
 
 
-def load_bench_module():
-    spec = importlib.util.spec_from_file_location("bench_bulk_path_smoke", BENCH_PATH)
+def load_bench_module(name: str):
+    spec = importlib.util.spec_from_file_location(f"{name}_smoke", BENCH_DIR / f"{name}.py")
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
 
 
 def test_bulk_benchmark_smoke_single_iteration(tmp_path):
-    bench = load_bench_module()
+    bench = load_bench_module("bench_bulk_path")
     # run_comparison itself asserts both modes end with identical platform
     # and cache state; at toy scale we check the harness, not the speedup.
     comparison = bench.run_comparison(str(tmp_path), 40)
@@ -31,3 +32,14 @@ def test_bulk_benchmark_smoke_single_iteration(tmp_path):
     assert comparison["bulk"]["cached_results"] == 40
     assert comparison["bulk"]["task_runs"] == 40 * bench.REDUNDANCY
     assert comparison["speedup"] > 0
+
+
+def test_platform_store_benchmark_smoke_single_iteration(tmp_path):
+    bench = load_bench_module("bench_platform_store")
+    # run_backend itself asserts publish/simulate/collect all cover every
+    # task; at toy scale we check the harness on one in-memory and one
+    # durable backend, not the throughput.
+    for backend in ("memory", "durable-sqlite"):
+        row = bench.run_backend(backend, str(tmp_path / backend), 30, 10)
+        assert row["backend"] == backend
+        assert row["tasks"] == 30

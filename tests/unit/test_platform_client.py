@@ -91,6 +91,37 @@ class TestFaultInjectingTransport:
         transport.call("noop", lambda: 1)
         assert transport.statistics()["calls"] == 1
 
+    def test_statistics_tally_calls_and_failures_per_name(self, server):
+        """The fault transport shares CountingTransport's per-name tallies,
+        so a test can assert *which* call was retried, not just how many."""
+        transport = FaultInjectingTransport(failure_rate=0.4, seed=3)
+        client = PlatformClient(server, transport=transport, max_retries=10)
+        project = client.create_project("p")
+        client.create_tasks(
+            project.project_id,
+            [{"info": {"object": i, "_true_answer": "Yes"}} for i in range(10)],
+        )
+        stats = transport.statistics()
+        assert stats["failures_injected"] > 0
+        assert stats["calls"] == sum(stats["calls_by_name"].values())
+        assert stats["failures_injected"] == sum(stats["failures_by_name"].values())
+        # Every injected failure was absorbed by a same-name retry: each
+        # call name ends with exactly one more attempt than failures.
+        retried = {"create_project": 1, "create_tasks": 1}
+        for name, attempts in stats["calls_by_name"].items():
+            assert attempts == stats["failures_by_name"].get(name, 0) + retried[name]
+
+    def test_counting_transport_statistics_share_the_same_shape(self, server):
+        from repro.platform.transport import CountingTransport
+
+        transport = CountingTransport()
+        client = PlatformClient(server, transport=transport)
+        client.create_project("p")
+        client.find_project("p")
+        stats = transport.statistics()
+        assert stats["calls"] == 2
+        assert stats["calls_by_name"] == {"create_project": 1, "find_project": 1}
+
     def test_invalid_rates_rejected(self):
         with pytest.raises(ValueError):
             FaultInjectingTransport(failure_rate=1.5)

@@ -8,13 +8,24 @@ from repro.config import PlatformConfig
 from repro.exceptions import PlatformError, ProjectNotFoundError, TaskNotFoundError
 from repro.platform.models import Project, Task, TaskRun
 from repro.platform.server import PlatformServer
+from repro.platform.store import DurableTaskStore
+from repro.storage import SqliteEngine
 from repro.workers.pool import WorkerPool
 
 
-@pytest.fixture
-def server():
+@pytest.fixture(params=["memory", "durable"])
+def server(request, tmp_path):
+    """The whole suite runs once per task store: the two implementations
+    behind PlatformServer must be behaviourally indistinguishable."""
     pool = WorkerPool.uniform(size=10, accuracy=0.95, seed=1)
-    return PlatformServer(worker_pool=pool, config=PlatformConfig(seed=1))
+    store = None
+    if request.param == "durable":
+        store = DurableTaskStore(
+            SqliteEngine(str(tmp_path / "platform.db")), owns_engine=True
+        )
+    yield PlatformServer(worker_pool=pool, config=PlatformConfig(seed=1), store=store)
+    if store is not None:
+        store.close()
 
 
 class TestModels:

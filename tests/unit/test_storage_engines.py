@@ -368,6 +368,44 @@ class TestShardedEngine:
         with pytest.raises(ValueError):
             ShardedEngine([])
 
+    def test_parallel_put_many_matches_serial(self, tmp_path):
+        """shard_workers only changes scheduling: contents, per-item records
+        and scan order are identical to the serial fan-out."""
+        serial = self.build(tmp_path / "serial")
+        parallel = ShardedEngine(
+            [SqliteEngine(str(tmp_path / "parallel" / f"s{i}.db")) for i in range(4)],
+            shard_workers=4,
+        )
+        items = [(f"k{i:03d}", {"value": i}) for i in range(100)]
+        for engine in (serial, parallel):
+            engine.create_table("t")
+        serial_records = serial.put_many("t", items)
+        parallel_records = parallel.put_many("t", items)
+        assert parallel_records == serial_records
+        assert [r.key for r in parallel.scan("t")] == [r.key for r in serial.scan("t")]
+        # if_absent reruns heal identically too.
+        replay = parallel.put_many("t", items, if_absent=True)
+        assert [r.version for r in replay] == [1] * len(items)
+        assert parallel.describe()["shard_workers"] == 4
+        serial.close()
+        parallel.close()
+
+    def test_parallel_put_many_via_config(self, tmp_path):
+        engine = open_engine(
+            StorageConfig(
+                engine="sharded",
+                path=str(tmp_path / "cfg"),
+                shards=3,
+                shard_workers=3,
+            )
+        )
+        engine.create_table("t")
+        engine.put_many("t", [(f"k{i}", i) for i in range(20)])
+        assert engine.shard_workers == 3
+        assert engine.count("t") == 20
+        assert [r.key for r in engine.scan("t")] == [f"k{i}" for i in range(20)]
+        engine.close()
+
 
 class TestOpenEngine:
     def test_open_memory(self):

@@ -27,8 +27,9 @@ from repro.platform.client import PlatformClient
 from repro.platform.server import PlatformServer
 from repro.platform.transport import CountingTransport
 from repro.presenters import ImageLabelPresenter
+from repro.platform.store import DurableTaskStore
 from repro.simulation import CrashPlan, CrashingEngine
-from repro.storage import SqliteEngine
+from repro.storage import MemoryEngine, SqliteEngine
 from repro.workers.pool import WorkerPool
 
 NUM_OBJECTS = 23
@@ -36,16 +37,21 @@ PAGE_SIZE = 5
 REDUNDANCY = 2
 
 
-def make_client(transport=None, seed=13):
+def make_client(transport=None, seed=13, store=None):
     pool = WorkerPool.from_config(WorkerPoolConfig(size=20, mean_accuracy=0.9, seed=seed))
-    server = PlatformServer(worker_pool=pool, config=PlatformConfig(seed=seed))
+    server = PlatformServer(worker_pool=pool, config=PlatformConfig(seed=seed), store=store)
     return PlatformClient(server, transport=transport)
 
 
-@pytest.fixture
-def populated_project():
+@pytest.fixture(params=["memory", "durable"])
+def populated_project(request):
+    """Platform paging runs against both task stores: the cursor contract
+    must hold whether the server's state is in dicts or on an engine."""
     transport = CountingTransport()
-    client = make_client(transport)
+    store = None
+    if request.param == "durable":
+        store = DurableTaskStore(MemoryEngine(), owns_engine=True)
+    client = make_client(transport, store=store)
     project = client.create_project("streaming")
     specs = [
         {"info": {"url": f"img-{i:03d}", "_true_answer": "Yes"}, "n_assignments": REDUNDANCY}
