@@ -2,7 +2,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast bench bench-smoke docs-check check
+.PHONY: test test-fast bench bench-smoke docs-check examples-check check
 
 test:
 	$(PYTEST) -x -q
@@ -17,11 +17,16 @@ bench:
 
 # One-iteration benchmark sanity pass at toy scale (seconds, not minutes).
 bench-smoke:
-	$(PYTEST) benchmarks/bench_bulk_path.py benchmarks/bench_sharded_scan.py benchmarks/bench_platform_store.py -q --bench-scale=smoke
+	$(PYTEST) benchmarks/bench_bulk_path.py benchmarks/bench_sharded_scan.py benchmarks/bench_platform_store.py benchmarks/bench_pipelined_transport.py -q --bench-scale=smoke
 
-# Lint README/docs links and run examples/quickstart.py headlessly.
+# Lint README/docs links + cross-links, check config-field and benchmark
+# coverage, and run examples/quickstart.py headlessly.
 docs-check:
 	PYTHONPATH=src python tools/docs_check.py
 
-# The pre-PR gate: quick tests, docs lint + quickstart, benchmark smoke.
-check: test-fast docs-check bench-smoke
+# Run every examples/*.py headlessly; each must exit 0.
+examples-check:
+	PYTHONPATH=src python tools/examples_check.py
+
+# The pre-PR gate: quick tests, docs lint + quickstart, examples, bench smoke.
+check: test-fast docs-check examples-check bench-smoke

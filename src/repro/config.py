@@ -78,6 +78,21 @@ class PlatformConfig:
             :class:`~repro.core.context.CrowdContext` shares its own cache
             engine — the whole experiment (client cache and platform state)
             then lives in one sharable artifact.
+        transport: Which client drives the transport — ``"direct"`` (one
+            blocking round-trip per call, the default) or ``"pipelined"``
+            (a :class:`~repro.platform.client.PipelinedClient` over an
+            :class:`~repro.platform.transport.AsyncTransport` keeps up to
+            ``max_in_flight`` calls on the wire; see ``docs/transport.md``).
+        max_in_flight: For the pipelined transport, the maximum number of
+            concurrent in-flight calls (the bounded window further
+            ``call_async`` submissions block on).
+        pipeline_batch_size: For the pipelined transport, how many task
+            specs each in-flight ``create_tasks`` sub-batch carries (also
+            the default slice size of pipelined iteration).
+        append_batch_size: For a durable store, how many task-run appends
+            are coalesced into one engine write (``simulate_work``'s
+            write-behind batch).  1, the default, writes every append
+            through immediately.
     """
 
     name: str = "simulated-pybossa"
@@ -88,6 +103,10 @@ class PlatformConfig:
     seed: int = DEFAULT_SEED
     store: str = "memory"
     store_engine: StorageConfig | None = None
+    transport: str = "direct"
+    max_in_flight: int = 8
+    pipeline_batch_size: int = 500
+    append_batch_size: int = 1
 
 
 @dataclass(frozen=True)

@@ -18,8 +18,8 @@ from repro.core.budget import BudgetTracker
 from repro.core.cache import FaultRecoveryCache
 from repro.core.crowddata import CrowdData
 from repro.core.manipulations import ManipulationLog
-from repro.exceptions import CrowdDataError
-from repro.platform.client import PlatformClient
+from repro.exceptions import ConfigurationError, CrowdDataError
+from repro.platform.client import PipelinedClient, PlatformClient
 from repro.platform.server import PlatformServer
 from repro.platform.store import open_task_store
 from repro.platform.transport import FaultInjectingTransport, Transport
@@ -40,6 +40,7 @@ class CrowdContext:
         transport: Transport | None = None,
         ground_truth: Callable[[Any], Any] | None = None,
         budget: BudgetTracker | None = None,
+        log_buffer_size: int = 1,
     ):
         """Create a context.
 
@@ -50,11 +51,16 @@ class CrowdContext:
             client: Pre-built platform client (overrides the simulated one).
             worker_pool: Pre-built worker pool (overrides ``config.workers``).
             transport: Transport between client and server, e.g. a
-                :class:`FaultInjectingTransport`.
+                :class:`FaultInjectingTransport`.  With
+                ``PlatformConfig(transport="pipelined")`` it becomes the
+                *inner* transport of the pipelined client's async layer.
             ground_truth: Default object -> true-answer callable given to
                 every CrowdData created by this context.
             budget: Optional crowd-spend tracker shared by every CrowdData of
                 this context.
+            log_buffer_size: Manipulation-log entries buffered per durable
+                append (see :class:`~repro.core.manipulations.ManipulationLog`);
+                1 keeps every verb's entry written through immediately.
         """
         self.config = config or ReprowdConfig.in_memory()
         self.clock = SimulatedClock()
@@ -87,8 +93,23 @@ class CrowdContext:
                 clock=self.clock,
                 store=open_task_store(self.config.platform, shared_engine=self.engine),
             )
-            self.client = PlatformClient(self.server, transport=transport)
+            transport_kind = self.config.platform.transport
+            if transport_kind == "pipelined":
+                self.client = PipelinedClient(
+                    self.server,
+                    transport=transport,
+                    max_in_flight=self.config.platform.max_in_flight,
+                    batch_size=self.config.platform.pipeline_batch_size,
+                )
+            elif transport_kind == "direct":
+                self.client = PlatformClient(self.server, transport=transport)
+            else:
+                raise ConfigurationError(
+                    f"unknown platform transport {transport_kind!r}; "
+                    "expected 'direct' or 'pipelined'"
+                )
 
+        self._log_buffer_size = log_buffer_size
         self._tables: dict[str, CrowdData] = {}
         self.engine.create_table("__tables__")
 
@@ -127,7 +148,7 @@ class CrowdContext:
         if not table_name or not isinstance(table_name, str):
             raise CrowdDataError(f"table_name must be a non-empty string, got {table_name!r}")
         cache = FaultRecoveryCache(self.engine, table_name)
-        log = ManipulationLog(self.engine, table_name)
+        log = ManipulationLog(self.engine, table_name, buffer_size=self._log_buffer_size)
         crowddata = CrowdData(
             table_name=table_name,
             objects=list(object_list),
@@ -184,16 +205,25 @@ class CrowdContext:
     # -- lifecycle -------------------------------------------------------------------------
 
     def flush(self) -> None:
-        """Flush the storage engine and the server's task store."""
+        """Flush buffered logs, the storage engine and the server's task store."""
+        for table in self._tables.values():
+            table.log.flush()
         if self._owns_server:
             self.server.flush()
         self.engine.flush()
 
     def close(self) -> None:
         """Flush and close the storage engine (and the server's own store)."""
+        for table in self._tables.values():
+            table.log.flush()
         if self._owns_server:
-            # Closes only what the store owns: a shared engine (the durable
-            # platform default) is left for the line below.
+            # Client first: closing the transport drains any in-flight
+            # async calls (e.g. slices of an abandoned streaming
+            # collection) so nothing still runs against the server when its
+            # store goes away.  The server close only closes what the
+            # store owns; a shared engine (the durable platform default)
+            # is left for the line below.
+            self.client.close()
             self.server.close()
         self.engine.close()
 

@@ -47,6 +47,22 @@ no point are more than one page of task runs resident in the pipeline, so a
 project larger than memory collects in space bounded by the page size — and
 a crash between page flushes leaves durable page-prefixes that the rerun's
 ``if_absent`` batch writes heal, exactly like the single-batch path did.
+
+Pipelined transport
+-------------------
+
+Nothing in this module is transport-aware: when the context is configured
+with ``PlatformConfig(transport="pipelined")``, the client handed in is a
+:class:`~repro.platform.client.PipelinedClient` and the same verbs overlap
+transport latency for free — ``publish_task``'s single ``create_tasks``
+batch is split into in-flight sub-batches (each spec already carries its
+``dedup_key``, so a retried sub-batch is as harmless as a retried single
+batch), and the two page streams ``get_result`` walks (the id-only
+staleness check and the task-run pages) are pumped ``max_in_flight``
+slices at a time instead of one cursor-chained round-trip per page.  Every
+non-streaming verb is a flush-on-read barrier, so the fault-recovery
+reasoning above is unchanged.  ``docs/transport.md`` works the round-trip
+counts through.
 """
 
 from __future__ import annotations

@@ -15,7 +15,7 @@ from repro.platform.assignment import (
     RandomAssignment,
     RoundRobinAssignment,
 )
-from repro.platform.client import PlatformClient
+from repro.platform.client import PipelinedClient, PlatformClient
 from repro.platform.models import Project, Task, TaskRun
 from repro.platform.server import PlatformServer
 from repro.platform.store import (
@@ -25,9 +25,11 @@ from repro.platform.store import (
     open_task_store,
 )
 from repro.platform.transport import (
+    AsyncTransport,
     CountingTransport,
     DirectTransport,
     FaultInjectingTransport,
+    LatencyInjectingTransport,
     Transport,
 )
 
@@ -37,6 +39,7 @@ __all__ = [
     "RoundRobinAssignment",
     "LeastLoadedAssignment",
     "PlatformClient",
+    "PipelinedClient",
     "Project",
     "Task",
     "TaskRun",
@@ -49,4 +52,6 @@ __all__ = [
     "DirectTransport",
     "CountingTransport",
     "FaultInjectingTransport",
+    "LatencyInjectingTransport",
+    "AsyncTransport",
 ]

@@ -9,16 +9,35 @@ All calls go through a :class:`repro.platform.transport.Transport`, and every
 write is retried on transport failure, which together with the server's
 idempotent project creation exercises the same robustness the original needs
 against a flaky PyBossa deployment.
+
+Two clients share that surface:
+
+* :class:`PlatformClient` — one blocking round-trip per call (the seed
+  behaviour, and the serial baseline every pipelining claim is measured
+  against);
+* :class:`PipelinedClient` — the same verbs over an
+  :class:`~repro.platform.transport.AsyncTransport`: large ``create_tasks``
+  publishes are split into sub-batches kept in flight concurrently, and the
+  streaming iterators pump ``max_in_flight`` offset-addressed pages at once,
+  so transport latency overlaps with server-side storage work while every
+  ordering and idempotence contract of the serial client still holds.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Sequence
+from collections import deque
+from concurrent.futures import Future
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.exceptions import PlatformUnavailableError
 from repro.platform.models import Project, Task, TaskRun
 from repro.platform.server import PlatformServer
-from repro.platform.transport import DirectTransport, Transport
+from repro.platform.transport import (
+    AsyncTransport,
+    DirectTransport,
+    Transport,
+    retry_call,
+)
 
 
 class PlatformClient:
@@ -52,14 +71,10 @@ class PlatformClient:
 
     def _call(self, name: str, method, *args: Any, **kwargs: Any) -> Any:
         """Invoke a server method through the transport with retries."""
-        last_error: PlatformUnavailableError | None = None
-        for _ in range(self.max_retries):
-            try:
-                return self.transport.call(name, method, *args, **kwargs)
-            except PlatformUnavailableError as exc:
-                last_error = exc
-        assert last_error is not None
-        raise last_error
+        return retry_call(
+            lambda: self.transport.call(name, method, *args, **kwargs),
+            self.max_retries,
+        )
 
     # -- projects ---------------------------------------------------------------
 
@@ -181,6 +196,40 @@ class PlatformClient:
                 return
             cursor = page[-1]
 
+    def list_project_task_ids_slice(
+        self, project_id: int, limit: int, offset: int = 0
+    ) -> list[int]:
+        """One offset-addressed slice of the project's task ids.
+
+        Sibling of :meth:`list_project_task_ids` whose position is an
+        absolute offset instead of a chained cursor — slices at different
+        offsets are independent, which is what lets the pipelined client
+        fetch several of them concurrently.  Offsets past the end return
+        ``[]``.
+        """
+        return self._call(
+            "list_project_task_ids_slice",
+            self.server.list_project_task_ids_slice,
+            project_id,
+            limit,
+            offset,
+        )
+
+    def get_task_runs_slice(
+        self, project_id: int, limit: int, offset: int = 0
+    ) -> list[tuple[int, list[TaskRun]]]:
+        """One offset-addressed slice of ``(task_id, runs)`` pairs.
+
+        Same offset contract as :meth:`list_project_task_ids_slice`.
+        """
+        return self._call(
+            "get_task_runs_slice",
+            self.server.get_task_runs_slice,
+            project_id,
+            limit,
+            offset,
+        )
+
     def get_task_runs_page(
         self, project_id: int, limit: int, start_after: int | None = None
     ) -> list[tuple[int, list[TaskRun]]]:
@@ -239,3 +288,198 @@ class PlatformClient:
     def statistics(self) -> dict[str, Any]:
         """Return server-side counters."""
         return self._call("statistics", self.server.statistics)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release transport resources (worker threads for async transports)."""
+        self.transport.close()
+
+
+class PipelinedClient(PlatformClient):
+    """Client facade that keeps up to ``max_in_flight`` calls on the wire.
+
+    Drop-in replacement for :class:`PlatformClient` (select it with
+    :class:`~repro.config.PlatformConfig`\\ ``(transport="pipelined")``).
+    Three verb families change shape; everything else inherits the serial
+    behaviour:
+
+    * :meth:`create_tasks` splits a large publish into sub-batches of
+      ``batch_size`` specs and keeps up to ``max_in_flight`` of them in
+      flight, so each batch's transport latency overlaps the server's
+      storage work on its predecessors.  Sub-batches are applied to the
+      server **in submission order** (the transport's ticket turnstile) and
+      each one retries independently inside its slot — give every spec a
+      ``dedup_key`` so a replayed sub-batch is idempotent, exactly like the
+      serial client's retried single batch.
+    * :meth:`iter_task_runs_for_project` / :meth:`iter_project_task_ids`
+      pump offset-addressed slices (``get_task_runs_slice``) concurrently
+      instead of chaining exclusive cursors, turning ``ceil(n /
+      page_size)`` serial round-trips into ``ceil(n / page_size /
+      max_in_flight)`` waves.  Pages are yielded in publication order
+      regardless of arrival order.
+    * Every synchronous verb is a **flush-on-read barrier**: it goes
+      through :meth:`AsyncTransport.call <repro.platform.transport.AsyncTransport.call>`,
+      which drains all in-flight calls first — a read can never observe the
+      platform mid-pipeline.
+
+    Failure semantics: a sub-batch whose retries are exhausted raises from
+    the verb, like the serial client; earlier sub-batches may already be
+    applied, which is the same torn-publish shape a crash leaves and which
+    dedup keys make a rerun heal.
+    """
+
+    def __init__(
+        self,
+        server: PlatformServer,
+        api_key: str | None = None,
+        transport: Transport | None = None,
+        max_retries: int = 5,
+        max_in_flight: int = 8,
+        batch_size: int = 500,
+    ):
+        """Connect to *server*, wrapping *transport* in an async layer.
+
+        Args:
+            server: The in-process platform server.
+            api_key: API key; defaults to the server's configured key.
+            transport: Inner transport each attempt goes through (fault
+                injection, latency, counting...).  An
+                :class:`~repro.platform.transport.AsyncTransport` is used
+                as-is; anything else is wrapped in one.
+            max_retries: Attempts per call (sync and per in-flight batch).
+            max_in_flight: Concurrent calls kept on the wire (ignored when
+                *transport* is already an AsyncTransport, which brings its
+                own bound).
+            batch_size: Specs per ``create_tasks`` sub-batch and the
+                default page size for slice-pumped iteration.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if not isinstance(transport, AsyncTransport):
+            transport = AsyncTransport(transport, max_in_flight=max_in_flight)
+        super().__init__(
+            server, api_key=api_key, transport=transport, max_retries=max_retries
+        )
+        self.max_in_flight = transport.max_in_flight
+        self.batch_size = batch_size
+
+    # -- internals ----------------------------------------------------------------
+
+    def _call_async(self, name: str, method, *args: Any) -> Future:
+        """Submit one retried call to the async transport."""
+        return self.transport.call_async(
+            name, method, *args, retries=self.max_retries
+        )
+
+    def _iter_slice_pages(
+        self, name: str, method: Callable[..., Any], project_id: int, page_size: int
+    ) -> Iterator[list]:
+        """Yield slices in offset order while ``max_in_flight`` are fetched ahead.
+
+        The window submits the slice at each successive offset until one
+        comes back short — the end of the project, and the end of the
+        stream: like the serial cursor iterator, nothing past the first
+        short page is yielded, so tasks appended mid-iteration can
+        lengthen the final page but never produce a gapped stream.  Slices
+        already submitted past that point are legal (they return ``[]``
+        against a quiescent project) — they are the price of not knowing
+        the project size in advance, and they overlap with useful fetches
+        instead of extending the critical path; they are settled, not
+        yielded.
+        """
+        window: deque[Future] = deque()
+        offset = 0
+        try:
+            while True:
+                while len(window) < self.max_in_flight:
+                    window.append(
+                        self._call_async(name, method, project_id, page_size, offset)
+                    )
+                    offset += page_size
+                page = window.popleft().result()
+                if page:
+                    yield page
+                if len(page) < page_size:
+                    return
+        finally:
+            # A consumer may stop mid-stream (streaming collection breaks
+            # as soon as every row is filled); settle the speculative
+            # fetches so no future outlives the iterator unobserved.
+            while window:
+                try:
+                    window.popleft().result()
+                except PlatformUnavailableError:
+                    pass
+
+    # -- pipelined verbs ----------------------------------------------------------
+
+    def create_tasks(
+        self, project_id: int, task_specs: Sequence[dict[str, Any]]
+    ) -> list[Task]:
+        """Publish a batch with up to ``max_in_flight`` sub-batches in flight.
+
+        Returns the tasks in spec order, exactly like the serial client.
+        See the class docstring for the retry/idempotence contract.
+        """
+        specs = list(task_specs)
+        if len(specs) <= self.batch_size:
+            return super().create_tasks(project_id, specs)
+        futures = [
+            self._call_async(
+                "create_tasks",
+                self.server.create_tasks,
+                project_id,
+                specs[start : start + self.batch_size],
+            )
+            for start in range(0, len(specs), self.batch_size)
+        ]
+        tasks: list[Task] = []
+        first_error: Exception | None = None
+        for future in futures:
+            # Settle every future even after a failure — transport or
+            # server-side alike: an abandoned sub-batch must not stay in
+            # flight behind the caller's back.
+            try:
+                result = future.result()
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
+            tasks.extend(result)
+        if first_error is not None:
+            raise first_error
+        return tasks
+
+    def iter_project_task_ids(
+        self, project_id: int, page_size: int | None = None
+    ) -> Iterator[int]:
+        """Generate every task id with ``max_in_flight`` slices on the wire.
+
+        *page_size* defaults to this client's ``batch_size``.
+        """
+        for page in self._iter_slice_pages(
+            "list_project_task_ids_slice",
+            self.server.list_project_task_ids_slice,
+            project_id,
+            page_size or self.batch_size,
+        ):
+            yield from page
+
+    def iter_task_runs_for_project(
+        self, project_id: int, page_size: int | None = None
+    ) -> Iterator[tuple[int, list[TaskRun]]]:
+        """Generate ``(task_id, runs)`` pairs with concurrent slice fetches.
+
+        Same contents and order as the serial iterator; at most
+        ``max_in_flight`` slices' runs are in flight at once, so peak
+        residency is bounded by ``max_in_flight * page_size`` tasks' runs.
+        *page_size* defaults to this client's ``batch_size``.
+        """
+        for page in self._iter_slice_pages(
+            "get_task_runs_slice",
+            self.server.get_task_runs_slice,
+            project_id,
+            page_size or self.batch_size,
+        ):
+            yield from page

@@ -373,6 +373,43 @@ class PlatformServer:
         page = self._task_id_page(project_id, limit, start_after)
         return list(zip(page, self.store.runs_for_tasks(page)))
 
+    def _task_id_slice(self, project_id: int, limit: int, offset: int) -> list[int]:
+        """One offset-addressed slice of the project's task ids."""
+        if limit <= 0:
+            raise PlatformError(f"slice limit must be positive, got {limit}")
+        if offset < 0:
+            raise PlatformError(f"slice offset must be >= 0, got {offset}")
+        self.get_project(project_id)
+        return self.store.task_id_slice(project_id, limit, offset)
+
+    def list_project_task_ids_slice(
+        self, project_id: int, limit: int, offset: int = 0
+    ) -> list[int]:
+        """One offset-addressed slice of task ids, in publication order.
+
+        Unlike the cursor pages, slices at different offsets are
+        independent of each other, so a pipelined client can fetch several
+        concurrently.  Slices are stable under appends (new tasks only ever
+        land at higher offsets) but, unlike cursor pages, *not* under
+        concurrent deletions, which shift later offsets down — the cursor
+        API remains the general-purpose stream.  An offset at or past the
+        end returns ``[]`` rather than raising, because a speculative
+        fetch beyond the (unknown) end of the project is how the pipelined
+        iterator discovers that end.
+        """
+        return self._task_id_slice(project_id, limit, offset)
+
+    def get_task_runs_slice(
+        self, project_id: int, limit: int, offset: int = 0
+    ) -> list[tuple[int, list[TaskRun]]]:
+        """One offset-addressed slice of ``(task_id, task_runs)`` pairs.
+
+        Same offset contract as :meth:`list_project_task_ids_slice`; at
+        most *limit* tasks' runs are materialised per call.
+        """
+        page = self._task_id_slice(project_id, limit, offset)
+        return list(zip(page, self.store.runs_for_tasks(page)))
+
     def iter_task_runs_for_project(
         self, project_id: int, page_size: int = 500
     ) -> Iterator[tuple[int, list[TaskRun]]]:
@@ -469,12 +506,22 @@ class PlatformServer:
         else:
             self.get_project(project_id)
             project_ids = [project_id]
-        for pid in project_ids:
-            for task in self._iter_tasks(pid):
-                created += self._fill_task(task, max_assignments, created)
-                if max_assignments is not None and created >= max_assignments:
-                    return created
-        return created
+        try:
+            for pid in project_ids:
+                for task in self._iter_tasks(pid):
+                    created += self._fill_task(task, max_assignments, created)
+                    if max_assignments is not None and created >= max_assignments:
+                        return created
+            return created
+        finally:
+            # With a run-append batch (PlatformConfig.append_batch_size >
+            # 1) the per-task writes above may still sit in the store's
+            # write-behind buffer; flushing the appends restores the
+            # call's durability contract — when simulate_work returns,
+            # every answer it created is on the engine.  (Not a full
+            # store flush: write-through stores must not pay an extra
+            # engine commit/fsync per call.)
+            self.store.flush_appends()
 
     def _fill_task(self, task: Task, max_assignments: int | None, created_so_far: int) -> int:
         """Fill one task's missing assignments; return answers created.

@@ -187,6 +187,18 @@ class TaskStore(abc.ABC):
         (transplanted from the storage ``scan``) on every implementation.
         """
 
+    def task_id_slice(self, project_id: int, limit: int, offset: int) -> list[int]:
+        """One offset-addressed slice of the project's publication-order ids.
+
+        Offset semantics are plain list slicing: ``ids[offset:offset +
+        limit]``, with offsets past the end yielding ``[]``.  Both stores
+        keep a sorted id list per project, so the default implementation is
+        already O(project) at worst and O(slice) on the durable store's
+        cached list; it exists so the server can serve the pipelined
+        client's concurrent slice fetches without a cursor chain.
+        """
+        return self.project_task_ids(project_id)[offset : offset + limit]
+
     @abc.abstractmethod
     def resolve_dedup_keys(self, project_id: int, keys: Sequence[str]) -> dict[str, int]:
         """Map each known dedup key of *project_id* to the task id it names.
@@ -252,6 +264,15 @@ class TaskStore(abc.ABC):
 
     def flush(self) -> None:
         """Force buffered writes to durable storage (no-op by default)."""
+
+    def flush_appends(self) -> None:
+        """Flush only buffered run appends, if any (no-op by default).
+
+        Cheaper sibling of :meth:`flush` for the end of ``simulate_work``:
+        it restores the answers-durable-on-return contract without forcing
+        an engine-level flush (an extra commit/fsync) on stores that write
+        every append through anyway.
+        """
 
     def close(self) -> None:
         """Release resources held by the store (no-op by default)."""
@@ -358,6 +379,9 @@ class MemoryTaskStore(TaskStore):
             self._tasks_by_project[project_id], limit, start_after, project_id
         )
 
+    def task_id_slice(self, project_id: int, limit: int, offset: int) -> list[int]:
+        return self._tasks_by_project[project_id][offset : offset + limit]
+
     def resolve_dedup_keys(self, project_id: int, keys: Sequence[str]) -> dict[str, int]:
         resolved: dict[str, int] = {}
         for key in keys:
@@ -410,6 +434,7 @@ class DurableTaskStore(TaskStore):
         engine: StorageEngine,
         namespace: str = "platform",
         owns_engine: bool = False,
+        append_batch_size: int = 1,
     ) -> None:
         """Open the store on *engine*.
 
@@ -418,10 +443,31 @@ class DurableTaskStore(TaskStore):
                 fault-recovery cache (the platform's tables are namespaced).
             namespace: Table-name prefix isolating this store's tables.
             owns_engine: When True, :meth:`close` also closes the engine.
+            append_batch_size: Run appends per durable write.  1 (the
+                default) writes every :meth:`append_runs` through
+                immediately — the seed behaviour.  Larger values buffer
+                appended runs in memory and flush them as one engine
+                ``put_many`` once *append_batch_size* runs have
+                accumulated (and on :meth:`flush`/:meth:`close`), which
+                amortises ``simulate_work``'s one-durable-write-per-task
+                cost across tasks.  Reads merge the buffer transparently;
+                a crash can lose at most one buffered batch of answers,
+                which a rerun of ``simulate_work`` re-creates (the same
+                top-up idempotence that heals a crash between per-task
+                writes).
         """
+        if append_batch_size < 1:
+            raise ValueError(
+                f"append_batch_size must be >= 1, got {append_batch_size}"
+            )
         self._engine = engine
         self._namespace = namespace
         self._owns_engine = owns_engine
+        self._append_batch_size = append_batch_size
+        #: Write-behind buffer of appended-but-unflushed runs, as the
+        #: run-dict lists the runs table stores, keyed like the table.
+        self._pending_runs: dict[str, list[dict[str, Any]]] = {}
+        self._pending_run_count = 0
         self._projects_table = f"{namespace}::projects"
         self._names_table = f"{namespace}::project_names"
         self._tasks_table = f"{namespace}::tasks"
@@ -531,6 +577,7 @@ class DurableTaskStore(TaskStore):
         # then the record; project record last, so an interrupted delete
         # can simply be retried — the project stays discoverable until
         # everything it owns is gone.
+        self._flush_pending_runs()
         index_table = self._index_table(project.project_id)
         for task_id in self.project_task_ids(project.project_id):
             key = self._id_key(task_id)
@@ -628,6 +675,7 @@ class DurableTaskStore(TaskStore):
         self._engine.put(self._tasks_table, self._id_key(task.task_id), task.to_dict())
 
     def remove_task(self, task: Task) -> None:
+        self._flush_pending_runs()
         key = self._id_key(task.task_id)
         if self._total_runs is not None:
             self._total_runs -= len(self._engine.get(self._runs_table, key, default=[]))
@@ -670,6 +718,11 @@ class DurableTaskStore(TaskStore):
             self._sorted_task_ids(project_id), limit, start_after, project_id
         )
 
+    def task_id_slice(self, project_id: int, limit: int, offset: int) -> list[int]:
+        # Slice the cached list directly: O(slice), not the base
+        # implementation's full project_task_ids copy per call.
+        return self._sorted_task_ids(project_id)[offset : offset + limit]
+
     def resolve_dedup_keys(self, project_id: int, keys: Sequence[str]) -> dict[str, int]:
         if not keys:
             return {}
@@ -685,22 +738,40 @@ class DurableTaskStore(TaskStore):
     def _decode_runs(self, payload: Any) -> list[TaskRun]:
         return [TaskRun.from_dict(entry) for entry in payload]
 
+    def _merged_payload(self, key: str, stored: Any) -> list[dict[str, Any]]:
+        """Return *stored* with any buffered (write-behind) runs appended."""
+        pending = self._pending_runs.get(key)
+        if not pending:
+            return stored
+        return list(stored) + pending
+
     def runs_for_task(self, task_id: int) -> list[TaskRun]:
-        payload = self._engine.get(self._runs_table, self._id_key(task_id), default=[])
-        return self._decode_runs(payload)
+        key = self._id_key(task_id)
+        payload = self._engine.get(self._runs_table, key, default=[])
+        return self._decode_runs(self._merged_payload(key, payload))
 
     def runs_for_tasks(self, task_ids: Sequence[int]) -> list[list[TaskRun]]:
-        payloads = self._engine.get_many(
-            self._runs_table,
-            [self._id_key(task_id) for task_id in task_ids],
-            default=[],
-        )
-        return [self._decode_runs(payload) for payload in payloads]
+        keys = [self._id_key(task_id) for task_id in task_ids]
+        payloads = self._engine.get_many(self._runs_table, keys, default=[])
+        return [
+            self._decode_runs(self._merged_payload(key, payload))
+            for key, payload in zip(keys, payloads)
+        ]
 
     def append_runs(self, task_id: int, runs: Sequence[TaskRun]) -> None:
         if not runs:
             return
         key = self._id_key(task_id)
+        if self._append_batch_size > 1:
+            self._pending_runs.setdefault(key, []).extend(
+                run.to_dict() for run in runs
+            )
+            self._pending_run_count += len(runs)
+            if self._total_runs is not None:
+                self._total_runs += len(runs)
+            if self._pending_run_count >= self._append_batch_size:
+                self._flush_pending_runs()
+            return
         # Copy before extending: the memory engine hands out its stored list
         # by reference, and the stored value must only change via put.
         stored = list(self._engine.get(self._runs_table, key, default=[]))
@@ -709,21 +780,47 @@ class DurableTaskStore(TaskStore):
         if self._total_runs is not None:
             self._total_runs += len(runs)
 
+    def _flush_pending_runs(self) -> None:
+        """Flush the write-behind append buffer as one engine batch.
+
+        One ``get_many`` to fetch the touched tasks' stored run lists, one
+        ``put_many`` to write them back extended — O(1) engine round-trips
+        per flush no matter how many tasks contributed appends.  The write
+        is atomic per engine batch semantics, so a crash loses either the
+        whole buffer or (on the crash-stepping engines) a key-prefix of
+        it; both heal by re-running ``simulate_work``.
+        """
+        if not self._pending_runs:
+            return
+        keys = list(self._pending_runs)
+        stored_lists = self._engine.get_many(self._runs_table, keys, default=[])
+        self._engine.put_many(
+            self._runs_table,
+            [
+                (key, list(stored) + self._pending_runs[key])
+                for key, stored in zip(keys, stored_lists)
+            ],
+        )
+        self._pending_runs = {}
+        self._pending_run_count = 0
+
     def run_count(self, task_id: int) -> int:
-        payload = self._engine.get(self._runs_table, self._id_key(task_id), default=[])
-        return len(payload)
+        key = self._id_key(task_id)
+        payload = self._engine.get(self._runs_table, key, default=[])
+        return len(payload) + len(self._pending_runs.get(key, ()))
 
     def run_counts_for_tasks(self, task_ids: Sequence[int]) -> list[int]:
-        payloads = self._engine.get_many(
-            self._runs_table,
-            [self._id_key(task_id) for task_id in task_ids],
-            default=[],
-        )
-        return [len(payload) for payload in payloads]
+        keys = [self._id_key(task_id) for task_id in task_ids]
+        payloads = self._engine.get_many(self._runs_table, keys, default=[])
+        return [
+            len(payload) + len(self._pending_runs.get(key, ()))
+            for key, payload in zip(keys, payloads)
+        ]
 
     # -- introspection and lifecycle ---------------------------------------
 
     def _count_total_runs(self) -> int:
+        self._flush_pending_runs()
         if self._total_runs is None:
             # One recovery scan on the first counts() after (re)open;
             # maintained incrementally afterwards.  (Deliberately *not* a
@@ -754,9 +851,14 @@ class DurableTaskStore(TaskStore):
         return description
 
     def flush(self) -> None:
+        self._flush_pending_runs()
         self._engine.flush()
 
+    def flush_appends(self) -> None:
+        self._flush_pending_runs()
+
     def close(self) -> None:
+        self._flush_pending_runs()
         if self._owns_engine:
             self._engine.close()
 
@@ -785,9 +887,15 @@ def open_task_store(
         return MemoryTaskStore()
     if config.store == "durable":
         if config.store_engine is not None:
-            return DurableTaskStore(open_engine(config.store_engine), owns_engine=True)
+            return DurableTaskStore(
+                open_engine(config.store_engine),
+                owns_engine=True,
+                append_batch_size=config.append_batch_size,
+            )
         if shared_engine is not None:
-            return DurableTaskStore(shared_engine)
+            return DurableTaskStore(
+                shared_engine, append_batch_size=config.append_batch_size
+            )
         raise ConfigurationError(
             "PlatformConfig(store='durable') needs a store_engine (or an engine "
             "to share, as CrowdContext provides)"

@@ -2,18 +2,58 @@
 
 The real Reprowd talks HTTP to PyBossa; requests can fail or be retried, and
 retried writes must not duplicate tasks.  The fault-injecting transport
-recreates exactly those hazards deterministically so the client's retry and
-idempotence logic is actually exercised by tests and benchmarks.
+recreates exactly those hazards so the client's retry and idempotence logic
+is actually exercised by tests and benchmarks — deterministically (seeded)
+under the serial transports; under :class:`AsyncTransport` the shared RNG
+is drawn from several worker threads, so *which* attempts fail becomes
+scheduling-dependent even with a fixed seed (pipelined fault tests assert
+invariants — no duplicates, no lost appends — rather than exact failure
+placements, and size their retry budgets accordingly).
+
+The transports compose as decorators around :class:`DirectTransport`:
+
+* :class:`CountingTransport` — tallies round-trip *attempts* per call name;
+* :class:`FaultInjectingTransport` — injects failures and duplicated
+  deliveries;
+* :class:`LatencyInjectingTransport` — charges a fixed per-call latency,
+  modelling the network round-trip a real deployment pays;
+* :class:`AsyncTransport` — the pipelining layer: ``call_async`` keeps up to
+  ``max_in_flight`` calls running on a thread pool while a **ticket
+  turnstile** applies them to the server strictly in submission order, so
+  transport latency overlaps without reordering server-side effects.
+
+See ``docs/transport.md`` for the full stack and its contracts.
 """
 
 from __future__ import annotations
 
 import abc
 import random
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable
 
 from repro.exceptions import PlatformUnavailableError
 from repro.utils.validation import require_fraction
+
+
+def retry_call(attempt: Callable[[], Any], retries: int) -> Any:
+    """Run *attempt* up to *retries* times on ``PlatformUnavailableError``.
+
+    The one retry policy of the whole stack: the serial client's `_call`
+    and the async transport's per-slot retries both delegate here, so the
+    contract (retry only transport unavailability, propagate the last
+    error) cannot drift between the serial and pipelined paths.
+    """
+    last_error: PlatformUnavailableError | None = None
+    for _ in range(max(1, retries)):
+        try:
+            return attempt()
+        except PlatformUnavailableError as exc:
+            last_error = exc
+    assert last_error is not None
+    raise last_error
 
 
 class Transport(abc.ABC):
@@ -21,7 +61,17 @@ class Transport(abc.ABC):
 
     @abc.abstractmethod
     def call(self, name: str, method: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
-        """Invoke *method* (a bound server method) and return its result."""
+        """Invoke *method* (a bound server method) and return its result.
+
+        One ``call`` is one transport *attempt*, not one logical operation:
+        the client's retry loop invokes ``call`` again after a
+        :class:`~repro.exceptions.PlatformUnavailableError`, and counting
+        transports tally every attempt individually — a call retried twice
+        before succeeding shows up as three attempts, one success.
+        """
+
+    def close(self) -> None:
+        """Release transport-held resources (threads, sockets); no-op here."""
 
 
 class DirectTransport(Transport):
@@ -32,7 +82,7 @@ class DirectTransport(Transport):
 
 
 class PerNameCallCounter:
-    """Mixin tallying transport call attempts per server call name.
+    """Mixin tallying transport call **attempts** per server call name.
 
     Shared by :class:`CountingTransport` and
     :class:`FaultInjectingTransport` so both expose the same observables
@@ -40,27 +90,44 @@ class PerNameCallCounter:
     paged collection costs exactly ``ceil(tasks / page_size)`` round-trips,
     and fault-injection tests use them to assert *which* calls were retried
     after an injected failure, not just how many.
+
+    The unit is the attempt, not the logical operation: every retried
+    attempt is counted individually, so for a call name that failed F times
+    before its S successes, ``calls_by_name[name] == F + S``.  Tests that
+    want "how many operations succeeded" must subtract the failure tallies
+    (``FaultInjectingTransport.failures_by_name``) rather than read
+    ``calls_by_name`` directly.
+
+    Counter updates are guarded by a lock so the tallies stay exact when an
+    :class:`AsyncTransport` drives this transport from several worker
+    threads at once.
     """
 
     def _reset_counters(self) -> None:
         self.calls = 0
         self.calls_by_name: dict[str, int] = {}
+        self._counter_lock = threading.Lock()
 
     def _count_call(self, name: str) -> None:
-        self.calls += 1
-        self.calls_by_name[name] = self.calls_by_name.get(name, 0) + 1
+        with self._counter_lock:
+            self.calls += 1
+            self.calls_by_name[name] = self.calls_by_name.get(name, 0) + 1
 
     def call_counts(self) -> dict[str, Any]:
         """Return the attempt tallies, total and per call name."""
-        return {"calls": self.calls, "calls_by_name": dict(self.calls_by_name)}
+        with self._counter_lock:
+            return {"calls": self.calls, "calls_by_name": dict(self.calls_by_name)}
 
 
 class CountingTransport(PerNameCallCounter, Transport):
-    """Direct transport that tallies round-trips per server call name.
+    """Direct transport that tallies round-trip attempts per server call name.
 
     The streaming tests and benchmarks use it to prove a paged collection
     costs exactly ``ceil(tasks / page_size)`` round-trips — the observable
-    that distinguishes true streaming from a hidden full fetch.
+    that distinguishes true streaming from a hidden full fetch.  (With no
+    fault injection in the stack every attempt succeeds, so attempts and
+    successful operations coincide here; behind a fault injector they do
+    not — see :class:`PerNameCallCounter`.)
     """
 
     def __init__(self) -> None:
@@ -91,7 +158,12 @@ class FaultInjectingTransport(PerNameCallCounter, Transport):
     server — is tallied in ``calls`` / ``calls_by_name``, and injected
     failures are additionally tallied per name in ``failures_by_name``, so
     a test can assert e.g. that a retried ``create_tasks`` really was the
-    call that failed.
+    call that failed.  Attempts, not successes: a name that was failed F
+    times and succeeded S times shows ``calls_by_name[name] == F + S`` —
+    the successful-operation count is ``calls_by_name[name] -
+    failures_by_name.get(name, 0)``, minus any ``duplicates_injected``
+    replays (a duplicated delivery re-executes the server method without a
+    new attempt being tallied).
     """
 
     def __init__(self, failure_rate: float = 0.0, duplicate_rate: float = 0.0, seed: int = 7):
@@ -106,20 +178,242 @@ class FaultInjectingTransport(PerNameCallCounter, Transport):
     def call(self, name: str, method: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
         self._count_call(name)
         if self._rng.random() < self.failure_rate:
-            self.failures_injected += 1
-            self.failures_by_name[name] = self.failures_by_name.get(name, 0) + 1
+            with self._counter_lock:
+                self.failures_injected += 1
+                self.failures_by_name[name] = self.failures_by_name.get(name, 0) + 1
             raise PlatformUnavailableError(f"injected transport failure during {name!r}")
         result = method(*args, **kwargs)
         if self._rng.random() < self.duplicate_rate:
-            self.duplicates_injected += 1
+            with self._counter_lock:
+                self.duplicates_injected += 1
             result = method(*args, **kwargs)
         return result
 
     def statistics(self) -> dict[str, Any]:
         """Return fault and per-call-name counters for the faults injected so far."""
-        return {
-            **self.call_counts(),
-            "failures_injected": self.failures_injected,
-            "duplicates_injected": self.duplicates_injected,
-            "failures_by_name": dict(self.failures_by_name),
-        }
+        with self._counter_lock:
+            failures = {
+                "failures_injected": self.failures_injected,
+                "duplicates_injected": self.duplicates_injected,
+                "failures_by_name": dict(self.failures_by_name),
+            }
+        return {**self.call_counts(), **failures}
+
+
+class LatencyInjectingTransport(Transport):
+    """Charges a fixed wall-clock latency per call attempt before delegating.
+
+    Models the network round-trip a real PyBossa deployment pays on every
+    call.  Composes around any inner transport (direct when omitted), so a
+    benchmark can stack latency under fault injection or under an
+    :class:`AsyncTransport` — which is exactly how the pipelined-transport
+    benchmark makes the serialisation wall of one-round-trip-per-call
+    measurable.
+
+    Args:
+        inner: Transport the call is delegated to after the sleep.
+        latency_seconds: Wall-clock seconds charged per call attempt
+            (retried attempts each pay it again, like real retries do).
+    """
+
+    def __init__(self, inner: Transport | None = None, latency_seconds: float = 0.0):
+        if latency_seconds < 0:
+            raise ValueError(f"latency_seconds must be >= 0, got {latency_seconds}")
+        self.inner = inner or DirectTransport()
+        self.latency_seconds = latency_seconds
+
+    def call(self, name: str, method: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        if self.latency_seconds > 0:
+            time.sleep(self.latency_seconds)
+        return self.inner.call(name, method, *args, **kwargs)
+
+    def statistics(self) -> dict[str, Any]:
+        """Delegate to the inner transport's counters when it has any."""
+        inner_stats = getattr(self.inner, "statistics", None)
+        stats = inner_stats() if callable(inner_stats) else {}
+        return {**stats, "latency_seconds": self.latency_seconds}
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class AsyncTransport(Transport):
+    """Pipelining transport: up to ``max_in_flight`` calls run concurrently.
+
+    ``call_async`` submits a call to a thread pool and returns a
+    :class:`~concurrent.futures.Future`; ``drain`` waits for every
+    outstanding call; the plain synchronous :meth:`call` is a **barrier** —
+    it drains first, so a synchronous verb always observes every previously
+    submitted async call (the flush-on-read contract the
+    :class:`~repro.platform.client.PipelinedClient` relies on).
+
+    Two properties make the concurrency safe against the in-process server:
+
+    * **Bounded in-flight window.**  A semaphore caps outstanding calls at
+      ``max_in_flight``; a further ``call_async`` blocks the submitter, so
+      a producer can never build an unbounded queue of buffered writes
+      (backpressure, not buffering).
+    * **Ticket-ordered application.**  Each submission takes a monotonic
+      ticket, and the server method itself only runs when every earlier
+      ticket's call has finished — transport work (injected latency, fault
+      decisions, retries) overlaps freely across threads, but server-side
+      effects happen strictly in submission order.  Task ids, worker draws
+      and page contents therefore stay byte-identical to a serial run,
+      which is what lets the pipelined client keep the exact
+      ordering/idempotence contracts the fault and crash suites encode.
+
+    The per-call ``retries`` of :meth:`call_async` run *inside* the call's
+    in-flight slot and inside its ticket: a failed attempt (e.g. an
+    injected :class:`~repro.exceptions.PlatformUnavailableError`) is
+    retried without releasing the call's position, so a retried batch still
+    applies in order.  Every attempt passes through the inner transport
+    individually and is counted individually by any counting layer below.
+    """
+
+    def __init__(self, inner: Transport | None = None, max_in_flight: int = 8):
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        self.inner = inner or DirectTransport()
+        self.max_in_flight = max_in_flight
+        self._slots = threading.BoundedSemaphore(max_in_flight)
+        self._state = threading.Condition()
+        self._next_ticket = 0  # next ticket to hand out (guarded by _state)
+        self._turn = 0  # lowest ticket not yet finished (guarded by _state)
+        self._finished: set[int] = set()  # tickets done while earlier ones run
+        self._in_flight = 0
+        self.submitted = 0
+        self.completed = 0
+        self._executor: ThreadPoolExecutor | None = None
+
+    # -- synchronous path ---------------------------------------------------
+
+    def call(self, name: str, method: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Barrier call: drain every in-flight async call, then run inline."""
+        self.drain()
+        return self.inner.call(name, method, *args, **kwargs)
+
+    # -- asynchronous path --------------------------------------------------
+
+    def call_async(
+        self,
+        name: str,
+        method: Callable[..., Any],
+        *args: Any,
+        retries: int = 1,
+        **kwargs: Any,
+    ) -> Future:
+        """Submit a call; returns a future resolving to the call's result.
+
+        Blocks while ``max_in_flight`` calls are already outstanding.  The
+        call is attempted up to *retries* times on
+        :class:`~repro.exceptions.PlatformUnavailableError`; the future
+        carries the last error when every attempt failed.
+        """
+        self._slots.acquire()
+        with self._state:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            self._in_flight += 1
+            self.submitted += 1
+        try:
+            return self._pool().submit(
+                self._run, ticket, name, method, args, kwargs, max(1, retries)
+            )
+        except BaseException:
+            with self._state:
+                self._finish(ticket)
+            self._slots.release()
+            raise
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_in_flight, thread_name_prefix="repro-transport"
+            )
+        return self._executor
+
+    def _run(
+        self,
+        ticket: int,
+        name: str,
+        method: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        retries: int,
+    ) -> Any:
+        gated = self._gated(ticket, method)
+        try:
+            return retry_call(
+                lambda: self.inner.call(name, gated, *args, **kwargs), retries
+            )
+        finally:
+            with self._state:
+                self._finish(ticket)
+                self.completed += 1
+            self._slots.release()
+
+    def _gated(self, ticket: int, method: Callable[..., Any]) -> Callable[..., Any]:
+        """Wrap *method* so it executes only when *ticket*'s turn has come.
+
+        The turnstile both orders server-side effects by submission and
+        serialises them — only the one current-turn call can be inside the
+        server at any moment, so the (thread-oblivious) server and stores
+        never see concurrent mutation.
+        """
+
+        def invoke(*args: Any, **kwargs: Any) -> Any:
+            with self._state:
+                while self._turn != ticket:
+                    self._state.wait()
+            return method(*args, **kwargs)
+
+        return invoke
+
+    def _finish(self, ticket: int) -> None:
+        """Mark *ticket* done and advance the turn past finished tickets.
+
+        Caller must hold ``_state``.  A call can finish out of order (all
+        its attempts failed before reaching the server while an earlier
+        call still sleeps in transport latency), so finished tickets park
+        in a set until the turn reaches them.
+        """
+        self._finished.add(ticket)
+        while self._turn in self._finished:
+            self._finished.remove(self._turn)
+            self._turn += 1
+        self._in_flight -= 1
+        self._state.notify_all()
+
+    def drain(self) -> None:
+        """Block until no async call is in flight (results stay on futures)."""
+        with self._state:
+            while self._in_flight:
+                self._state.wait()
+
+    # -- introspection and lifecycle ---------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Number of async calls currently outstanding."""
+        with self._state:
+            return self._in_flight
+
+    def statistics(self) -> dict[str, Any]:
+        """Inner transport counters plus this layer's pipelining counters."""
+        inner_stats = getattr(self.inner, "statistics", None)
+        stats = inner_stats() if callable(inner_stats) else {}
+        with self._state:
+            pipelining = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "max_in_flight": self.max_in_flight,
+            }
+        return {**stats, "async": pipelining}
+
+    def close(self) -> None:
+        """Drain outstanding calls and stop the worker threads."""
+        self.drain()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self.inner.close()

@@ -43,3 +43,17 @@ def test_platform_store_benchmark_smoke_single_iteration(tmp_path):
         row = bench.run_backend(backend, str(tmp_path / backend), 30, 10)
         assert row["backend"] == backend
         assert row["tasks"] == 30
+
+
+def test_pipelined_transport_benchmark_smoke_single_iteration(tmp_path):
+    bench = load_bench_module("bench_pipelined_transport")
+    # run_mode itself asserts publish/simulate/collect cover every task and
+    # the two modes are compared on identical contents by the full test; at
+    # toy scale we check both harness paths run, not the speedup.
+    serial = bench.run_mode("serial", 40, 10, latency=0.0)
+    pipelined = bench.run_mode("pipelined", 40, 10, latency=0.0)
+    assert serial.pop("_collected") == pipelined.pop("_collected")
+    assert serial["tasks"] == pipelined["tasks"] == 40
+    row = bench.run_append_batch(8, str(tmp_path / "append"), 20)
+    assert row["append_batch_size"] == 8
+    assert row["tasks"] == 20

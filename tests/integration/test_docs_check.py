@@ -24,7 +24,8 @@ def load_checker():
 
 def test_documentation_set_exists():
     assert (REPO_ROOT / "README.md").exists()
-    assert (REPO_ROOT / "docs" / "architecture.md").exists()
+    for page in ("architecture", "storage", "platform", "transport", "benchmarks"):
+        assert (REPO_ROOT / "docs" / f"{page}.md").exists(), page
 
 
 def test_links_are_clean():
@@ -42,6 +43,30 @@ def test_lint_catches_a_broken_link(tmp_path):
     problems = checker.lint_links(str(bad))
     assert len(problems) == 1
     assert "no/such/file.py" in problems[0]
+
+
+def test_docs_pages_are_cross_linked():
+    checker = load_checker()
+    assert checker.check_cross_links(checker.iter_doc_files()) == []
+
+
+def test_cross_link_check_catches_an_orphan_page():
+    checker = load_checker()
+    # Pretend a docs page exists that nothing links to: check it against
+    # the real set, which cannot reference it.
+    orphan = str(REPO_ROOT / "docs" / "orphan-page-for-test.md")
+    problems = checker.check_cross_links(checker.iter_doc_files() + [orphan])
+    assert any("orphan" in problem for problem in problems)
+
+
+def test_every_config_field_is_documented():
+    checker = load_checker()
+    assert checker.check_config_field_coverage(checker.iter_doc_files()) == []
+
+
+def test_benchmark_catalogue_is_complete():
+    checker = load_checker()
+    assert checker.check_benchmark_catalogue() == []
 
 
 def test_docs_check_passes_end_to_end():

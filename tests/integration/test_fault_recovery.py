@@ -16,7 +16,7 @@ from repro import CrowdContext
 from repro.config import PlatformConfig, WorkerPoolConfig
 from repro.datasets import make_image_label_dataset
 from repro.exceptions import CrashInjected
-from repro.platform.client import PlatformClient
+from repro.platform.client import PipelinedClient, PlatformClient
 from repro.platform.server import PlatformServer
 from repro.presenters import ImageLabelPresenter
 from repro.simulation import CrashPlan, CrashingEngine
@@ -29,13 +29,25 @@ def dataset():
     return make_image_label_dataset(num_images=15, seed=17)
 
 
-@pytest.fixture
-def durable_platform(dataset):
-    """A platform that outlives program crashes (PyBossa keeps running when
-    Bob's script dies)."""
-    pool = WorkerPool.from_config(WorkerPoolConfig(size=20, mean_accuracy=0.95, seed=17))
-    server = PlatformServer(worker_pool=pool, config=PlatformConfig(seed=17))
+def make_client(kind: str, seed: int = 17) -> PlatformClient:
+    """A fresh platform client of the requested transport *kind*."""
+    pool = WorkerPool.from_config(WorkerPoolConfig(size=20, mean_accuracy=0.95, seed=seed))
+    server = PlatformServer(worker_pool=pool, config=PlatformConfig(seed=seed))
+    if kind == "pipelined":
+        # A small batch size forces real in-flight sub-batches even at the
+        # 15-row scale of these experiments.
+        return PipelinedClient(server, batch_size=4, max_in_flight=3)
     return PlatformClient(server)
+
+
+@pytest.fixture(params=["direct", "pipelined"])
+def durable_platform(dataset, request):
+    """A platform that outlives program crashes (PyBossa keeps running when
+    Bob's script dies) — exercised over both the serial and the pipelined
+    client, which must survive every crash point identically."""
+    client = make_client(request.param)
+    yield client
+    client.close()  # tear down the async transport's worker threads
 
 
 def bob_experiment(engine, client, dataset):

@@ -122,6 +122,25 @@ class TestFaultInjectingTransport:
         assert stats["calls"] == 2
         assert stats["calls_by_name"] == {"create_project": 1, "find_project": 1}
 
+    def test_counters_tally_attempts_not_successes(self, server):
+        """The documented unit of every per-name counter is the *attempt*:
+        with the transport hard-down and max_retries=3, one logical
+        create_project is three attempts, three failures, zero successes."""
+        transport = FaultInjectingTransport(failure_rate=1.0, seed=9)
+        client = PlatformClient(server, transport=transport, max_retries=3)
+        with pytest.raises(PlatformUnavailableError):
+            client.create_project("p")
+        stats = transport.statistics()
+        assert stats["calls_by_name"] == {"create_project": 3}
+        assert stats["failures_by_name"] == {"create_project": 3}
+        # Successful operations = attempts - failures.
+        assert (
+            stats["calls_by_name"]["create_project"]
+            - stats["failures_by_name"]["create_project"]
+            == 0
+        )
+        assert len(server.list_projects()) == 0
+
     def test_invalid_rates_rejected(self):
         with pytest.raises(ValueError):
             FaultInjectingTransport(failure_rate=1.5)

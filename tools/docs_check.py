@@ -1,14 +1,24 @@
 #!/usr/bin/env python
-"""Documentation checker: link-lint the markdown docs, then smoke the quickstart.
+"""Documentation checker: lint the docs set, then smoke the quickstart.
 
-Two checks, both cheap enough for tier-1 (see ``make docs-check`` and
+Five checks, all cheap enough for tier-1 (see ``make docs-check`` and
 ``tests/integration/test_docs_check.py``):
 
 1. **Link lint** — every relative link or image target in ``README.md`` and
    ``docs/*.md`` must point at a file or directory that exists in the repo.
    External (``http(s)://``, ``mailto:``) and pure-anchor (``#...``) targets
    are skipped; a ``path#fragment`` target is checked for the path part.
-2. **Quickstart smoke** — ``examples/quickstart.py`` runs headlessly against
+2. **Cross-page links** — every page under ``docs/`` must be linked from at
+   least one *other* checked document, so the set stays a navigable web
+   rather than accumulating orphan pages.
+3. **Config-field coverage** — every field of ``StorageConfig`` and
+   ``PlatformConfig`` (read live via ``dataclasses.fields``) must be
+   mentioned somewhere under ``docs/``; adding a knob without documenting
+   it fails the build.
+4. **Benchmark catalogue** — every ``benchmarks/bench_*.py`` file must
+   appear in ``docs/benchmarks.md``, keeping the catalogue unable to go
+   stale.
+5. **Quickstart smoke** — ``examples/quickstart.py`` runs headlessly against
    a throwaway database and its output must prove the fault-recovery
    guarantee the README promises: the second run publishes zero new tasks.
 
@@ -21,6 +31,7 @@ Usage:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import re
 import subprocess
@@ -33,6 +44,9 @@ _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
 
 #: Target prefixes that are not filesystem paths.
 _EXTERNAL = ("http://", "https://", "mailto:")
+
+#: The catalogue page every benchmark file must appear in.
+BENCH_CATALOGUE = os.path.join("docs", "benchmarks.md")
 
 
 def iter_doc_files() -> list[str]:
@@ -62,6 +76,98 @@ def lint_links(doc_path: str) -> list[str]:
         if not os.path.exists(resolved):
             relative = os.path.relpath(doc_path, REPO_ROOT)
             problems.append(f"{relative}: broken link target {target!r}")
+    return problems
+
+
+def _read(doc_path: str) -> str:
+    with open(doc_path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def check_cross_links(doc_files: list[str]) -> list[str]:
+    """Every docs/ page must be linked from at least one other checked doc."""
+    problems: list[str] = []
+    link_targets: dict[str, set[str]] = {}
+    for doc_path in doc_files:
+        targets: set[str] = set()
+        if not os.path.exists(doc_path):
+            link_targets[doc_path] = targets
+            continue
+        for match in _LINK.finditer(_read(doc_path)):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if path:
+                targets.add(
+                    os.path.normpath(os.path.join(os.path.dirname(doc_path), path))
+                )
+        link_targets[doc_path] = targets
+    for doc_path in doc_files:
+        relative = os.path.relpath(doc_path, REPO_ROOT)
+        if not relative.replace(os.sep, "/").startswith("docs/"):
+            continue
+        linked_from = [
+            other
+            for other, targets in link_targets.items()
+            if other != doc_path and doc_path in targets
+        ]
+        if not linked_from:
+            problems.append(
+                f"{relative}: orphan page — not linked from any other "
+                "documentation file"
+            )
+    return problems
+
+
+def check_config_field_coverage(doc_files: list[str]) -> list[str]:
+    """Every StorageConfig/PlatformConfig field must be mentioned in docs/."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    try:
+        from repro.config import PlatformConfig, StorageConfig
+    finally:
+        sys.path.pop(0)
+    docs_text = "\n".join(
+        _read(doc_path)
+        for doc_path in doc_files
+        if os.path.relpath(doc_path, REPO_ROOT).replace(os.sep, "/").startswith("docs/")
+    )
+    problems: list[str] = []
+    for config in (StorageConfig, PlatformConfig):
+        for field in dataclasses.fields(config):
+            # A mention must look like documentation of the field, not
+            # incidental prose (several fields are common words: name,
+            # seed, store, path...): either inside an inline-code span
+            # (`engine`, `StorageConfig(engine=...)`) or as the leading
+            # cell of a markdown table row.
+            name = re.escape(field.name)
+            pattern = re.compile(
+                rf"`[^`\n]*\b{name}\b[^`\n]*`" rf"|^\|\s*`?{name}`?\s*\|",
+                re.MULTILINE,
+            )
+            if not pattern.search(docs_text):
+                problems.append(
+                    f"docs/: {config.__name__}.{field.name} is not documented "
+                    "anywhere under docs/ (expected in a code span or a "
+                    "table row)"
+                )
+    return problems
+
+
+def check_benchmark_catalogue() -> list[str]:
+    """Every benchmarks/bench_*.py must appear in docs/benchmarks.md."""
+    catalogue_path = os.path.join(REPO_ROOT, BENCH_CATALOGUE)
+    if not os.path.exists(catalogue_path):
+        return [f"missing benchmark catalogue: {BENCH_CATALOGUE}"]
+    catalogue = _read(catalogue_path)
+    bench_dir = os.path.join(REPO_ROOT, "benchmarks")
+    problems: list[str] = []
+    for name in sorted(os.listdir(bench_dir)):
+        if name.startswith("bench_") and name.endswith(".py") and name not in catalogue:
+            problems.append(
+                f"{BENCH_CATALOGUE}: stale catalogue — benchmarks/{name} has "
+                "no entry"
+            )
     return problems
 
 
@@ -103,12 +209,17 @@ def main(argv: list[str] | None = None) -> int:
 
     problems: list[str] = []
     checked = 0
+    existing: list[str] = []
     for doc_path in iter_doc_files():
         if not os.path.exists(doc_path):
             problems.append(f"missing documentation file: {os.path.relpath(doc_path, REPO_ROOT)}")
             continue
         checked += 1
+        existing.append(doc_path)
         problems.extend(lint_links(doc_path))
+    problems.extend(check_cross_links(existing))
+    problems.extend(check_config_field_coverage(existing))
+    problems.extend(check_benchmark_catalogue())
     if not args.skip_quickstart:
         problems.extend(run_quickstart())
 
@@ -118,7 +229,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  - {problem}")
         return 1
     quickstart_note = "skipped" if args.skip_quickstart else "ok"
-    print(f"docs-check: {checked} markdown file(s) link-clean, quickstart {quickstart_note}")
+    print(
+        f"docs-check: {checked} markdown file(s) link-clean and cross-linked, "
+        f"config fields + benchmark catalogue covered, quickstart {quickstart_note}"
+    )
     return 0
 
 

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Examples checker: run every ``examples/*.py`` headlessly and require exit 0.
+
+The examples double as living documentation — README and the docs set link
+to them — so a refactor that breaks one silently rots the docs.  This
+checker (see ``make examples-check``, part of ``make check``) executes each
+example as its own process with ``src`` on the path, in a throwaway working
+directory so database artifacts never land in the repo, and reports every
+failure with the tail of its stderr.
+
+``examples/quickstart.py`` is deliberately *also* run (with stronger output
+assertions) by ``tools/docs_check.py``; this checker still includes it so
+the "every example exits 0" contract stays uniform and holds even when
+docs-check runs with ``--skip-quickstart``.
+
+Exit status 0 when every example passes; 1 with a per-example report
+otherwise.
+
+Usage:
+    PYTHONPATH=src python tools/examples_check.py [--timeout SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+
+
+def iter_example_files() -> list[str]:
+    """Every example script, sorted for stable output."""
+    return sorted(
+        os.path.join(EXAMPLES_DIR, name)
+        for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py")
+    )
+
+
+def run_example(path: str, timeout: float) -> tuple[str | None, float]:
+    """Run one example; return (problem-or-None, elapsed seconds)."""
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    relative = os.path.relpath(path, REPO_ROOT)
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-example-") as workdir:
+        try:
+            result = subprocess.run(
+                [sys.executable, path],
+                capture_output=True,
+                text=True,
+                timeout=timeout,
+                env=env,
+                cwd=workdir,
+            )
+        except subprocess.TimeoutExpired:
+            return f"{relative}: timed out after {timeout:.0f}s", time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    if result.returncode != 0:
+        tail = (result.stderr or result.stdout).strip().splitlines()[-5:]
+        return f"{relative}: exited {result.returncode}: " + " | ".join(tail), elapsed
+    return None, elapsed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-example wall-clock limit in seconds (default: 120)",
+    )
+    args = parser.parse_args(argv)
+
+    examples = iter_example_files()
+    if not examples:
+        print("examples-check: no examples found under examples/")
+        return 1
+
+    problems: list[str] = []
+    for path in examples:
+        problem, elapsed = run_example(path, args.timeout)
+        status = "FAIL" if problem else "ok"
+        print(f"  {status:4s} {os.path.relpath(path, REPO_ROOT)} ({elapsed:.1f}s)")
+        if problem:
+            problems.append(problem)
+
+    if problems:
+        print(f"examples-check: {len(problems)} of {len(examples)} example(s) failed:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"examples-check: all {len(examples)} example(s) ran clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
