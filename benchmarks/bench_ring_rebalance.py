@@ -1,0 +1,220 @@
+"""E13: elastic consistent-hash sharding — rebalance cost and scan parity.
+
+Part 1 — **rebalance cost**: load K records into a 4-member ring, grow it to
+5 members online, and price the move.  Three numbers matter and two are
+*asserted*, not just reported:
+
+* keys moved must stay under **2x the ideal K/N fraction** (the ideal for
+  growing N -> N+1 is K/(N+1); the virtual-node ring should be close) — and
+  far under the near-total reshuffle a naive ``hash mod N`` scheme would
+  force, which the table prints alongside for scale;
+* the post-rebalance ``scan`` must be **byte-identical** (keys, values,
+  versions, order) to a never-rebalanced control ring holding the same
+  writes — elasticity must be invisible to readers.
+
+Part 2 — **scan parity**: the same records behind the ring engine and the
+modulo-:class:`~repro.storage.ShardedEngine` at equal member counts, timing
+``put_many``, a cold scan (the ring pays its one-off sequence-index build
+here), a warm scan and a paged walk.  Contents are asserted identical, so
+the numbers compare equal work.
+
+Run ``pytest benchmarks/bench_ring_rebalance.py -q --bench-scale=smoke`` for
+a seconds-long sanity pass at toy scale (the structural assertions still
+run; only the scale shrinks).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.simulation import ExperimentRunner
+from repro.storage import ConsistentHashEngine, ShardedEngine, SqliteEngine, shard_index
+from repro.utils.timing import Stopwatch
+
+pytestmark = [pytest.mark.slow, pytest.mark.ring]
+
+NUM_RECORDS = 20_000
+SMOKE_RECORDS = 600
+BASE_MEMBERS = 4
+VIRTUAL_NODES = 64
+LOAD_CHUNK = 2_000
+SCAN_PAGE = 512
+
+
+def make_items(num_records: int) -> list[tuple[str, dict]]:
+    return [(f"key-{index:08d}", {"payload": index}) for index in range(num_records)]
+
+
+def build_ring(base_dir: str, tag: str, member_count: int) -> ConsistentHashEngine:
+    children = {
+        f"ring-{index:02d}": SqliteEngine(
+            os.path.join(base_dir, tag, f"ring-{index:02d}.db")
+        )
+        for index in range(member_count)
+    }
+    return ConsistentHashEngine(children, virtual_nodes=VIRTUAL_NODES)
+
+
+def load(engine, items) -> float:
+    engine.create_table("bench")
+    with Stopwatch() as watch:
+        for start in range(0, len(items), LOAD_CHUNK):
+            engine.put_many("bench", items[start : start + LOAD_CHUNK])
+    return watch.elapsed
+
+
+def run_rebalance_experiment(base_dir: str, num_records: int) -> dict:
+    """Grow a loaded ring online; assert the E13 acceptance criteria."""
+    items = make_items(num_records)
+    control = build_ring(base_dir, "control", BASE_MEMBERS)
+    load(control, items)
+    grown = build_ring(base_dir, "grown", BASE_MEMBERS)
+    load(grown, items)
+
+    joiner = SqliteEngine(os.path.join(base_dir, "grown", f"ring-{BASE_MEMBERS:02d}.db"))
+    with Stopwatch() as rebalance:
+        report = grown.rebalance(add={f"ring-{BASE_MEMBERS:02d}": joiner})
+
+    ideal = num_records / (BASE_MEMBERS + 1)
+    naive_moves = sum(
+        1
+        for key, _ in items
+        if shard_index(key, BASE_MEMBERS) != shard_index(key, BASE_MEMBERS + 1)
+    )
+    # E13 acceptance: under 2x the ideal K/N fraction, and nowhere near the
+    # modulo reshuffle.
+    assert report["keys_moved"] < 2 * ideal, (
+        f"rebalance moved {report['keys_moved']} keys; ideal {ideal:.0f}, "
+        f"bound {2 * ideal:.0f}"
+    )
+    assert report["keys_moved"] < naive_moves
+
+    # E13 acceptance: elasticity is invisible — the grown ring scans
+    # byte-identically (keys, values, versions, order) to the control ring.
+    with Stopwatch() as verify:
+        assert list(grown.scan("bench")) == list(control.scan("bench"))
+    assert grown.count("bench") == num_records
+
+    row = {
+        "records": num_records,
+        "members": f"{BASE_MEMBERS}->{BASE_MEMBERS + 1}",
+        "keys_moved": report["keys_moved"],
+        "moved_pct": round(100 * report["keys_moved"] / num_records, 1),
+        "ideal_pct": round(100 / (BASE_MEMBERS + 1), 1),
+        "naive_modulo_pct": round(100 * naive_moves / num_records, 1),
+        "waves": report["waves"],
+        "rebalance_seconds": round(rebalance.elapsed, 3),
+        "verify_scan_seconds": round(verify.elapsed, 3),
+    }
+    control.close()
+    grown.close()
+    return row
+
+
+def run_scan_parity(base_dir: str, num_records: int) -> list[dict]:
+    """Ring vs modulo-sharded engine on identical records and member counts."""
+    items = make_items(num_records)
+    members = BASE_MEMBERS + 1
+    engines = {
+        "sharded": ShardedEngine(
+            [
+                SqliteEngine(os.path.join(base_dir, "parity-sharded", f"s{i:02d}.db"))
+                for i in range(members)
+            ]
+        ),
+        "ring": build_ring(base_dir, "parity-ring", members),
+    }
+    rows = []
+    contents = {}
+    for name, engine in engines.items():
+        put_seconds = load(engine, items)
+        with Stopwatch() as cold:
+            cold_count = sum(1 for _ in engine.scan("bench"))
+        with Stopwatch() as warm:
+            warm_count = sum(1 for _ in engine.scan("bench"))
+        with Stopwatch() as paged:
+            walked, cursor = 0, None
+            while True:
+                page = list(engine.scan("bench", limit=SCAN_PAGE, start_after=cursor))
+                walked += len(page)
+                if len(page) < SCAN_PAGE:
+                    break
+                cursor = page[-1].key
+        assert cold_count == warm_count == walked == num_records
+        contents[name] = [(r.key, r.value, r.version) for r in engine.scan("bench", limit=50)]
+        rows.append(
+            {
+                "engine": name,
+                "members": members,
+                "records": num_records,
+                "put_many_seconds": round(put_seconds, 3),
+                "cold_scan_seconds": round(cold.elapsed, 3),
+                "warm_scan_seconds": round(warm.elapsed, 3),
+                "warm_krows_per_s": round(num_records / max(warm.elapsed, 1e-9) / 1000, 1),
+                "paged_scan_seconds": round(paged.elapsed, 3),
+            }
+        )
+        engine.close()
+    assert contents["ring"] == contents["sharded"]  # equal work compared
+    return rows
+
+
+def test_ring_rebalance_cost(record_table, tmp_path, bench_scale):
+    smoke = bench_scale == "smoke"
+    num_records = SMOKE_RECORDS if smoke else NUM_RECORDS
+    row = run_rebalance_experiment(str(tmp_path), num_records)
+
+    runner = ExperimentRunner(
+        f"E13 — online ring rebalance {row['members']} members "
+        f"({num_records} records: moved {row['moved_pct']}% vs ideal "
+        f"{row['ideal_pct']}% vs naive modulo {row['naive_modulo_pct']}%)"
+    )
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = [row]
+    record_table(
+        "E13_ring_rebalance",
+        sweep.to_table(
+            columns=[
+                "records",
+                "members",
+                "keys_moved",
+                "moved_pct",
+                "ideal_pct",
+                "naive_modulo_pct",
+                "waves",
+                "rebalance_seconds",
+                "verify_scan_seconds",
+            ]
+        ),
+    )
+
+
+def test_ring_scan_parity(record_table, tmp_path, bench_scale):
+    smoke = bench_scale == "smoke"
+    num_records = SMOKE_RECORDS if smoke else NUM_RECORDS
+    rows = run_scan_parity(str(tmp_path), num_records)
+
+    runner = ExperimentRunner(
+        f"E13 — ring vs sharded scan parity ({num_records} records, "
+        f"{BASE_MEMBERS + 1} sqlite members; ring cold scan includes its "
+        "one-off sequence-index build)"
+    )
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = rows
+    record_table(
+        "E13_ring_scan_parity",
+        sweep.to_table(
+            columns=[
+                "engine",
+                "members",
+                "records",
+                "put_many_seconds",
+                "cold_scan_seconds",
+                "warm_scan_seconds",
+                "warm_krows_per_s",
+                "paged_scan_seconds",
+            ]
+        ),
+    )

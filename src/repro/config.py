@@ -23,21 +23,32 @@ class StorageConfig:
     """Configuration of the persistence layer.
 
     Attributes:
-        engine: One of ``"sqlite"``, ``"memory"``, ``"log"`` or ``"sharded"``.
+        engine: One of ``"sqlite"``, ``"memory"``, ``"log"``, ``"sharded"``
+            or ``"ring"``.
         path: Filesystem path of the database (ignored for ``"memory"``).
-            For ``"sharded"`` this is a *directory*; each shard lives in its
-            own file underneath it (``shard-00.db``, ``shard-01.db``, ...).
+            For ``"sharded"`` and ``"ring"`` this is a *directory*; each
+            child lives in its own file underneath it (``shard-00.db`` /
+            ``ring-00.db``, ...).
         synchronous: When True the SQLite engine commits after every write,
             matching the durability the paper relies on for crash-and-rerun.
         snapshot_every: For the log-structured engine, how many log records
             are written between snapshots.
-        shards: For the sharded engine, how many child engines keys are
-            hash-partitioned across.
-        shard_engine: For the sharded engine, the child engine type — one of
-            ``"sqlite"``, ``"memory"`` or ``"log"``.
-        shard_workers: For the sharded engine, the number of threads a
-            ``put_many`` batch fans out over (one child transaction per
-            shard).  0 (the default) keeps shard writes serial.
+        shards: For the sharded and ring engines, how many child engines
+            keys are partitioned across.  For ``"ring"`` this is only the
+            *initial* membership: reopening a directory that a rebalance has
+            grown or shrunk rediscovers the actual members.
+        shard_engine: For the sharded and ring engines, the child engine
+            type — one of ``"sqlite"``, ``"memory"`` or ``"log"``.
+        shard_workers: For the sharded and ring engines, the number of
+            threads a ``put_many`` batch fans out over (one child
+            transaction per member).  0 (the default) keeps writes serial.
+        virtual_nodes: For the ring engine, how many points each member
+            contributes to the hash ring; more points spread ownership (and
+            rebalance moves) more evenly.  Ignored on reopen in favour of
+            the value stored in the ring's membership manifest.
+        rebalance_batch_size: For the ring engine, how many keys each
+            migration wave copies and deletes per batch during
+            ``rebalance``.
     """
 
     engine: str = "sqlite"
@@ -47,6 +58,8 @@ class StorageConfig:
     shards: int = 4
     shard_engine: str = "sqlite"
     shard_workers: int = 0
+    virtual_nodes: int = 64
+    rebalance_batch_size: int = 256
 
     def with_path(self, path: str) -> "StorageConfig":
         """Return a copy of this config pointing at *path*."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 import shutil
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
 from repro.config import ReprowdConfig
@@ -37,6 +37,10 @@ class ExperimentSession:
             file too (:meth:`ReprowdConfig.durable`), so the platform — not
             just the client cache — survives crash-and-rerun and travels
             with the shared artifact.
+        storage_engine: Which durable engine backs ``db_path`` —
+            ``"sqlite"`` (the default single sharable file), ``"sharded"``
+            or ``"ring"`` (``db_path`` is then a *directory* of child
+            files, and the whole directory is the sharable artifact).
     """
 
     name: str
@@ -45,13 +49,18 @@ class ExperimentSession:
     runs: int = 0
     context_kwargs: dict[str, Any] = field(default_factory=dict)
     durable_platform: bool = False
+    storage_engine: str = "sqlite"
 
     def open_context(self) -> CrowdContext:
         """Open a CrowdContext over this session's database file."""
         factory = ReprowdConfig.durable if self.durable_platform else ReprowdConfig.sqlite
-        return CrowdContext(
-            config=factory(self.db_path, seed=self.seed), **self.context_kwargs
-        )
+        config = factory(self.db_path, seed=self.seed)
+        if self.storage_engine != "sqlite":
+            config = replace(
+                config,
+                storage=replace(config.storage, engine=self.storage_engine),
+            )
+        return CrowdContext(config=config, **self.context_kwargs)
 
     def run(self, experiment: Experiment) -> Any:
         """Run *experiment* against this session's database and return its result.
@@ -75,15 +84,33 @@ class ExperimentSession:
                 f"cannot share {self.name!r}: database {self.db_path!r} does not exist yet"
             )
         os.makedirs(os.path.dirname(os.path.abspath(destination)), exist_ok=True)
-        shutil.copy2(self.db_path, destination)
+        if os.path.isdir(self.db_path):
+            # Partitioned backends (sharded/ring): the artifact is the whole
+            # directory of child files.
+            shutil.copytree(self.db_path, destination, dirs_exist_ok=True)
+        else:
+            shutil.copy2(self.db_path, destination)
         return ExperimentSession(
             name=f"{self.name} (shared)",
             db_path=destination,
             seed=self.seed,
             context_kwargs=dict(self.context_kwargs),
             durable_platform=self.durable_platform,
+            storage_engine=self.storage_engine,
         )
 
     def database_size_bytes(self) -> int:
-        """Return the size of the database file (0 when it does not exist)."""
-        return os.path.getsize(self.db_path) if os.path.exists(self.db_path) else 0
+        """Return the size of the database artifact (0 when it does not exist).
+
+        For partitioned backends the artifact is a directory; its size is
+        the sum of every file beneath it.
+        """
+        if not os.path.exists(self.db_path):
+            return 0
+        if os.path.isdir(self.db_path):
+            return sum(
+                os.path.getsize(os.path.join(root, name))
+                for root, _, names in os.walk(self.db_path)
+                for name in names
+            )
+        return os.path.getsize(self.db_path)

@@ -13,13 +13,18 @@ interface with three implementations:
 * :class:`ShardedEngine` — hash-partitions keys across N child engines
   (sqlite shard files by default) behind the same interface, merge-scanning
   shards to preserve global insertion order.
+* :class:`ConsistentHashEngine` — a virtual-node hash ring over named child
+  engines: the elastic sibling of the sharded engine, whose online
+  ``rebalance`` grows or shrinks the membership while moving only the keys
+  whose ring ownership changed.
 """
 
 from repro.storage.engine import StorageEngine, open_engine
 from repro.storage.memory_engine import MemoryEngine
 from repro.storage.sqlite_engine import SqliteEngine
 from repro.storage.log_engine import LogStructuredEngine
-from repro.storage.sharded_engine import ShardedEngine, shard_index
+from repro.storage.sharded_engine import PartitionedEngine, ShardedEngine, shard_index
+from repro.storage.ring import ConsistentHashEngine, HashRing
 from repro.storage.records import Record, RecordCodec
 from repro.storage.schema import ColumnSpec, TableSchema
 
@@ -29,7 +34,10 @@ __all__ = [
     "MemoryEngine",
     "SqliteEngine",
     "LogStructuredEngine",
+    "PartitionedEngine",
     "ShardedEngine",
+    "ConsistentHashEngine",
+    "HashRing",
     "shard_index",
     "Record",
     "RecordCodec",

@@ -261,6 +261,56 @@ class StorageEngine(abc.ABC):
         self.close()
 
 
+def _open_child_engine(config: StorageConfig, name: str) -> StorageEngine:
+    """Build one partitioned-engine child named *name* under ``config.path``.
+
+    Raises:
+        ConfigurationError: If ``config.shard_engine`` is unknown.
+    """
+    from repro.storage.log_engine import LogStructuredEngine
+    from repro.storage.memory_engine import MemoryEngine
+    from repro.storage.sqlite_engine import SqliteEngine
+
+    if config.shard_engine == "memory":
+        return MemoryEngine()
+    if config.shard_engine == "sqlite":
+        return SqliteEngine(
+            os.path.join(config.path, f"{name}.db"), synchronous=config.synchronous
+        )
+    if config.shard_engine == "log":
+        return LogStructuredEngine(
+            os.path.join(config.path, name), snapshot_every=config.snapshot_every
+        )
+    raise ConfigurationError(
+        f"unknown shard engine {config.shard_engine!r}; "
+        "expected 'memory', 'sqlite' or 'log'"
+    )
+
+
+def _ring_member_names(config: StorageConfig) -> list[str]:
+    """The ring member names ``config`` resolves to.
+
+    A rebalance can grow or shrink a file-backed ring after it was first
+    opened, so the directory — not ``config.shards`` — is the source of
+    truth on reopen: every ``ring-NN`` child file/directory found under
+    ``config.path`` is opened and handed to the engine, whose stored
+    membership manifest then settles the authoritative member set (a
+    drained ex-member left on disk is recognised and dropped).  A fresh
+    directory starts with ``config.shards`` members.
+    """
+    import re
+
+    discovered: set[str] = set()
+    if config.shard_engine != "memory" and os.path.isdir(config.path):
+        for entry in os.listdir(config.path):
+            match = re.fullmatch(r"(ring-\d+)(\.db)?", entry)
+            if match:
+                discovered.add(match.group(1))
+    if discovered:
+        return sorted(discovered)
+    return [f"ring-{index:02d}" for index in range(config.shards)]
+
+
 def open_engine(config: StorageConfig) -> StorageEngine:
     """Instantiate the engine described by *config*.
 
@@ -270,6 +320,7 @@ def open_engine(config: StorageConfig) -> StorageEngine:
     # Imported here to avoid circular imports between engine modules.
     from repro.storage.log_engine import LogStructuredEngine
     from repro.storage.memory_engine import MemoryEngine
+    from repro.storage.ring import ConsistentHashEngine
     from repro.storage.sharded_engine import ShardedEngine
     from repro.storage.sqlite_engine import SqliteEngine
 
@@ -279,38 +330,37 @@ def open_engine(config: StorageConfig) -> StorageEngine:
         return SqliteEngine(config.path, synchronous=config.synchronous)
     if config.engine == "log":
         return LogStructuredEngine(config.path, snapshot_every=config.snapshot_every)
-    if config.engine == "sharded":
+    if config.engine in ("sharded", "ring"):
         if config.shards < 1:
             raise ConfigurationError(
-                f"sharded engine needs at least 1 shard, got {config.shards}"
+                f"{config.engine} engine needs at least 1 shard, got {config.shards}"
             )
-        shards: list[StorageEngine] = []
-        for index in range(config.shards):
-            if config.shard_engine == "memory":
-                shards.append(MemoryEngine())
-            elif config.shard_engine == "sqlite":
-                shards.append(
-                    SqliteEngine(
-                        os.path.join(config.path, f"shard-{index:02d}.db"),
-                        synchronous=config.synchronous,
-                    )
+        if config.engine == "sharded":
+            names = [f"shard-{index:02d}" for index in range(config.shards)]
+        else:
+            names = _ring_member_names(config)
+        children: list[tuple[str, StorageEngine]] = []
+        try:
+            for name in names:
+                children.append((name, _open_child_engine(config, name)))
+            if config.engine == "sharded":
+                return ShardedEngine(
+                    [child for _, child in children],
+                    shard_workers=config.shard_workers,
                 )
-            elif config.shard_engine == "log":
-                shards.append(
-                    LogStructuredEngine(
-                        os.path.join(config.path, f"shard-{index:02d}"),
-                        snapshot_every=config.snapshot_every,
-                    )
-                )
-            else:
-                for shard in shards:
-                    shard.close()
-                raise ConfigurationError(
-                    f"unknown shard engine {config.shard_engine!r}; "
-                    "expected 'memory', 'sqlite' or 'log'"
-                )
-        return ShardedEngine(shards, shard_workers=config.shard_workers)
+            return ConsistentHashEngine(
+                dict(children),
+                virtual_nodes=config.virtual_nodes,
+                rebalance_batch_size=config.rebalance_batch_size,
+                shard_workers=config.shard_workers,
+            )
+        except Exception:
+            # A bad shard_engine, or a ring whose stored manifest rejects
+            # the discovered membership: close whatever was already opened.
+            for _, child in children:
+                child.close()
+            raise
     raise ConfigurationError(
         f"unknown storage engine {config.engine!r}; "
-        "expected 'memory', 'sqlite', 'log' or 'sharded'"
+        "expected 'memory', 'sqlite', 'log', 'sharded' or 'ring'"
     )

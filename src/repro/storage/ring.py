@@ -1,0 +1,765 @@
+"""Consistent-hash storage engine with online rebalance.
+
+:class:`~repro.storage.sharded_engine.ShardedEngine` routes keys by
+``hash(key) mod N``, which welds the data to a fixed N: growing capacity
+means remapping (and rewriting) almost every key.
+:class:`ConsistentHashEngine` replaces the modulo with a **virtual-node hash
+ring** (the classic elastic-membership construction used by partitioned
+stores): every member contributes ``virtual_nodes`` points on a 64-bit ring,
+and a key belongs to the first member point at or after its own hash.
+Adding one member to N therefore steals only ~K/(N+1) keys, spread evenly
+across the old members — the property :meth:`rebalance` turns into an
+*online* operation.
+
+Envelope sequence numbers, dual-owner lookups and per-member batch
+transactions are inherited from
+:class:`~repro.storage.sharded_engine.PartitionedEngine`, so the ring engine
+passes the cross-engine equivalence suites unchanged.  Two departures from
+the modulo-sharded engine:
+
+* the logical per-key version rides *in* the envelope (field ``"n"``),
+  because a migrated key lands on a child whose own version counter has
+  never seen it;
+* ``scan`` runs off a per-table **sequence index** (key -> seq dict plus an
+  append-only seq-sorted entry list, rebuilt lazily from the children on
+  open) instead of the sharded engine's k-way merge of per-child streams.
+  Migration appends moved keys at the *end* of their new child's physical
+  order, so child-local order stops implying global order the moment a ring
+  has ever rebalanced; the index keeps scans exact anyway, makes
+  ``scan_keys``/``count``/cursor resolution O(1)-per-record, and is immune
+  to the both-owners window mid-migration (each key appears in it once, and
+  values are fetched through the dual-owner bulk lookup).  The trade: O(keys)
+  index memory per scanned table — values themselves are still fetched in
+  bounded pages — which is the price of elastic membership.
+
+Membership metadata
+-------------------
+
+Each child carries a reserved table ``__ring__`` (hidden from
+``list_tables``) holding two replicated records:
+
+* ``members`` — the membership **manifest**: an epoch counter, the member
+  names, and the virtual-node count.  Written at first open and rewritten
+  (epoch + 1) when a rebalance completes.  On reopen the manifest with the
+  highest epoch is authoritative: children the manifest does not name are
+  dropped (a drained ex-member file is harmless), and reopening *without* a
+  manifest member raises — silently re-routing around a missing member would
+  misplace every key it owns.
+* ``journal`` — present only while a rebalance is in flight: the old and new
+  member-name sets plus the epoch the transition started from.
+
+The rebalance protocol
+----------------------
+
+``rebalance(add=..., remove=...)`` runs entirely online:
+
+1. **Journal.** The transition ``{old, new, epoch}`` is written to every
+   member (old and new) — one durable record per child.  From this moment
+   writes route by the *new* ring, and every read that misses at a key's new
+   owner falls back to its old owner (read-from-both-owners), so no window
+   ever returns stale or missing data.
+2. **Migration waves.** For every table and every old member, the keys whose
+   new-ring owner differs are enumerated (paged ``scan_keys``, bounded
+   memory) and moved in waves of ``rebalance_batch_size``: one
+   ``put_many(..., if_absent=True)`` per destination (``if_absent`` so a
+   concurrent fresh write at the destination is never clobbered by the stale
+   copy), then the wave's source records are deleted.  Envelopes move
+   verbatim, so sequence numbers — and therefore the global scan order — and
+   logical versions are preserved exactly.
+3. **Finalize.** The manifest is rewritten at epoch + 1 on every new member,
+   the journal records are deleted, and removed members (now drained) are
+   closed.
+
+Every step is idempotent, and the waves re-derive their remaining work from
+the data itself, so a crash in *any* window is resumable: constructing the
+engine over the same children finds the journal, replays the remaining
+waves (copies that already landed are ``if_absent`` no-ops; deletes that
+already happened find nothing) and finalizes.  During the in-flight window a
+key can exist at both owners under the same sequence number; the sequence
+index lists it once and the dual-owner lookup returns the current owner's
+(possibly fresher) copy.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.exceptions import StorageError, TableNotFoundError, UnknownCursorError
+from repro.storage.engine import StorageEngine
+from repro.storage.records import Record
+from repro.storage.sharded_engine import (
+    _SEQ,
+    _VALUE,
+    _VER,
+    PartitionedEngine,
+    stable_hash64,
+)
+
+#: Reserved per-child table holding the replicated manifest and journal.
+RING_META_TABLE = "__ring__"
+_MANIFEST_KEY = "members"
+_JOURNAL_KEY = "journal"
+
+#: Event callback invoked before every durable step of a rebalance; tests
+#: inject crashes by raising from it.
+RebalanceObserver = Callable[[str], None]
+
+
+class HashRing:
+    """A virtual-node consistent-hash ring over member names.
+
+    Deterministic: the ring depends only on the member-name set and the
+    virtual-node count (never on insertion order or process state), so two
+    processes — or one process before and after a reopen — always agree on
+    every key's owner.
+    """
+
+    def __init__(self, names: Iterable[str], virtual_nodes: int = 64):
+        self.names = sorted(set(names))
+        if not self.names:
+            raise ValueError("HashRing needs at least one member name")
+        self.virtual_nodes = max(1, int(virtual_nodes))
+        points: list[tuple[int, str]] = []
+        for name in self.names:
+            for vnode in range(self.virtual_nodes):
+                points.append((stable_hash64(f"{name}#{vnode}"), name))
+        # Ties (vanishingly rare) break on the name, keeping the ring a pure
+        # function of its inputs.
+        points.sort()
+        self._points = points
+        self._hashes = [point for point, _ in points]
+
+    def owner(self, key: str) -> str:
+        """Return the member name owning *key*."""
+        index = bisect.bisect_right(self._hashes, stable_hash64(key))
+        if index == len(self._points):
+            index = 0  # wrap around the top of the ring
+        return self._points[index][1]
+
+
+class _SequenceIndex:
+    """Per-table scan index: every live key's global sequence number.
+
+    ``entries`` is an append-only ``(seq, key)`` list in ascending sequence
+    order (fresh keys always take a new maximal sequence, so appends keep it
+    sorted); deletions only drop the key from ``seq_by_key``, leaving a
+    tombstone entry that iteration skips when its recorded sequence no
+    longer matches.  A key deleted and re-put appends a fresh entry under
+    its new sequence, exactly matching the "re-insert moves to the scan
+    tail" semantics of every other engine.
+    """
+
+    __slots__ = ("seq_by_key", "entries")
+
+    def __init__(self, seq_by_key: dict[str, int]):
+        self.seq_by_key = seq_by_key
+        self.entries: list[tuple[int, str]] = sorted(
+            (seq, key) for key, seq in seq_by_key.items()
+        )
+
+    def note_write(self, key: str, seq: int) -> None:
+        if self.seq_by_key.get(key) == seq:
+            return  # overwrite in place: sequence (scan position) unchanged
+        self.seq_by_key[key] = seq
+        self.entries.append((seq, key))
+
+    def note_delete(self, key: str) -> None:
+        self.seq_by_key.pop(key, None)
+
+    def live_after(self, min_seq: int) -> Iterator[tuple[int, str]]:
+        """Yield live (seq, key) entries with seq > *min_seq*, in order."""
+        start = bisect.bisect_left(self.entries, (min_seq + 1, ""))
+        position = start
+        while position < len(self.entries):
+            seq, key = self.entries[position]
+            position += 1
+            if self.seq_by_key.get(key) == seq:
+                yield seq, key
+
+
+class ConsistentHashEngine(PartitionedEngine):
+    """Virtual-node hash ring over *named* child engines, with online
+    :meth:`rebalance`."""
+
+    engine_name = "ring"
+    _envelope_versions = True
+
+    def __init__(
+        self,
+        children: Mapping[str, StorageEngine],
+        virtual_nodes: int = 64,
+        rebalance_batch_size: int = 256,
+        shard_workers: int = 0,
+    ):
+        """Wrap *children* (name -> already-open engine).
+
+        On construction the engine reads each child's ``__ring__`` table:
+
+        * a pending rebalance **journal** is resumed to completion before
+          the engine serves anything (the crash-recovery path);
+        * otherwise the highest-epoch **manifest** is authoritative —
+          ``virtual_nodes`` is adopted from it, children it does not name
+          are closed and dropped, and a missing manifest member raises
+          :class:`~repro.exceptions.StorageError`;
+        * a fresh set of children (no manifest anywhere) writes the epoch-1
+          manifest.
+
+        Args:
+            children: Named child engines.  Names are the ring identities:
+                reopening must use the same names for the same data.
+            virtual_nodes: Ring points per member (ignored in favour of the
+                stored manifest when one exists).
+            rebalance_batch_size: Keys migrated per copy/delete wave.
+            shard_workers: Threads a ``put_many`` fans per-member child
+                transactions out over (0 = serial), as on ``ShardedEngine``.
+        """
+        if not children:
+            raise ValueError("ConsistentHashEngine needs at least one child engine")
+        super().__init__(shard_workers=shard_workers)
+        self.rebalance_batch_size = max(1, int(rebalance_batch_size))
+        self.virtual_nodes = max(1, int(virtual_nodes))
+        self._children: dict[str, StorageEngine] = dict(children)
+        self._indexes: dict[str, _SequenceIndex] = {}
+        self._epoch = 1
+        # (old ring, retired name -> engine) while a migration is in flight.
+        self._pending: tuple[HashRing, dict[str, StorageEngine]] | None = None
+        for child in self._children.values():
+            child.create_table(RING_META_TABLE)
+        journal = self._find_journal()
+        if journal is not None:
+            self._resume_from_journal(journal)
+        else:
+            self._adopt_manifest()
+        self._rebuild_membership()
+        if journal is not None:
+            self._run_migration(lambda event: None)
+            self._finalize(lambda event: None)
+
+    # -- membership bookkeeping ------------------------------------------------
+
+    def _rebuild_membership(self) -> None:
+        """Recompute the member list and ring after a membership change.
+
+        ``self._members`` (what the merge-scan, table ops and sequence
+        recovery iterate) covers the current children plus, mid-migration,
+        the retired members still being drained.
+        """
+        members: list[StorageEngine] = []
+        index: dict[str, int] = {}
+        for name in sorted(self._children):
+            index[name] = len(members)
+            members.append(self._children[name])
+        if self._pending is not None:
+            for name, engine in sorted(self._pending[1].items()):
+                index[name] = len(members)
+                members.append(engine)
+        self._members = members
+        self._member_index = index
+        self._ring = HashRing(self._children, self.virtual_nodes)
+
+    def _find_journal(self) -> dict[str, Any] | None:
+        for child in self._children.values():
+            journal = child.get(RING_META_TABLE, _JOURNAL_KEY)
+            if journal is not None:
+                return journal
+        return None
+
+    def _adopt_manifest(self) -> None:
+        manifest: dict[str, Any] | None = None
+        for child in self._children.values():
+            candidate = child.get(RING_META_TABLE, _MANIFEST_KEY)
+            if candidate is not None and (
+                manifest is None or candidate["epoch"] > manifest["epoch"]
+            ):
+                manifest = candidate
+        if manifest is None:
+            self._epoch = 1
+            self._write_manifest(self._children)
+            return
+        self._epoch = manifest["epoch"]
+        self.virtual_nodes = manifest["virtual_nodes"]
+        names = set(manifest["members"])
+        missing = sorted(names - set(self._children))
+        if missing:
+            raise StorageError(
+                f"ring manifest (epoch {self._epoch}) names members "
+                f"{missing} that were not provided; reopening without a "
+                "member would misroute every key it owns"
+            )
+        # Children beyond the manifest are drained ex-members (e.g. a file
+        # left on disk by a completed remove): authoritative membership wins.
+        for name in sorted(set(self._children) - names):
+            self._children.pop(name).close()
+
+    def _write_manifest(self, children: Mapping[str, StorageEngine]) -> None:
+        manifest = {
+            "epoch": self._epoch,
+            "members": sorted(children),
+            "virtual_nodes": self.virtual_nodes,
+        }
+        for child in children.values():
+            child.put(RING_META_TABLE, _MANIFEST_KEY, manifest)
+
+    def _resume_from_journal(self, journal: dict[str, Any]) -> None:
+        """Rebuild the in-flight transition recorded by *journal*.
+
+        The caller must have provided every engine the journal names (old
+        and new members alike): the drain needs the retired members' data
+        and the fallback reads need their engines.
+        """
+        old_names = set(journal["old"])
+        new_names = set(journal["new"])
+        missing = sorted((old_names | new_names) - set(self._children))
+        if missing:
+            raise StorageError(
+                f"ring journal records an unfinished rebalance involving "
+                f"members {missing} that were not provided; supply them so "
+                "the migration can resume"
+            )
+        self._epoch = journal["epoch"]
+        self.virtual_nodes = journal["virtual_nodes"]
+        retired = {
+            name: self._children.pop(name) for name in sorted(old_names - new_names)
+        }
+        for name in sorted(set(self._children) - new_names):
+            # Provided but in neither set: a drained ex-member from an even
+            # earlier epoch.  Drop it, as _adopt_manifest would.
+            self._children.pop(name).close()
+        self._pending = (HashRing(old_names, self.virtual_nodes), retired)
+
+    # -- routing with migration fallback --------------------------------------
+
+    def _owner_index(self, key: str) -> int:
+        return self._member_index[self._ring.owner(key)]
+
+    def _old_owner(self, key: str) -> StorageEngine | None:
+        """The key's owner under the outgoing ring, when a migration is in
+        flight and it differs from the current owner."""
+        if self._pending is None:
+            return None
+        old_ring, retired = self._pending
+        name = old_ring.owner(key)
+        if name == self._ring.owner(key):
+            return None
+        return retired.get(name) or self._children.get(name)
+
+    def _require_table(self, table_name: str) -> None:
+        # The reserved metadata table is invisible through the facade: its
+        # records are not enveloped, so letting any data operation reach it
+        # would crash on a missing sequence field (or corrupt the journal).
+        if table_name == RING_META_TABLE:
+            raise TableNotFoundError(table_name)
+        super()._require_table(table_name)
+
+    def _read_envelope_record(self, table_name: str, key: str) -> Record | None:
+        if table_name == RING_META_TABLE:
+            raise TableNotFoundError(table_name)
+        record = self._owner(key).get_record(table_name, key)
+        if record is None:
+            old_owner = self._old_owner(key)
+            if old_owner is not None:
+                record = old_owner.get_record(table_name, key)
+        return record
+
+    def _bulk_lookup_envelopes(self, table_name: str, keys) -> dict[str, Any]:
+        found = super()._bulk_lookup_envelopes(table_name, keys)
+        if self._pending is not None:
+            misses = [key for key in keys if key not in found]
+            if misses:
+                old_ring, retired = self._pending
+                by_old: dict[str, list[str]] = {}
+                for key in misses:
+                    old_name = old_ring.owner(key)
+                    if old_name != self._ring.owner(key):
+                        by_old.setdefault(old_name, []).append(key)
+                for old_name, old_keys in by_old.items():
+                    engine = retired.get(old_name) or self._children[old_name]
+                    sentinel = object()
+                    for key, envelope in zip(
+                        old_keys, engine.get_many(table_name, old_keys, default=sentinel)
+                    ):
+                        if envelope is not sentinel:
+                            found[key] = envelope
+        return found
+
+    def delete(self, table_name: str, key: str) -> bool:
+        if table_name == RING_META_TABLE:
+            raise TableNotFoundError(table_name)
+        deleted = self._owner(key).delete(table_name, key)
+        old_owner = self._old_owner(key)
+        if old_owner is not None:
+            # Mid-migration both copies must go, or the stale one would be
+            # "resurrected" by the fallback read (and by the drain wave).
+            deleted = old_owner.delete(table_name, key) or deleted
+        if deleted:
+            index = self._indexes.get(table_name)
+            if index is not None:
+                index.note_delete(key)
+        return deleted
+
+    # -- the sequence index and the scans it serves ----------------------------
+
+    def _index(self, table_name: str) -> _SequenceIndex:
+        """The table's sequence index, built lazily from the children.
+
+        One full pass per member per open; a key found at two owners (the
+        mid-migration window) collapses naturally because both copies carry
+        the same sequence number.  Writes and deletes afterwards maintain
+        the index incrementally, and migration never touches it — moving a
+        key changes neither its sequence nor its liveness.
+        """
+        index = self._indexes.get(table_name)
+        if index is None:
+            self._require_table(table_name)
+            seq_by_key: dict[str, int] = {}
+            for member in self._members:
+                if not member.has_table(table_name):
+                    continue
+                cursor: str | None = None
+                while True:
+                    page = list(
+                        member.scan(
+                            table_name,
+                            limit=self._merge_page_size,
+                            start_after=cursor,
+                        )
+                    )
+                    for record in page:
+                        seq_by_key[record.key] = record.value[_SEQ]
+                    if len(page) < self._merge_page_size:
+                        break
+                    cursor = page[-1].key
+            index = _SequenceIndex(seq_by_key)
+            self._indexes[table_name] = index
+        return index
+
+    def _note_write(self, table_name: str, key: str, envelope: dict[str, Any]) -> None:
+        index = self._indexes.get(table_name)
+        if index is not None:
+            index.note_write(key, envelope[_SEQ])
+
+    def _allocate_seq(self, table_name: str, count: int = 1) -> int:
+        # The sharded recovery ("a member's last record holds its largest
+        # sequence") assumes child physical order is sequence order, which a
+        # past migration breaks; recover from the index instead, whose tail
+        # entry is the true maximum even if its key was since deleted.
+        next_seq = self._next_seq.get(table_name)
+        if next_seq is None:
+            entries = self._index(table_name).entries
+            next_seq = entries[-1][0] + 1 if entries else 1
+        self._next_seq[table_name] = next_seq + count
+        return next_seq
+
+    def _resolve_cursor(self, table_name: str, start_after: str | None) -> int:
+        if start_after is None:
+            return 0
+        seq = self._index(table_name).seq_by_key.get(start_after)
+        if seq is None:
+            raise UnknownCursorError(table_name, start_after)
+        return seq
+
+    def scan(
+        self, table_name: str, limit: int | None = None, start_after: str | None = None
+    ) -> Iterator[Record]:
+        if limit is not None and limit < 0:
+            raise ValueError(f"scan limit must be non-negative, got {limit}")
+        self._require_table(table_name)
+        min_seq = self._resolve_cursor(table_name, start_after)
+        if limit == 0:
+            return
+        remaining = limit
+
+        def pages() -> Iterator[list[str]]:
+            page: list[str] = []
+            budget = remaining
+            for _, key in self._index(table_name).live_after(min_seq):
+                page.append(key)
+                if budget is not None:
+                    budget -= 1
+                    if budget == 0:
+                        break
+                if len(page) == self._merge_page_size:
+                    yield page
+                    page = []
+            if page:
+                yield page
+
+        for page_keys in pages():
+            # The dual-owner bulk lookup keeps mid-migration reads exact.
+            envelopes = self._bulk_lookup_envelopes(table_name, page_keys)
+            for key in page_keys:
+                envelope = envelopes.get(key)
+                if envelope is not None:
+                    yield Record(
+                        key=key, value=envelope[_VALUE], version=envelope[_VER]
+                    )
+
+    def scan_keys(
+        self, table_name: str, limit: int | None = None, start_after: str | None = None
+    ) -> list[str]:
+        if limit is not None and limit < 0:
+            raise ValueError(f"scan limit must be non-negative, got {limit}")
+        self._require_table(table_name)
+        min_seq = self._resolve_cursor(table_name, start_after)
+        if limit == 0:
+            return []
+        keys: list[str] = []
+        for _, key in self._index(table_name).live_after(min_seq):
+            keys.append(key)
+            if limit is not None and len(keys) == limit:
+                break
+        return keys
+
+    def count(self, table_name: str) -> int:
+        self._require_table(table_name)
+        return len(self._index(table_name).seq_by_key)
+
+    # -- table management (hide the reserved table) ----------------------------
+
+    def list_tables(self) -> list[str]:
+        return [name for name in super().list_tables() if name != RING_META_TABLE]
+
+    def drop_table(self, table_name: str) -> None:
+        if table_name == RING_META_TABLE:
+            raise StorageError(f"{RING_META_TABLE!r} is reserved for ring metadata")
+        super().drop_table(table_name)
+        self._indexes.pop(table_name, None)
+
+    # -- rebalance -------------------------------------------------------------
+
+    def rebalance(
+        self,
+        add: Mapping[str, StorageEngine] | None = None,
+        remove: Iterable[str] | None = None,
+        on_event: RebalanceObserver | None = None,
+    ) -> dict[str, Any]:
+        """Change the ring membership online, migrating only displaced keys.
+
+        Args:
+            add: New members (name -> already-open engine) to join the ring.
+            remove: Names of current members to drain and retire; their
+                engines are closed once empty.
+            on_event: Test hook called with a label *before* every durable
+                step (journal writes, copy waves, delete waves, manifest
+                writes, journal clears).  Raising from it models a crash in
+                that exact window; reconstructing the engine over the same
+                children resumes and completes the migration.
+
+        Returns:
+            A report: ``keys_moved``, ``tables`` (per-table move counts),
+            ``waves``, ``added``, ``removed``, ``epoch``.
+
+        Reads and writes issued from ``on_event`` (or, more generally,
+        interleaved with the waves by a single-threaded caller) see a
+        consistent view throughout: writes route by the new ring, reads
+        fall back to the old owner, scans deduplicate the one window where
+        both copies exist.
+        """
+        add = dict(add or {})
+        remove = sorted(set(remove or []))
+        notify = on_event or (lambda event: None)
+
+        if self._pending is not None:
+            raise StorageError(
+                "a rebalance is already in flight; reconstruct the engine "
+                "over the same children to resume it before starting another"
+            )
+        for name in add:
+            if name in self._children:
+                raise StorageError(f"ring member {name!r} already exists")
+        for name in remove:
+            if name not in self._children:
+                raise StorageError(f"cannot remove unknown ring member {name!r}")
+            if name in add:
+                raise StorageError(f"cannot both add and remove member {name!r}")
+        if not add and not remove:
+            raise StorageError("rebalance needs at least one member to add or remove")
+        survivors = set(self._children) - set(remove) | set(add)
+        if not survivors:
+            raise StorageError("rebalance would leave the ring with no members")
+
+        old_names = sorted(self._children)
+        new_names = sorted(survivors)
+
+        # Prepare joiners: the reserved table plus every existing data table
+        # must exist before any copy or scan touches them.
+        tables = self.list_tables()
+        for engine in add.values():
+            engine.create_table(RING_META_TABLE)
+            for table_name in tables:
+                engine.create_table(table_name)
+
+        journal = {
+            "epoch": self._epoch,
+            "old": old_names,
+            "new": new_names,
+            "virtual_nodes": self.virtual_nodes,
+        }
+        # The journal must be durable on every member *before* any write
+        # routes by the new ring: if a journal write fails here, the live
+        # engine is still entirely on the old membership (a reopen that
+        # finds a partial journal simply rolls the transition forward).
+        # Flipping routing first would let a caller who caught the failure
+        # keep writing to a joiner that a journal-less reopen then drops.
+        for name in sorted(set(old_names) | set(new_names)):
+            notify(f"journal:{name}")
+            engine = self._children.get(name) or add[name]
+            engine.put(RING_META_TABLE, _JOURNAL_KEY, journal)
+
+        # From here writes route by the new ring; reads fall back via
+        # self._pending until the drain completes.
+        retired = {name: self._children[name] for name in remove}
+        for name in remove:
+            self._children.pop(name)
+        self._children.update(add)
+        self._pending = (HashRing(old_names, self.virtual_nodes), retired)
+        self._rebuild_membership()
+
+        report = self._run_migration(notify)
+        self._finalize(notify)
+        report.update(added=sorted(add), removed=remove, epoch=self._epoch)
+        return report
+
+    def _run_migration(self, notify: RebalanceObserver) -> dict[str, Any]:
+        """Drain every key whose ring ownership changed, in batched waves.
+
+        The work list is re-derived from the data (keys still sitting at a
+        member that no longer owns them), which is what makes a resumed
+        migration converge without progress cursors: completed waves left
+        nothing behind to enumerate.
+        """
+        old_ring, retired = self._pending
+        sources = dict(retired)
+        for name in old_ring.names:
+            if name in self._children:
+                sources[name] = self._children[name]
+
+        keys_moved = 0
+        waves = 0
+        per_table: dict[str, int] = {}
+        for table_name in self.list_tables():
+            moved_in_table = 0
+            for source_name in sorted(sources):
+                source = sources[source_name]
+                if not source.has_table(table_name):
+                    continue
+                displaced = self._displaced_keys(source, source_name, table_name)
+                for start in range(0, len(displaced), self.rebalance_batch_size):
+                    wave = displaced[start : start + self.rebalance_batch_size]
+                    waves += 1
+                    moved_in_table += self._migrate_wave(
+                        notify, table_name, source_name, source, wave
+                    )
+            if moved_in_table:
+                per_table[table_name] = moved_in_table
+            keys_moved += moved_in_table
+        return {"keys_moved": keys_moved, "waves": waves, "tables": per_table}
+
+    def _displaced_keys(
+        self, source: StorageEngine, source_name: str, table_name: str
+    ) -> list[str]:
+        """Keys at *source* whose new-ring owner is some other member."""
+        displaced: list[str] = []
+        cursor: str | None = None
+        while True:
+            page = source.scan_keys(
+                table_name, limit=self._merge_page_size, start_after=cursor
+            )
+            displaced.extend(
+                key for key in page if self._ring.owner(key) != source_name
+            )
+            if len(page) < self._merge_page_size:
+                return displaced
+            cursor = page[-1]
+
+    def _migrate_wave(
+        self,
+        notify: RebalanceObserver,
+        table_name: str,
+        source_name: str,
+        source: StorageEngine,
+        wave: list[str],
+    ) -> int:
+        """Copy one wave to its destinations, then delete it from the source.
+
+        ``if_absent=True`` on the copy keeps two invariants: a replayed wave
+        (crash between copy and delete) is a no-op, and a *fresh* write that
+        landed at the destination during the migration is never clobbered by
+        the stale source copy.
+        """
+        sentinel = object()
+        envelopes = source.get_many(table_name, wave, default=sentinel)
+        by_destination: dict[str, list[tuple[str, Any]]] = {}
+        present: list[str] = []
+        for key, envelope in zip(wave, envelopes):
+            if envelope is sentinel:
+                continue  # deleted (or already drained) since enumeration
+            present.append(key)
+            by_destination.setdefault(self._ring.owner(key), []).append((key, envelope))
+        for destination_name in sorted(by_destination):
+            notify(f"copy:{table_name}:{source_name}->{destination_name}")
+            self._children[destination_name].put_many(
+                table_name, by_destination[destination_name], if_absent=True
+            )
+        if present:
+            notify(f"drain:{table_name}:{source_name}")
+            for key in present:
+                source.delete(table_name, key)
+        return len(present)
+
+    def _finalize(self, notify: RebalanceObserver) -> None:
+        """Commit the new membership: manifest at epoch+1, journals cleared,
+        retired members closed.
+
+        Order matters for crash windows: the current members' journals are
+        cleared only after every one of them holds the new manifest, and the
+        retired members' journals go last — so any crash mid-finalize leaves
+        at least one journal copy alive until the rest of the state is
+        consistent, and a reopen (with or without the drained ex-members)
+        converges.
+        """
+        _, retired = self._pending
+        self._epoch += 1
+        manifest = {
+            "epoch": self._epoch,
+            "members": sorted(self._children),
+            "virtual_nodes": self.virtual_nodes,
+        }
+        for name in sorted(self._children):
+            notify(f"manifest:{name}")
+            self._children[name].put(RING_META_TABLE, _MANIFEST_KEY, manifest)
+        for name in sorted(self._children):
+            notify(f"clear:{name}")
+            self._children[name].delete(RING_META_TABLE, _JOURNAL_KEY)
+        for name in sorted(retired):
+            notify(f"clear:{name}")
+            retired[name].delete(RING_META_TABLE, _JOURNAL_KEY)
+        self._pending = None
+        self._rebuild_membership()
+        for engine in retired.values():
+            engine.close()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def member_names(self) -> list[str]:
+        """Names of the current ring members, sorted."""
+        return sorted(self._children)
+
+    def describe(self) -> dict[str, Any]:
+        description = super().describe()
+        description["virtual_nodes"] = self.virtual_nodes
+        description["epoch"] = self._epoch
+        description["members"] = {
+            name: {
+                "engine": child.engine_name,
+                "records": sum(
+                    count
+                    for table, count in child.describe()["tables"].items()
+                    if table != RING_META_TABLE
+                ),
+            }
+            for name, child in sorted(self._children.items())
+        }
+        return description

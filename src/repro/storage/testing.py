@@ -1,0 +1,119 @@
+"""The storage-engine registry backing every cross-engine test suite.
+
+The equivalence-class suites (``any_engine`` fixture, Hypothesis bulk
+properties, durability reopen checks, platform-store contract) used to each
+hard-code their own engine list, so a newly added engine could silently skip
+coverage.  This module is the single registry they all derive from: adding
+an engine here enrols it in every suite at once, and forgetting to add it
+shows up as a missing name the moment a ring-style test asks for it.
+
+Builders are deliberately tiny and deterministic: every engine is built
+under a caller-supplied directory, and rebuilding with the same directory
+reopens the same data (which is exactly what the durability suites do).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Mapping
+
+from repro.storage.engine import StorageEngine
+from repro.storage.log_engine import LogStructuredEngine
+from repro.storage.memory_engine import MemoryEngine
+from repro.storage.ring import ConsistentHashEngine
+from repro.storage.sharded_engine import ShardedEngine
+from repro.storage.sqlite_engine import SqliteEngine
+
+#: Children per partitioned engine in the test builders.
+TEST_PARTITION_CHILDREN = 3
+
+
+def _memory(base_path: str) -> StorageEngine:
+    return MemoryEngine()
+
+
+def _sqlite(base_path: str) -> StorageEngine:
+    return SqliteEngine(os.path.join(base_path, "engine.db"))
+
+
+def _log(base_path: str) -> StorageEngine:
+    return LogStructuredEngine(os.path.join(base_path, "engine_log"), snapshot_every=50)
+
+
+def _sharded(base_path: str) -> StorageEngine:
+    return ShardedEngine(
+        [
+            SqliteEngine(os.path.join(base_path, f"shard-{index:02d}.db"))
+            for index in range(TEST_PARTITION_CHILDREN)
+        ]
+    )
+
+
+def _ring(base_path: str) -> StorageEngine:
+    return ConsistentHashEngine(
+        {
+            f"ring-{index:02d}": SqliteEngine(
+                os.path.join(base_path, f"ring-{index:02d}.db")
+            )
+            for index in range(TEST_PARTITION_CHILDREN)
+        }
+    )
+
+
+#: name -> builder(base_path).  The insertion order is the parametrisation
+#: order of the ``any_engine`` fixture; ``memory`` first because it is the
+#: reference implementation the others are compared against.
+ENGINE_BUILDERS: Mapping[str, Callable[[str], StorageEngine]] = {
+    "memory": _memory,
+    "sqlite": _sqlite,
+    "log": _log,
+    "sharded": _sharded,
+    "ring": _ring,
+}
+
+#: Every engine name, in fixture-parametrisation order.
+ENGINE_NAMES: tuple[str, ...] = tuple(ENGINE_BUILDERS)
+
+#: The engines with a durable medium (rebuilding on the same directory must
+#: reopen the same data).
+DURABLE_ENGINE_NAMES: tuple[str, ...] = tuple(
+    name for name in ENGINE_NAMES if name != "memory"
+)
+
+#: Engine kinds usable as partitioned-engine children (ring crash suites
+#: sweep all of them).
+CHILD_ENGINE_NAMES: tuple[str, ...] = ("memory", "sqlite", "log")
+
+
+def build_engine(name: str, base_path) -> StorageEngine:
+    """Build the registry engine *name* under directory *base_path*.
+
+    Rebuilding with the same arguments reopens the same data for every
+    durable engine (see :data:`DURABLE_ENGINE_NAMES`).
+    """
+    try:
+        builder = ENGINE_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown registry engine {name!r}; known: {sorted(ENGINE_BUILDERS)}"
+        ) from None
+    return builder(str(base_path))
+
+
+def build_child_engine(kind: str, base_path, name: str) -> StorageEngine:
+    """Build one partitioned-engine child of *kind* called *name*.
+
+    Used by the ring suites to assemble rings over every child-engine type.
+    Rebuilding a durable kind with the same arguments reopens its data;
+    ``memory`` children are only meaningful within one process.
+    """
+    base = str(base_path)
+    if kind == "memory":
+        return MemoryEngine()
+    if kind == "sqlite":
+        return SqliteEngine(os.path.join(base, f"{name}.db"))
+    if kind == "log":
+        return LogStructuredEngine(os.path.join(base, name), snapshot_every=50)
+    raise KeyError(
+        f"unknown child engine kind {kind!r}; known: {sorted(CHILD_ENGINE_NAMES)}"
+    )

@@ -26,6 +26,7 @@ from repro.datasets import (
     make_ranking_dataset,
 )
 from repro.storage import MemoryEngine, ShardedEngine, SqliteEngine, LogStructuredEngine
+from repro.storage.testing import ENGINE_NAMES, build_engine
 
 
 def make_sharded_engine(base_path, num_shards=3):
@@ -67,17 +68,15 @@ def sharded_engine(tmp_path):
     engine.close()
 
 
-@pytest.fixture(params=["memory", "sqlite", "log", "sharded"])
+@pytest.fixture(params=ENGINE_NAMES)
 def any_engine(request, tmp_path):
-    """Parametrised fixture running a test against every engine."""
-    if request.param == "memory":
-        engine = MemoryEngine()
-    elif request.param == "sqlite":
-        engine = SqliteEngine(str(tmp_path / "any.db"))
-    elif request.param == "sharded":
-        engine = make_sharded_engine(tmp_path)
-    else:
-        engine = LogStructuredEngine(str(tmp_path / "any_log"), snapshot_every=50)
+    """Parametrised fixture running a test against every registry engine.
+
+    The engine list comes from :mod:`repro.storage.testing` — the single
+    registry every cross-engine suite derives from — so a newly added
+    engine cannot silently skip coverage.
+    """
+    engine = build_engine(request.param, tmp_path)
     yield engine
     engine.close()
 

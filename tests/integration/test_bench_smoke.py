@@ -45,6 +45,19 @@ def test_platform_store_benchmark_smoke_single_iteration(tmp_path):
         assert row["tasks"] == 30
 
 
+def test_ring_rebalance_benchmark_smoke_single_iteration(tmp_path):
+    bench = load_bench_module("bench_ring_rebalance")
+    # run_rebalance_experiment itself asserts the E13 acceptance criteria
+    # (moved < 2x ideal K/N, byte-identical post-rebalance scan); at toy
+    # scale we check the harness and those structural guarantees, not the
+    # wall-clock numbers.
+    row = bench.run_rebalance_experiment(str(tmp_path / "rebalance"), 250)
+    assert row["keys_moved"] < 2 * 250 / (bench.BASE_MEMBERS + 1)
+    assert row["moved_pct"] < row["naive_modulo_pct"]
+    parity = bench.run_scan_parity(str(tmp_path / "parity"), 120)
+    assert {entry["engine"] for entry in parity} == {"ring", "sharded"}
+
+
 def test_pipelined_transport_benchmark_smoke_single_iteration(tmp_path):
     bench = load_bench_module("bench_pipelined_transport")
     # run_mode itself asserts publish/simulate/collect cover every task and

@@ -6,6 +6,11 @@ never crashed."  These tests crash Bob's experiment at many points — while
 publishing, while collecting, while aggregating — and assert that the final
 rerun produces exactly the uninterrupted result and that the total number of
 crowd tasks ever published equals the number an uninterrupted run publishes.
+
+The durable cache is parametrised over every partitioning scheme (single
+sqlite file, modulo-sharded, consistent-hash ring), and one scenario grows
+the ring *between* publish and collect — the elastic-scale story must not
+cost a single re-published task.
 """
 
 from __future__ import annotations
@@ -20,13 +25,29 @@ from repro.platform.client import PipelinedClient, PlatformClient
 from repro.platform.server import PlatformServer
 from repro.presenters import ImageLabelPresenter
 from repro.simulation import CrashPlan, CrashingEngine
-from repro.storage import SqliteEngine
+from repro.storage import ConsistentHashEngine, SqliteEngine
+from repro.storage.testing import build_engine
 from repro.workers.pool import WorkerPool
+
+#: The crash-surviving cache backends every scenario must behave on.
+DURABLE_CACHE_BACKENDS = ("sqlite", "sharded", "ring")
 
 
 @pytest.fixture
 def dataset():
     return make_image_label_dataset(num_images=15, seed=17)
+
+
+@pytest.fixture(params=DURABLE_CACHE_BACKENDS)
+def durable_cache(request, tmp_path):
+    """Factory building named crash-surviving cache engines of one backend;
+    building the same name twice reopens the same durable data."""
+
+    def make(name: str):
+        return build_engine(request.param, tmp_path / f"cache-{name}")
+
+    make.backend = request.param
+    return make
 
 
 def make_client(kind: str, seed: int = 17) -> PlatformClient:
@@ -70,7 +91,7 @@ class TestCrashAndRerun:
 
     @pytest.mark.parametrize("crash_after", [1, 3, 7, 12, 20, 31])
     def test_crash_then_rerun_matches_uninterrupted_run(
-        self, tmp_path, dataset, durable_platform, crash_after
+        self, tmp_path, dataset, durable_platform, durable_cache, crash_after
     ):
         # Reference run on its own platform/database.
         reference_engine = SqliteEngine(str(tmp_path / "reference.db"))
@@ -83,8 +104,9 @@ class TestCrashAndRerun:
         expected = bob_experiment(reference_engine, reference_client, dataset)
         reference_engine.close()
 
-        # Crashing run: same durable DB across attempts, same durable platform.
-        durable = SqliteEngine(str(tmp_path / "crashy.db"))
+        # Crashing run: same durable cache across attempts (sqlite, sharded
+        # or ring — the guarantee is backend-agnostic), same durable platform.
+        durable = durable_cache("crashy")
         crashed = False
         try:
             bob_experiment(
@@ -121,10 +143,12 @@ class TestCrashAndRerun:
         assert durable_platform.statistics()["tasks"] == len(dataset)
         assert crashes >= len(crash_points) - 2
 
-    def test_crash_between_publish_and_collect(self, tmp_path, dataset, durable_platform):
+    def test_crash_between_publish_and_collect(
+        self, dataset, durable_platform, durable_cache
+    ):
         """Crash exactly after all tasks are published but before any result
-        is persisted, then rerun."""
-        durable = SqliteEngine(str(tmp_path / "between.db"))
+        is persisted, then rerun — on every durable cache backend."""
+        durable = durable_cache("between")
 
         def publish_only(engine):
             context = CrowdContext(
@@ -140,6 +164,52 @@ class TestCrashAndRerun:
         labels = bob_experiment(durable, durable_platform, dataset)
         assert len(labels) == len(dataset)
         assert durable_platform.statistics()["tasks"] == len(dataset)
+        durable.close()
+
+    @pytest.mark.ring
+    def test_ring_rebalance_between_publish_and_collect(
+        self, tmp_path, dataset, durable_platform
+    ):
+        """Grow the ring-backed cache from 3 to 4 members after publishing
+        but before collecting: the migrated cache must keep serving the
+        published task ids, so collection completes without re-publishing a
+        single task and the labels match an engine that never rebalanced."""
+        reference_engine = SqliteEngine(str(tmp_path / "reference.db"))
+        reference_client = PlatformClient(
+            PlatformServer(
+                worker_pool=WorkerPool.from_config(
+                    WorkerPoolConfig(size=20, mean_accuracy=0.95, seed=17)
+                ),
+                config=PlatformConfig(seed=17),
+            )
+        )
+        expected = bob_experiment(reference_engine, reference_client, dataset)
+        reference_engine.close()
+
+        durable = ConsistentHashEngine(
+            {
+                f"ring-{i:02d}": SqliteEngine(str(tmp_path / f"ring-{i:02d}.db"))
+                for i in range(3)
+            },
+            virtual_nodes=16,
+        )
+        context = CrowdContext(
+            engine=durable, client=durable_platform, ground_truth=dataset.ground_truth
+        )
+        data = context.CrowdData(dataset.images, "crashable")
+        data.set_presenter(ImageLabelPresenter())
+        data.publish_task(n_assignments=3)
+        published = durable_platform.statistics()["tasks"]
+        assert published == len(dataset)
+
+        report = durable.rebalance(
+            add={"ring-03": SqliteEngine(str(tmp_path / "ring-03.db"))}
+        )
+        assert report["keys_moved"] > 0  # the cache really was redistributed
+
+        labels = bob_experiment(durable, durable_platform, dataset)
+        assert labels == expected
+        assert durable_platform.statistics()["tasks"] == published  # no re-publish
         durable.close()
 
     def test_platform_redeployment_self_heals(self, tmp_path, dataset):

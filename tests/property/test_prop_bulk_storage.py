@@ -16,7 +16,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import StorageError
-from repro.storage import LogStructuredEngine, MemoryEngine, ShardedEngine, SqliteEngine
+from repro.storage import LogStructuredEngine, MemoryEngine, PartitionedEngine
+from repro.storage.testing import ENGINE_NAMES, build_engine
 
 # JSON-friendly values the engines must round-trip faithfully.
 json_values = st.recursive(
@@ -81,22 +82,16 @@ def paginate_fully(engine, page_size):
 
 
 def build_engines(tmp_path_factory):
+    """One engine per registry entry (memory first: the reference model)."""
     base = tmp_path_factory.mktemp("bulk_prop")
-    return {
-        "memory": MemoryEngine(),
-        "sqlite": SqliteEngine(str(base / "p.db")),
-        "log": LogStructuredEngine(str(base / "p"), snapshot_every=5),
-        # Small merge pages force the k-way merge-scan to actually paginate.
-        "sharded": _sharded(base),
-    }
-
-
-def _sharded(base):
-    engine = ShardedEngine(
-        [SqliteEngine(str(base / f"shard-{index}.db")) for index in range(3)]
-    )
-    engine._merge_page_size = 4
-    return engine
+    engines = {}
+    for name in ENGINE_NAMES:
+        engine = build_engine(name, base / name)
+        if isinstance(engine, PartitionedEngine):
+            # Small merge pages force the k-way merge-scan to actually paginate.
+            engine._merge_page_size = 4
+        engines[name] = engine
+    return engines
 
 
 def close_engines(engines):

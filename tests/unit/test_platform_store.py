@@ -333,15 +333,28 @@ class TestServerRestart:
 
 
 class TestCrowdDataRestartRecovery:
-    """Kill the whole context (server included) mid-experiment; rerun heals."""
+    """Kill the whole context (server included) mid-experiment; rerun heals.
+
+    Parametrised over the storage backends a durable platform can live on:
+    one sqlite file, a sharded directory, or a consistent-hash ring
+    directory — including a ring that rebalances between the publish run
+    and the collect run, with the platform state riding in the migrated
+    engine.
+    """
 
     OBJECTS = [f"img-{i:03d}.png" for i in range(NUM_TASKS)]
 
-    def make_session(self, tmp_path) -> ExperimentSession:
+    @pytest.fixture(params=["sqlite", "sharded", "ring"])
+    def storage_backend(self, request):
+        return request.param
+
+    def make_session(self, tmp_path, storage_backend="sqlite") -> ExperimentSession:
+        artifact = "exp.db" if storage_backend == "sqlite" else "exp-store"
         return ExperimentSession(
             name="durable-platform",
-            db_path=str(tmp_path / "exp.db"),
+            db_path=str(tmp_path / artifact),
             durable_platform=True,
+            storage_engine=storage_backend,
             context_kwargs={"ground_truth": lambda obj: "Yes"},
         )
 
@@ -351,8 +364,10 @@ class TestCrowdDataRestartRecovery:
         data.set_presenter(ImageLabelPresenter())
         return data
 
-    def test_collection_completes_exactly_once_after_server_death(self, tmp_path):
-        session = self.make_session(tmp_path)
+    def test_collection_completes_exactly_once_after_server_death(
+        self, tmp_path, storage_backend
+    ):
+        session = self.make_session(tmp_path, storage_backend)
 
         def publish_only(context):
             data = self.build_table(context)
@@ -365,6 +380,26 @@ class TestCrowdDataRestartRecovery:
         # Run 1 dies after publish: closing the context kills the server.
         tasks_published, ids_before = session.run(publish_only)
         assert tasks_published == NUM_TASKS
+
+        if storage_backend == "ring":
+            # Grow the ring between the runs: the *platform's* durable state
+            # (tasks, runs, counters) migrates along with the cache, and the
+            # reopened server must still resume exactly-once.
+            from repro.storage import SqliteEngine, open_engine
+            from repro.config import StorageConfig
+
+            ring = open_engine(
+                StorageConfig(engine="ring", path=session.db_path)
+            )
+            report = ring.rebalance(
+                add={
+                    "ring-99": SqliteEngine(
+                        str(tmp_path / "exp-store" / "ring-99.db")
+                    )
+                }
+            )
+            assert report["keys_moved"] > 0
+            ring.close()
 
         def finish(context):
             data = self.build_table(context)
@@ -392,8 +427,8 @@ class TestCrowdDataRestartRecovery:
         assert stats["task_runs"] == NUM_TASKS * 2
         assert all(result["complete"] for result in results)
 
-    def test_shared_artifact_carries_the_platform(self, tmp_path):
-        session = self.make_session(tmp_path)
+    def test_shared_artifact_carries_the_platform(self, tmp_path, storage_backend):
+        session = self.make_session(tmp_path, storage_backend)
 
         def run_all(context):
             data = self.build_table(context)

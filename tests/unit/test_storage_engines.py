@@ -12,6 +12,7 @@ from repro.exceptions import (
     TableNotFoundError,
 )
 from repro.storage import (
+    ConsistentHashEngine,
     LogStructuredEngine,
     MemoryEngine,
     ShardedEngine,
@@ -19,6 +20,7 @@ from repro.storage import (
     open_engine,
     shard_index,
 )
+from repro.storage.testing import DURABLE_ENGINE_NAMES, build_engine
 
 
 class TestTableManagement:
@@ -219,18 +221,15 @@ class TestBulkOperations:
             list(any_engine.scan("t", start_after="missing"))
 
     def test_put_many_is_durable(self, tmp_path):
-        for name, build in {
-            "sqlite": lambda p: SqliteEngine(str(p / "bulk.db")),
-            "log": lambda p: LogStructuredEngine(str(p / "bulk_log"), snapshot_every=100),
-            "sharded": lambda p: ShardedEngine(
-                [SqliteEngine(str(p / f"bulk-shard-{i}.db")) for i in range(3)]
-            ),
-        }.items():
-            engine = build(tmp_path)
+        # Every durable registry engine must reopen a batch it wrote; the
+        # list comes from the shared registry so a new engine cannot dodge
+        # this check.
+        for name in DURABLE_ENGINE_NAMES:
+            engine = build_engine(name, tmp_path / name)
             engine.create_table("t")
             engine.put_many("t", [(f"k{i}", i) for i in range(5)])
             engine.close()
-            reopened = build(tmp_path)
+            reopened = build_engine(name, tmp_path / name)
             assert reopened.items("t") == [(f"k{i}", i) for i in range(5)], name
             reopened.close()
 
@@ -448,6 +447,57 @@ class TestOpenEngine:
         with pytest.raises(ConfigurationError):
             open_engine(
                 StorageConfig(engine="sharded", path=str(tmp_path), shard_engine="postgres")
+            )
+
+    def test_open_ring(self, tmp_path):
+        config = StorageConfig(
+            engine="ring", path=str(tmp_path / "ring"), shards=3, virtual_nodes=16
+        )
+        engine = open_engine(config)
+        assert isinstance(engine, ConsistentHashEngine)
+        assert engine.member_names == ["ring-00", "ring-01", "ring-02"]
+        assert engine.virtual_nodes == 16
+        engine.create_table("t")
+        engine.put("t", "k", 1)
+        engine.close()
+        reopened = open_engine(config)
+        assert reopened.get("t", "k") == 1
+        reopened.close()
+
+    def test_open_ring_rediscovers_rebalanced_membership(self, tmp_path):
+        """A rebalance grows the directory; reopening with the *original*
+        config must route over the grown membership, not config.shards."""
+        config = StorageConfig(
+            engine="ring", path=str(tmp_path / "ring"), shards=2, virtual_nodes=16
+        )
+        engine = open_engine(config)
+        engine.create_table("t")
+        engine.put_many("t", [(f"k{i}", i) for i in range(40)])
+        engine.rebalance(
+            add={"ring-02": SqliteEngine(str(tmp_path / "ring" / "ring-02.db"))}
+        )
+        assert engine.member_names == ["ring-00", "ring-01", "ring-02"]
+        engine.close()
+
+        reopened = open_engine(config)  # still says shards=2
+        assert reopened.member_names == ["ring-00", "ring-01", "ring-02"]
+        assert reopened.items("t") == [(f"k{i}", i) for i in range(40)]
+        reopened.close()
+
+    def test_open_ring_memory_children(self, tmp_path):
+        engine = open_engine(
+            StorageConfig(engine="ring", path=str(tmp_path), shards=2, shard_engine="memory")
+        )
+        assert isinstance(engine, ConsistentHashEngine)
+        assert engine.member_names == ["ring-00", "ring-01"]
+        engine.close()
+
+    def test_open_ring_rejects_bad_configs(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            open_engine(StorageConfig(engine="ring", path=str(tmp_path), shards=0))
+        with pytest.raises(ConfigurationError):
+            open_engine(
+                StorageConfig(engine="ring", path=str(tmp_path), shard_engine="postgres")
             )
 
     def test_unknown_engine_raises(self):
