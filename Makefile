@@ -2,7 +2,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast test-ring bench bench-smoke docs-check examples-check check
+.PHONY: test test-fast test-ring test-wire bench bench-smoke docs-check examples-check check
 
 test:
 	$(PYTEST) -x -q
@@ -17,13 +17,19 @@ test-ring:
 	$(PYTEST) -x -q -m ring
 	$(PYTEST) benchmarks/bench_ring_rebalance.py -q --bench-scale=smoke
 
+# Everything wire-marked: the cross-process server cluster suite plus the
+# E14 benchmark at smoke scale (real sockets, spawned server processes).
+test-wire:
+	$(PYTEST) -x -q -m wire
+	$(PYTEST) benchmarks/bench_wire_cluster.py -q --bench-scale=smoke
+
 # Full benchmark harness (writes tables under benchmarks/results/).
 bench:
 	$(PYTEST) benchmarks -q
 
 # One-iteration benchmark sanity pass at toy scale (seconds, not minutes).
 bench-smoke:
-	$(PYTEST) benchmarks/bench_bulk_path.py benchmarks/bench_sharded_scan.py benchmarks/bench_platform_store.py benchmarks/bench_pipelined_transport.py benchmarks/bench_ring_rebalance.py -q --bench-scale=smoke
+	$(PYTEST) benchmarks/bench_bulk_path.py benchmarks/bench_sharded_scan.py benchmarks/bench_platform_store.py benchmarks/bench_pipelined_transport.py benchmarks/bench_ring_rebalance.py benchmarks/bench_wire_cluster.py -q --bench-scale=smoke
 
 # Lint README/docs links + cross-links, check config-field and benchmark
 # coverage, and run examples/quickstart.py headlessly.

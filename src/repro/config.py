@@ -92,10 +92,29 @@ class PlatformConfig:
             engine — the whole experiment (client cache and platform state)
             then lives in one sharable artifact.
         transport: Which client drives the transport — ``"direct"`` (one
-            blocking round-trip per call, the default) or ``"pipelined"``
+            blocking round-trip per call, the default), ``"pipelined"``
             (a :class:`~repro.platform.client.PipelinedClient` over an
             :class:`~repro.platform.transport.AsyncTransport` keeps up to
-            ``max_in_flight`` calls on the wire; see ``docs/transport.md``).
+            ``max_in_flight`` calls on the wire; see ``docs/transport.md``)
+            or ``"wire"`` (a :class:`~repro.platform.wire.WireClient`
+            talking length-prefixed JSON over a real TCP socket to a
+            server in another process; see ``docs/wire.md``).
+        wire_host: For the wire transport, the server host to connect to
+            (and the interface a spawned private server binds).
+        wire_port: For the wire transport, the server port.  0 — the
+            default — means "no server yet": the context spawns a private
+            ``python -m repro.platform.wire`` process for this experiment
+            and tears it down on close.  Non-zero connects to an already
+            running external server at ``wire_host:wire_port``.
+        wire_max_frame_bytes: Frame-size cap for the wire protocol; calls
+            whose request or response exceeds it fail with a non-retryable
+            error (use the paged verbs for large projects).
+        retry_backoff_seconds: Base delay between retried transport
+            attempts (exponential with jitter).  None — the default —
+            picks per transport: 0 for the in-process transports (retries
+            are instant, the seed behaviour) and a small base for the wire
+            transport, where hammering a restarting server would exhaust
+            the retry budget before it comes back.
         max_in_flight: For the pipelined transport, the maximum number of
             concurrent in-flight calls (the bounded window further
             ``call_async`` submissions block on).
@@ -117,6 +136,10 @@ class PlatformConfig:
     store: str = "memory"
     store_engine: StorageConfig | None = None
     transport: str = "direct"
+    wire_host: str = "127.0.0.1"
+    wire_port: int = 0
+    wire_max_frame_bytes: int = 16 * 1024 * 1024
+    retry_backoff_seconds: float | None = None
     max_in_flight: int = 8
     pipeline_batch_size: int = 500
     append_batch_size: int = 1

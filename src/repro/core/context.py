@@ -74,44 +74,114 @@ class CrowdContext:
             self.client = client
             self.server = client.server
         else:
-            if transport is None and (
-                self.config.platform.failure_rate > 0
-                or self.config.platform.duplicate_delivery_rate > 0
-            ):
-                transport = FaultInjectingTransport(
-                    failure_rate=self.config.platform.failure_rate,
-                    duplicate_rate=self.config.platform.duplicate_delivery_rate,
-                    seed=self.config.platform.seed,
-                )
-            # With PlatformConfig(store="durable") and no explicit
-            # store_engine, the platform's state shares this context's
-            # engine: cache and platform land in one sharable artifact, and
-            # reopening the same file reopens the same platform.
-            self.server = PlatformServer(
-                worker_pool=self.worker_pool,
-                config=self.config.platform,
-                clock=self.clock,
-                store=open_task_store(self.config.platform, shared_engine=self.engine),
-            )
             transport_kind = self.config.platform.transport
-            if transport_kind == "pipelined":
-                self.client = PipelinedClient(
-                    self.server,
-                    transport=transport,
-                    max_in_flight=self.config.platform.max_in_flight,
-                    batch_size=self.config.platform.pipeline_batch_size,
+            if transport_kind == "wire":
+                self.client = self._open_wire_client(transport)
+                self.server = self.client.server
+            elif transport_kind in ("direct", "pipelined"):
+                if transport is None and (
+                    self.config.platform.failure_rate > 0
+                    or self.config.platform.duplicate_delivery_rate > 0
+                ):
+                    transport = FaultInjectingTransport(
+                        failure_rate=self.config.platform.failure_rate,
+                        duplicate_rate=self.config.platform.duplicate_delivery_rate,
+                        seed=self.config.platform.seed,
+                    )
+                # With PlatformConfig(store="durable") and no explicit
+                # store_engine, the platform's state shares this context's
+                # engine: cache and platform land in one sharable artifact,
+                # and reopening the same file reopens the same platform.
+                self.server = PlatformServer(
+                    worker_pool=self.worker_pool,
+                    config=self.config.platform,
+                    clock=self.clock,
+                    store=open_task_store(
+                        self.config.platform, shared_engine=self.engine
+                    ),
                 )
-            elif transport_kind == "direct":
-                self.client = PlatformClient(self.server, transport=transport)
+                retry_backoff = self.config.platform.retry_backoff_seconds or 0.0
+                if transport_kind == "pipelined":
+                    self.client = PipelinedClient(
+                        self.server,
+                        transport=transport,
+                        max_in_flight=self.config.platform.max_in_flight,
+                        batch_size=self.config.platform.pipeline_batch_size,
+                        retry_backoff=retry_backoff,
+                    )
+                else:
+                    self.client = PlatformClient(
+                        self.server, transport=transport, retry_backoff=retry_backoff
+                    )
             else:
                 raise ConfigurationError(
                     f"unknown platform transport {transport_kind!r}; "
-                    "expected 'direct' or 'pipelined'"
+                    "expected 'direct', 'pipelined' or 'wire'"
                 )
 
         self._log_buffer_size = log_buffer_size
         self._tables: dict[str, CrowdData] = {}
         self.engine.create_table("__tables__")
+
+    def _open_wire_client(self, transport: Transport | None):
+        """Connect to (or spawn) a wire server per ``config.platform``.
+
+        With ``wire_port`` set, connects to the external server already
+        listening there.  With the default ``wire_port=0``, spawns a
+        private ``python -m repro.platform.wire`` process whose lifetime is
+        tied to this context: closing the context's client terminates it.
+        The spawned server builds its own uniform worker pool from
+        ``config.workers``'s size and mean accuracy (spammer/adversarial
+        mixes need an external server) and — because it cannot share this
+        process's engine — keeps durable platform state in the separate
+        SQLite file named by ``store_engine``.
+        """
+        from repro.platform.wire import (
+            DEFAULT_WIRE_RETRY_BACKOFF,
+            WireClient,
+            spawn_server,
+        )
+
+        platform = self.config.platform
+        if transport is not None:
+            raise ConfigurationError(
+                "transport='wire' builds its own socket transport; injected "
+                "transports (fault/latency/counting) only compose with the "
+                "in-process transports"
+            )
+        retry_backoff = platform.retry_backoff_seconds
+        if retry_backoff is None:
+            retry_backoff = DEFAULT_WIRE_RETRY_BACKOFF
+        client_kwargs: dict[str, Any] = {
+            "api_key": platform.api_key,
+            "retry_backoff": retry_backoff,
+            "max_frame_bytes": platform.wire_max_frame_bytes,
+        }
+        if platform.wire_port:
+            return WireClient(platform.wire_host, platform.wire_port, **client_kwargs)
+        db = None
+        if platform.store == "durable":
+            engine_config = platform.store_engine
+            if engine_config is None or engine_config.engine != "sqlite":
+                raise ConfigurationError(
+                    "a durable wire platform needs "
+                    "PlatformConfig.store_engine=StorageConfig(engine='sqlite', "
+                    "path=...): the server runs in its own process and cannot "
+                    "share this context's engine"
+                )
+            db = engine_config.path
+        handle = spawn_server(
+            db=db,
+            host=platform.wire_host,
+            api_key=platform.api_key,
+            seed=platform.seed,
+            pool_size=self.config.workers.size,
+            accuracy=self.config.workers.mean_accuracy,
+            append_batch_size=platform.append_batch_size,
+        )
+        return WireClient(
+            handle.host, handle.port, owned_server=handle, **client_kwargs
+        )
 
     # -- constructors (mirroring the original Reprowd API) --------------------------
 

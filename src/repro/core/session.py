@@ -15,7 +15,7 @@ import shutil
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
-from repro.config import ReprowdConfig
+from repro.config import ReprowdConfig, StorageConfig
 from repro.core.context import CrowdContext
 from repro.exceptions import CrowdDataError
 
@@ -41,6 +41,13 @@ class ExperimentSession:
             ``"sqlite"`` (the default single sharable file), ``"sharded"``
             or ``"ring"`` (``db_path`` is then a *directory* of child
             files, and the whole directory is the sharable artifact).
+        transport: Which client/server boundary the experiment crosses —
+            ``"direct"`` (in-process, the default), ``"pipelined"`` or
+            ``"wire"`` (the context spawns a ``python -m
+            repro.platform.wire`` server process and talks to it over a
+            real TCP socket; with ``durable_platform`` the platform's own
+            state lives in a sibling ``<db_path>.platform.db`` file, which
+            travels with the artifact on :meth:`share`).
     """
 
     name: str
@@ -50,6 +57,11 @@ class ExperimentSession:
     context_kwargs: dict[str, Any] = field(default_factory=dict)
     durable_platform: bool = False
     storage_engine: str = "sqlite"
+    transport: str = "direct"
+
+    def platform_db_path(self) -> str:
+        """Path of the wire server's own state file (wire + durable only)."""
+        return f"{self.db_path}.platform.db"
 
     def open_context(self) -> CrowdContext:
         """Open a CrowdContext over this session's database file."""
@@ -60,6 +72,19 @@ class ExperimentSession:
                 config,
                 storage=replace(config.storage, engine=self.storage_engine),
             )
+        if self.transport != "direct":
+            platform = replace(config.platform, transport=self.transport)
+            if self.transport == "wire" and self.durable_platform:
+                # The wire server runs in its own process and cannot share
+                # this context's engine, so its durable state gets a sibling
+                # file next to the cache database.
+                platform = replace(
+                    platform,
+                    store_engine=StorageConfig(
+                        engine="sqlite", path=self.platform_db_path()
+                    ),
+                )
+            config = replace(config, platform=platform)
         return CrowdContext(config=config, **self.context_kwargs)
 
     def run(self, experiment: Experiment) -> Any:
@@ -90,14 +115,20 @@ class ExperimentSession:
             shutil.copytree(self.db_path, destination, dirs_exist_ok=True)
         else:
             shutil.copy2(self.db_path, destination)
-        return ExperimentSession(
+        shared = ExperimentSession(
             name=f"{self.name} (shared)",
             db_path=destination,
             seed=self.seed,
             context_kwargs=dict(self.context_kwargs),
             durable_platform=self.durable_platform,
             storage_engine=self.storage_engine,
+            transport=self.transport,
         )
+        if os.path.isfile(self.platform_db_path()):
+            # Wire + durable: the platform's own state file is part of the
+            # artifact — Ally's server must resume Bob's ids and dedup keys.
+            shutil.copy2(self.platform_db_path(), shared.platform_db_path())
+        return shared
 
     def database_size_bytes(self) -> int:
         """Return the size of the database artifact (0 when it does not exist).
@@ -113,4 +144,7 @@ class ExperimentSession:
                 for root, _, names in os.walk(self.db_path)
                 for name in names
             )
-        return os.path.getsize(self.db_path)
+        size = os.path.getsize(self.db_path)
+        if os.path.isfile(self.platform_db_path()):
+            size += os.path.getsize(self.platform_db_path())
+        return size

@@ -32,6 +32,14 @@ from repro.platform.transport import (
     LatencyInjectingTransport,
     Transport,
 )
+from repro.platform.wire import (
+    RemoteServer,
+    WireClient,
+    WireServer,
+    WireServerHandle,
+    WireTransport,
+    spawn_server,
+)
 
 __all__ = [
     "AssignmentStrategy",
@@ -54,4 +62,10 @@ __all__ = [
     "FaultInjectingTransport",
     "LatencyInjectingTransport",
     "AsyncTransport",
+    "WireTransport",
+    "WireClient",
+    "WireServer",
+    "WireServerHandle",
+    "RemoteServer",
+    "spawn_server",
 ]

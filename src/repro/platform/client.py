@@ -49,6 +49,7 @@ class PlatformClient:
         api_key: str | None = None,
         transport: Transport | None = None,
         max_retries: int = 5,
+        retry_backoff: float = 0.0,
     ):
         """Connect to *server* with *api_key*.
 
@@ -56,15 +57,23 @@ class PlatformClient:
             server: The in-process platform server.
             api_key: API key; defaults to the server's configured key.
             transport: Transport used for every call (direct when omitted).
-            max_retries: Number of times a failed call is retried before the
-                transport error is propagated.
+            max_retries: Maximum transport attempts per call (the first
+                attempt included) before the transport error is propagated.
+            retry_backoff: Base delay between retried attempts (exponential
+                with jitter; see
+                :func:`~repro.platform.transport.retry_call`).  0 retries
+                immediately — the right default in-process; wire clients use
+                a small base so a restarting server is not hammered.
         """
         self.server = server
         self.api_key = api_key if api_key is not None else server.config.api_key
         self.transport = transport or DirectTransport()
         if max_retries < 1:
             raise ValueError(f"max_retries must be >= 1, got {max_retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         server.require_auth(self.api_key)
 
     # -- internals -------------------------------------------------------------
@@ -74,6 +83,7 @@ class PlatformClient:
         return retry_call(
             lambda: self.transport.call(name, method, *args, **kwargs),
             self.max_retries,
+            backoff=self.retry_backoff,
         )
 
     # -- projects ---------------------------------------------------------------
@@ -337,6 +347,7 @@ class PipelinedClient(PlatformClient):
         max_retries: int = 5,
         max_in_flight: int = 8,
         batch_size: int = 500,
+        retry_backoff: float = 0.0,
     ):
         """Connect to *server*, wrapping *transport* in an async layer.
 
@@ -353,13 +364,23 @@ class PipelinedClient(PlatformClient):
                 own bound).
             batch_size: Specs per ``create_tasks`` sub-batch and the
                 default page size for slice-pumped iteration.
+            retry_backoff: Base delay between retried attempts, applied to
+                the synchronous path here and to the async layer's per-slot
+                retries (ignored when *transport* is already an
+                AsyncTransport, which brings its own backoff).
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if not isinstance(transport, AsyncTransport):
-            transport = AsyncTransport(transport, max_in_flight=max_in_flight)
+            transport = AsyncTransport(
+                transport, max_in_flight=max_in_flight, retry_backoff=retry_backoff
+            )
         super().__init__(
-            server, api_key=api_key, transport=transport, max_retries=max_retries
+            server,
+            api_key=api_key,
+            transport=transport,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
         )
         self.max_in_flight = transport.max_in_flight
         self.batch_size = batch_size

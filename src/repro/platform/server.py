@@ -121,7 +121,12 @@ class PlatformServer:
         """
         existing_id = self.store.find_project_id(name)
         if existing_id is not None:
-            return self.store.get_project(existing_id)
+            existing = self.store.get_project(existing_id)
+            if existing is not None:
+                return existing
+            # The name maps to a project whose record is gone (a deleted
+            # project's stale mapping): fall through and create fresh —
+            # put_project takes the dead mapping over.
         project = Project(
             project_id=self.store.allocate_project_id(),
             name=name,
@@ -130,8 +135,9 @@ class PlatformServer:
             task_presenter=task_presenter,
             created_at=self.clock.now,
         )
-        self.store.put_project(project)
-        return project
+        # put_project arbitrates concurrent same-name creates; whoever won
+        # is the project every caller must see.
+        return self.store.put_project(project)
 
     @staticmethod
     def _short_name(name: str) -> str:
@@ -215,6 +221,14 @@ class PlatformServer:
         remaining specs get consecutive ids from one counter reservation and
         land in the store as a single ``add_tasks`` batch, so the durable
         cost of a publish stays O(1) engine round-trips in the batch size.
+
+        The resolve step is only an advisory fast path: between it and the
+        write, *another server process* on the same store may create the
+        same keys.  Ownership is therefore decided by
+        ``store.claim_dedup_keys`` (atomic first-writer-wins): specs whose
+        claim lost discard their candidate task — its reserved id becomes
+        an unused gap — and return the concurrent winner instead, which is
+        what keeps a batch exactly-once under cross-process races.
         """
         dedup_keys = [key for _, _, key in validated if key is not None]
         live: dict[str, Task] = {}
@@ -264,8 +278,76 @@ class PlatformServer:
                 )
                 for offset, (info, redundancy, _) in enumerate(new_specs)
             ]
-            self.store.add_tasks(created, [key for _, _, key in new_specs])
+            created = self._claim_and_store(project_id, new_specs, created)
         return [slot if isinstance(slot, Task) else created[slot] for slot in slots]
+
+    def _claim_and_store(
+        self,
+        project_id: int,
+        new_specs: Sequence[_ValidatedSpec],
+        created: Sequence[Task],
+    ) -> list[Task]:
+        """Claim the keyed specs' dedup keys, store what we won, and return
+        one task per spec — ours where the claim won (or no key was given),
+        the concurrent winner's where it lost.
+        """
+        keyed = [
+            (key, task.task_id)
+            for task, (_, _, key) in zip(created, new_specs)
+            if key is not None
+        ]
+        winners: dict[str, int] = {}
+        if keyed:
+            # Stage our candidate records *before* claiming (record-first,
+            # like put_project): any server whose claim beats ours has
+            # already staged, so a lost claim always resolves to a live
+            # winner record rather than racing the winner's add_tasks.
+            self.store.stage_tasks(
+                [task for task, (_, _, key) in zip(created, new_specs) if key is not None]
+            )
+            winners = self.store.claim_dedup_keys(project_id, keyed)
+
+        # A lost claim names a task some other server just created; fetch
+        # those tasks in one read.  A winner id whose task is *dead* means
+        # the claim lost to a stale mapping (its task was deleted after the
+        # liveness fast path) — treat that as won: keep our task, and let
+        # add_tasks overwrite the mapping, exactly as the store contract
+        # for stale keys has always promised.
+        lost = {
+            key: task_id
+            for key, task_id in winners.items()
+            if task_id != dict(keyed)[key]
+        }
+        winner_tasks: dict[int, Task] = {}
+        if lost:
+            for task in self.store.get_tasks(sorted(set(lost.values()))):
+                if task is not None:
+                    winner_tasks[task.task_id] = task
+            if winner_tasks:
+                # Same torn-batch healing as the resolve fast path: the
+                # winner's index entries may not have landed yet.
+                self.store.ensure_indexed(list(winner_tasks.values()))
+
+        materialised: list[Task] = []
+        kept: list[Task] = []
+        kept_keys: list[str | None] = []
+        discarded: list[Task] = []
+        for task, (_, _, key) in zip(created, new_specs):
+            winner = winner_tasks.get(lost.get(key)) if key is not None else None
+            if winner is not None:
+                materialised.append(winner)
+                discarded.append(task)
+                continue
+            materialised.append(task)
+            kept.append(task)
+            kept_keys.append(key)
+        if discarded:
+            # Our staged records for lost claims would otherwise leak as
+            # unreachable rows.
+            self.store.discard_staged(discarded)
+        if kept:
+            self.store.add_tasks(kept, kept_keys)
+        return materialised
 
     def _check_redundancy(self, n_assignments: int | None) -> int:
         redundancy = (

@@ -23,8 +23,13 @@ table                          contents
 ``platform::tasks``            zero-padded task id -> ``Task.to_dict``
 ``platform::runs``             zero-padded task id -> list of
                                ``TaskRun.to_dict`` (one record per task)
-``platform::meta``             id counters (``next_project_id``,
-                               ``next_task_id``, ``next_run_id``)
+``platform::meta``             id-counter hints (``next_project_id``,
+                               ``next_task_id``, ``next_run_id``) plus one
+                               immutable *lease record* per allocated id
+                               range (``<counter>::alloc::<first-id>`` ->
+                               count) — the put-if-absent leases, not the
+                               hints, are what make allocation safe under
+                               concurrent writers
 ``platform::task_index::<p>``  per-project publication-order task-id index
 ``platform::dedup::<p>``       per-project dedup key -> task id
 =============================  =============================================
@@ -53,10 +58,11 @@ from __future__ import annotations
 
 import abc
 import bisect
+import threading
 from typing import Any, Sequence
 
 from repro.config import PlatformConfig
-from repro.exceptions import ConfigurationError, PlatformError
+from repro.exceptions import ConfigurationError, DuplicateKeyError, PlatformError
 from repro.platform.models import Project, Task, TaskRun
 from repro.storage.engine import StorageEngine, open_engine
 
@@ -125,8 +131,15 @@ class TaskStore(abc.ABC):
     # -- projects ----------------------------------------------------------
 
     @abc.abstractmethod
-    def put_project(self, project: Project) -> None:
-        """Store a new project (and prepare its per-project indexes)."""
+    def put_project(self, project: Project) -> Project:
+        """Store a new project (and prepare its per-project indexes).
+
+        Returns the authoritative project for the name: *project* itself
+        normally, or — when another writer concurrently created a project
+        with the same name — that earlier winner (first writer wins, and
+        the loser's record is cleaned up).  Callers must use the returned
+        project, not the one they passed in.
+        """
 
     @abc.abstractmethod
     def get_project(self, project_id: int) -> Project | None:
@@ -155,6 +168,29 @@ class TaskStore(abc.ABC):
         (possibly deleted) task is overwritten — liveness is re-checked at
         resolve time, so a stale mapping can never resurrect a deleted task.
         """
+
+    @abc.abstractmethod
+    def stage_tasks(self, tasks: Sequence[Task]) -> None:
+        """Make candidate task records readable *before* their dedup claim.
+
+        The multi-writer publish protocol mirrors :meth:`put_project`'s
+        record-first ordering: a server stages its candidate tasks (record
+        only — no index entry, no dedup mapping, no runs), then calls
+        :meth:`claim_dedup_keys`.  Because every writer stages before
+        claiming, a claim that *lost* is guaranteed to find the live
+        winner's record via :meth:`get_tasks` — without this step, a loser
+        racing the winner's ``add_tasks`` would mistake the not-yet-written
+        winner for a stale mapping and double-publish.  A staged task that
+        wins is published normally by :meth:`add_tasks` (idempotent
+        overwrite); one that loses is dropped via :meth:`discard_staged`.
+        A crash between stage and claim leaks an unreachable record — the
+        same storage-only leak :meth:`add_tasks` documents for keyless
+        specs.
+        """
+
+    @abc.abstractmethod
+    def discard_staged(self, tasks: Sequence[Task]) -> None:
+        """Delete staged task records whose dedup claim lost."""
 
     @abc.abstractmethod
     def get_task(self, task_id: int) -> Task | None:
@@ -205,6 +241,22 @@ class TaskStore(abc.ABC):
 
         Returned ids are raw mappings; callers must re-check task liveness
         (a mapping may survive its task's deletion).
+        """
+
+    @abc.abstractmethod
+    def claim_dedup_keys(
+        self, project_id: int, claims: Sequence[tuple[str, int]]
+    ) -> dict[str, int]:
+        """Atomically claim dedup keys for task ids; first writer wins.
+
+        Each ``(key, task_id)`` claim either installs the mapping (the
+        caller won) or loses to a mapping that already exists; the returned
+        dict maps every claimed key to the task id that *owns* it after the
+        call.  A caller whose claim lost must discard its candidate task and
+        adopt the winner — this is the arbiter that keeps concurrent
+        ``create_tasks`` of the same keys exactly-once across server
+        processes.  Winning ids are raw mappings like
+        :meth:`resolve_dedup_keys`'s: liveness is the caller's problem.
         """
 
     def ensure_indexed(self, tasks: Sequence[Task]) -> None:
@@ -299,30 +351,44 @@ class MemoryTaskStore(TaskStore):
         self._next_project_id = 1
         self._next_task_id = 1
         self._next_run_id = 1
+        #: Guards the check-then-act paths (counters, name claims, dedup
+        #: claims) so two threads sharing one store — the in-process shape
+        #: of the multi-server suites — cannot double-allocate.
+        self._mutex = threading.Lock()
 
     # -- id counters -------------------------------------------------------
 
     def allocate_project_id(self) -> int:
-        allocated = self._next_project_id
-        self._next_project_id += 1
-        return allocated
+        with self._mutex:
+            allocated = self._next_project_id
+            self._next_project_id += 1
+            return allocated
 
     def allocate_task_ids(self, count: int) -> int:
-        first = self._next_task_id
-        self._next_task_id += count
-        return first
+        with self._mutex:
+            first = self._next_task_id
+            self._next_task_id += count
+            return first
 
     def allocate_run_ids(self, count: int, clock_time: float | None = None) -> int:
-        first = self._next_run_id
-        self._next_run_id += count
-        return first
+        with self._mutex:
+            first = self._next_run_id
+            self._next_run_id += count
+            return first
 
     # -- projects ----------------------------------------------------------
 
-    def put_project(self, project: Project) -> None:
-        self._projects[project.project_id] = project
-        self._projects_by_name[project.name] = project.project_id
-        self._tasks_by_project[project.project_id] = []
+    def put_project(self, project: Project) -> Project:
+        with self._mutex:
+            existing_id = self._projects_by_name.get(project.name)
+            if existing_id is not None and existing_id != project.project_id:
+                existing = self._projects.get(existing_id)
+                if existing is not None:
+                    return existing
+            self._projects[project.project_id] = project
+            self._projects_by_name[project.name] = project.project_id
+            self._tasks_by_project.setdefault(project.project_id, [])
+            return project
 
     def get_project(self, project_id: int) -> Project | None:
         return self._projects.get(project_id)
@@ -354,6 +420,16 @@ class MemoryTaskStore(TaskStore):
             self._task_runs[task.task_id] = []
             if dedup_key is not None:
                 self._tasks_by_dedup[(task.project_id, dedup_key)] = task.task_id
+
+    def stage_tasks(self, tasks: Sequence[Task]) -> None:
+        # Record only: no project index entry, no runs list, no dedup
+        # mapping — unreachable until add_tasks publishes it.
+        for task in tasks:
+            self._tasks[task.task_id] = task
+
+    def discard_staged(self, tasks: Sequence[Task]) -> None:
+        for task in tasks:
+            self._tasks.pop(task.task_id, None)
 
     def get_task(self, task_id: int) -> Task | None:
         return self._tasks.get(task_id)
@@ -389,6 +465,17 @@ class MemoryTaskStore(TaskStore):
             if task_id is not None:
                 resolved[key] = task_id
         return resolved
+
+    def claim_dedup_keys(
+        self, project_id: int, claims: Sequence[tuple[str, int]]
+    ) -> dict[str, int]:
+        with self._mutex:
+            # setdefault is the whole first-writer-wins protocol: a key
+            # repeated within *claims* keeps its first task id too.
+            return {
+                key: self._tasks_by_dedup.setdefault((project_id, key), task_id)
+                for key, task_id in claims
+            }
 
     # -- task runs ---------------------------------------------------------
 
@@ -435,6 +522,7 @@ class DurableTaskStore(TaskStore):
         namespace: str = "platform",
         owns_engine: bool = False,
         append_batch_size: int = 1,
+        shared: bool = False,
     ) -> None:
         """Open the store on *engine*.
 
@@ -443,6 +531,15 @@ class DurableTaskStore(TaskStore):
                 fault-recovery cache (the platform's tables are namespaced).
             namespace: Table-name prefix isolating this store's tables.
             owns_engine: When True, :meth:`close` also closes the engine.
+            shared: Declare that *other* store handles (threads, or whole
+                server processes on a file-backed engine) write the same
+                tables concurrently.  Correctness of id allocation and
+                dedup claims never depends on this flag — those go through
+                the engine's atomic ``put_new`` / ``put_many(if_absent)``
+                either way — but shared mode additionally bypasses the
+                single-writer read caches (counters, per-project id lists,
+                run totals, latest timestamp) that would otherwise serve
+                stale answers about another writer's data.
             append_batch_size: Run appends per durable write.  1 (the
                 default) writes every :meth:`append_runs` through
                 immediately — the seed behaviour.  Larger values buffer
@@ -463,6 +560,7 @@ class DurableTaskStore(TaskStore):
         self._engine = engine
         self._namespace = namespace
         self._owns_engine = owns_engine
+        self._shared = shared
         self._append_batch_size = append_batch_size
         #: Write-behind buffer of appended-but-unflushed runs, as the
         #: run-dict lists the runs table stores, keyed like the table.
@@ -512,12 +610,39 @@ class DurableTaskStore(TaskStore):
     def _allocate(
         self, counter: str, count: int, clock_time: float | None = None
     ) -> int:
+        """Reserve *count* consecutive ids via a put-if-absent lease.
+
+        The previous implementation read the counter, bumped it in memory
+        and wrote it back — a read-modify-write that is only correct with
+        exactly one writer.  Ownership of an id range is now decided by
+        inserting a *lease record* keyed by the range's first id: the
+        engine's ``put_new`` is atomic even across processes sharing a
+        database file, so exactly one contender claims any given range and
+        every loser re-probes further along.  On a lost probe the next
+        candidate comes from whichever is larger: skipping past the
+        winner's claimed range, or the freshly re-read counter hint.
+
+        The counter record itself is demoted to a *hint* — written after a
+        successful claim so the next allocation (and a reopened store)
+        starts probing near the frontier, but never trusted for ownership.
+        Two hint writes racing can leave it behind the true frontier; the
+        probe loop walks forward over the surviving leases regardless.  A
+        crash between claim and hint write leaves an unused id gap, never a
+        reused id — the same gap-only guarantee the single-writer path had.
+        A clock record rides in the same hint batch for free.
+        """
         next_id = self._counters.get(counter)
-        if next_id is None:
+        if next_id is None or self._shared:
             next_id = int(self._engine.get(self._meta_table, counter, default=1))
-        # Persist the bumped counter *before* the ids are used: a crash in
-        # between leaves an unused gap, never a reused id.  A clock record
-        # rides in the same meta batch for free.
+        while True:
+            lease_key = f"{counter}::alloc::{next_id:012d}"
+            try:
+                self._engine.put_new(self._meta_table, lease_key, count)
+                break
+            except DuplicateKeyError:
+                claimed = int(self._engine.get(self._meta_table, lease_key, default=1))
+                hint = int(self._engine.get(self._meta_table, counter, default=1))
+                next_id = max(next_id + max(1, claimed), hint)
         self._counters[counter] = next_id + count
         items: list[tuple[str, Any]] = [(counter, next_id + count)]
         if clock_time is not None and clock_time > self.latest_timestamp():
@@ -533,7 +658,7 @@ class DurableTaskStore(TaskStore):
             self._engine.put(self._meta_table, "latest_timestamp", clock_time)
 
     def latest_timestamp(self) -> float:
-        if self._latest_timestamp is None:
+        if self._latest_timestamp is None or self._shared:
             self._latest_timestamp = float(
                 self._engine.get(self._meta_table, "latest_timestamp", default=0.0)
             )
@@ -550,15 +675,44 @@ class DurableTaskStore(TaskStore):
 
     # -- projects ----------------------------------------------------------
 
-    def put_project(self, project: Project) -> None:
+    def put_project(self, project: Project) -> Project:
+        # Record first, name claim second.  The name claim (an atomic
+        # put_new) is the arbiter of concurrent same-name creates, and this
+        # ordering means whoever wins it has already written a complete
+        # project record — a loser can never observe a won name whose
+        # project does not exist yet.  A crash between the two writes
+        # leaves an unnamed orphan record (invisible to find_project_id;
+        # the replayed create simply makes a fresh project), the same
+        # orphan class the task path tolerates.
         self._engine.create_table(self._index_table(project.project_id))
         self._engine.create_table(self._dedup_table(project.project_id))
         self._engine.put(
             self._projects_table, self._id_key(project.project_id), project.to_dict()
         )
-        self._engine.put(self._names_table, project.name, project.project_id)
-        self._project_ids[project.project_id] = []
+        try:
+            self._engine.put_new(self._names_table, project.name, project.project_id)
+        except DuplicateKeyError:
+            existing_id = self.find_project_id(project.name)
+            if existing_id is not None and existing_id != project.project_id:
+                existing = self.get_project(existing_id)
+                if existing is not None:
+                    # Lost the race: discard our record and adopt the winner.
+                    self._engine.delete(
+                        self._projects_table, self._id_key(project.project_id)
+                    )
+                    self._engine.drop_table(self._index_table(project.project_id))
+                    self._engine.drop_table(self._dedup_table(project.project_id))
+                    return existing
+            # The mapping is ours already (a replay) or points at a deleted
+            # project: take it over.  Two creators can race this takeover
+            # only after an explicit delete_project; last writer wins and
+            # the other's record becomes an unnamed orphan — documented as
+            # out of scope for concurrent delete+create of one name.
+            self._engine.put(self._names_table, project.name, project.project_id)
+        if not self._shared:
+            self._project_ids[project.project_id] = []
         self._record_latest(project.created_at)
+        return project
 
     def get_project(self, project_id: int) -> Project | None:
         payload = self._engine.get(self._projects_table, self._id_key(project_id))
@@ -637,6 +791,20 @@ class DurableTaskStore(TaskStore):
                 cached.extend(task_id for _, task_id in items)
         self._record_latest(max(task.created_at for task in tasks))
 
+    def stage_tasks(self, tasks: Sequence[Task]) -> None:
+        if not tasks:
+            return
+        # Record only (see the base-class contract): one durable batch that
+        # makes this writer's candidates resolvable by a racing claimer.
+        self._engine.put_many(
+            self._tasks_table,
+            [(self._id_key(task.task_id), task.to_dict()) for task in tasks],
+        )
+
+    def discard_staged(self, tasks: Sequence[Task]) -> None:
+        for task in tasks:
+            self._engine.delete(self._tasks_table, self._id_key(task.task_id))
+
     def ensure_indexed(self, tasks: Sequence[Task]) -> None:
         by_project: dict[int, list[Task]] = {}
         for task in tasks:
@@ -699,6 +867,13 @@ class DurableTaskStore(TaskStore):
         the index's physical insertion order (entries healed by
         ``ensure_indexed`` after a torn batch land at the engine's tail).
         """
+        if self._shared:
+            # Another server may have appended to this project; the cache
+            # cannot know, so shared mode reads the index every time.
+            return sorted(
+                int(key)
+                for key in self._engine.scan_keys(self._index_table(project_id))
+            )
         cached = self._project_ids.get(project_id)
         if cached is None:
             cached = sorted(
@@ -732,6 +907,20 @@ class DurableTaskStore(TaskStore):
             for key, task_id in zip(keys, values)
             if task_id is not None
         }
+
+    def claim_dedup_keys(
+        self, project_id: int, claims: Sequence[tuple[str, int]]
+    ) -> dict[str, int]:
+        if not claims:
+            return {}
+        # put_many(if_absent=True) is atomic first-writer-wins on every
+        # engine (the SQLite engine pushes it into INSERT OR IGNORE, so it
+        # holds across processes too) and hands back the surviving record
+        # per key — winner or not, the returned id is the owner's.
+        records = self._engine.put_many(
+            self._dedup_table(project_id), list(claims), if_absent=True
+        )
+        return {record.key: int(record.value) for record in records}
 
     # -- task runs ---------------------------------------------------------
 
@@ -821,6 +1010,12 @@ class DurableTaskStore(TaskStore):
 
     def _count_total_runs(self) -> int:
         self._flush_pending_runs()
+        if self._shared:
+            # Other writers append runs this handle never sees; count what
+            # is actually on the engine, every time.
+            return sum(
+                len(record.value) for record in self._engine.scan(self._runs_table)
+            )
         if self._total_runs is None:
             # One recovery scan on the first counts() after (re)open;
             # maintained incrementally afterwards.  (Deliberately *not* a
@@ -848,6 +1043,7 @@ class DurableTaskStore(TaskStore):
         description = super().describe()
         description["engine"] = self._engine.engine_name
         description["namespace"] = self._namespace
+        description["shared"] = self._shared
         return description
 
     def flush(self) -> None:

@@ -38,21 +38,64 @@ from repro.exceptions import PlatformUnavailableError
 from repro.utils.validation import require_fraction
 
 
-def retry_call(attempt: Callable[[], Any], retries: int) -> Any:
-    """Run *attempt* up to *retries* times on ``PlatformUnavailableError``.
+#: Ceiling on a single backoff delay, however many attempts have failed.
+MAX_RETRY_BACKOFF_SECONDS = 2.0
+
+
+def retry_call(
+    attempt: Callable[[], Any],
+    retries: int,
+    backoff: float = 0.0,
+    max_backoff: float = MAX_RETRY_BACKOFF_SECONDS,
+    rng: random.Random | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Any:
+    """Run *attempt* up to *retries* **attempts** on ``PlatformUnavailableError``.
+
+    ``retries`` counts total attempts, not re-tries: ``retries=3`` means one
+    initial attempt plus at most two retries.  Non-positive values raise
+    :class:`ValueError` — the same contract ``PlatformClient`` enforces for
+    ``max_retries``, so the two layers cannot drift (this function used to
+    silently clamp to one attempt).
 
     The one retry policy of the whole stack: the serial client's `_call`
     and the async transport's per-slot retries both delegate here, so the
     contract (retry only transport unavailability, propagate the last
     error) cannot drift between the serial and pipelined paths.
+
+    Args:
+        attempt: Zero-argument callable performing one transport attempt.
+        retries: Maximum number of attempts (must be >= 1).
+        backoff: Base delay in seconds between attempts.  0 (the default)
+            retries immediately — right for in-process transports where a
+            failure is an injected fault, wrong against a real wire, where
+            back-to-back retries turn a server restart into instant
+            retry-budget exhaustion.  The delay before attempt *k*'s retry
+            grows exponentially (``backoff * 2**k``), is capped at
+            *max_backoff*, and is jittered to 50–100% of its nominal value
+            so a fleet of clients does not reconnect in lockstep.
+        max_backoff: Ceiling on a single delay.
+        rng: Randomness source for the jitter (module-level when omitted).
+        sleep: Sleep function (injectable for tests).
     """
+    if retries < 1:
+        raise ValueError(f"retries must be >= 1 (it counts attempts), got {retries}")
+    if backoff < 0:
+        raise ValueError(f"backoff must be >= 0, got {backoff}")
     last_error: PlatformUnavailableError | None = None
-    for _ in range(max(1, retries)):
+    for attempt_index in range(retries):
         try:
             return attempt()
         except PlatformUnavailableError as exc:
             last_error = exc
-    assert last_error is not None
+            if backoff > 0 and attempt_index < retries - 1:
+                delay = min(max_backoff, backoff * (2**attempt_index))
+                jitter = rng.random() if rng is not None else random.random()
+                sleep(delay * (0.5 + 0.5 * jitter))
+    if last_error is None:  # pragma: no cover — loop ran >= 1 attempt
+        # A real exception, not an assert: asserts vanish under `python -O`
+        # and this is a contract violation worth keeping fatal everywhere.
+        raise RuntimeError("retry_call exhausted attempts without capturing an error")
     raise last_error
 
 
@@ -270,11 +313,21 @@ class AsyncTransport(Transport):
     individually and is counted individually by any counting layer below.
     """
 
-    def __init__(self, inner: Transport | None = None, max_in_flight: int = 8):
+    def __init__(
+        self,
+        inner: Transport | None = None,
+        max_in_flight: int = 8,
+        retry_backoff: float = 0.0,
+    ):
         if max_in_flight < 1:
             raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self.inner = inner or DirectTransport()
         self.max_in_flight = max_in_flight
+        #: Base backoff (seconds) for every per-slot retry; 0 keeps the
+        #: in-process behaviour of immediate retries.
+        self.retry_backoff = retry_backoff
         self._slots = threading.BoundedSemaphore(max_in_flight)
         self._state = threading.Condition()
         self._next_ticket = 0  # next ticket to hand out (guarded by _state)
@@ -305,10 +358,12 @@ class AsyncTransport(Transport):
         """Submit a call; returns a future resolving to the call's result.
 
         Blocks while ``max_in_flight`` calls are already outstanding.  The
-        call is attempted up to *retries* times on
-        :class:`~repro.exceptions.PlatformUnavailableError`; the future
-        carries the last error when every attempt failed.
+        call is attempted up to *retries* times (total attempts; must be
+        >= 1) on :class:`~repro.exceptions.PlatformUnavailableError`; the
+        future carries the last error when every attempt failed.
         """
+        if retries < 1:
+            raise ValueError(f"retries must be >= 1 (it counts attempts), got {retries}")
         self._slots.acquire()
         with self._state:
             ticket = self._next_ticket
@@ -317,7 +372,7 @@ class AsyncTransport(Transport):
             self.submitted += 1
         try:
             return self._pool().submit(
-                self._run, ticket, name, method, args, kwargs, max(1, retries)
+                self._run, ticket, name, method, args, kwargs, retries
             )
         except BaseException:
             with self._state:
@@ -344,7 +399,9 @@ class AsyncTransport(Transport):
         gated = self._gated(ticket, method)
         try:
             return retry_call(
-                lambda: self.inner.call(name, gated, *args, **kwargs), retries
+                lambda: self.inner.call(name, gated, *args, **kwargs),
+                retries,
+                backoff=self.retry_backoff,
             )
         finally:
             with self._state:

@@ -8,6 +8,7 @@ property-tested against.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.exceptions import DuplicateKeyError, TableNotFoundError
@@ -16,21 +17,32 @@ from repro.storage.records import Record, RecordCodec
 
 
 class MemoryEngine(StorageEngine):
-    """Dictionary-backed storage engine."""
+    """Dictionary-backed storage engine.
+
+    Mutations are guarded by a lock so check-then-act writes (``put_new``,
+    ``put_many(if_absent=True)``) stay atomic when several threads share one
+    engine — which is exactly what two platform-store handles on one engine
+    do in the multi-server concurrency suites.  Reads stay lock-free: dict
+    reads are atomic under the GIL and readers tolerate seeing a batch's
+    prefix, just like the durable engines' committed-prefix semantics.
+    """
 
     engine_name = "memory"
 
     def __init__(self) -> None:
         self._tables: dict[str, dict[str, Record]] = {}
+        self._mutex = threading.RLock()
         self._closed = False
 
     # -- table management --------------------------------------------------
 
     def create_table(self, table_name: str) -> None:
-        self._tables.setdefault(table_name, {})
+        with self._mutex:
+            self._tables.setdefault(table_name, {})
 
     def drop_table(self, table_name: str) -> None:
-        self._tables.pop(table_name, None)
+        with self._mutex:
+            self._tables.pop(table_name, None)
 
     def list_tables(self) -> list[str]:
         return sorted(self._tables)
@@ -50,17 +62,19 @@ class MemoryEngine(StorageEngine):
         # Round-trip through the codec so memory and durable engines accept
         # exactly the same set of values.
         RecordCodec.encode(value)
-        table = self._table(table_name)
-        existing = table.get(key)
-        record = existing.bump(value) if existing else Record(key=key, value=value)
-        table[key] = record
-        return record
+        with self._mutex:
+            table = self._table(table_name)
+            existing = table.get(key)
+            record = existing.bump(value) if existing else Record(key=key, value=value)
+            table[key] = record
+            return record
 
     def put_new(self, table_name: str, key: str, value: Any) -> Record:
-        table = self._table(table_name)
-        if key in table:
-            raise DuplicateKeyError(table_name, key)
-        return self.put(table_name, key, value)
+        with self._mutex:
+            table = self._table(table_name)
+            if key in table:
+                raise DuplicateKeyError(table_name, key)
+            return self.put(table_name, key, value)
 
     def get(self, table_name: str, key: str, default: Any = None) -> Any:
         record = self._table(table_name).get(key)
@@ -70,7 +84,8 @@ class MemoryEngine(StorageEngine):
         return self._table(table_name).get(key)
 
     def delete(self, table_name: str, key: str) -> bool:
-        return self._table(table_name).pop(key, None) is not None
+        with self._mutex:
+            return self._table(table_name).pop(key, None) is not None
 
     def contains(self, table_name: str, key: str) -> bool:
         return key in self._table(table_name)
@@ -93,22 +108,23 @@ class MemoryEngine(StorageEngine):
         items: Iterable[tuple[str, Any]],
         if_absent: bool = False,
     ) -> list[Record]:
-        table = self._table(table_name)
         items = list(items)
         # Validate the whole batch before mutating anything, so a bad value
         # cannot leave a half-applied batch (matches the durable engines).
         for _, value in items:
             RecordCodec.encode(value)
-        records: list[Record] = []
-        for key, value in items:
-            existing = table.get(key)
-            if if_absent and existing is not None:
-                records.append(existing)
-                continue
-            record = existing.bump(value) if existing else Record(key=key, value=value)
-            table[key] = record
-            records.append(record)
-        return records
+        with self._mutex:
+            table = self._table(table_name)
+            records: list[Record] = []
+            for key, value in items:
+                existing = table.get(key)
+                if if_absent and existing is not None:
+                    records.append(existing)
+                    continue
+                record = existing.bump(value) if existing else Record(key=key, value=value)
+                table[key] = record
+                records.append(record)
+            return records
 
     def get_many(
         self, table_name: str, keys: Sequence[str], default: Any = None

@@ -63,7 +63,10 @@ class SqliteEngine(StorageEngine):
             os.makedirs(parent, exist_ok=True)
         self._lock = threading.RLock()
         try:
-            self._conn = sqlite3.connect(path, check_same_thread=False)
+            # A 30s busy timeout (up from sqlite3's 5s default) rides out
+            # cross-process write contention when several wire servers
+            # share one platform database file.
+            self._conn = sqlite3.connect(path, check_same_thread=False, timeout=30.0)
         except sqlite3.Error as exc:
             raise StorageError(f"cannot open SQLite database at {path!r}: {exc}") from exc
         self._conn.executescript(_SCHEMA)
@@ -146,11 +149,25 @@ class SqliteEngine(StorageEngine):
             return Record(key=key, value=value, version=version)
 
     def put_new(self, table_name: str, key: str, value: Any) -> Record:
+        # A direct INSERT (no prior existence check) makes put_new atomic
+        # across *processes* sharing the database file, not just across
+        # threads sharing this handle — the UNIQUE(table_name, key)
+        # constraint is the arbiter, so exactly one writer wins a race
+        # and every loser gets DuplicateKeyError.  The platform store's
+        # id-allocation leases rely on this.
+        encoded = RecordCodec.encode(value)
         with self._lock:
             self._require_table(table_name)
-            if self.contains(table_name, key):
-                raise DuplicateKeyError(table_name, key)
-            return self.put(table_name, key, value)
+            try:
+                self._conn.execute(
+                    "INSERT INTO reprowd_records (table_name, key, value, version) "
+                    "VALUES (?, ?, ?, 1)",
+                    (table_name, key, encoded),
+                )
+            except sqlite3.IntegrityError:
+                raise DuplicateKeyError(table_name, key) from None
+            self._commit()
+            return Record(key=key, value=value, version=1)
 
     def get(self, table_name: str, key: str, default: Any = None) -> Any:
         record = self.get_record(table_name, key)
@@ -285,6 +302,8 @@ class SqliteEngine(StorageEngine):
             self._require_table(table_name)
             if not items:
                 return []
+            if if_absent:
+                return self._put_many_if_absent(table_name, items)
             raw = self._fetch_records(table_name, [key for key, _ in items])
             # Replay put semantics in memory, then write only each key's
             # final state; intermediate versions of a key repeated in the
@@ -304,9 +323,6 @@ class SqliteEngine(StorageEngine):
                         version=existing_version,
                     )
                     stored[key] = prior
-                if if_absent and prior is not None:
-                    records.append(prior)
-                    continue
                 record = prior.bump(value) if prior else Record(key=key, value=value)
                 stored[key] = record
                 pending[key] = (encoded, record.version)
@@ -324,6 +340,37 @@ class SqliteEngine(StorageEngine):
                 )
                 self._commit()
             return records
+
+    def _put_many_if_absent(
+        self, table_name: str, items: list[tuple[str, Any]]
+    ) -> list[Record]:
+        """``INSERT OR IGNORE`` then read back: cross-process first-writer-wins.
+
+        A read-then-upsert implementation would let two processes both
+        believe they inserted a key; pushing the conflict resolution into
+        SQLite's unique constraint guarantees exactly one writer's value
+        survives, and the fetch-back returns that authoritative record to
+        winners and losers alike (the dedup-claim protocol depends on it).
+        """
+        # Validate the whole batch up front, matching the update path.
+        first: dict[str, str] = {}
+        for key, value in items:
+            encoded = RecordCodec.encode(value)
+            first.setdefault(key, encoded)
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO reprowd_records (table_name, key, value, version) "
+            "VALUES (?, ?, ?, 1)",
+            [(table_name, key, encoded) for key, encoded in first.items()],
+        )
+        self._commit()
+        raw = self._fetch_records(table_name, [key for key, _ in items])
+        records: list[Record] = []
+        for key, _ in items:
+            value, version = raw[key]
+            records.append(
+                Record(key=key, value=RecordCodec.decode(value), version=version)
+            )
+        return records
 
     def get_many(
         self, table_name: str, keys: Sequence[str], default: Any = None

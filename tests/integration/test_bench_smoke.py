@@ -70,3 +70,17 @@ def test_pipelined_transport_benchmark_smoke_single_iteration(tmp_path):
     row = bench.run_append_batch(8, str(tmp_path / "append"), 20)
     assert row["append_batch_size"] == 8
     assert row["tasks"] == 20
+
+
+def test_wire_cluster_benchmark_smoke_single_point(tmp_path):
+    bench = load_bench_module("bench_wire_cluster")
+    # One scaling point and the shared-dedup race at toy scale: checks the
+    # harness spawns real server processes and the exactly-once assert
+    # holds; the full sweep (and the committed BENCH_E14.json trajectory)
+    # stays behind `make bench`.
+    row = bench.run_scaling_point(str(tmp_path / "scale"), clients=1, tasks=10)
+    assert row["total_tasks"] == 10
+    assert row["tasks_per_second"] > 0
+    race = bench.run_shared_dedup_race(str(tmp_path / "dedup"), clients=2, keys=6)
+    assert race["exactly_once"]
+    assert race["shared_keys"] == 6

@@ -23,6 +23,7 @@ from repro.datasets import make_image_label_dataset
 from repro.exceptions import CrashInjected
 from repro.platform.client import PipelinedClient, PlatformClient
 from repro.platform.server import PlatformServer
+from repro.platform.wire import WireClient, WireServer
 from repro.presenters import ImageLabelPresenter
 from repro.simulation import CrashPlan, CrashingEngine
 from repro.storage import ConsistentHashEngine, SqliteEngine
@@ -58,17 +59,28 @@ def make_client(kind: str, seed: int = 17) -> PlatformClient:
         # A small batch size forces real in-flight sub-batches even at the
         # 15-row scale of these experiments.
         return PipelinedClient(server, batch_size=4, max_in_flight=3)
+    if kind == "wire":
+        # A real TCP boundary in front of the same platform: every crash
+        # scenario must replay identically when each verb crosses a socket.
+        wire = WireServer(server)
+        wire.start()
+        client = WireClient(wire.host, wire.port)
+        client._test_wire_server = wire  # torn down by the fixture
+        return client
     return PlatformClient(server)
 
 
-@pytest.fixture(params=["direct", "pipelined"])
+@pytest.fixture(params=["direct", "pipelined", "wire"])
 def durable_platform(dataset, request):
     """A platform that outlives program crashes (PyBossa keeps running when
-    Bob's script dies) — exercised over both the serial and the pipelined
-    client, which must survive every crash point identically."""
+    Bob's script dies) — exercised over the serial, pipelined and wire
+    clients, which must survive every crash point identically."""
     client = make_client(request.param)
     yield client
     client.close()  # tear down the async transport's worker threads
+    wire = getattr(client, "_test_wire_server", None)
+    if wire is not None:
+        wire.stop()
 
 
 def bob_experiment(engine, client, dataset):

@@ -1,0 +1,495 @@
+"""Unit tests for the wire protocol: framing, value/error codecs, retry
+backoff, and the in-process WireServer/WireClient pair.
+
+The cross-process side (spawned ``python -m repro.platform.wire`` servers,
+multi-process contention) lives in ``tests/integration/test_wire_cluster.py``;
+here every socket stays inside the test process so failures are cheap to
+reproduce and the byte-level edge cases (frames split across reads, EOF
+inside a header, oversized frames in both directions) are deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.config import PlatformConfig, WorkerPoolConfig
+from repro.exceptions import (
+    DuplicateKeyError,
+    PlatformError,
+    PlatformUnavailableError,
+    ProjectNotFoundError,
+    StorageError,
+    TaskNotFoundError,
+)
+from repro.platform.models import Project, Task, TaskRun
+from repro.platform.server import PlatformServer
+from repro.platform.store import DurableTaskStore
+from repro.platform.transport import retry_call
+from repro.platform.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameTooLargeError,
+    WIRE_OPS,
+    WireClient,
+    WireServer,
+    decode_error,
+    decode_value,
+    encode_error,
+    encode_value,
+    read_frame,
+    write_frame,
+)
+from repro.storage import SqliteEngine
+from repro.workers.pool import WorkerPool
+
+
+# -- value codec -------------------------------------------------------------
+
+
+class TestValueCodec:
+    def roundtrip(self, value):
+        return decode_value(encode_value(value))
+
+    def test_scalars_pass_through(self):
+        for value in (None, True, 0, 7, 2.5, "hello", ""):
+            assert self.roundtrip(value) == value
+
+    def test_lists_and_string_dicts(self):
+        value = {"a": [1, 2, {"b": None}], "c": "x"}
+        assert self.roundtrip(value) == value
+
+    def test_tuple_survives_as_tuple(self):
+        assert self.roundtrip((1, "two", [3])) == (1, "two", [3])
+        assert isinstance(self.roundtrip((1,)), tuple)
+
+    def test_model_objects_roundtrip(self):
+        project = Project(project_id=3, name="p", short_name="p")
+        task = Task(task_id=9, project_id=3, info={"url": "img"}, n_assignments=2)
+        run = TaskRun(run_id=4, task_id=9, project_id=3, worker_id="w1", answer="Yes")
+        assert self.roundtrip(project) == project
+        assert self.roundtrip(task) == task
+        assert self.roundtrip(run) == run
+        assert self.roundtrip([task, run]) == [task, run]
+
+    def test_int_keyed_dict_keeps_int_keys(self):
+        runs = {
+            7: [TaskRun(run_id=1, task_id=7, project_id=1, worker_id="w", answer="A")],
+            8: [],
+        }
+        decoded = self.roundtrip(runs)
+        assert set(decoded) == {7, 8}
+        assert decoded[7][0].answer == "A"
+
+    def test_dict_containing_tag_key_is_not_mistaken_for_tagged(self):
+        # A user payload may legitimately contain the reserved key; it must
+        # come back as data, not be interpreted as a tagged object.
+        value = {"__wire__": "task", "data": {"anything": 1}}
+        assert self.roundtrip(value) == value
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(PlatformError, match="unknown wire value tag"):
+            decode_value({"__wire__": "no-such-tag"})
+
+
+# -- error codec -------------------------------------------------------------
+
+
+class TestErrorCodec:
+    def test_project_not_found_rebuilds_with_id(self):
+        error = decode_error(encode_error(ProjectNotFoundError(42)))
+        assert isinstance(error, ProjectNotFoundError)
+        assert error.project_id == 42
+
+    def test_task_not_found_rebuilds_with_id(self):
+        error = decode_error(encode_error(TaskNotFoundError(17)))
+        assert isinstance(error, TaskNotFoundError)
+        assert error.task_id == 17
+
+    def test_duplicate_key_rebuilds_with_table_and_key(self):
+        error = decode_error(encode_error(DuplicateKeyError("t", "k")))
+        assert isinstance(error, DuplicateKeyError)
+        assert (error.table_name, error.key) == ("t", "k")
+
+    def test_reprowd_subclass_rebuilds_by_name(self):
+        error = decode_error(encode_error(StorageError("disk on fire")))
+        assert isinstance(error, StorageError)
+        assert "disk on fire" in str(error)
+
+    def test_non_reprowd_exception_ships_as_platform_error(self):
+        error = decode_error(encode_error(KeyError("boom")))
+        assert type(error) is PlatformError
+        assert "KeyError" in str(error)
+
+    def test_unknown_kind_falls_back_to_platform_error(self):
+        error = decode_error({"kind": "NoSuchError", "message": "m"})
+        assert type(error) is PlatformError
+        assert "m" in str(error)
+
+
+# -- framing -----------------------------------------------------------------
+
+
+class FakeSocket:
+    """A socket double whose recv() returns pre-programmed chunks.
+
+    Lets the framing tests force arbitrary TCP segmentation — one byte per
+    recv, EOF mid-header, EOF mid-body — without racing a real peer.
+    """
+
+    def __init__(self, data: bytes, chunk_size: int = 1):
+        self._chunks = [
+            data[i : i + chunk_size] for i in range(0, len(data), chunk_size)
+        ]
+        self.sent = b""
+
+    def recv(self, size: int) -> bytes:
+        if not self._chunks:
+            return b""
+        chunk = self._chunks.pop(0)
+        if len(chunk) > size:
+            chunk, rest = chunk[:size], chunk[size:]
+            self._chunks.insert(0, rest)
+        return chunk
+
+    def sendall(self, data: bytes) -> None:
+        self.sent += data
+
+
+def frame_bytes(payload: dict) -> bytes:
+    sink = FakeSocket(b"")
+    write_frame(sink, payload, DEFAULT_MAX_FRAME_BYTES)
+    return sink.sent
+
+
+class TestFraming:
+    def test_frame_split_into_single_bytes_reads_back_whole(self):
+        payload = {"op": "ping", "args": [1, 2, 3], "kwargs": {"k": "v"}}
+        sock = FakeSocket(frame_bytes(payload), chunk_size=1)
+        assert read_frame(sock, DEFAULT_MAX_FRAME_BYTES) == payload
+
+    def test_two_frames_back_to_back_then_clean_eof(self):
+        data = frame_bytes({"n": 1}) + frame_bytes({"n": 2})
+        sock = FakeSocket(data, chunk_size=3)
+        assert read_frame(sock, DEFAULT_MAX_FRAME_BYTES) == {"n": 1}
+        assert read_frame(sock, DEFAULT_MAX_FRAME_BYTES) == {"n": 2}
+        assert read_frame(sock, DEFAULT_MAX_FRAME_BYTES) is None
+
+    def test_eof_inside_header_raises_connection_error(self):
+        sock = FakeSocket(frame_bytes({"n": 1})[:2])
+        with pytest.raises(ConnectionError, match="frame header"):
+            read_frame(sock, DEFAULT_MAX_FRAME_BYTES)
+
+    def test_eof_inside_body_raises_connection_error(self):
+        data = frame_bytes({"n": 1})
+        sock = FakeSocket(data[:-3])
+        with pytest.raises(ConnectionError, match="frame bytes unread"):
+            read_frame(sock, DEFAULT_MAX_FRAME_BYTES)
+
+    def test_oversized_inbound_frame_rejected_from_header_alone(self):
+        sock = FakeSocket(frame_bytes({"blob": "x" * 500}))
+        with pytest.raises(FrameTooLargeError) as info:
+            read_frame(sock, 64)
+        assert info.value.max_frame_bytes == 64
+
+    def test_oversized_outbound_frame_rejected_before_sending(self):
+        sock = FakeSocket(b"")
+        with pytest.raises(FrameTooLargeError):
+            write_frame(sock, {"blob": "x" * 500}, 64)
+        assert sock.sent == b""  # nothing hit the wire
+
+    def test_real_socketpair_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            payload = {"op": "create_tasks", "args": [[1, 2], {"k": "v"}]}
+            write_frame(left, payload, DEFAULT_MAX_FRAME_BYTES)
+            assert read_frame(right, DEFAULT_MAX_FRAME_BYTES) == payload
+        finally:
+            left.close()
+            right.close()
+
+
+# -- retry_call backoff ------------------------------------------------------
+
+
+class TestRetryCall:
+    def test_non_positive_retries_raises(self):
+        with pytest.raises(ValueError, match="counts attempts"):
+            retry_call(lambda: 1, retries=0)
+        with pytest.raises(ValueError):
+            retry_call(lambda: 1, retries=-3)
+
+    def test_negative_backoff_raises(self):
+        with pytest.raises(ValueError, match="backoff"):
+            retry_call(lambda: 1, retries=1, backoff=-0.1)
+
+    def test_retries_counts_attempts_not_retries(self):
+        attempts = []
+
+        def attempt():
+            attempts.append(1)
+            raise PlatformUnavailableError("down")
+
+        with pytest.raises(PlatformUnavailableError):
+            retry_call(attempt, retries=3)
+        assert len(attempts) == 3
+
+    def test_zero_backoff_never_sleeps(self):
+        sleeps = []
+
+        def attempt():
+            raise PlatformUnavailableError("down")
+
+        with pytest.raises(PlatformUnavailableError):
+            retry_call(attempt, retries=4, backoff=0.0, sleep=sleeps.append)
+        assert sleeps == []
+
+    def test_backoff_grows_exponentially_with_jitter_and_cap(self):
+        sleeps = []
+
+        def attempt():
+            raise PlatformUnavailableError("down")
+
+        with pytest.raises(PlatformUnavailableError):
+            retry_call(
+                attempt,
+                retries=6,
+                backoff=0.1,
+                max_backoff=0.5,
+                rng=random.Random(7),
+                sleep=sleeps.append,
+            )
+        # One delay between each consecutive attempt pair — none after the
+        # final failure.
+        assert len(sleeps) == 5
+        nominal = [0.1, 0.2, 0.4, 0.5, 0.5]  # 0.1 * 2**k capped at 0.5
+        for actual, expected in zip(sleeps, nominal):
+            assert 0.5 * expected <= actual <= expected
+
+    def test_success_after_failures_returns_value(self):
+        state = {"n": 0}
+
+        def attempt():
+            state["n"] += 1
+            if state["n"] < 3:
+                raise PlatformUnavailableError("down")
+            return "ok"
+
+        assert retry_call(attempt, retries=5) == "ok"
+        assert state["n"] == 3
+
+
+# -- in-process server/client ------------------------------------------------
+
+
+def make_platform(store=None, seed: int = 11) -> PlatformServer:
+    pool = WorkerPool.from_config(
+        WorkerPoolConfig(size=10, mean_accuracy=0.95, seed=seed)
+    )
+    return PlatformServer(
+        worker_pool=pool, config=PlatformConfig(seed=seed), store=store
+    )
+
+
+SPECS = [
+    {
+        "info": {"url": f"img-{i}", "_true_answer": "Yes"},
+        "n_assignments": 2,
+        "dedup_key": f"obj-{i}",
+    }
+    for i in range(5)
+]
+
+
+class TestWireServerClient:
+    def test_full_workflow_over_loopback(self):
+        with WireServer(make_platform()) as server:
+            client = WireClient(server.host, server.port)
+            try:
+                project = client.create_project("wire-unit")
+                tasks = client.create_tasks(project.project_id, SPECS)
+                assert len(tasks) == len(SPECS)
+                created = client.simulate_work(project_id=project.project_id)
+                assert created == len(SPECS) * 2
+                runs = client.get_task_runs_for_project(project.project_id)
+                assert set(runs) == {task.task_id for task in tasks}
+                assert all(len(answers) == 2 for answers in runs.values())
+                assert client.is_project_complete(project.project_id)
+            finally:
+                client.close()
+
+    def test_create_tasks_replay_is_exactly_once(self):
+        with WireServer(make_platform()) as server:
+            client = WireClient(server.host, server.port)
+            try:
+                project = client.create_project("replay")
+                first = client.create_tasks(project.project_id, SPECS)
+                second = client.create_tasks(project.project_id, SPECS)
+                assert [t.task_id for t in first] == [t.task_id for t in second]
+                assert len(client.list_tasks(project.project_id)) == len(SPECS)
+            finally:
+                client.close()
+
+    def test_server_errors_cross_the_wire_typed(self):
+        with WireServer(make_platform()) as server:
+            client = WireClient(server.host, server.port)
+            try:
+                with pytest.raises(ProjectNotFoundError) as info:
+                    client.get_project(99999)
+                assert info.value.project_id == 99999
+                with pytest.raises(TaskNotFoundError):
+                    client.get_task(99999)
+            finally:
+                client.close()
+
+    def test_wrong_api_key_is_rejected_not_retried(self):
+        with WireServer(make_platform()) as server:
+            with pytest.raises(PlatformError, match="invalid API key"):
+                WireClient(server.host, server.port, api_key="wrong-key")
+
+    def test_unknown_verb_rejected_without_touching_platform(self):
+        with WireServer(make_platform()) as server:
+            client = WireClient(server.host, server.port)
+            try:
+                with pytest.raises(PlatformError, match="unknown wire operation"):
+                    client.transport.call("drop_all_tables", None)
+                # The connection survives a rejected verb: errors are
+                # answers, not faults.
+                assert client.transport.call("ping", None) == "pong"
+            finally:
+                client.close()
+
+    def test_non_wire_attribute_of_remote_server_raises(self):
+        with WireServer(make_platform()) as server:
+            client = WireClient(server.host, server.port)
+            try:
+                with pytest.raises(AttributeError):
+                    client.server.answer_oracle  # noqa: B018 - attribute probe
+            finally:
+                client.close()
+
+    def test_stopped_server_raises_platform_unavailable(self):
+        server = WireServer(make_platform())
+        server.start()
+        client = WireClient(server.host, server.port, max_retries=2)
+        try:
+            client.create_project("doomed")
+            server.stop()
+            with pytest.raises(PlatformUnavailableError):
+                client.find_project("doomed")
+        finally:
+            client.close()
+
+    def test_oversized_response_answers_with_frame_error(self):
+        # Client request fits, server response does not: the server must
+        # answer with a (small) typed error instead of the giant frame.
+        platform = make_platform()
+        with WireServer(platform, max_frame_bytes=2048) as server:
+            client = WireClient(server.host, server.port, max_frame_bytes=2048)
+            try:
+                project = client.create_project("big")
+                specs = [
+                    {
+                        "info": {"url": f"img-{i}", "blob": "x" * 64},
+                        "n_assignments": 1,
+                        "dedup_key": f"obj-{i}",
+                    }
+                    for i in range(64)
+                ]
+                with pytest.raises(PlatformError, match="exceeds") as info:
+                    client.create_tasks(project.project_id, specs)
+                assert not isinstance(info.value, PlatformUnavailableError)
+                # Paged access still works on the same connection.
+                assert client.transport.call("ping", None) == "pong"
+            finally:
+                client.close()
+
+    def test_restarted_server_on_same_store_resumes_exactly_once(self, tmp_path):
+        db = str(tmp_path / "platform.db")
+
+        def open_platform():
+            return make_platform(
+                store=DurableTaskStore(SqliteEngine(db), owns_engine=True)
+            )
+
+        first_platform = open_platform()
+        with WireServer(first_platform) as server:
+            client = WireClient(server.host, server.port)
+            project = client.create_project("durable")
+            first = client.create_tasks(project.project_id, SPECS)
+            client.close()
+        first_platform.close()
+
+        second_platform = open_platform()
+        with WireServer(second_platform) as server:
+            client = WireClient(server.host, server.port)
+            replayed = client.create_tasks(project.project_id, SPECS)
+            assert [t.task_id for t in replayed] == [t.task_id for t in first]
+            assert len(client.list_tasks(project.project_id)) == len(SPECS)
+            client.close()
+        second_platform.close()
+
+    def test_killed_connection_mid_call_maps_to_unavailable_then_heals(self):
+        # Sever every live connection while a call is blocked server-side;
+        # the client sees the retryable error and the next attempt (a fresh
+        # connection) succeeds — the fault story of docs/wire.md.
+        platform = make_platform()
+        release = threading.Event()
+        original = platform.find_project
+
+        def slow_find(name):
+            release.set()
+            return original(name)
+
+        platform.find_project = slow_find
+        with WireServer(platform) as server:
+            client = WireClient(server.host, server.port, max_retries=1)
+            try:
+                client.create_project("healing")
+                worker_error: list[BaseException] = []
+
+                def blocked_call():
+                    try:
+                        client.find_project("healing")
+                    except BaseException as exc:  # noqa: BLE001
+                        worker_error.append(exc)
+
+                thread = threading.Thread(target=blocked_call)
+                # Hold the dispatch lock so the wire call queues behind it.
+                with server._dispatch_lock:
+                    thread.start()
+                    release_seen = release.wait(timeout=0.3)
+                    assert release_seen is False  # still queued on the lock
+                    with server._connections_lock:
+                        for conn in list(server._connections):
+                            conn.shutdown(socket.SHUT_RDWR)
+                thread.join(timeout=5)
+                assert worker_error
+                assert isinstance(worker_error[0], PlatformUnavailableError)
+                # A fresh client call reconnects and succeeds.
+                found = client.find_project("healing")
+                assert found is not None and found.name == "healing"
+            finally:
+                client.close()
+
+    def test_wire_ops_cover_every_client_verb(self):
+        # Every verb PlatformClient routes through its transport must be
+        # dispatchable, or a remote client is strictly weaker than a local
+        # one.  (iter_* helpers are client-side loops over paged verbs.)
+        import inspect
+
+        from repro.platform.client import PlatformClient
+
+        verbs = {
+            name
+            for name, member in inspect.getmembers(
+                PlatformClient, predicate=inspect.isfunction
+            )
+            if not name.startswith("_")
+            and not name.startswith("iter_")
+            and name not in {"close", "statistics"}
+        }
+        verbs.add("statistics")
+        assert verbs <= WIRE_OPS
