@@ -2,7 +2,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast test-ring test-wire bench bench-smoke docs-check examples-check check
+.PHONY: test test-fast test-ring test-replica test-wire bench bench-smoke docs-check examples-check check
 
 test:
 	$(PYTEST) -x -q
@@ -17,6 +17,12 @@ test-ring:
 	$(PYTEST) -x -q -m ring
 	$(PYTEST) benchmarks/bench_ring_rebalance.py -q --bench-scale=smoke
 
+# Everything replica-marked: the replicated-placement, failover and chaos
+# suites, plus the E15 benchmark at smoke scale.
+test-replica:
+	$(PYTEST) -x -q -m replica
+	$(PYTEST) benchmarks/bench_ring_replication.py -q --bench-scale=smoke
+
 # Everything wire-marked: the cross-process server cluster suite plus the
 # E14 benchmark at smoke scale (real sockets, spawned server processes).
 test-wire:
@@ -29,7 +35,7 @@ bench:
 
 # One-iteration benchmark sanity pass at toy scale (seconds, not minutes).
 bench-smoke:
-	$(PYTEST) benchmarks/bench_bulk_path.py benchmarks/bench_sharded_scan.py benchmarks/bench_platform_store.py benchmarks/bench_pipelined_transport.py benchmarks/bench_ring_rebalance.py benchmarks/bench_wire_cluster.py -q --bench-scale=smoke
+	$(PYTEST) benchmarks/bench_bulk_path.py benchmarks/bench_sharded_scan.py benchmarks/bench_platform_store.py benchmarks/bench_pipelined_transport.py benchmarks/bench_ring_rebalance.py benchmarks/bench_ring_replication.py benchmarks/bench_wire_cluster.py -q --bench-scale=smoke
 
 # Lint README/docs links + cross-links, check config-field and benchmark
 # coverage, and run examples/quickstart.py headlessly.

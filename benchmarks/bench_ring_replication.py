@@ -1,0 +1,232 @@
+"""E15: replicated ring placement — R=2 write amplification and degraded reads.
+
+PR 7 made every key land on its R distinct successor members (write-all,
+read-any-fresh).  E15 prices that redundancy and proves the failover claim
+at benchmark scale:
+
+* **Write amplification** — identical records loaded into an R=1 and an
+  R=2 ring over the same three sqlite members.  The physical copy count is
+  *asserted* (R=1 stores exactly K rows across the children, R=2 exactly
+  2K) so the timed overhead ratio compares real fan-out, not luck.
+* **Degraded reads** — a loaded R=2 ring loses one member to ``mark_down``
+  (the SIGKILL model: nothing is flushed, nothing is closed).  The scan
+  after the kill must be **byte-identical** (keys, values, versions,
+  order) to the healthy scan, and ``get_many`` over every key must return
+  every value — the table then prices healthy vs degraded read throughput.
+
+Like E14, this benchmark writes a committed trajectory file —
+``benchmarks/results/BENCH_E15.json`` — recording the R=2 overhead numbers
+so future PRs can diff the replication cost against this one.
+
+Run ``pytest benchmarks/bench_ring_replication.py -q --bench-scale=smoke``
+for a seconds-long sanity pass at toy scale (the structural assertions
+still run; only the scale shrinks).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.simulation import ExperimentRunner
+from repro.storage import ConsistentHashEngine, SqliteEngine
+from repro.utils.timing import Stopwatch
+
+pytestmark = [pytest.mark.slow, pytest.mark.ring, pytest.mark.replica]
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_E15.json")
+
+NUM_RECORDS = 20_000
+SMOKE_RECORDS = 600
+MEMBERS = 3
+VIRTUAL_NODES = 64
+LOAD_CHUNK = 2_000
+GET_CHUNK = 1_000
+TABLE = "bench"
+
+
+def make_items(num_records: int) -> list[tuple[str, dict]]:
+    return [(f"key-{index:08d}", {"payload": index}) for index in range(num_records)]
+
+
+def build_ring(base_dir: str, tag: str, replicas: int):
+    children = {
+        f"ring-{index:02d}": SqliteEngine(
+            os.path.join(base_dir, tag, f"ring-{index:02d}.db")
+        )
+        for index in range(MEMBERS)
+    }
+    engine = ConsistentHashEngine(
+        children, virtual_nodes=VIRTUAL_NODES, replicas=replicas
+    )
+    return engine, children
+
+
+def load(engine, items) -> float:
+    engine.create_table(TABLE)
+    with Stopwatch() as watch:
+        for start in range(0, len(items), LOAD_CHUNK):
+            engine.put_many(TABLE, items[start : start + LOAD_CHUNK])
+    return watch.elapsed
+
+
+def physical_copies(children) -> int:
+    return sum(
+        child.count(TABLE)
+        for child in children.values()
+        if TABLE in child.list_tables()
+    )
+
+
+def run_write_amplification(base_dir: str, num_records: int) -> list[dict]:
+    """Load identical records at R=1 and R=2; assert the physical fan-out."""
+    items = make_items(num_records)
+    rows = []
+    baseline_seconds = None
+    for replicas in (1, 2):
+        engine, children = build_ring(base_dir, f"amp-r{replicas}", replicas)
+        put_seconds = load(engine, items)
+        copies = physical_copies(children)
+        # E15 acceptance: write-all really is write-all — every key holds
+        # exactly `replicas` physical copies across the children.
+        assert copies == num_records * replicas, (
+            f"R={replicas}: expected {num_records * replicas} physical copies, "
+            f"found {copies}"
+        )
+        assert engine.count(TABLE) == num_records
+        if baseline_seconds is None:
+            baseline_seconds = put_seconds
+        rows.append(
+            {
+                "replicas": replicas,
+                "records": num_records,
+                "physical_copies": copies,
+                "put_many_seconds": round(put_seconds, 3),
+                "put_overhead_ratio": round(put_seconds / max(baseline_seconds, 1e-9), 2),
+                "put_krows_per_s": round(num_records / max(put_seconds, 1e-9) / 1000, 1),
+            }
+        )
+        engine.close()
+    return rows
+
+
+def run_degraded_read(base_dir: str, num_records: int) -> dict:
+    """Kill one member of a loaded R=2 ring; price and verify failover reads."""
+    items = make_items(num_records)
+    engine, _children = build_ring(base_dir, "degraded", 2)
+    load(engine, items)
+    keys = [key for key, _ in items]
+
+    # Healthy numbers first (cold scan pays the one-off sequence-index build).
+    sum(1 for _ in engine.scan(TABLE))
+    with Stopwatch() as healthy_scan:
+        healthy = [(r.key, r.value, r.version) for r in engine.scan(TABLE)]
+    with Stopwatch() as healthy_get:
+        for start in range(0, len(keys), GET_CHUNK):
+            engine.get_many(TABLE, keys[start : start + GET_CHUNK])
+
+    victim = engine.member_names[0]
+    engine.mark_down(victim)
+
+    with Stopwatch() as degraded_scan:
+        degraded = [(r.key, r.value, r.version) for r in engine.scan(TABLE)]
+    with Stopwatch() as degraded_get:
+        recovered = []
+        for start in range(0, len(keys), GET_CHUNK):
+            recovered.extend(engine.get_many(TABLE, keys[start : start + GET_CHUNK]))
+
+    # E15 acceptance: the kill is invisible to readers — byte-identical scan,
+    # every key still answered.
+    assert degraded == healthy
+    assert len(recovered) == num_records
+    assert all(value is not None for value in recovered)
+    assert engine.count(TABLE) == num_records
+
+    row = {
+        "records": num_records,
+        "members": f"{MEMBERS}->{MEMBERS - 1}",
+        "down_member": victim,
+        "healthy_scan_seconds": round(healthy_scan.elapsed, 3),
+        "degraded_scan_seconds": round(degraded_scan.elapsed, 3),
+        "healthy_get_seconds": round(healthy_get.elapsed, 3),
+        "degraded_get_seconds": round(degraded_get.elapsed, 3),
+        "degraded_scan_ratio": round(
+            degraded_scan.elapsed / max(healthy_scan.elapsed, 1e-9), 2
+        ),
+        "scan_identical": degraded == healthy,
+    }
+    engine.close()
+    return row
+
+
+def write_trajectory(payload: dict) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_ring_replication_cost(record_table, tmp_path, bench_scale):
+    smoke = bench_scale == "smoke"
+    num_records = SMOKE_RECORDS if smoke else NUM_RECORDS
+    amplification = run_write_amplification(str(tmp_path), num_records)
+    degraded = run_degraded_read(str(tmp_path), num_records)
+
+    runner = ExperimentRunner(
+        f"E15 — replicated ring placement ({num_records} records, {MEMBERS} "
+        f"sqlite members: R=2 write overhead "
+        f"{amplification[-1]['put_overhead_ratio']}x, degraded scan "
+        f"{degraded['degraded_scan_ratio']}x healthy)"
+    )
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = amplification
+    record_table(
+        "E15_ring_replication_writes",
+        sweep.to_table(
+            columns=[
+                "replicas",
+                "records",
+                "physical_copies",
+                "put_many_seconds",
+                "put_overhead_ratio",
+                "put_krows_per_s",
+            ]
+        ),
+    )
+    failover = ExperimentRunner(
+        f"E15 — reads with one member killed mid-run ({num_records} records, "
+        "R=2: scans stay byte-identical)"
+    )
+    failover_sweep = failover.run([{}], lambda point: {})
+    failover_sweep.rows = [degraded]
+    record_table(
+        "E15_ring_replication_failover",
+        failover_sweep.to_table(
+            columns=[
+                "records",
+                "members",
+                "down_member",
+                "healthy_scan_seconds",
+                "degraded_scan_seconds",
+                "degraded_scan_ratio",
+                "healthy_get_seconds",
+                "degraded_get_seconds",
+                "scan_identical",
+            ]
+        ),
+    )
+
+    if not smoke:
+        # The trajectory file is a committed artifact tracking full-scale
+        # numbers across PRs; a toy-scale smoke pass must not clobber it.
+        write_trajectory(
+            {
+                "benchmark": "E15",
+                "scale": bench_scale,
+                "write_amplification": amplification,
+                "degraded_read": degraded,
+            }
+        )

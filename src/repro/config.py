@@ -49,6 +49,12 @@ class StorageConfig:
         rebalance_batch_size: For the ring engine, how many keys each
             migration wave copies and deletes per batch during
             ``rebalance``.
+        replicas: For the ring engine, how many distinct ring members keep
+            a copy of every key (write-all / read-any-fresh).  The default
+            1 keeps single-copy placement; 2 survives any single member
+            loss with transparent failover.  Must not exceed ``shards``,
+            and is ignored on reopen in favour of the value stored in the
+            ring's membership manifest.
     """
 
     engine: str = "sqlite"
@@ -60,6 +66,7 @@ class StorageConfig:
     shard_workers: int = 0
     virtual_nodes: int = 64
     rebalance_batch_size: int = 256
+    replicas: int = 1
 
     def with_path(self, path: str) -> "StorageConfig":
         """Return a copy of this config pointing at *path*."""

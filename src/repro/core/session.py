@@ -41,6 +41,9 @@ class ExperimentSession:
             ``"sqlite"`` (the default single sharable file), ``"sharded"``
             or ``"ring"`` (``db_path`` is then a *directory* of child
             files, and the whole directory is the sharable artifact).
+        storage_replicas: For the ``"ring"`` engine, how many members keep
+            a copy of every key (``StorageConfig.replicas``); 2 lets the
+            experiment survive the loss of any single ring member.
         transport: Which client/server boundary the experiment crosses —
             ``"direct"`` (in-process, the default), ``"pipelined"`` or
             ``"wire"`` (the context spawns a ``python -m
@@ -57,6 +60,7 @@ class ExperimentSession:
     context_kwargs: dict[str, Any] = field(default_factory=dict)
     durable_platform: bool = False
     storage_engine: str = "sqlite"
+    storage_replicas: int = 1
     transport: str = "direct"
 
     def platform_db_path(self) -> str:
@@ -67,10 +71,14 @@ class ExperimentSession:
         """Open a CrowdContext over this session's database file."""
         factory = ReprowdConfig.durable if self.durable_platform else ReprowdConfig.sqlite
         config = factory(self.db_path, seed=self.seed)
-        if self.storage_engine != "sqlite":
+        if self.storage_engine != "sqlite" or self.storage_replicas != 1:
             config = replace(
                 config,
-                storage=replace(config.storage, engine=self.storage_engine),
+                storage=replace(
+                    config.storage,
+                    engine=self.storage_engine,
+                    replicas=self.storage_replicas,
+                ),
             )
         if self.transport != "direct":
             platform = replace(config.platform, transport=self.transport)
@@ -122,6 +130,7 @@ class ExperimentSession:
             context_kwargs=dict(self.context_kwargs),
             durable_platform=self.durable_platform,
             storage_engine=self.storage_engine,
+            storage_replicas=self.storage_replicas,
             transport=self.transport,
         )
         if os.path.isfile(self.platform_db_path()):

@@ -50,6 +50,7 @@ class PlatformClient:
         transport: Transport | None = None,
         max_retries: int = 5,
         retry_backoff: float = 0.0,
+        retry_jitter: Callable[[], float] | None = None,
     ):
         """Connect to *server* with *api_key*.
 
@@ -64,6 +65,10 @@ class PlatformClient:
                 :func:`~repro.platform.transport.retry_call`).  0 retries
                 immediately — the right default in-process; wire clients use
                 a small base so a restarting server is not hammered.
+            retry_jitter: Deterministic jitter source for the retry delays
+                (a zero-argument callable returning [0, 1]); tests pass a
+                seeded ``random.Random(...).random`` so fault-recovery
+                timing is reproducible.  None keeps the module-level rng.
         """
         self.server = server
         self.api_key = api_key if api_key is not None else server.config.api_key
@@ -74,6 +79,7 @@ class PlatformClient:
             raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.retry_jitter = retry_jitter
         server.require_auth(self.api_key)
 
     # -- internals -------------------------------------------------------------
@@ -84,6 +90,7 @@ class PlatformClient:
             lambda: self.transport.call(name, method, *args, **kwargs),
             self.max_retries,
             backoff=self.retry_backoff,
+            jitter=self.retry_jitter,
         )
 
     # -- projects ---------------------------------------------------------------

@@ -49,6 +49,7 @@ def retry_call(
     max_backoff: float = MAX_RETRY_BACKOFF_SECONDS,
     rng: random.Random | None = None,
     sleep: Callable[[float], None] = time.sleep,
+    jitter: Callable[[], float] | None = None,
 ) -> Any:
     """Run *attempt* up to *retries* **attempts** on ``PlatformUnavailableError``.
 
@@ -77,6 +78,11 @@ def retry_call(
         max_backoff: Ceiling on a single delay.
         rng: Randomness source for the jitter (module-level when omitted).
         sleep: Sleep function (injectable for tests).
+        jitter: Deterministic override for the jitter draw: a zero-argument
+            callable returning a float in [0, 1], used *instead of* any rng.
+            Tests pass a seeded ``random.Random(...).random`` (or a
+            constant) so every retry delay is reproducible and timing
+            assertions cannot flake.
     """
     if retries < 1:
         raise ValueError(f"retries must be >= 1 (it counts attempts), got {retries}")
@@ -90,8 +96,13 @@ def retry_call(
             last_error = exc
             if backoff > 0 and attempt_index < retries - 1:
                 delay = min(max_backoff, backoff * (2**attempt_index))
-                jitter = rng.random() if rng is not None else random.random()
-                sleep(delay * (0.5 + 0.5 * jitter))
+                if jitter is not None:
+                    draw = jitter()
+                elif rng is not None:
+                    draw = rng.random()
+                else:
+                    draw = random.random()
+                sleep(delay * (0.5 + 0.5 * draw))
     if last_error is None:  # pragma: no cover — loop ran >= 1 attempt
         # A real exception, not an assert: asserts vanish under `python -O`
         # and this is a contract violation worth keeping fatal everywhere.

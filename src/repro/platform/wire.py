@@ -54,7 +54,7 @@ import subprocess
 import sys
 import threading
 import time
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro import exceptions as _exceptions
 from repro.config import PlatformConfig, StorageConfig
@@ -443,6 +443,7 @@ class WireClient(PlatformClient):
         api_key: str | None = None,
         max_retries: int = 5,
         retry_backoff: float = DEFAULT_WIRE_RETRY_BACKOFF,
+        retry_jitter: "Callable[[], float] | None" = None,
         timeout: float = DEFAULT_WIRE_TIMEOUT,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         owned_server: "WireServerHandle | None" = None,
@@ -455,6 +456,9 @@ class WireClient(PlatformClient):
             api_key: API key; the default platform key when omitted.
             max_retries: Transport attempts per call, first included.
             retry_backoff: Base delay between retried attempts.
+            retry_jitter: Deterministic jitter source for the retry delays
+                (see :class:`~repro.platform.client.PlatformClient`); tests
+                seed it so reconnect timing cannot flake.
             timeout: Socket timeout per request/response exchange.
             max_frame_bytes: Frame-size cap (must match the server's).
             owned_server: A handle from :func:`spawn_server` this client
@@ -472,6 +476,7 @@ class WireClient(PlatformClient):
             transport=transport,
             max_retries=max_retries,
             retry_backoff=retry_backoff,
+            retry_jitter=retry_jitter,
         )
 
     def close(self) -> None:

@@ -24,7 +24,7 @@ from repro.storage.memory_engine import MemoryEngine
 from repro.storage.sqlite_engine import SqliteEngine
 from repro.storage.log_engine import LogStructuredEngine
 from repro.storage.sharded_engine import PartitionedEngine, ShardedEngine, shard_index
-from repro.storage.ring import ConsistentHashEngine, HashRing
+from repro.storage.ring import ConsistentHashEngine, DegradedRingWarning, HashRing
 from repro.storage.records import Record, RecordCodec
 from repro.storage.schema import ColumnSpec, TableSchema
 
@@ -37,6 +37,7 @@ __all__ = [
     "PartitionedEngine",
     "ShardedEngine",
     "ConsistentHashEngine",
+    "DegradedRingWarning",
     "HashRing",
     "shard_index",
     "Record",

@@ -351,6 +351,7 @@ def open_engine(config: StorageConfig) -> StorageEngine:
             return ConsistentHashEngine(
                 dict(children),
                 virtual_nodes=config.virtual_nodes,
+                replicas=config.replicas,
                 rebalance_batch_size=config.rebalance_batch_size,
                 shard_workers=config.shard_workers,
             )

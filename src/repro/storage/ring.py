@@ -1,4 +1,4 @@
-"""Consistent-hash storage engine with online rebalance.
+"""Consistent-hash storage engine with online rebalance and replication.
 
 :class:`~repro.storage.sharded_engine.ShardedEngine` routes keys by
 ``hash(key) mod N``, which welds the data to a fixed N: growing capacity
@@ -32,21 +32,61 @@ the modulo-sharded engine:
   index memory per scanned table — values themselves are still fetched in
   bounded pages — which is the price of elastic membership.
 
+Replication (``replicas`` > 1)
+------------------------------
+
+With ``replicas=R`` every key is placed on its **R distinct successor
+members** walking clockwise from its hash (:meth:`HashRing.successors`).
+The placement rule is a pure function of the membership *names* — including
+members currently down — so a member outage never silently re-routes keys.
+
+* **Writes are write-all**: every ``put``/``put_many``/``delete`` applies to
+  every *live* member of the key's replica set, in one pass.
+* **Reads are read-any-fresh**: point and bulk lookups consult every live
+  replica and return the copy with the highest envelope logical version
+  (field ``"n"``), so a torn multi-replica write (a crash between two
+  replica puts) still reads deterministically.  A torn multi-replica
+  *delete* can conversely resurrect the surviving copy — deletes carry no
+  tombstone; :meth:`repair` reconciles divergent replicas.
+* **Degraded mode**: opening with up to R-1 manifest members missing warns
+  (:class:`DegradedRingWarning`) and serves — every key keeps at least one
+  live replica.  At runtime :meth:`mark_down` retires a member in place
+  (the SIGKILL model: the engine object is abandoned, not closed) under the
+  same R-1 bound, and reads/scans/writes transparently fail over to the
+  surviving replicas.
+* **Re-replication**: :meth:`repair` copies the freshest envelope of every
+  key to each live member of its replica set (healing under-replication
+  from degraded windows) and drops stray copies from members outside it.
+  ``rebalance`` runs the same pass automatically after its migration waves
+  whenever ``replicas`` > 1, so membership changes re-establish the
+  R-successor invariant even when they ran degraded.
+* **Returning members**: while any member is down, the live members carry a
+  replicated *down-record* naming it.  Reopening with a member another
+  member's down-record accuses triggers an automatic sync before it serves:
+  stale tables are dropped, missing tables created, zombie keys (deleted
+  while it was away) removed, and every key it should hold copied at the
+  trusted members' freshest version.
+
 Membership metadata
 -------------------
 
 Each child carries a reserved table ``__ring__`` (hidden from
-``list_tables``) holding two replicated records:
+``list_tables``) holding three replicated records:
 
 * ``members`` — the membership **manifest**: an epoch counter, the member
-  names, and the virtual-node count.  Written at first open and rewritten
-  (epoch + 1) when a rebalance completes.  On reopen the manifest with the
-  highest epoch is authoritative: children the manifest does not name are
-  dropped (a drained ex-member file is harmless), and reopening *without* a
-  manifest member raises — silently re-routing around a missing member would
-  misplace every key it owns.
+  names, the virtual-node count and the replica count.  Written at first
+  open and rewritten (epoch + 1) when a rebalance completes.  On reopen the
+  manifest with the highest epoch is authoritative: children the manifest
+  does not name are dropped (a drained ex-member file is harmless), and
+  reopening with more than ``replicas - 1`` manifest members missing raises
+  — silently re-routing around them would misplace or lose keys.
 * ``journal`` — present only while a rebalance is in flight: the old and new
-  member-name sets plus the epoch the transition started from.
+  member-name sets plus the epoch the transition started from.  A journal
+  older than the freshest manifest (a relic on a member that was down when
+  the transition finalized) is recognised as stale and discarded.
+* ``down`` — present when ``replicas`` > 1: the names of the members
+  currently marked down, so a returning member can be told apart from a
+  healthy one at the next open.
 
 The rebalance protocol
 ----------------------
@@ -54,21 +94,25 @@ The rebalance protocol
 ``rebalance(add=..., remove=...)`` runs entirely online:
 
 1. **Journal.** The transition ``{old, new, epoch}`` is written to every
-   member (old and new) — one durable record per child.  From this moment
-   writes route by the *new* ring, and every read that misses at a key's new
-   owner falls back to its old owner (read-from-both-owners), so no window
-   ever returns stale or missing data.
+   live member (old and new) — one durable record per child.  From this
+   moment writes route by the *new* ring, and every read that misses at a
+   key's new replicas falls back to its old ones (read-from-both-owners),
+   so no window ever returns stale or missing data.
 2. **Migration waves.** For every table and every old member, the keys whose
-   new-ring owner differs are enumerated (paged ``scan_keys``, bounded
-   memory) and moved in waves of ``rebalance_batch_size``: one
-   ``put_many(..., if_absent=True)`` per destination (``if_absent`` so a
-   concurrent fresh write at the destination is never clobbered by the stale
-   copy), then the wave's source records are deleted.  Envelopes move
-   verbatim, so sequence numbers — and therefore the global scan order — and
-   logical versions are preserved exactly.
-3. **Finalize.** The manifest is rewritten at epoch + 1 on every new member,
-   the journal records are deleted, and removed members (now drained) are
-   closed.
+   new replica set no longer includes that member are enumerated (paged
+   ``scan_keys``, bounded memory) and moved in waves of
+   ``rebalance_batch_size``: one ``put_many(..., if_absent=True)`` per live
+   destination replica (``if_absent`` so a concurrent fresh write at the
+   destination is never clobbered by the stale copy), then the wave's
+   source records are deleted.  Envelopes move verbatim, so sequence
+   numbers — and therefore the global scan order — and logical versions are
+   preserved exactly.
+3. **Repair** (``replicas`` > 1 only): the re-replication pass above, so
+   under-replication from members that were down during the waves is healed
+   before the transition commits.
+4. **Finalize.** The manifest is rewritten at epoch + 1 on every live new
+   member, the journal records are deleted, and removed members (now
+   drained) are closed.
 
 Every step is idempotent, and the waves re-derive their remaining work from
 the data itself, so a crash in *any* window is resumable: constructing the
@@ -83,9 +127,15 @@ index lists it once and the dual-owner lookup returns the current owner's
 from __future__ import annotations
 
 import bisect
+import warnings
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
-from repro.exceptions import StorageError, TableNotFoundError, UnknownCursorError
+from repro.exceptions import (
+    ConfigurationError,
+    StorageError,
+    TableNotFoundError,
+    UnknownCursorError,
+)
 from repro.storage.engine import StorageEngine
 from repro.storage.records import Record
 from repro.storage.sharded_engine import (
@@ -100,10 +150,20 @@ from repro.storage.sharded_engine import (
 RING_META_TABLE = "__ring__"
 _MANIFEST_KEY = "members"
 _JOURNAL_KEY = "journal"
+_DOWN_KEY = "down"
 
 #: Event callback invoked before every durable step of a rebalance; tests
 #: inject crashes by raising from it.
 RebalanceObserver = Callable[[str], None]
+
+
+class DegradedRingWarning(UserWarning):
+    """Emitted when a replicated ring opens or serves with members missing.
+
+    The ring still answers every read and write from the surviving
+    replicas; run :meth:`ConsistentHashEngine.repair` (or a ``rebalance``)
+    to re-establish full replication.
+    """
 
 
 class HashRing:
@@ -136,6 +196,38 @@ class HashRing:
         if index == len(self._points):
             index = 0  # wrap around the top of the ring
         return self._points[index][1]
+
+    def successors(self, key: str, count: int = 1) -> list[str]:
+        """Return *key*'s *count* **distinct** successor members, in ring order.
+
+        The first successor is exactly :meth:`owner`; walking clockwise past
+        further virtual points collects the next distinct member names.  The
+        replica placement rule of :class:`ConsistentHashEngine` — and, like
+        :meth:`owner`, a pure function of the member-name set.
+
+        Raises:
+            ConfigurationError: When *count* exceeds the member count — that
+                would silently under-replicate, which must never happen.
+        """
+        if count < 1:
+            raise ConfigurationError(f"successor count must be >= 1, got {count}")
+        if count > len(self.names):
+            raise ConfigurationError(
+                f"cannot place {count} replicas across "
+                f"{len(self.names)} ring member(s)"
+            )
+        start = bisect.bisect_right(self._hashes, stable_hash64(key))
+        total = len(self._points)
+        result: list[str] = []
+        seen: set[str] = set()
+        for step in range(total):
+            name = self._points[(start + step) % total][1]
+            if name not in seen:
+                seen.add(name)
+                result.append(name)
+                if len(result) == count:
+                    break
+        return result
 
 
 class _SequenceIndex:
@@ -180,7 +272,7 @@ class _SequenceIndex:
 
 class ConsistentHashEngine(PartitionedEngine):
     """Virtual-node hash ring over *named* child engines, with online
-    :meth:`rebalance`."""
+    :meth:`rebalance` and R-successor replication."""
 
     engine_name = "ring"
     _envelope_versions = True
@@ -189,6 +281,7 @@ class ConsistentHashEngine(PartitionedEngine):
         self,
         children: Mapping[str, StorageEngine],
         virtual_nodes: int = 64,
+        replicas: int = 1,
         rebalance_batch_size: int = 256,
         shard_workers: int = 0,
     ):
@@ -199,9 +292,13 @@ class ConsistentHashEngine(PartitionedEngine):
         * a pending rebalance **journal** is resumed to completion before
           the engine serves anything (the crash-recovery path);
         * otherwise the highest-epoch **manifest** is authoritative —
-          ``virtual_nodes`` is adopted from it, children it does not name
-          are closed and dropped, and a missing manifest member raises
-          :class:`~repro.exceptions.StorageError`;
+          ``virtual_nodes`` and ``replicas`` are adopted from it, children
+          it does not name are closed and dropped, and missing manifest
+          members raise :class:`~repro.exceptions.StorageError` unless the
+          replica count tolerates them (at most ``replicas - 1`` missing,
+          which opens **degraded** with a :class:`DegradedRingWarning`);
+        * a member that a surviving down-record accuses of having been
+          down is synced from the trusted members before it serves;
         * a fresh set of children (no manifest anywhere) writes the epoch-1
           manifest.
 
@@ -210,6 +307,10 @@ class ConsistentHashEngine(PartitionedEngine):
                 reopening must use the same names for the same data.
             virtual_nodes: Ring points per member (ignored in favour of the
                 stored manifest when one exists).
+            replicas: Copies kept of every key — each key lands on its
+                ``replicas`` distinct ring successors.  Like
+                ``virtual_nodes``, the stored manifest wins on reopen.
+                Must not exceed the member count.
             rebalance_batch_size: Keys migrated per copy/delete wave.
             shard_workers: Threads a ``put_many`` fans per-member child
                 transactions out over (0 = serial), as on ``ShardedEngine``.
@@ -219,7 +320,14 @@ class ConsistentHashEngine(PartitionedEngine):
         super().__init__(shard_workers=shard_workers)
         self.rebalance_batch_size = max(1, int(rebalance_batch_size))
         self.virtual_nodes = max(1, int(virtual_nodes))
+        self.replicas = int(replicas)
+        if self.replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
         self._children: dict[str, StorageEngine] = dict(children)
+        #: Authoritative member names, including members currently down.
+        #: The ring is built over this set, so placement never shifts when a
+        #: member dies; ``self._children`` holds only the live engines.
+        self._membership: set[str] = set(self._children)
         self._indexes: dict[str, _SequenceIndex] = {}
         self._epoch = 1
         # (old ring, retired name -> engine) while a migration is in flight.
@@ -231,9 +339,32 @@ class ConsistentHashEngine(PartitionedEngine):
             self._resume_from_journal(journal)
         else:
             self._adopt_manifest()
+        if self.replicas > len(self._membership):
+            raise ConfigurationError(
+                f"cannot keep {self.replicas} replicas on a ring of "
+                f"{len(self._membership)} member(s)"
+            )
         self._rebuild_membership()
+        returning = self._returning_members()
+        if returning:
+            quarantined = {name: self._children.pop(name) for name in returning}
+            if len(self._membership - set(self._children)) > self.replicas - 1:
+                raise StorageError(
+                    f"cannot open: members {sorted(self._membership - set(self._children))} "
+                    f"are missing or returning from an outage at once, but "
+                    f"replicas={self.replicas} tolerates at most "
+                    f"{self.replicas - 1} — some keys would have no trusted copy"
+                )
+            self._rebuild_membership()
+            for name in sorted(quarantined):
+                self._sync_member(name, quarantined[name])
+                self._children[name] = quarantined[name]
+            self._rebuild_membership()
+        self._write_down_records()
         if journal is not None:
             self._run_migration(lambda event: None)
+            if self.replicas > 1:
+                self._repair_pass(lambda event: None)
             self._finalize(lambda event: None)
 
     # -- membership bookkeeping ------------------------------------------------
@@ -242,8 +373,11 @@ class ConsistentHashEngine(PartitionedEngine):
         """Recompute the member list and ring after a membership change.
 
         ``self._members`` (what the merge-scan, table ops and sequence
-        recovery iterate) covers the current children plus, mid-migration,
-        the retired members still being drained.
+        recovery iterate) covers the current *live* children plus,
+        mid-migration, the retired members still being drained.  The ring
+        itself is built over the authoritative ``self._membership`` — down
+        members keep their ring points, so a dead member never silently
+        re-routes the keys it owns.
         """
         members: list[StorageEngine] = []
         index: dict[str, int] = {}
@@ -256,14 +390,37 @@ class ConsistentHashEngine(PartitionedEngine):
                 members.append(engine)
         self._members = members
         self._member_index = index
-        self._ring = HashRing(self._children, self.virtual_nodes)
+        self._ring = HashRing(self._membership, self.virtual_nodes)
+
+    def _down_names(self) -> list[str]:
+        """Names of the authoritative members with no live engine, sorted."""
+        return sorted(self._membership - set(self._children))
 
     def _find_journal(self) -> dict[str, Any] | None:
+        """The in-flight rebalance journal, if any child holds a *current* one.
+
+        A journal left on a member that was down when the transition
+        finalized is recognisable: the freshest manifest's epoch has moved
+        past the epoch the journal recorded.  Such relics are deleted rather
+        than resumed — replaying a finished transition against a newer
+        membership would corrupt placement.
+        """
+        journal: dict[str, Any] | None = None
+        manifest_epoch = 0
         for child in self._children.values():
-            journal = child.get(RING_META_TABLE, _JOURNAL_KEY)
-            if journal is not None:
-                return journal
-        return None
+            candidate = child.get(RING_META_TABLE, _JOURNAL_KEY)
+            if candidate is not None and (
+                journal is None or candidate["epoch"] > journal["epoch"]
+            ):
+                journal = candidate
+            manifest = child.get(RING_META_TABLE, _MANIFEST_KEY)
+            if manifest is not None:
+                manifest_epoch = max(manifest_epoch, manifest["epoch"])
+        if journal is not None and manifest_epoch > journal["epoch"]:
+            for child in self._children.values():
+                child.delete(RING_META_TABLE, _JOURNAL_KEY)
+            return None
+        return journal
 
     def _adopt_manifest(self) -> None:
         manifest: dict[str, Any] | None = None
@@ -275,18 +432,36 @@ class ConsistentHashEngine(PartitionedEngine):
                 manifest = candidate
         if manifest is None:
             self._epoch = 1
+            self._membership = set(self._children)
+            if self.replicas > len(self._membership):
+                raise ConfigurationError(
+                    f"cannot keep {self.replicas} replicas on a ring of "
+                    f"{len(self._membership)} member(s)"
+                )
             self._write_manifest(self._children)
             return
         self._epoch = manifest["epoch"]
         self.virtual_nodes = manifest["virtual_nodes"]
+        self.replicas = int(manifest.get("replicas", 1))
         names = set(manifest["members"])
         missing = sorted(names - set(self._children))
-        if missing:
+        if len(missing) > self.replicas - 1:
             raise StorageError(
                 f"ring manifest (epoch {self._epoch}) names members "
-                f"{missing} that were not provided; reopening without a "
-                "member would misroute every key it owns"
+                f"{missing} that were not provided; with replicas="
+                f"{self.replicas} at most {self.replicas - 1} may be absent, "
+                "or keys would be misrouted or lost"
             )
+        if missing:
+            warnings.warn(
+                DegradedRingWarning(
+                    f"opening ring degraded: members {missing} are missing; "
+                    f"serving from the surviving replicas (replicas="
+                    f"{self.replicas}); run repair() to re-replicate"
+                ),
+                stacklevel=3,
+            )
+        self._membership = names
         # Children beyond the manifest are drained ex-members (e.g. a file
         # left on disk by a completed remove): authoritative membership wins.
         for name in sorted(set(self._children) - names):
@@ -295,8 +470,9 @@ class ConsistentHashEngine(PartitionedEngine):
     def _write_manifest(self, children: Mapping[str, StorageEngine]) -> None:
         manifest = {
             "epoch": self._epoch,
-            "members": sorted(children),
+            "members": sorted(self._membership),
             "virtual_nodes": self.virtual_nodes,
+            "replicas": self.replicas,
         }
         for child in children.values():
             child.put(RING_META_TABLE, _MANIFEST_KEY, manifest)
@@ -304,45 +480,223 @@ class ConsistentHashEngine(PartitionedEngine):
     def _resume_from_journal(self, journal: dict[str, Any]) -> None:
         """Rebuild the in-flight transition recorded by *journal*.
 
-        The caller must have provided every engine the journal names (old
-        and new members alike): the drain needs the retired members' data
-        and the fallback reads need their engines.
+        The caller must provide every engine the journal names (old and new
+        members alike) — the drain needs the retired members' data and the
+        fallback reads need their engines — except that, with replication,
+        up to ``replicas - 1`` of them may be missing (every key keeps a
+        surviving copy; the resumed migration plus the repair pass
+        re-establish placement from those).
         """
         old_names = set(journal["old"])
         new_names = set(journal["new"])
-        missing = sorted((old_names | new_names) - set(self._children))
-        if missing:
-            raise StorageError(
-                f"ring journal records an unfinished rebalance involving "
-                f"members {missing} that were not provided; supply them so "
-                "the migration can resume"
-            )
         self._epoch = journal["epoch"]
         self.virtual_nodes = journal["virtual_nodes"]
+        self.replicas = int(journal.get("replicas", 1))
+        missing = sorted((old_names | new_names) - set(self._children))
+        if len(missing) > self.replicas - 1:
+            raise StorageError(
+                f"ring journal records an unfinished rebalance involving "
+                f"members {missing} that were not provided; with replicas="
+                f"{self.replicas} at most {self.replicas - 1} may be absent "
+                "— supply the rest so the migration can resume"
+            )
+        if missing:
+            warnings.warn(
+                DegradedRingWarning(
+                    f"resuming an unfinished rebalance degraded: members "
+                    f"{missing} are missing (replicas={self.replicas})"
+                ),
+                stacklevel=3,
+            )
         retired = {
-            name: self._children.pop(name) for name in sorted(old_names - new_names)
+            name: self._children.pop(name)
+            for name in sorted(old_names - new_names)
+            if name in self._children
         }
         for name in sorted(set(self._children) - new_names):
             # Provided but in neither set: a drained ex-member from an even
             # earlier epoch.  Drop it, as _adopt_manifest would.
             self._children.pop(name).close()
+        self._membership = new_names
         self._pending = (HashRing(old_names, self.virtual_nodes), retired)
 
-    # -- routing with migration fallback --------------------------------------
+    # -- down members and returning-member sync --------------------------------
+
+    def _returning_members(self) -> list[str]:
+        """Provided members that a surviving down-record accuses.
+
+        A member that was marked down and is now being reopened alongside
+        the others missed writes (and deletes) while it was away; it must be
+        synced from the trusted members before it may serve reads.
+        """
+        if self.replicas == 1:
+            return []
+        accused: set[str] = set()
+        for child in self._children.values():
+            record = child.get(RING_META_TABLE, _DOWN_KEY)
+            if record:
+                accused.update(record.get("names", []))
+        return sorted(accused & set(self._children) & self._membership)
+
+    def _write_down_records(self) -> None:
+        """Replicate the current down set to every live member (R > 1 only)."""
+        if self.replicas == 1:
+            return
+        record = {"names": self._down_names()}
+        for child in self._children.values():
+            child.put(RING_META_TABLE, _DOWN_KEY, record)
+
+    def _sync_member(self, name: str, engine: StorageEngine) -> None:
+        """Bring a returning member in line with the trusted live members.
+
+        Called with *name* still outside ``self._children`` (quarantined),
+        so the live children are exactly the trusted set.  Every key the
+        member should hold (under the *current* ring — a resumed migration's
+        waves and repair pass fill in the rest) is copied at the trusted
+        freshest version; keys it holds that the trusted members deleted
+        (zombies) or that it no longer owns are removed; stale tables are
+        dropped and missing ones created.  Finally the trusted metadata
+        records are mirrored verbatim, erasing any relic manifest/journal.
+        """
+        engine.create_table(RING_META_TABLE)
+        trusted_tables = self.list_tables()
+        for table_name in engine.list_tables():
+            if table_name != RING_META_TABLE and table_name not in trusted_tables:
+                engine.drop_table(table_name)
+        for table_name in trusted_tables:
+            engine.create_table(table_name)
+            wanted: dict[str, Any] = {}
+            for peer in self._members:
+                if not peer.has_table(table_name):
+                    continue
+                cursor: str | None = None
+                while True:
+                    page = list(
+                        peer.scan(
+                            table_name,
+                            limit=self._merge_page_size,
+                            start_after=cursor,
+                        )
+                    )
+                    for record in page:
+                        if name not in self._replica_names(record.key):
+                            continue
+                        best = wanted.get(record.key)
+                        if best is None or record.value[_VER] > best[_VER]:
+                            wanted[record.key] = record.value
+                    if len(page) < self._merge_page_size:
+                        break
+                    cursor = page[-1].key
+            stale: list[str] = []
+            current_versions: dict[str, int] = {}
+            cursor = None
+            while True:
+                page = list(
+                    engine.scan(
+                        table_name, limit=self._merge_page_size, start_after=cursor
+                    )
+                )
+                for record in page:
+                    if record.key in wanted:
+                        current_versions[record.key] = record.value[_VER]
+                    else:
+                        stale.append(record.key)
+                if len(page) < self._merge_page_size:
+                    break
+                cursor = page[-1].key
+            for key in stale:
+                engine.delete(table_name, key)
+            to_copy = [
+                (key, envelope)
+                for key, envelope in wanted.items()
+                if current_versions.get(key) != envelope[_VER]
+            ]
+            for start in range(0, len(to_copy), self.rebalance_batch_size):
+                engine.put_many(
+                    table_name, to_copy[start : start + self.rebalance_batch_size]
+                )
+        trusted = self._children[sorted(self._children)[0]]
+        for meta_key in (_MANIFEST_KEY, _JOURNAL_KEY, _DOWN_KEY):
+            value = trusted.get(RING_META_TABLE, meta_key)
+            if value is None:
+                engine.delete(RING_META_TABLE, meta_key)
+            else:
+                engine.put(RING_META_TABLE, meta_key, value)
+
+    def mark_down(self, name: str) -> None:
+        """Retire the live member *name* in place (the member-kill model).
+
+        The member keeps its ring points — placement does not shift — but no
+        further read or write touches it: every key it holds fails over to
+        its surviving replicas.  Its engine object is **abandoned, not
+        closed** (a SIGKILLed process gets no clean shutdown either); the
+        caller owns whatever is left of it.  The down set is persisted to
+        the survivors so a later reopen recognises the member as returning
+        and syncs it before it serves.
+
+        Raises:
+            StorageError: When *name* is not a live member, or when marking
+                it down would exceed the ``replicas - 1`` members the ring
+                can lose without orphaning keys.
+        """
+        if name not in self._children:
+            raise StorageError(f"unknown or already-down ring member {name!r}")
+        down_after = len(self._down_names()) + 1
+        if down_after > self.replicas - 1:
+            raise StorageError(
+                f"cannot mark ring member {name!r} down: replicas="
+                f"{self.replicas} tolerates at most {self.replicas - 1} "
+                f"missing member(s) and {down_after} would be missing"
+            )
+        self._children.pop(name)
+        self._rebuild_membership()
+        self._write_down_records()
+
+    # -- routing with replication and migration fallback -----------------------
+
+    def _replica_names(self, key: str) -> list[str]:
+        """The key's full replica set (live or not), in ring order."""
+        if self.replicas == 1:
+            return [self._ring.owner(key)]
+        return self._ring.successors(key, self.replicas)
 
     def _owner_index(self, key: str) -> int:
-        return self._member_index[self._ring.owner(key)]
+        for name in self._replica_names(key):
+            if name in self._children:
+                return self._member_index[name]
+        raise StorageError(
+            f"no live replica available for key {key!r}"
+        )  # pragma: no cover — the down-count bound keeps one replica live
 
-    def _old_owner(self, key: str) -> StorageEngine | None:
-        """The key's owner under the outgoing ring, when a migration is in
-        flight and it differs from the current owner."""
+    def _write_indexes(self, key: str) -> list[int]:
+        indexes = [
+            self._member_index[name]
+            for name in self._replica_names(key)
+            if name in self._children
+        ]
+        if not indexes:  # pragma: no cover — see _owner_index
+            raise StorageError(f"no live replica available for key {key!r}")
+        return indexes
+
+    def _old_replica_engines(self, key: str) -> list[StorageEngine]:
+        """Mid-migration fallback readers: the key's *old*-ring replicas that
+        are not already part of its current replica set."""
         if self._pending is None:
-            return None
+            return []
         old_ring, retired = self._pending
-        name = old_ring.owner(key)
-        if name == self._ring.owner(key):
-            return None
-        return retired.get(name) or self._children.get(name)
+        if self.replicas == 1:
+            old_names = [old_ring.owner(key)]
+        else:
+            old_names = old_ring.successors(key, min(self.replicas, len(old_ring.names)))
+        current = set(self._replica_names(key))
+        engines: list[StorageEngine] = []
+        for name in old_names:
+            if name in current:
+                continue
+            engine = retired.get(name) or self._children.get(name)
+            if engine is not None:
+                engines.append(engine)
+        return engines
 
     def _require_table(self, table_name: str) -> None:
         # The reserved metadata table is invisible through the facade: its
@@ -355,43 +709,76 @@ class ConsistentHashEngine(PartitionedEngine):
     def _read_envelope_record(self, table_name: str, key: str) -> Record | None:
         if table_name == RING_META_TABLE:
             raise TableNotFoundError(table_name)
-        record = self._owner(key).get_record(table_name, key)
+        record: Record | None = None
+        if self.replicas == 1:
+            record = self._owner(key).get_record(table_name, key)
+        else:
+            # Read-any-fresh: the highest logical version among the live
+            # replicas wins, so a torn multi-replica write reads the same
+            # everywhere.
+            for name in self._replica_names(key):
+                engine = self._children.get(name)
+                if engine is None:
+                    continue
+                candidate = engine.get_record(table_name, key)
+                if candidate is not None and (
+                    record is None or candidate.value[_VER] > record.value[_VER]
+                ):
+                    record = candidate
         if record is None:
-            old_owner = self._old_owner(key)
-            if old_owner is not None:
-                record = old_owner.get_record(table_name, key)
+            for engine in self._old_replica_engines(key):
+                candidate = engine.get_record(table_name, key)
+                if candidate is not None and (
+                    record is None or candidate.value[_VER] > record.value[_VER]
+                ):
+                    record = candidate
         return record
 
     def _bulk_lookup_envelopes(self, table_name: str, keys) -> dict[str, Any]:
-        found = super()._bulk_lookup_envelopes(table_name, keys)
+        sentinel = object()
+        if self.replicas == 1:
+            found = super()._bulk_lookup_envelopes(table_name, keys)
+        else:
+            by_member: dict[str, list[str]] = {}
+            for key in keys:
+                for name in self._replica_names(key):
+                    if name in self._children:
+                        by_member.setdefault(name, []).append(key)
+            found: dict[str, Any] = {}
+            for name, member_keys in by_member.items():
+                envelopes = self._children[name].get_many(
+                    table_name, member_keys, default=sentinel
+                )
+                for key, envelope in zip(member_keys, envelopes):
+                    if envelope is sentinel:
+                        continue
+                    best = found.get(key)
+                    if best is None or envelope[_VER] > best[_VER]:
+                        found[key] = envelope
         if self._pending is not None:
             misses = [key for key in keys if key not in found]
-            if misses:
-                old_ring, retired = self._pending
-                by_old: dict[str, list[str]] = {}
-                for key in misses:
-                    old_name = old_ring.owner(key)
-                    if old_name != self._ring.owner(key):
-                        by_old.setdefault(old_name, []).append(key)
-                for old_name, old_keys in by_old.items():
-                    engine = retired.get(old_name) or self._children[old_name]
-                    sentinel = object()
-                    for key, envelope in zip(
-                        old_keys, engine.get_many(table_name, old_keys, default=sentinel)
-                    ):
-                        if envelope is not sentinel:
-                            found[key] = envelope
+            for key in misses:
+                for engine in self._old_replica_engines(key):
+                    envelope = engine.get(table_name, key, default=sentinel)
+                    if envelope is sentinel:
+                        continue
+                    best = found.get(key)
+                    if best is None or envelope[_VER] > best[_VER]:
+                        found[key] = envelope
         return found
 
     def delete(self, table_name: str, key: str) -> bool:
         if table_name == RING_META_TABLE:
             raise TableNotFoundError(table_name)
-        deleted = self._owner(key).delete(table_name, key)
-        old_owner = self._old_owner(key)
-        if old_owner is not None:
+        deleted = False
+        for name in self._replica_names(key):
+            engine = self._children.get(name)
+            if engine is not None:
+                deleted = engine.delete(table_name, key) or deleted
+        for engine in self._old_replica_engines(key):
             # Mid-migration both copies must go, or the stale one would be
             # "resurrected" by the fallback read (and by the drain wave).
-            deleted = old_owner.delete(table_name, key) or deleted
+            deleted = engine.delete(table_name, key) or deleted
         if deleted:
             index = self._indexes.get(table_name)
             if index is not None:
@@ -404,10 +791,11 @@ class ConsistentHashEngine(PartitionedEngine):
         """The table's sequence index, built lazily from the children.
 
         One full pass per member per open; a key found at two owners (the
-        mid-migration window) collapses naturally because both copies carry
-        the same sequence number.  Writes and deletes afterwards maintain
-        the index incrementally, and migration never touches it — moving a
-        key changes neither its sequence nor its liveness.
+        mid-migration window) or at several replicas collapses naturally
+        because every copy carries the same sequence number.  Writes and
+        deletes afterwards maintain the index incrementally, and migration
+        never touches it — moving a key changes neither its sequence nor its
+        liveness.
         """
         index = self._indexes.get(table_name)
         if index is None:
@@ -526,6 +914,119 @@ class ConsistentHashEngine(PartitionedEngine):
         super().drop_table(table_name)
         self._indexes.pop(table_name, None)
 
+    # -- repair (re-replication) -----------------------------------------------
+
+    def repair(self, on_event: RebalanceObserver | None = None) -> dict[str, Any]:
+        """Re-establish the R-successor invariant across the live members.
+
+        For every table, every key's freshest envelope (highest logical
+        version among the live copies) is written to each *live* member of
+        its replica set that lacks it or holds an older version, and copies
+        sitting on live members outside the replica set are dropped.  This
+        is the healing pass after a degraded window: writes issued while a
+        member was down only reached the surviving replicas, and a torn
+        multi-replica write can leave versions divergent.
+
+        Idempotent and crash-safe: every step rewrites state derivable from
+        the data, so rerunning after an interruption converges.
+
+        Args:
+            on_event: Optional observer called with ``repair:...`` /
+                ``repair-drop:...`` labels before each durable step (the
+                same crash-injection hook :meth:`rebalance` offers).
+
+        Returns:
+            A report: ``keys_copied``, ``keys_dropped``, ``tables``
+            (per-table counts).
+
+        Raises:
+            StorageError: While a rebalance is in flight (its own repair
+                pass runs as part of the transition).
+        """
+        if self._pending is not None:
+            raise StorageError(
+                "cannot repair while a rebalance is in flight; the "
+                "transition runs its own repair pass before finalizing"
+            )
+        return self._repair_pass(on_event or (lambda event: None))
+
+    def _repair_pass(self, notify: RebalanceObserver) -> dict[str, Any]:
+        keys_copied = 0
+        keys_dropped = 0
+        per_table: dict[str, dict[str, int]] = {}
+        for table_name in self.list_tables():
+            held: dict[str, dict[str, Any]] = {}
+            for name in sorted(self._children):
+                engine = self._children[name]
+                engine.create_table(table_name)
+                envelopes: dict[str, Any] = {}
+                cursor: str | None = None
+                while True:
+                    page = list(
+                        engine.scan(
+                            table_name,
+                            limit=self._merge_page_size,
+                            start_after=cursor,
+                        )
+                    )
+                    for record in page:
+                        envelopes[record.key] = record.value
+                    if len(page) < self._merge_page_size:
+                        break
+                    cursor = page[-1].key
+                held[name] = envelopes
+            freshest: dict[str, Any] = {}
+            for envelopes in held.values():
+                for key, envelope in envelopes.items():
+                    best = freshest.get(key)
+                    if best is None or envelope[_VER] > best[_VER]:
+                        freshest[key] = envelope
+            copies: dict[str, list[tuple[str, Any]]] = {}
+            drops: dict[str, list[str]] = {}
+            for key, envelope in freshest.items():
+                replica_set = set(self._replica_names(key))
+                for name in replica_set:
+                    if name not in self._children:
+                        continue
+                    current = held[name].get(key)
+                    if current is None or current[_VER] < envelope[_VER]:
+                        copies.setdefault(name, []).append((key, envelope))
+                for name, envelopes in held.items():
+                    if key in envelopes and name not in replica_set:
+                        drops.setdefault(name, []).append(key)
+            copied_in_table = 0
+            dropped_in_table = 0
+            for name in sorted(copies):
+                batch = copies[name]
+                for start in range(0, len(batch), self.rebalance_batch_size):
+                    wave = batch[start : start + self.rebalance_batch_size]
+                    notify(f"repair:{table_name}:{name}")
+                    engine = self._children.get(name)
+                    if engine is None:
+                        continue  # marked down by the observer itself
+                    engine.put_many(table_name, wave)
+                    copied_in_table += len(wave)
+            for name in sorted(drops):
+                notify(f"repair-drop:{table_name}:{name}")
+                engine = self._children.get(name)
+                if engine is None:
+                    continue
+                for key in drops[name]:
+                    engine.delete(table_name, key)
+                dropped_in_table += len(drops[name])
+            if copied_in_table or dropped_in_table:
+                per_table[table_name] = {
+                    "copied": copied_in_table,
+                    "dropped": dropped_in_table,
+                }
+            keys_copied += copied_in_table
+            keys_dropped += dropped_in_table
+        return {
+            "keys_copied": keys_copied,
+            "keys_dropped": keys_dropped,
+            "tables": per_table,
+        }
+
     # -- rebalance -------------------------------------------------------------
 
     def rebalance(
@@ -539,12 +1040,15 @@ class ConsistentHashEngine(PartitionedEngine):
         Args:
             add: New members (name -> already-open engine) to join the ring.
             remove: Names of current members to drain and retire; their
-                engines are closed once empty.
+                engines are closed once empty.  A member currently marked
+                down may be removed too (dead-member replacement) — its
+                surviving replicas provide the data.
             on_event: Test hook called with a label *before* every durable
-                step (journal writes, copy waves, delete waves, manifest
-                writes, journal clears).  Raising from it models a crash in
-                that exact window; reconstructing the engine over the same
-                children resumes and completes the migration.
+                step (journal writes, copy waves, delete waves, repair
+                steps, manifest writes, journal clears).  Raising from it
+                models a crash in that exact window; reconstructing the
+                engine over the same children resumes and completes the
+                migration.
 
         Returns:
             A report: ``keys_moved``, ``tables`` (per-table move counts),
@@ -553,8 +1057,8 @@ class ConsistentHashEngine(PartitionedEngine):
         Reads and writes issued from ``on_event`` (or, more generally,
         interleaved with the waves by a single-threaded caller) see a
         consistent view throughout: writes route by the new ring, reads
-        fall back to the old owner, scans deduplicate the one window where
-        both copies exist.
+        fall back to the old replicas, scans deduplicate the one window
+        where both copies exist.
         """
         add = dict(add or {})
         remove = sorted(set(remove or []))
@@ -566,20 +1070,31 @@ class ConsistentHashEngine(PartitionedEngine):
                 "over the same children to resume it before starting another"
             )
         for name in add:
-            if name in self._children:
+            if name in self._membership:
                 raise StorageError(f"ring member {name!r} already exists")
         for name in remove:
-            if name not in self._children:
+            if name not in self._membership:
                 raise StorageError(f"cannot remove unknown ring member {name!r}")
             if name in add:
                 raise StorageError(f"cannot both add and remove member {name!r}")
         if not add and not remove:
             raise StorageError("rebalance needs at least one member to add or remove")
-        survivors = set(self._children) - set(remove) | set(add)
+        survivors = self._membership - set(remove) | set(add)
         if not survivors:
             raise StorageError("rebalance would leave the ring with no members")
+        if len(survivors) < self.replicas:
+            raise StorageError(
+                f"rebalance would leave {len(survivors)} member(s), fewer "
+                f"than the {self.replicas} replicas every key needs"
+            )
+        down_after = {name for name in survivors if name not in self._children and name not in add}
+        if len(down_after) > self.replicas - 1:
+            raise StorageError(
+                f"rebalance would leave members {sorted(down_after)} down at "
+                f"once, more than replicas={self.replicas} tolerates"
+            )
 
-        old_names = sorted(self._children)
+        old_names = sorted(self._membership)
         new_names = sorted(survivors)
 
         # Prepare joiners: the reserved table plus every existing data table
@@ -595,6 +1110,7 @@ class ConsistentHashEngine(PartitionedEngine):
             "old": old_names,
             "new": new_names,
             "virtual_nodes": self.virtual_nodes,
+            "replicas": self.replicas,
         }
         # The journal must be durable on every member *before* any write
         # routes by the new ring: if a journal write fails here, the live
@@ -603,49 +1119,58 @@ class ConsistentHashEngine(PartitionedEngine):
         # Flipping routing first would let a caller who caught the failure
         # keep writing to a joiner that a journal-less reopen then drops.
         for name in sorted(set(old_names) | set(new_names)):
+            engine = self._children.get(name) or add.get(name)
+            if engine is None:
+                continue  # a down member; it will be synced when it returns
             notify(f"journal:{name}")
-            engine = self._children.get(name) or add[name]
             engine.put(RING_META_TABLE, _JOURNAL_KEY, journal)
 
         # From here writes route by the new ring; reads fall back via
         # self._pending until the drain completes.
-        retired = {name: self._children[name] for name in remove}
-        for name in remove:
-            self._children.pop(name)
+        retired = {
+            name: self._children.pop(name) for name in remove if name in self._children
+        }
         self._children.update(add)
+        self._membership = set(new_names)
         self._pending = (HashRing(old_names, self.virtual_nodes), retired)
         self._rebuild_membership()
 
         report = self._run_migration(notify)
+        if self.replicas > 1:
+            report["repair"] = self._repair_pass(notify)
         self._finalize(notify)
         report.update(added=sorted(add), removed=remove, epoch=self._epoch)
         return report
 
     def _run_migration(self, notify: RebalanceObserver) -> dict[str, Any]:
-        """Drain every key whose ring ownership changed, in batched waves.
+        """Drain every key whose ring placement changed, in batched waves.
 
         The work list is re-derived from the data (keys still sitting at a
-        member that no longer owns them), which is what makes a resumed
-        migration converge without progress cursors: completed waves left
-        nothing behind to enumerate.
+        member that no longer holds a replica of them), which is what makes
+        a resumed migration converge without progress cursors: completed
+        waves left nothing behind to enumerate.
         """
         old_ring, retired = self._pending
-        sources = dict(retired)
-        for name in old_ring.names:
-            if name in self._children:
-                sources[name] = self._children[name]
+        source_names = set(retired) | (set(old_ring.names) & set(self._children))
 
         keys_moved = 0
         waves = 0
         per_table: dict[str, int] = {}
         for table_name in self.list_tables():
             moved_in_table = 0
-            for source_name in sorted(sources):
-                source = sources[source_name]
+            for source_name in sorted(source_names):
+                source = retired.get(source_name) or self._children.get(source_name)
+                if source is None:
+                    continue  # marked down mid-transition; repair heals it
                 if not source.has_table(table_name):
                     continue
                 displaced = self._displaced_keys(source, source_name, table_name)
                 for start in range(0, len(displaced), self.rebalance_batch_size):
+                    if (
+                        source_name not in retired
+                        and source_name not in self._children
+                    ):
+                        break  # the observer marked this source down mid-wave
                     wave = displaced[start : start + self.rebalance_batch_size]
                     waves += 1
                     moved_in_table += self._migrate_wave(
@@ -659,7 +1184,7 @@ class ConsistentHashEngine(PartitionedEngine):
     def _displaced_keys(
         self, source: StorageEngine, source_name: str, table_name: str
     ) -> list[str]:
-        """Keys at *source* whose new-ring owner is some other member."""
+        """Keys at *source* that the new ring places on other members only."""
         displaced: list[str] = []
         cursor: str | None = None
         while True:
@@ -667,7 +1192,7 @@ class ConsistentHashEngine(PartitionedEngine):
                 table_name, limit=self._merge_page_size, start_after=cursor
             )
             displaced.extend(
-                key for key in page if self._ring.owner(key) != source_name
+                key for key in page if source_name not in self._replica_names(key)
             )
             if len(page) < self._merge_page_size:
                 return displaced
@@ -686,7 +1211,9 @@ class ConsistentHashEngine(PartitionedEngine):
         ``if_absent=True`` on the copy keeps two invariants: a replayed wave
         (crash between copy and delete) is a no-op, and a *fresh* write that
         landed at the destination during the migration is never clobbered by
-        the stale source copy.
+        the stale source copy.  With replication each key is copied to every
+        *live* member of its new replica set; the down-count bound
+        guarantees at least one is live before the source copy is drained.
         """
         sentinel = object()
         envelopes = source.get_many(table_name, wave, default=sentinel)
@@ -695,17 +1222,36 @@ class ConsistentHashEngine(PartitionedEngine):
         for key, envelope in zip(wave, envelopes):
             if envelope is sentinel:
                 continue  # deleted (or already drained) since enumeration
+            destinations = [
+                name for name in self._replica_names(key) if name in self._children
+            ]
+            if not destinations:
+                continue  # pragma: no cover — the down-count bound
             present.append(key)
-            by_destination.setdefault(self._ring.owner(key), []).append((key, envelope))
+            for destination_name in destinations:
+                by_destination.setdefault(destination_name, []).append(
+                    (key, envelope)
+                )
         for destination_name in sorted(by_destination):
+            if destination_name not in self._children:
+                continue  # marked down since the wave was grouped
             notify(f"copy:{table_name}:{source_name}->{destination_name}")
-            self._children[destination_name].put_many(
+            destination = self._children.get(destination_name)
+            if destination is None:
+                continue  # marked down by the observer itself
+            destination.put_many(
                 table_name, by_destination[destination_name], if_absent=True
             )
         if present:
             notify(f"drain:{table_name}:{source_name}")
-            for key in present:
-                source.delete(table_name, key)
+            drain_source = (
+                self._pending[1].get(source_name)
+                if self._pending is not None
+                else None
+            ) or self._children.get(source_name)
+            if drain_source is not None:
+                for key in present:
+                    drain_source.delete(table_name, key)
         return len(present)
 
     def _finalize(self, notify: RebalanceObserver) -> None:
@@ -723,20 +1269,26 @@ class ConsistentHashEngine(PartitionedEngine):
         self._epoch += 1
         manifest = {
             "epoch": self._epoch,
-            "members": sorted(self._children),
+            "members": sorted(self._membership),
             "virtual_nodes": self.virtual_nodes,
+            "replicas": self.replicas,
         }
         for name in sorted(self._children):
             notify(f"manifest:{name}")
-            self._children[name].put(RING_META_TABLE, _MANIFEST_KEY, manifest)
+            engine = self._children.get(name)
+            if engine is not None:
+                engine.put(RING_META_TABLE, _MANIFEST_KEY, manifest)
         for name in sorted(self._children):
             notify(f"clear:{name}")
-            self._children[name].delete(RING_META_TABLE, _JOURNAL_KEY)
+            engine = self._children.get(name)
+            if engine is not None:
+                engine.delete(RING_META_TABLE, _JOURNAL_KEY)
         for name in sorted(retired):
             notify(f"clear:{name}")
             retired[name].delete(RING_META_TABLE, _JOURNAL_KEY)
         self._pending = None
         self._rebuild_membership()
+        self._write_down_records()
         for engine in retired.values():
             engine.close()
 
@@ -744,13 +1296,20 @@ class ConsistentHashEngine(PartitionedEngine):
 
     @property
     def member_names(self) -> list[str]:
-        """Names of the current ring members, sorted."""
+        """Names of the live ring members, sorted."""
         return sorted(self._children)
+
+    @property
+    def down_members(self) -> list[str]:
+        """Names of the authoritative members currently down, sorted."""
+        return self._down_names()
 
     def describe(self) -> dict[str, Any]:
         description = super().describe()
         description["virtual_nodes"] = self.virtual_nodes
         description["epoch"] = self._epoch
+        description["replicas"] = self.replicas
+        description["down"] = self._down_names()
         description["members"] = {
             name: {
                 "engine": child.engine_name,

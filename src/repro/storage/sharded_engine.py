@@ -137,6 +137,15 @@ class PartitionedEngine(StorageEngine):
     def _owner(self, key: str) -> StorageEngine:
         return self._members[self._owner_index(key)]
 
+    def _write_indexes(self, key: str) -> list[int]:
+        """Indexes into ``self._members`` a write of *key* must land on.
+
+        The modulo-sharded engine writes each key to exactly one member; the
+        ring engine overrides this to return the key's full live replica set
+        (write-all) when it is configured with ``replicas`` > 1.
+        """
+        return [self._owner_index(key)]
+
     def _read_envelope_record(self, table_name: str, key: str) -> Record | None:
         """Return the raw (enveloped) record for *key*, or None when absent.
 
@@ -257,7 +266,7 @@ class PartitionedEngine(StorageEngine):
         if self._envelope_versions:
             version = existing.value[_VER] + 1 if existing is not None else 1
         envelope = self._wrap(seq, value, version)
-        stored = self._owner(key).put(table_name, key, envelope)
+        stored = self._write_envelope(table_name, key, envelope)
         self._note_write(table_name, key, envelope)
         return self._unwrap(stored)
 
@@ -270,9 +279,18 @@ class PartitionedEngine(StorageEngine):
         seq = self._allocate_seq(table_name)
         version = 1 if self._envelope_versions else None
         envelope = self._wrap(seq, value, version)
-        stored = self._owner(key).put(table_name, key, envelope)
+        stored = self._write_envelope(table_name, key, envelope)
         self._note_write(table_name, key, envelope)
         return self._unwrap(stored)
+
+    def _write_envelope(self, table_name: str, key: str, envelope: dict[str, Any]) -> Record:
+        """Write one envelope to every member :meth:`_write_indexes` names."""
+        stored: Record | None = None
+        for index in self._write_indexes(key):
+            record = self._members[index].put(table_name, key, envelope)
+            if stored is None:
+                stored = record
+        return stored
 
     def get(self, table_name: str, key: str, default: Any = None) -> Any:
         record = self._read_envelope_record(table_name, key)
@@ -480,7 +498,8 @@ class PartitionedEngine(StorageEngine):
             version = envelope[_VER] + 1 if envelope is not None else 1
             new_envelope = self._wrap(seq, value, version)
             current[key] = new_envelope
-            writes.setdefault(self._owner_index(key), []).append((key, new_envelope))
+            for member_index in self._write_indexes(key):
+                writes.setdefault(member_index, []).append((key, new_envelope))
             written.setdefault(key, new_envelope)
             results.append(Record(key=key, value=value, version=version))
         self._run_member_batches(table_name, writes, if_absent=False)

@@ -60,6 +60,18 @@ def _ring(base_path: str) -> StorageEngine:
     )
 
 
+def _ring_r2(base_path: str) -> StorageEngine:
+    return ConsistentHashEngine(
+        {
+            f"ring-{index:02d}": SqliteEngine(
+                os.path.join(base_path, f"ring-{index:02d}.db")
+            )
+            for index in range(TEST_PARTITION_CHILDREN)
+        },
+        replicas=2,
+    )
+
+
 #: name -> builder(base_path).  The insertion order is the parametrisation
 #: order of the ``any_engine`` fixture; ``memory`` first because it is the
 #: reference implementation the others are compared against.
@@ -69,6 +81,7 @@ ENGINE_BUILDERS: Mapping[str, Callable[[str], StorageEngine]] = {
     "log": _log,
     "sharded": _sharded,
     "ring": _ring,
+    "ring-r2": _ring_r2,
 }
 
 #: Every engine name, in fixture-parametrisation order.

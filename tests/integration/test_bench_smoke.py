@@ -58,6 +58,20 @@ def test_ring_rebalance_benchmark_smoke_single_iteration(tmp_path):
     assert {entry["engine"] for entry in parity} == {"ring", "sharded"}
 
 
+def test_ring_replication_benchmark_smoke_single_iteration(tmp_path):
+    bench = load_bench_module("bench_ring_replication")
+    # run_write_amplification itself asserts the physical copy counts
+    # (R=1 stores K rows, R=2 stores 2K) and run_degraded_read asserts the
+    # post-kill scan is byte-identical; at toy scale we check the harness
+    # and those structural guarantees, not the wall-clock numbers.
+    amplification = bench.run_write_amplification(str(tmp_path / "amp"), 120)
+    assert [row["replicas"] for row in amplification] == [1, 2]
+    assert amplification[0]["physical_copies"] == 120
+    assert amplification[1]["physical_copies"] == 240
+    degraded = bench.run_degraded_read(str(tmp_path / "degraded"), 120)
+    assert degraded["scan_identical"]
+
+
 def test_pipelined_transport_benchmark_smoke_single_iteration(tmp_path):
     bench = load_bench_module("bench_pipelined_transport")
     # run_mode itself asserts publish/simulate/collect cover every task and

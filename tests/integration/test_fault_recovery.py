@@ -8,9 +8,11 @@ rerun produces exactly the uninterrupted result and that the total number of
 crowd tasks ever published equals the number an uninterrupted run publishes.
 
 The durable cache is parametrised over every partitioning scheme (single
-sqlite file, modulo-sharded, consistent-hash ring), and one scenario grows
-the ring *between* publish and collect — the elastic-scale story must not
-cost a single re-published task.
+sqlite file, modulo-sharded, consistent-hash ring at R=1 and R=2), one
+scenario grows the ring *between* publish and collect, and the replica
+scenarios SIGKILL a ring member there instead (including mid-rebalance) —
+neither the elastic-scale story nor the availability story may cost a
+single re-published task.
 """
 
 from __future__ import annotations
@@ -27,11 +29,11 @@ from repro.platform.wire import WireClient, WireServer
 from repro.presenters import ImageLabelPresenter
 from repro.simulation import CrashPlan, CrashingEngine
 from repro.storage import ConsistentHashEngine, SqliteEngine
-from repro.storage.testing import build_engine
+from repro.storage.testing import build_child_engine, build_engine
 from repro.workers.pool import WorkerPool
 
 #: The crash-surviving cache backends every scenario must behave on.
-DURABLE_CACHE_BACKENDS = ("sqlite", "sharded", "ring")
+DURABLE_CACHE_BACKENDS = ("sqlite", "sharded", "ring", "ring-r2")
 
 
 @pytest.fixture
@@ -222,6 +224,117 @@ class TestCrashAndRerun:
         labels = bob_experiment(durable, durable_platform, dataset)
         assert labels == expected
         assert durable_platform.statistics()["tasks"] == published  # no re-publish
+        durable.close()
+
+    @pytest.mark.ring
+    @pytest.mark.replica
+    @pytest.mark.parametrize("kind", ["memory", "sqlite"])
+    @pytest.mark.parametrize("victim", ["ring-00", "ring-01", "ring-02"])
+    def test_kill_any_member_between_publish_and_collect(
+        self, tmp_path, dataset, kind, victim
+    ):
+        """R=2 replication is the availability story: SIGKILL *any single*
+        member of the replicated cache between publish and collect and the
+        experiment finishes as if nothing happened — same labels, not one
+        re-published task, and every cache table byte-identical to a run
+        that never lost a member."""
+
+        def publish_then_finish(engine, kill=None):
+            """Publish, optionally kill a ring member, then run the full
+            experiment to completion — identical op sequence either way."""
+            client = make_client("direct")
+            context = CrowdContext(
+                engine=engine, client=client, ground_truth=dataset.ground_truth
+            )
+            data = context.CrowdData(dataset.images, "crashable")
+            data.set_presenter(ImageLabelPresenter())
+            data.publish_task(n_assignments=3)
+            assert client.statistics()["tasks"] == len(dataset)
+            if kill is not None:
+                kill()
+            labels = bob_experiment(engine, client, dataset)
+            assert client.statistics()["tasks"] == len(dataset)  # no re-publish
+            return labels
+
+        reference_engine = SqliteEngine(str(tmp_path / "reference.db"))
+        expected = publish_then_finish(reference_engine)
+        cache_tables = [
+            name
+            for name in reference_engine.list_tables()
+            if name.startswith("crashable::")
+        ]
+        expected_scan = {
+            name: [
+                (r.key, r.value, r.version) for r in reference_engine.scan(name)
+            ]
+            for name in cache_tables
+        }
+        reference_engine.close()
+
+        durable = ConsistentHashEngine(
+            {
+                name: build_child_engine(kind, tmp_path / "ring", name)
+                for name in ("ring-00", "ring-01", "ring-02")
+            },
+            virtual_nodes=16,
+            replicas=2,
+        )
+        # SIGKILL between publish and collect: the child is abandoned.
+        labels = publish_then_finish(durable, kill=lambda: durable.mark_down(victim))
+        assert labels == expected
+        assert {
+            name: [(r.key, r.value, r.version) for r in durable.scan(name)]
+            for name in cache_tables
+        } == expected_scan
+        durable.close()
+
+    @pytest.mark.ring
+    @pytest.mark.replica
+    def test_kill_member_mid_rebalance_between_publish_and_collect(
+        self, tmp_path, dataset
+    ):
+        """The compound failure: the ring is growing from 3 to 4 members
+        between publish and collect when one of the old members dies in the
+        middle of a migration wave.  The transition must complete on the
+        survivors and collection must not re-publish a single task."""
+        reference_engine = SqliteEngine(str(tmp_path / "reference.db"))
+        expected = bob_experiment(reference_engine, make_client("direct"), dataset)
+        reference_engine.close()
+
+        durable = ConsistentHashEngine(
+            {
+                f"ring-{i:02d}": SqliteEngine(str(tmp_path / f"ring-{i:02d}.db"))
+                for i in range(3)
+            },
+            virtual_nodes=16,
+            replicas=2,
+        )
+        client = make_client("direct")
+        context = CrowdContext(
+            engine=durable, client=client, ground_truth=dataset.ground_truth
+        )
+        data = context.CrowdData(dataset.images, "crashable")
+        data.set_presenter(ImageLabelPresenter())
+        data.publish_task(n_assignments=3)
+        published = client.statistics()["tasks"]
+
+        killed = {"done": False}
+
+        def kill_mid_wave(event):
+            if not killed["done"] and event.startswith("copy:"):
+                killed["done"] = True
+                durable.mark_down("ring-01")
+
+        durable.rebalance(
+            add={"ring-03": SqliteEngine(str(tmp_path / "ring-03.db"))},
+            on_event=kill_mid_wave,
+        )
+        assert killed["done"]
+        assert durable.down_members == ["ring-01"]
+
+        labels = bob_experiment(durable, client, dataset)
+        assert labels == expected
+        assert client.statistics()["tasks"] == published  # no re-publish
         durable.close()
 
     def test_platform_redeployment_self_heals(self, tmp_path, dataset):

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 
 import pytest
 
@@ -87,7 +88,16 @@ class TestSpawnedServer:
         db = str(tmp_path / "cluster.db")
         specs = make_specs("obj", 8)
         handle = spawn_server(db=db, seed=SEED, pool_size=POOL_SIZE, accuracy=ACCURACY)
-        client = WireClient(handle.host, handle.port, max_retries=2, retry_backoff=0.01)
+        # Seeded jitter: the retry delays (and so the test's wall-clock) are
+        # exactly reproducible run to run — this suite must never flake on
+        # timing.
+        client = WireClient(
+            handle.host,
+            handle.port,
+            max_retries=2,
+            retry_backoff=0.01,
+            retry_jitter=random.Random(SEED).random,
+        )
         project = client.create_project("kill-me")
         first = client.create_tasks(project.project_id, specs)
         handle.kill()
@@ -121,7 +131,13 @@ PRIVATE_TASKS = 10
 def _contend(index: int, addresses: list[tuple[str, int]], queue) -> None:
     """One client process: race the shared publish, then publish own keys."""
     host, port = addresses[index % len(addresses)]
-    client = WireClient(host, port, max_retries=8, retry_backoff=0.05)
+    client = WireClient(
+        host,
+        port,
+        max_retries=8,
+        retry_backoff=0.05,
+        retry_jitter=random.Random(1000 + index).random,
+    )
     try:
         project = client.create_project("contended")
         shared = client.create_tasks(

@@ -13,6 +13,12 @@ Three families of properties:
   random *rebalance* leaves the ring engine observably identical to the
   in-memory reference engine: items, versions, counts, bulk lookups and
   every page of every paginated walk.
+* **Replica placement** — every key's replica set is exactly R distinct
+  members, shifts minimally (never by more than the one changed member) on
+  join/leave, and the R=2 engine stays observably identical to the memory
+  reference under random operations with a member killed mid-sequence —
+  with the R-successor placement audited on the physical children after
+  every rebalance.
 """
 
 from __future__ import annotations
@@ -188,6 +194,129 @@ class TestRingEngineEquivalence:
             ]
         ring.close()
 
+@pytest.mark.replica
+class TestReplicaPlacementProperties:
+    @given(
+        seed=st.integers(0, 10**6),
+        replicas=st.integers(1, 4),
+        members=st.lists(
+            st.text(alphabet="mnopqr", min_size=1, max_size=6),
+            min_size=4,
+            max_size=7,
+            unique=True,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_every_key_lands_on_exactly_r_distinct_members(
+        self, seed, replicas, members
+    ):
+        ring = HashRing(members, virtual_nodes=16)
+        for key in sample_keys(seed, count=80):
+            names = ring.successors(key, replicas)
+            assert len(names) == replicas
+            assert len(set(names)) == replicas
+            assert set(names) <= set(members)
+            assert names[0] == ring.owner(key)
+
+    @given(seed=st.integers(0, 10**6), replicas=st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_replica_sets_shift_minimally_on_join_and_leave(self, seed, replicas):
+        """Membership changes by one member change any key's replica set by
+        at most one name — and the only possible entrant on a join is the
+        joiner itself (survivors never trade replicas among themselves)."""
+        workload = sample_keys(seed, count=150)
+        before = HashRing(BASE_MEMBERS, virtual_nodes=64)
+        grown = HashRing(BASE_MEMBERS + ("node-new",), virtual_nodes=64)
+        for key in workload:
+            old = set(before.successors(key, replicas))
+            new = set(grown.successors(key, replicas))
+            assert len(old - new) <= 1 and len(new - old) <= 1
+            assert new - old <= {"node-new"}
+        # Leave: the departed member's slot is the only one that refills —
+        # a key that never replicated on it keeps its set verbatim.
+        shrunk = HashRing(BASE_MEMBERS[:-1], virtual_nodes=64)
+        departed = BASE_MEMBERS[-1]
+        for key in workload:
+            old = set(before.successors(key, replicas))
+            new = set(shrunk.successors(key, replicas))
+            assert old - new <= {departed}
+            assert len(new - old) <= 1
+            if departed not in old:
+                assert new == old
+
+    @given(
+        ops_before=operations,
+        ops_after=operations,
+        victim=st.sampled_from(["n0", "n1", "n2"]),
+        rebalance_after=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_ops_with_member_killed_mid_sequence(
+        self, ops_before, ops_after, victim, rebalance_after
+    ):
+        """R=2 ring vs memory reference with the member killed between two
+        random op sequences — and optionally a dead-member-replacement
+        rebalance afterwards, audited key-by-key on the physical children."""
+        reference = MemoryEngine()
+        ring = ConsistentHashEngine(
+            {f"n{i}": MemoryEngine() for i in range(3)},
+            virtual_nodes=16,
+            replicas=2,
+            rebalance_batch_size=4,
+        )
+        returned = apply_operations(ring, ops_before)
+        expected = apply_operations(reference, ops_before)
+        ring.mark_down(victim)
+        returned += apply_operations(ring, ops_after)
+        expected += apply_operations(reference, ops_after)
+        assert returned == expected
+        assert observable_state(ring) == observable_state(reference)
+
+        if rebalance_after:
+            ring.rebalance(add={"n3": MemoryEngine()}, remove=[victim])
+            assert observable_state(ring) == observable_state(reference)
+            # Post-rebalance placement audit: every key sits on exactly its
+            # R successors, at the facade's version — nowhere else.
+            for record in ring.scan("t"):
+                replica_set = set(ring._replica_names(record.key))
+                for name, child in ring._children.items():
+                    envelope = child.get("t", record.key)
+                    if name in replica_set:
+                        assert envelope is not None, (record.key, name)
+                        assert envelope["n"] == record.version
+                    else:
+                        assert envelope is None, (record.key, name)
+        ring.close()
+
+    @given(ops=operations, grow=st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_rebalance_preserves_r_successor_invariant(self, ops, grow):
+        """The acceptance audit: after any random workload and a rebalance
+        in either direction, the physical placement is exactly the R
+        successors of every live key."""
+        ring = ConsistentHashEngine(
+            {f"n{i}": MemoryEngine() for i in range(4)},
+            virtual_nodes=16,
+            replicas=2,
+            rebalance_batch_size=4,
+        )
+        apply_operations(ring, ops)
+        if grow:
+            ring.rebalance(add={"n4": MemoryEngine()})
+        else:
+            ring.rebalance(remove=["n1"])
+        for record in ring.scan("t"):
+            replica_set = set(ring._replica_names(record.key))
+            holders = {
+                name
+                for name, child in ring._children.items()
+                if child.get("t", record.key) is not None
+            }
+            assert holders == replica_set, record.key
+        ring.close()
+
+
+class TestRingReopenProperties:
     @given(ops=operations, seed=st.integers(0, 10**6))
     @settings(max_examples=15, deadline=None)
     def test_routing_survives_reopen(self, ops, seed, tmp_path_factory):

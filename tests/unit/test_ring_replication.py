@@ -1,0 +1,669 @@
+"""Replicated ring placement (replicas > 1): failover, kill sweeps, repair.
+
+Five layers of proof on top of the rebalance suites (which pin the R=1
+behaviour) and the cross-engine suites (which run the ``ring-r2`` registry
+entry through every equivalence property):
+
+* ring level — :meth:`HashRing.successors` places every key on exactly R
+  *distinct* members, agrees with :meth:`HashRing.owner` on the first
+  successor, and refuses R > member count (`ConfigurationError`, never
+  silent under-replication) — including the degenerate rings: a single
+  member and ``virtual_nodes=1``;
+* placement level — write-all really writes all: every key's envelope sits
+  on exactly its R successors after puts, overwrites, batches and deletes;
+* kill level — an **exhaustive kill-window sweep**: for every member and
+  every operation boundary of a seeded workload, the member is killed at
+  that exact point (``mark_down`` — the engine object is abandoned, not
+  closed, modelling SIGKILL) and the surviving ring must serve scans, point
+  reads and bulk reads byte-identical to a never-failed run, keep accepting
+  writes, and — reopened with the dead member back — sync it and restore
+  full placement.  On memory and sqlite children alike;
+* degraded level — opening with a member missing warns and serves; opening
+  beyond the R-1 tolerance raises; ``repair()`` re-replicates;
+* rebalance level — membership changes preserve the R-successor invariant,
+  survive a member killed mid-wave, allow replacing a dead member, and a
+  crash sweep over every durable step of an R=2 transition resumes to
+  byte-identical state.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError, CrashInjected, StorageError
+from repro.storage import (
+    ConsistentHashEngine,
+    DegradedRingWarning,
+    HashRing,
+    MemoryEngine,
+)
+from repro.storage.ring import RING_META_TABLE
+from repro.storage.testing import build_child_engine
+
+pytestmark = [pytest.mark.ring, pytest.mark.replica]
+
+VNODES = 16
+BATCH = 8
+TABLE = "chaos"
+NAMES = ("ring-00", "ring-01", "ring-02")
+SWEEP_KINDS = ("memory", "sqlite")
+
+
+def seeded_operations():
+    """A compact deterministic mix: inserts, overwrites, deletes."""
+    ops = []
+    for i in range(12):
+        ops.append(("put", f"key-{i:03d}", {"i": i}))
+    for i in range(0, 12, 3):
+        ops.append(("put", f"key-{i:03d}", {"i": i, "rev": 2}))
+    for i in range(1, 12, 4):
+        ops.append(("delete", f"key-{i:03d}", None))
+    return ops
+
+
+def apply_operations(engine, ops):
+    engine.create_table(TABLE)
+    for op, key, value in ops:
+        if op == "put":
+            engine.put(TABLE, key, value)
+        else:
+            engine.delete(TABLE, key)
+
+
+def observable_state(engine):
+    return [(r.key, r.value, r.version) for r in engine.scan(TABLE)]
+
+
+def build_children(kind, base_path, names=NAMES):
+    return {name: build_child_engine(kind, base_path, name) for name in names}
+
+
+def assert_full_placement(engine, table=TABLE):
+    """Every live key sits on exactly its R ring successors — no more, no
+    less — at the version the facade reports."""
+    for record in engine.scan(table):
+        replica_set = set(engine._replica_names(record.key))
+        for name, child in engine._children.items():
+            envelope = child.get(table, record.key)
+            if name in replica_set:
+                assert envelope is not None, (record.key, name)
+                assert envelope["n"] == record.version, (record.key, name)
+            else:
+                assert envelope is None, (record.key, name)
+
+
+class TestHashRingSuccessors:
+    def test_first_successor_is_the_owner(self):
+        ring = HashRing(["a", "b", "c", "d"], virtual_nodes=32)
+        for i in range(200):
+            key = f"k{i}"
+            assert ring.successors(key, 1) == [ring.owner(key)]
+            assert ring.successors(key, 2)[0] == ring.owner(key)
+
+    def test_successors_are_distinct_members(self):
+        ring = HashRing(["a", "b", "c", "d"], virtual_nodes=32)
+        for i in range(200):
+            names = ring.successors(f"k{i}", 3)
+            assert len(names) == 3
+            assert len(set(names)) == 3
+            assert set(names) <= {"a", "b", "c", "d"}
+
+    def test_single_member_ring(self):
+        ring = HashRing(["only"], virtual_nodes=4)
+        assert ring.successors("anything", 1) == ["only"]
+        with pytest.raises(ConfigurationError):
+            ring.successors("anything", 2)
+
+    def test_virtual_nodes_one(self):
+        """The degenerate one-point-per-member ring still places every key
+        on R distinct members, deterministically."""
+        ring = HashRing(["a", "b", "c"], virtual_nodes=1)
+        again = HashRing(["c", "b", "a"], virtual_nodes=1)
+        for i in range(100):
+            key = f"k{i}"
+            names = ring.successors(key, 2)
+            assert len(set(names)) == 2
+            assert again.successors(key, 2) == names
+            assert ring.owner(key) == names[0]
+
+    def test_more_replicas_than_members_raises(self):
+        ring = HashRing(["a", "b"], virtual_nodes=8)
+        with pytest.raises(ConfigurationError):
+            ring.successors("k", 3)
+        with pytest.raises(ConfigurationError):
+            ring.successors("k", 0)
+
+    def test_engine_refuses_more_replicas_than_members(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashEngine(
+                {"a": MemoryEngine(), "b": MemoryEngine()}, replicas=3
+            )
+        with pytest.raises(ConfigurationError):
+            ConsistentHashEngine({"a": MemoryEngine()}, replicas=0)
+
+    def test_virtual_nodes_one_engine_end_to_end(self):
+        engine = ConsistentHashEngine(
+            {name: MemoryEngine() for name in NAMES}, virtual_nodes=1, replicas=2
+        )
+        apply_operations(engine, seeded_operations())
+        reference = MemoryEngine()
+        apply_operations(reference, seeded_operations())
+        assert observable_state(engine) == observable_state(reference)
+        assert_full_placement(engine)
+        engine.close()
+
+
+class TestReplicatedPlacement:
+    def fresh(self, replicas=2):
+        engine = ConsistentHashEngine(
+            {name: MemoryEngine() for name in NAMES},
+            virtual_nodes=VNODES,
+            replicas=replicas,
+        )
+        reference = MemoryEngine()
+        ops = seeded_operations()
+        apply_operations(engine, ops)
+        apply_operations(reference, ops)
+        return engine, reference
+
+    def test_every_key_on_exactly_r_members(self):
+        engine, reference = self.fresh()
+        assert observable_state(engine) == observable_state(reference)
+        assert_full_placement(engine)
+        # Write amplification is exactly R: total child records = keys * 2.
+        live = engine.count(TABLE)
+        total = sum(child.count(TABLE) for child in engine._children.values())
+        assert total == live * 2
+        engine.close()
+
+    def test_put_many_fans_to_all_replicas(self):
+        engine, _ = self.fresh()
+        records = engine.put_many(
+            TABLE, [(f"bulk-{i}", {"b": i}) for i in range(20)]
+        )
+        assert len(records) == 20
+        assert_full_placement(engine)
+        engine.close()
+
+    def test_delete_removes_every_replica(self):
+        engine, reference = self.fresh()
+        for key in list(reference.keys(TABLE))[:5]:
+            assert engine.delete(TABLE, key)
+            reference.delete(TABLE, key)
+            for child in engine._children.values():
+                assert child.get(TABLE, key) is None
+        assert observable_state(engine) == observable_state(reference)
+        engine.close()
+
+    def test_describe_reports_replication(self):
+        engine, _ = self.fresh()
+        description = engine.describe()
+        assert description["replicas"] == 2
+        assert description["down"] == []
+        engine.mark_down("ring-01")
+        assert engine.describe()["down"] == ["ring-01"]
+        assert engine.down_members == ["ring-01"]
+        engine.close()
+
+
+class TestMarkDownValidation:
+    def test_r1_ring_cannot_lose_anyone(self):
+        engine = ConsistentHashEngine(
+            {name: MemoryEngine() for name in NAMES}, virtual_nodes=VNODES
+        )
+        with pytest.raises(StorageError):
+            engine.mark_down("ring-00")
+        engine.close()
+
+    def test_unknown_member_raises(self):
+        engine = ConsistentHashEngine(
+            {name: MemoryEngine() for name in NAMES},
+            virtual_nodes=VNODES,
+            replicas=2,
+        )
+        with pytest.raises(StorageError):
+            engine.mark_down("nope")
+        engine.close()
+
+    def test_tolerance_is_r_minus_one(self):
+        engine = ConsistentHashEngine(
+            {name: MemoryEngine() for name in NAMES},
+            virtual_nodes=VNODES,
+            replicas=2,
+        )
+        engine.mark_down("ring-00")
+        with pytest.raises(StorageError):
+            engine.mark_down("ring-01")
+        with pytest.raises(StorageError):  # already down
+            engine.mark_down("ring-00")
+        engine.close()
+
+
+class TestKillWindowSweep:
+    """Kill every member at every operation boundary; nothing may change.
+
+    The sweep is exhaustive by construction: the seeded workload has W
+    operations, and for each of the three members one scenario per boundary
+    0..W applies that many operations, kills the member (``mark_down`` —
+    modelling SIGKILL: the child engine object is simply abandoned), applies
+    the rest against the survivors, and requires the full observable state
+    to be byte-identical to a never-failed reference.  Each scenario then
+    reopens the ring with the dead member back (memory children hand the
+    same stale object to the new wrapper; sqlite children reopen from disk)
+    and requires the returning-member sync to restore both the state and
+    the exact R-successor placement.
+    """
+
+    @pytest.mark.parametrize("kind", SWEEP_KINDS)
+    def test_every_kill_window_is_invisible(self, kind, tmp_path):
+        ops = seeded_operations()
+        reference = MemoryEngine()
+        apply_operations(reference, ops)
+        expected = observable_state(reference)
+        expected_values = reference.get_many(
+            TABLE, [key for key, _, _ in expected]
+        )
+
+        for victim in NAMES:
+            for boundary in range(len(ops) + 1):
+                base = tmp_path / f"{victim}-{boundary:03d}"
+                children = build_children(kind, base)
+                engine = ConsistentHashEngine(
+                    dict(children), virtual_nodes=VNODES, replicas=2
+                )
+                apply_operations(engine, ops[:boundary])
+                engine.mark_down(victim)
+                apply_operations(engine, ops[boundary:])
+
+                window = f"{victim}@{boundary}"
+                assert observable_state(engine) == expected, window
+                assert engine.count(TABLE) == len(expected), window
+                assert (
+                    engine.get_many(TABLE, [key for key, _, _ in expected])
+                    == expected_values
+                ), window
+                engine.close()
+
+                # The dead member comes back stale; the reopen must sync it
+                # from the survivors before serving.
+                if kind == "memory":
+                    reopened_children = dict(children)
+                else:
+                    reopened_children = build_children(kind, base)
+                    children[victim].close()
+                reopened = ConsistentHashEngine(
+                    reopened_children, virtual_nodes=VNODES, replicas=2
+                )
+                assert reopened.down_members == [], window
+                assert observable_state(reopened) == expected, window
+                assert_full_placement(reopened)
+                reopened.close()
+
+    def test_kill_under_concurrent_writes(self):
+        """Writers keep hammering the ring while a member dies under them;
+        after the dust settles (and a repair pass, the documented recovery
+        for any degraded window) every acknowledged write is present at
+        full replication."""
+        engine = ConsistentHashEngine(
+            {name: MemoryEngine() for name in NAMES},
+            virtual_nodes=VNODES,
+            replicas=2,
+        )
+        engine.create_table(TABLE)
+        keys_per_writer = 120
+        halfway = threading.Barrier(4)
+
+        def writer(writer_id):
+            for i in range(keys_per_writer):
+                if i == keys_per_writer // 2:
+                    halfway.wait()
+                engine.put(TABLE, f"w{writer_id}-{i:04d}", {"w": writer_id, "i": i})
+
+        threads = [threading.Thread(target=writer, args=(n,)) for n in range(3)]
+        for thread in threads:
+            thread.start()
+        halfway.wait()  # all writers are mid-stream right now
+        engine.mark_down("ring-01")
+        for thread in threads:
+            thread.join()
+
+        engine.repair()
+        expected = {
+            f"w{n}-{i:04d}": {"w": n, "i": i}
+            for n in range(3)
+            for i in range(keys_per_writer)
+        }
+        assert engine.count(TABLE) == len(expected)
+        for key, value in expected.items():
+            assert engine.get(TABLE, key) == value
+        assert_full_placement(engine)
+        engine.close()
+
+
+class TestDegradedOpenAndRepair:
+    def loaded(self, tmp_path, names=NAMES):
+        children = build_children("sqlite", tmp_path, names)
+        engine = ConsistentHashEngine(
+            dict(children), virtual_nodes=VNODES, replicas=2
+        )
+        apply_operations(engine, seeded_operations())
+        state = observable_state(engine)
+        engine.close()
+        return state
+
+    def test_open_with_one_member_missing_warns_and_serves(self, tmp_path):
+        state = self.loaded(tmp_path)
+        survivors = build_children("sqlite", tmp_path, NAMES[:-1])
+        with pytest.warns(DegradedRingWarning):
+            degraded = ConsistentHashEngine(
+                survivors, virtual_nodes=VNODES, replicas=2
+            )
+        assert degraded.down_members == [NAMES[-1]]
+        assert observable_state(degraded) == state
+        # Degraded writes are acknowledged and survive the next full open.
+        degraded.put(TABLE, "degraded-write", {"ok": True})
+        degraded.close()
+        full = ConsistentHashEngine(
+            build_children("sqlite", tmp_path), virtual_nodes=VNODES, replicas=2
+        )
+        assert full.get(TABLE, "degraded-write") == {"ok": True}
+        assert_full_placement(full)
+        full.close()
+
+    def test_open_beyond_tolerance_raises(self, tmp_path):
+        self.loaded(tmp_path)
+        lonely = build_children("sqlite", tmp_path, NAMES[:1])
+        with pytest.raises(StorageError):
+            ConsistentHashEngine(lonely, virtual_nodes=VNODES, replicas=2)
+
+    def test_repair_heals_under_replication(self, tmp_path):
+        state = self.loaded(tmp_path)
+        survivors = build_children("sqlite", tmp_path, NAMES[:-1])
+        with pytest.warns(DegradedRingWarning):
+            degraded = ConsistentHashEngine(
+                survivors, virtual_nodes=VNODES, replicas=2
+            )
+        degraded.put(TABLE, "only-on-survivors", {"v": 1})
+        degraded.close()
+        # Full reopen syncs the returning member; repair() is then a no-op
+        # (the sync already restored placement) and stays idempotent.
+        full = ConsistentHashEngine(
+            build_children("sqlite", tmp_path), virtual_nodes=VNODES, replicas=2
+        )
+        report = full.repair()
+        assert report["keys_copied"] == 0
+        assert report["keys_dropped"] == 0
+        assert_full_placement(full)
+        assert observable_state(full) == [
+            record for record in observable_state(full)
+        ]
+        assert {key for key, _, _ in observable_state(full)} == (
+            {key for key, _, _ in state} | {"only-on-survivors"}
+        )
+        full.close()
+
+    def test_repair_reports_work_after_runtime_kill(self):
+        engine = ConsistentHashEngine(
+            {name: MemoryEngine() for name in NAMES},
+            virtual_nodes=VNODES,
+            replicas=2,
+        )
+        apply_operations(engine, seeded_operations())
+        engine.mark_down("ring-02")
+        engine.put(TABLE, "while-down", {"v": 1})
+        # Bring a *fresh, empty* replacement back under the same name: every
+        # key whose replica set includes it must be copied over.
+        engine._children["ring-02"] = MemoryEngine()
+        engine._children["ring-02"].create_table(RING_META_TABLE)
+        engine._rebuild_membership()
+        events = []
+        report = engine.repair(on_event=events.append)
+        assert report["keys_copied"] > 0
+        assert any(event.startswith("repair:") for event in events)
+        assert_full_placement(engine)
+        second = engine.repair()
+        assert second["keys_copied"] == 0 and second["keys_dropped"] == 0
+        engine.close()
+
+
+class TestReturningMemberSync:
+    def test_zombie_keys_and_stale_values_are_reconciled(self, tmp_path):
+        children = build_children("sqlite", tmp_path)
+        engine = ConsistentHashEngine(
+            dict(children), virtual_nodes=VNODES, replicas=2
+        )
+        apply_operations(engine, seeded_operations())
+        engine.mark_down("ring-01")
+        engine.put(TABLE, "key-000", {"i": 0, "rev": 3})  # overwrite while down
+        engine.delete(TABLE, "key-002")  # zombie on the dead member
+        engine.put(TABLE, "fresh-while-down", {"new": True})
+        state = observable_state(engine)
+        engine.close()
+        children["ring-01"].close()
+
+        reopened = ConsistentHashEngine(
+            build_children("sqlite", tmp_path), virtual_nodes=VNODES, replicas=2
+        )
+        assert reopened.down_members == []
+        assert observable_state(reopened) == state
+        assert reopened.get(TABLE, "key-000") == {"i": 0, "rev": 3}
+        assert reopened.get(TABLE, "key-002") is None
+        assert_full_placement(reopened)
+        # The down-records were cleared everywhere: a further reopen is
+        # clean (no re-sync, no accusations).
+        for child in reopened._children.values():
+            record = child.get(RING_META_TABLE, "down")
+            assert record is None or record["names"] == []
+        reopened.close()
+
+    def test_stale_journal_on_returning_member_is_discarded(self, tmp_path):
+        """A journal relic from a transition that finalized while the member
+        was away must not be replayed against the newer membership."""
+        children = build_children("sqlite", tmp_path)
+        engine = ConsistentHashEngine(
+            dict(children), virtual_nodes=VNODES, replicas=2
+        )
+        apply_operations(engine, seeded_operations())
+        engine.rebalance(add={"ring-03": build_child_engine("sqlite", tmp_path, "ring-03")})
+        state = observable_state(engine)
+        engine.close()
+
+        # Plant a stale journal (epoch older than the live manifest) on one
+        # member, as if it had been down across the finalize.
+        relic = build_child_engine("sqlite", tmp_path, "ring-00")
+        relic.put(
+            RING_META_TABLE,
+            "journal",
+            {
+                "epoch": 1,
+                "old": list(NAMES),
+                "new": list(NAMES) + ["ring-03"],
+                "virtual_nodes": VNODES,
+                "replicas": 2,
+            },
+        )
+        relic.close()
+
+        reopened = ConsistentHashEngine(
+            build_children("sqlite", tmp_path, NAMES + ("ring-03",)),
+            virtual_nodes=VNODES,
+            replicas=2,
+        )
+        assert observable_state(reopened) == state
+        for child in reopened._children.values():
+            assert child.get(RING_META_TABLE, "journal") is None
+        reopened.close()
+
+
+class TestReplicatedRebalance:
+    def fresh(self, replicas=2, names=NAMES):
+        engine = ConsistentHashEngine(
+            {name: MemoryEngine() for name in names},
+            virtual_nodes=VNODES,
+            replicas=replicas,
+            rebalance_batch_size=BATCH,
+        )
+        reference = MemoryEngine()
+        ops = seeded_operations()
+        apply_operations(engine, ops)
+        apply_operations(reference, ops)
+        return engine, reference
+
+    def test_add_preserves_replica_invariant(self):
+        engine, reference = self.fresh()
+        engine.rebalance(add={"ring-03": MemoryEngine()})
+        assert observable_state(engine) == observable_state(reference)
+        assert_full_placement(engine)
+        engine.close()
+
+    def test_remove_preserves_replica_invariant(self):
+        engine, reference = self.fresh(names=NAMES + ("ring-03",))
+        engine.rebalance(remove=["ring-01"])
+        assert observable_state(engine) == observable_state(reference)
+        assert_full_placement(engine)
+        engine.close()
+
+    def test_remove_below_replica_count_raises(self):
+        engine, _ = self.fresh(names=("ring-00", "ring-01"))
+        with pytest.raises(StorageError):
+            engine.rebalance(remove=["ring-01"])
+        engine.close()
+
+    def test_kill_mid_copy_wave(self):
+        """A member dies in the middle of a migration wave (from the wave's
+        own observer, the tightest possible window); the transition still
+        completes and the survivors serve byte-identical state."""
+        engine, reference = self.fresh()
+        killed = {"done": False}
+
+        def kill_once(event):
+            if not killed["done"] and event.startswith("copy:"):
+                killed["done"] = True
+                engine.mark_down("ring-01")
+
+        engine.rebalance(add={"ring-03": MemoryEngine()}, on_event=kill_once)
+        assert killed["done"]
+        assert engine.down_members == ["ring-01"]
+        assert observable_state(engine) == observable_state(reference)
+        engine.close()
+
+    def test_kill_mid_drain_wave(self):
+        engine, reference = self.fresh()
+        killed = {"done": False}
+
+        def kill_once(event):
+            if not killed["done"] and event.startswith("drain:"):
+                killed["done"] = True
+                engine.mark_down("ring-02")
+
+        engine.rebalance(add={"ring-03": MemoryEngine()}, on_event=kill_once)
+        assert killed["done"]
+        assert observable_state(engine) == observable_state(reference)
+        engine.close()
+
+    def test_dead_member_replacement(self):
+        """The operational story replication exists for: a member dies, a
+        fresh one joins, the dead one is removed — in one transition, with
+        the survivors supplying all the data."""
+        engine, reference = self.fresh()
+        engine.mark_down("ring-01")
+        report = engine.rebalance(
+            add={"ring-03": MemoryEngine()}, remove=["ring-01"]
+        )
+        assert report["removed"] == ["ring-01"]
+        assert engine.down_members == []
+        assert engine.member_names == ["ring-00", "ring-02", "ring-03"]
+        assert observable_state(engine) == observable_state(reference)
+        assert_full_placement(engine)
+        engine.close()
+
+
+class CrashAt:
+    """Raise :class:`CrashInjected` just before the Nth durable step."""
+
+    def __init__(self, crash_index):
+        self.crash_index = crash_index
+        self.seen = 0
+        self.crashed_at = None
+
+    def __call__(self, event):
+        if self.seen == self.crash_index:
+            self.crashed_at = event
+            raise CrashInjected(step=event, detail="injected mid-rebalance")
+        self.seen += 1
+
+
+class TestReplicatedRebalanceCrashSweep:
+    """Crash in every durable window of an R=2 transition, reopen, resume.
+
+    Same construction as the R=1 sweep in test_ring_rebalance.py: a counting
+    dry run measures the durable steps, then one scenario per step crashes
+    right before it and reopens over the same children.  The bar is higher
+    here: besides byte-identical state, the resumed transition must leave
+    every key at exactly its R successors.
+    """
+
+    def setup_ring(self, kind, base_path):
+        children = build_children(kind, base_path)
+        engine = ConsistentHashEngine(
+            dict(children),
+            virtual_nodes=VNODES,
+            replicas=2,
+            rebalance_batch_size=BATCH,
+        )
+        apply_operations(engine, seeded_operations())
+        joiner = build_child_engine(kind, base_path, "ring-03")
+        return engine, {**children, "ring-03": joiner}
+
+    def reference_state(self):
+        reference = MemoryEngine()
+        apply_operations(reference, seeded_operations())
+        return observable_state(reference)
+
+    def transition(self, engine, joiner, on_event=None):
+        kwargs = {"on_event": on_event} if on_event else {}
+        return engine.rebalance(
+            add={"ring-03": joiner}, remove=["ring-01"], **kwargs
+        )
+
+    def reopen(self, kind, base_path, all_children):
+        if kind == "memory":
+            children = dict(all_children)
+        else:
+            children = build_children(kind, base_path, sorted(all_children))
+        return ConsistentHashEngine(
+            children, virtual_nodes=VNODES, replicas=2, rebalance_batch_size=BATCH
+        )
+
+    @pytest.mark.parametrize("kind", SWEEP_KINDS)
+    def test_every_crash_window_resumes_to_full_replication(self, kind, tmp_path):
+        expected = self.reference_state()
+        dry = tmp_path / "dry-run"
+        engine, all_children = self.setup_ring(kind, dry)
+        counter = CrashAt(crash_index=10**9)
+        self.transition(engine, all_children["ring-03"], on_event=counter)
+        assert observable_state(engine) == expected
+        assert_full_placement(engine)
+        engine.close()
+        total_events = counter.seen
+        assert total_events > 8
+
+        windows = []
+        for crash_index in range(total_events):
+            base = tmp_path / f"crash-{crash_index:03d}"
+            engine, all_children = self.setup_ring(kind, base)
+            crasher = CrashAt(crash_index)
+            with pytest.raises(CrashInjected):
+                self.transition(engine, all_children["ring-03"], on_event=crasher)
+            windows.append(crasher.crashed_at)
+
+            reopened = self.reopen(kind, base, all_children)
+            assert observable_state(reopened) == expected, crasher.crashed_at
+            assert_full_placement(reopened)
+            for child in reopened._children.values():
+                assert child.get(RING_META_TABLE, "journal") is None
+            reopened.close()
+        labels = {window.split(":", 1)[0] for window in windows}
+        assert {"journal", "copy", "drain", "manifest", "clear"} <= labels

@@ -268,6 +268,47 @@ class TestRetryCall:
         for actual, expected in zip(sleeps, nominal):
             assert 0.5 * expected <= actual <= expected
 
+    def test_jitter_hook_makes_delays_fully_deterministic(self):
+        """The seedable ``jitter=`` hook pins every delay exactly — the
+        fix that keeps wire fault-recovery timing assertions from flaking.
+        It also takes precedence over any rng passed alongside."""
+        sleeps = []
+
+        def attempt():
+            raise PlatformUnavailableError("down")
+
+        with pytest.raises(PlatformUnavailableError):
+            retry_call(
+                attempt,
+                retries=5,
+                backoff=0.1,
+                max_backoff=0.4,
+                rng=random.Random(7),  # would vary the delays; must lose
+                jitter=lambda: 1.0,
+                sleep=sleeps.append,
+            )
+        assert sleeps == [0.1, 0.2, 0.4, 0.4]  # exact: no randomness left
+
+    def test_seeded_jitter_is_reproducible_run_to_run(self):
+        def attempt():
+            raise PlatformUnavailableError("down")
+
+        def delays():
+            sleeps = []
+            with pytest.raises(PlatformUnavailableError):
+                retry_call(
+                    attempt,
+                    retries=6,
+                    backoff=0.05,
+                    jitter=random.Random(1234).random,
+                    sleep=sleeps.append,
+                )
+            return sleeps
+
+        first, second = delays(), delays()
+        assert first == second
+        assert all(0.5 * n <= d <= n for d, n in zip(first, [0.05, 0.1, 0.2, 0.4, 0.8]))
+
     def test_success_after_failures_returns_value(self):
         state = {"n": 0}
 
