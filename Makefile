@@ -2,7 +2,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast test-ring test-replica test-wire bench bench-smoke docs-check examples-check check
+.PHONY: test test-fast test-ring test-replica test-wire bench bench-smoke bench-trend profile docs-check examples-check check
 
 test:
 	$(PYTEST) -x -q
@@ -35,7 +35,19 @@ bench:
 
 # One-iteration benchmark sanity pass at toy scale (seconds, not minutes).
 bench-smoke:
-	$(PYTEST) benchmarks/bench_bulk_path.py benchmarks/bench_sharded_scan.py benchmarks/bench_platform_store.py benchmarks/bench_pipelined_transport.py benchmarks/bench_ring_rebalance.py benchmarks/bench_ring_replication.py benchmarks/bench_wire_cluster.py -q --bench-scale=smoke
+	$(PYTEST) benchmarks/bench_bulk_path.py benchmarks/bench_sharded_scan.py benchmarks/bench_platform_store.py benchmarks/bench_pipelined_transport.py benchmarks/bench_ring_rebalance.py benchmarks/bench_ring_replication.py benchmarks/bench_wire_cluster.py benchmarks/bench_hot_path.py -q --bench-scale=smoke
+
+# Diff the working-tree BENCH_*.json trajectories against the committed
+# baselines at HEAD; fail on any >20% regression of a tracked metric.
+bench-trend:
+	python tools/bench_trend.py
+
+# cProfile the hot-path benchmarks (smoke scale by default; SCALE=full for
+# paper scale); prints top-25 by cumulative time, saves .pstats under
+# benchmarks/results/.
+SCALE ?= smoke
+profile:
+	PYTHONPATH=src python tools/profile_bench.py --scale $(SCALE) --top 25
 
 # Lint README/docs links + cross-links, check config-field and benchmark
 # coverage, and run examples/quickstart.py headlessly.
@@ -46,5 +58,6 @@ docs-check:
 examples-check:
 	PYTHONPATH=src python tools/examples_check.py
 
-# The pre-PR gate: quick tests, docs lint + quickstart, examples, bench smoke.
-check: test-fast docs-check examples-check bench-smoke
+# The pre-PR gate: quick tests, docs lint + quickstart, examples, bench
+# smoke, and the benchmark trend gate against the committed trajectories.
+check: test-fast docs-check examples-check bench-smoke bench-trend

@@ -30,6 +30,8 @@ from repro.storage import SqliteEngine
 from repro.utils.timing import Stopwatch
 from repro.workers.pool import WorkerPool
 
+from record import write_trajectory
+
 pytestmark = pytest.mark.slow
 
 NUM_OBJECTS = 5000
@@ -180,4 +182,14 @@ def test_bulk_path_speedup(record_table, tmp_path, bench_scale):
         assert comparison["speedup"] >= SPEEDUP_FLOOR, (
             f"batched path must be at least {SPEEDUP_FLOOR}x faster, "
             f"got {comparison['speedup']}x"
+        )
+        # The trajectory file is a committed artifact tracking full-scale
+        # numbers across PRs; a toy-scale smoke pass must not clobber it.
+        write_trajectory(
+            "E8",
+            {
+                "scale": bench_scale,
+                "rows": [comparison["row"], comparison["bulk"]],
+                "speedup": comparison["speedup"],
+            },
         )

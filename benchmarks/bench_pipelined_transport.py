@@ -41,6 +41,8 @@ from repro.storage import SqliteEngine
 from repro.utils.timing import Stopwatch
 from repro.workers.pool import WorkerPool
 
+from record import write_trajectory
+
 pytestmark = pytest.mark.slow
 
 NUM_TASKS = 10_000
@@ -192,6 +194,16 @@ def test_pipelined_vs_serial_throughput(record_table, bench_scale):
             f"pipelined transport is only {speedup:.2f}x over serial "
             f"(required >= {MIN_SPEEDUP}x)"
         )
+        # The trajectory file is a committed artifact tracking full-scale
+        # numbers across PRs; a toy-scale smoke pass must not clobber it.
+        write_trajectory(
+            "E12",
+            {
+                "scale": bench_scale,
+                "rows": [serial, pipelined],
+                "speedup": round(speedup, 2),
+            },
+        )
 
 
 def test_append_batch_amortisation(record_table, tmp_path, bench_scale):
@@ -218,3 +230,7 @@ def test_append_batch_amortisation(record_table, tmp_path, bench_scale):
             ]
         ),
     )
+    if not smoke:
+        # The trajectory file is a committed artifact tracking full-scale
+        # numbers across PRs; a toy-scale smoke pass must not clobber it.
+        write_trajectory("E12b", {"scale": bench_scale, "rows": rows})

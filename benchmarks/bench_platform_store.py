@@ -37,6 +37,8 @@ from repro.storage import MemoryEngine, ShardedEngine, SqliteEngine
 from repro.utils.timing import Stopwatch
 from repro.workers.pool import WorkerPool
 
+from record import write_trajectory
+
 pytestmark = pytest.mark.slow
 
 NUM_TASKS = 10_000
@@ -145,3 +147,7 @@ def test_platform_store_throughput(record_table, tmp_path, bench_scale):
             ]
         ),
     )
+    if not smoke:
+        # The trajectory file is a committed artifact tracking full-scale
+        # numbers across PRs; a toy-scale smoke pass must not clobber it.
+        write_trajectory("E10", {"scale": bench_scale, "rows": rows})

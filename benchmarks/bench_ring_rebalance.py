@@ -33,6 +33,8 @@ from repro.simulation import ExperimentRunner
 from repro.storage import ConsistentHashEngine, ShardedEngine, SqliteEngine, shard_index
 from repro.utils.timing import Stopwatch
 
+from record import write_trajectory
+
 pytestmark = [pytest.mark.slow, pytest.mark.ring]
 
 NUM_RECORDS = 20_000
@@ -189,6 +191,10 @@ def test_ring_rebalance_cost(record_table, tmp_path, bench_scale):
             ]
         ),
     )
+    if not smoke:
+        # The trajectory file is a committed artifact tracking full-scale
+        # numbers across PRs; a toy-scale smoke pass must not clobber it.
+        write_trajectory("E13", {"scale": bench_scale, "rows": [row]})
 
 
 def test_ring_scan_parity(record_table, tmp_path, bench_scale):
@@ -218,3 +224,7 @@ def test_ring_scan_parity(record_table, tmp_path, bench_scale):
             ]
         ),
     )
+    if not smoke:
+        # The trajectory file is a committed artifact tracking full-scale
+        # numbers across PRs; a toy-scale smoke pass must not clobber it.
+        write_trajectory("E13b", {"scale": bench_scale, "rows": rows})

@@ -25,7 +25,6 @@ still run; only the scale shrinks).
 
 from __future__ import annotations
 
-import json
 import os
 
 import pytest
@@ -34,10 +33,10 @@ from repro.simulation import ExperimentRunner
 from repro.storage import ConsistentHashEngine, SqliteEngine
 from repro.utils.timing import Stopwatch
 
+from record import write_trajectory
+
 pytestmark = [pytest.mark.slow, pytest.mark.ring, pytest.mark.replica]
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_E15.json")
 
 NUM_RECORDS = 20_000
 SMOKE_RECORDS = 600
@@ -162,13 +161,6 @@ def run_degraded_read(base_dir: str, num_records: int) -> dict:
     return row
 
 
-def write_trajectory(payload: dict) -> None:
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(JSON_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-
-
 def test_ring_replication_cost(record_table, tmp_path, bench_scale):
     smoke = bench_scale == "smoke"
     num_records = SMOKE_RECORDS if smoke else NUM_RECORDS
@@ -223,8 +215,8 @@ def test_ring_replication_cost(record_table, tmp_path, bench_scale):
         # The trajectory file is a committed artifact tracking full-scale
         # numbers across PRs; a toy-scale smoke pass must not clobber it.
         write_trajectory(
+            "E15",
             {
-                "benchmark": "E15",
                 "scale": bench_scale,
                 "write_amplification": amplification,
                 "degraded_read": degraded,

@@ -32,6 +32,8 @@ from repro.storage import ShardedEngine, SqliteEngine
 from repro.utils.timing import Stopwatch
 from repro.workers.pool import WorkerPool
 
+from record import write_trajectory
+
 pytestmark = pytest.mark.slow
 
 NUM_RECORDS = 20_000
@@ -174,6 +176,10 @@ def test_sharded_scan_throughput(record_table, tmp_path, bench_scale):
             ]
         ),
     )
+    if not smoke:
+        # The trajectory file is a committed artifact tracking full-scale
+        # numbers across PRs; a toy-scale smoke pass must not clobber it.
+        write_trajectory("E9", {"scale": bench_scale, "rows": rows})
 
 
 def test_streaming_collection_bounded_residency(record_table, bench_scale):
@@ -201,3 +207,7 @@ def test_streaming_collection_bounded_residency(record_table, bench_scale):
             ]
         ),
     )
+    if not smoke:
+        # The trajectory file is a committed artifact tracking full-scale
+        # numbers across PRs; a toy-scale smoke pass must not clobber it.
+        write_trajectory("E9b", {"scale": bench_scale, "rows": [row]})

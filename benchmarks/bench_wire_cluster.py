@@ -31,7 +31,6 @@ seconds-long sanity pass at toy scale.
 
 from __future__ import annotations
 
-import json
 import multiprocessing
 import os
 import time
@@ -40,10 +39,10 @@ import pytest
 
 from repro.platform.wire import WireClient, spawn_server
 
+from record import write_trajectory
+
 pytestmark = [pytest.mark.slow, pytest.mark.wire]
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_E14.json")
 
 SEED = 31
 POOL_SIZE = 20
@@ -226,13 +225,6 @@ def format_table(rows: list[dict]) -> str:
     return "\n".join(lines)
 
 
-def write_trajectory(payload: dict) -> None:
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(JSON_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-
-
 def test_wire_cluster_throughput(tmp_path, bench_scale, record_table):
     smoke = bench_scale == "smoke"
     sweep = SMOKE_CLIENT_SWEEP if smoke else CLIENT_SWEEP
@@ -262,8 +254,8 @@ def test_wire_cluster_throughput(tmp_path, bench_scale, record_table):
         # The trajectory file is a committed artifact tracking full-scale
         # numbers across PRs; a toy-scale smoke pass must not clobber it.
         write_trajectory(
+            "E14",
             {
-                "benchmark": "E14",
                 "scale": bench_scale,
                 "scaling": scaling,
                 "contention": contention,

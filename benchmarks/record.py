@@ -1,0 +1,42 @@
+"""Machine-readable benchmark trajectories: one JSON file per experiment.
+
+Every benchmark's full-scale run persists its headline numbers to
+``benchmarks/results/BENCH_<name>.json`` through :func:`write_trajectory`.
+The files are committed, so ``tools/bench_trend.py`` (``make bench-trend``)
+can diff a fresh run against the last committed trajectory and fail the
+build on a regression — the human-readable ``.txt`` tables remain for
+reading, the JSON is for trend enforcement.
+
+Smoke runs (``--bench-scale smoke``) must *not* call this: they would
+clobber a committed full-scale trajectory with toy-scale numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def trajectory_path(benchmark: str) -> str:
+    """The canonical path of *benchmark*'s trajectory file."""
+    return os.path.join(RESULTS_DIR, f"BENCH_{benchmark}.json")
+
+
+def write_trajectory(benchmark: str, payload: dict) -> str:
+    """Persist *payload* as ``BENCH_<benchmark>.json``; return the path.
+
+    The payload is written with sorted keys and a trailing newline so
+    reruns produce byte-identical files when the numbers agree, keeping
+    the committed diffs readable.  A ``benchmark`` key is added when the
+    payload does not carry one.
+    """
+    payload = dict(payload)
+    payload.setdefault("benchmark", benchmark)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = trajectory_path(benchmark)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

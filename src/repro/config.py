@@ -55,6 +55,14 @@ class StorageConfig:
             loss with transparent failover.  Must not exceed ``shards``,
             and is ignored on reopen in favour of the value stored in the
             ring's membership manifest.
+        codec: Name of the record codec values are stored under — ``"json"``
+            (the default: strict sorted-key JSON text) or ``"binary"`` (a
+            compact length-prefixed binary format; same value domain, often
+            smaller and faster to encode).  Durable engines record the codec
+            in their metadata and rediscover it on reopen, so None (the
+            default) means "whatever the database was written with, else
+            json"; naming a codec that contradicts the stored one raises
+            :class:`~repro.exceptions.CodecMismatchError`.
     """
 
     engine: str = "sqlite"
@@ -67,6 +75,7 @@ class StorageConfig:
     virtual_nodes: int = 64
     rebalance_batch_size: int = 256
     replicas: int = 1
+    codec: str | None = None
 
     def with_path(self, path: str) -> "StorageConfig":
         """Return a copy of this config pointing at *path*."""
@@ -132,6 +141,13 @@ class PlatformConfig:
             are coalesced into one engine write (``simulate_work``'s
             write-behind batch).  1, the default, writes every append
             through immediately.
+        group_commit: For a durable store, defer the engine's durability
+            barrier across each multi-table write wave (task publishes,
+            coalesced run appends) and commit the whole wave with one
+            ``commit_group`` — one fsync per storage member per wave
+            instead of one per write.  A crash loses at most the last
+            uncommitted wave, never a torn prefix of it; the idempotent
+            publish/ingest paths heal a rerun.  Off by default.
     """
 
     name: str = "simulated-pybossa"
@@ -150,6 +166,7 @@ class PlatformConfig:
     max_in_flight: int = 8
     pipeline_batch_size: int = 500
     append_batch_size: int = 1
+    group_commit: bool = False
 
 
 @dataclass(frozen=True)

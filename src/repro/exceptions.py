@@ -57,6 +57,25 @@ class CorruptLogError(StorageError):
     """Raised when a log-structured engine finds an unreadable log entry."""
 
 
+class CodecMismatchError(StorageError):
+    """Raised when an engine is opened with a codec other than the one its
+    durable state was written with.
+
+    Engines record their codec name in their on-disk meta; reopening with an
+    explicitly different ``StorageConfig(codec=...)`` fails loudly instead of
+    silently misreading stored bytes.
+    """
+
+    def __init__(self, path: str, stored: str, requested: str):
+        super().__init__(
+            f"storage at {path!r} was written with codec {stored!r}; "
+            f"refusing to open with codec {requested!r}"
+        )
+        self.path = path
+        self.stored = stored
+        self.requested = requested
+
+
 class PlatformError(ReprowdError):
     """Base class for crowdsourcing-platform failures."""
 

@@ -523,6 +523,7 @@ class DurableTaskStore(TaskStore):
         owns_engine: bool = False,
         append_batch_size: int = 1,
         shared: bool = False,
+        group_commit: bool = False,
     ) -> None:
         """Open the store on *engine*.
 
@@ -552,6 +553,18 @@ class DurableTaskStore(TaskStore):
                 which a rerun of ``simulate_work`` re-creates (the same
                 top-up idempotence that heals a crash between per-task
                 writes).
+            group_commit: Defer the engine's durability barrier across each
+                write wave (a task publish's multi-table batches, each run
+                append) and commit with one ``commit_group`` per wave /
+                flush point — one fsync per touched storage member instead
+                of one per write.  Reads on this handle (and other handles
+                on the same engine object) merge deferred writes
+                transparently; a crash loses at most the uncommitted tail
+                of waves, which the idempotent publish/ingest paths
+                re-create on rerun.  Forced off in ``shared`` mode: a
+                *separate process* on the same database file can neither
+                see another writer's uncommitted wave nor write around its
+                open transaction.
         """
         if append_batch_size < 1:
             raise ValueError(
@@ -562,6 +575,7 @@ class DurableTaskStore(TaskStore):
         self._owns_engine = owns_engine
         self._shared = shared
         self._append_batch_size = append_batch_size
+        self._group_commit = bool(group_commit) and not shared
         #: Write-behind buffer of appended-but-unflushed runs, as the
         #: run-dict lists the runs table stores, keyed like the table.
         self._pending_runs: dict[str, list[dict[str, Any]]] = {}
@@ -582,6 +596,9 @@ class DurableTaskStore(TaskStore):
         #: Cached next-id counters; authoritative copy lives in the meta
         #: table and is re-read lazily after a reopen.
         self._counters: dict[str, int] = {}
+        #: Counters whose frontier this store instance has established with
+        #: a real lease — the group-commit fast path's entry ticket.
+        self._leased_counters: set[str] = set()
         #: Cached total run count; recovered by one scan on first use.
         self._total_runs: int | None = None
         #: Cached copy of the persisted latest-timestamp meta record.
@@ -630,7 +647,28 @@ class DurableTaskStore(TaskStore):
         crash between claim and hint write leaves an unused id gap, never a
         reused id — the same gap-only guarantee the single-writer path had.
         A clock record rides in the same hint batch for free.
+
+        Under ``group_commit`` (single-writer by construction — the flag is
+        forced off in shared mode) the lease runs once per counter per
+        store lifetime, to establish the frontier past any stale hint a
+        previous crash left behind.  After that the counter record is
+        authoritative for this writer: allocations bump it in memory and
+        defer the write, so the hot per-task id reservation stops paying a
+        commit.  The bump and the records written under the reserved ids
+        ride the same deferred wave, so any barrier commits them together —
+        a crash still leaves at most an id gap, never a reused id.
         """
+        if self._group_commit and counter in self._leased_counters:
+            next_id = self._counters.get(counter)
+            if next_id is None:  # pragma: no cover — leasing seeds the cache
+                next_id = int(self._engine.get(self._meta_table, counter, default=1))
+            self._counters[counter] = next_id + count
+            items: list[tuple[str, Any]] = [(counter, next_id + count)]
+            if clock_time is not None and clock_time > self.latest_timestamp():
+                self._latest_timestamp = clock_time
+                items.append(("latest_timestamp", clock_time))
+            self._engine.put_many(self._meta_table, items, defer_commit=True)
+            return next_id
         next_id = self._counters.get(counter)
         if next_id is None or self._shared:
             next_id = int(self._engine.get(self._meta_table, counter, default=1))
@@ -643,19 +681,26 @@ class DurableTaskStore(TaskStore):
                 claimed = int(self._engine.get(self._meta_table, lease_key, default=1))
                 hint = int(self._engine.get(self._meta_table, counter, default=1))
                 next_id = max(next_id + max(1, claimed), hint)
+        self._leased_counters.add(counter)
         self._counters[counter] = next_id + count
         items: list[tuple[str, Any]] = [(counter, next_id + count)]
         if clock_time is not None and clock_time > self.latest_timestamp():
             self._latest_timestamp = clock_time
             items.append(("latest_timestamp", clock_time))
-        self._engine.put_many(self._meta_table, items)
+        # The hint is advisory (see above), so it may ride to the next group
+        # barrier; the lease itself committed through put_new regardless.
+        self._engine.put_many(self._meta_table, items, defer_commit=self._group_commit)
         return next_id
 
     def _record_latest(self, clock_time: float) -> None:
         """Persist *clock_time* as the latest timestamp when it advances it."""
         if clock_time > self.latest_timestamp():
             self._latest_timestamp = clock_time
-            self._engine.put(self._meta_table, "latest_timestamp", clock_time)
+            self._engine.put_many(
+                self._meta_table,
+                [("latest_timestamp", clock_time)],
+                defer_commit=self._group_commit,
+            )
 
     def latest_timestamp(self) -> float:
         if self._latest_timestamp is None or self._shared:
@@ -727,21 +772,26 @@ class DurableTaskStore(TaskStore):
         return [int(key) for key in self._engine.scan_keys(self._projects_table)]
 
     def remove_project(self, project: Project) -> None:
-        # Per task: index entry first (never a dangling id), then runs,
-        # then the record; project record last, so an interrupted delete
-        # can simply be retried — the project stays discoverable until
-        # everything it owns is gone.
+        # Index entries first (never a dangling id), then runs, then the
+        # records; project record last, so an interrupted delete can simply
+        # be retried — the project stays discoverable until everything it
+        # owns is gone.  One batched delete per table instead of one commit
+        # per task per table.
         self._flush_pending_runs()
         index_table = self._index_table(project.project_id)
-        for task_id in self.project_task_ids(project.project_id):
-            key = self._id_key(task_id)
+        keys = [
+            self._id_key(task_id)
+            for task_id in self.project_task_ids(project.project_id)
+        ]
+        if keys:
             if self._total_runs is not None:
-                self._total_runs -= len(
-                    self._engine.get(self._runs_table, key, default=[])
-                )
-            self._engine.delete(index_table, key)
-            self._engine.delete(self._runs_table, key)
-            self._engine.delete(self._tasks_table, key)
+                for payload in self._engine.get_many(
+                    self._runs_table, keys, default=[]
+                ):
+                    self._total_runs -= len(payload)
+            self._engine.delete_many(index_table, keys)
+            self._engine.delete_many(self._runs_table, keys)
+            self._engine.delete_many(self._tasks_table, keys)
         self._project_ids.pop(project.project_id, None)
         self._engine.drop_table(index_table)
         self._engine.drop_table(self._dedup_table(project.project_id))
@@ -776,20 +826,34 @@ class DurableTaskStore(TaskStore):
                 dedup_items.setdefault(task.project_id, []).append(
                     (dedup_key, task.task_id)
                 )
+        # Under group commit the whole publish wave shares one durability
+        # barrier: on a single-file engine the wave then commits atomically
+        # (strictly stronger than the between-batches ordering above); on a
+        # multi-member engine a crash may tear the wave *across* members,
+        # which the same replay paths heal — the keyed replay resolves or
+        # re-creates, and ensure_indexed repairs swallowed index entries.
+        defer = self._group_commit
         for project_id, items in dedup_items.items():
-            self._engine.put_many(self._dedup_table(project_id), items)
+            self._engine.put_many(
+                self._dedup_table(project_id), items, defer_commit=defer
+            )
         self._engine.put_many(
             self._tasks_table,
             [(self._id_key(task.task_id), task.to_dict()) for task in tasks],
+            defer_commit=defer,
         )
         for project_id, items in index_items.items():
-            self._engine.put_many(self._index_table(project_id), items)
+            self._engine.put_many(
+                self._index_table(project_id), items, defer_commit=defer
+            )
             cached = self._project_ids.get(project_id)
             if cached is not None:
                 # Fresh ids come from the monotonic counter, so they all
                 # sort after anything already cached.
                 cached.extend(task_id for _, task_id in items)
         self._record_latest(max(task.created_at for task in tasks))
+        if defer:
+            self._engine.commit_group()
 
     def stage_tasks(self, tasks: Sequence[Task]) -> None:
         if not tasks:
@@ -802,8 +866,9 @@ class DurableTaskStore(TaskStore):
         )
 
     def discard_staged(self, tasks: Sequence[Task]) -> None:
-        for task in tasks:
-            self._engine.delete(self._tasks_table, self._id_key(task.task_id))
+        self._engine.delete_many(
+            self._tasks_table, [self._id_key(task.task_id) for task in tasks]
+        )
 
     def ensure_indexed(self, tasks: Sequence[Task]) -> None:
         by_project: dict[int, list[Task]] = {}
@@ -965,7 +1030,13 @@ class DurableTaskStore(TaskStore):
         # by reference, and the stored value must only change via put.
         stored = list(self._engine.get(self._runs_table, key, default=[]))
         stored.extend(run.to_dict() for run in runs)
-        self._engine.put(self._runs_table, key, stored)
+        # Under group commit the append rides to the next barrier (a lease
+        # allocation, an explicit flush, or close) instead of paying its own
+        # commit — the simulate loop's hot path.  Reads on this engine see
+        # the deferred write immediately.
+        self._engine.put_many(
+            self._runs_table, [(key, stored)], defer_commit=self._group_commit
+        )
         if self._total_runs is not None:
             self._total_runs += len(runs)
 
@@ -989,6 +1060,7 @@ class DurableTaskStore(TaskStore):
                 (key, list(stored) + self._pending_runs[key])
                 for key, stored in zip(keys, stored_lists)
             ],
+            defer_commit=self._group_commit,
         )
         self._pending_runs = {}
         self._pending_run_count = 0
@@ -1048,13 +1120,21 @@ class DurableTaskStore(TaskStore):
 
     def flush(self) -> None:
         self._flush_pending_runs()
+        if self._group_commit:
+            self._engine.commit_group()
         self._engine.flush()
 
     def flush_appends(self) -> None:
         self._flush_pending_runs()
+        if self._group_commit:
+            self._engine.commit_group()
 
     def close(self) -> None:
         self._flush_pending_runs()
+        if self._group_commit:
+            # The engine may outlive this store handle (shared-engine
+            # contexts): leave no wave uncommitted behind us.
+            self._engine.commit_group()
         if self._owns_engine:
             self._engine.close()
 
@@ -1087,10 +1167,13 @@ def open_task_store(
                 open_engine(config.store_engine),
                 owns_engine=True,
                 append_batch_size=config.append_batch_size,
+                group_commit=config.group_commit,
             )
         if shared_engine is not None:
             return DurableTaskStore(
-                shared_engine, append_batch_size=config.append_batch_size
+                shared_engine,
+                append_batch_size=config.append_batch_size,
+                group_commit=config.group_commit,
             )
         raise ConfigurationError(
             "PlatformConfig(store='durable') needs a store_engine (or an engine "

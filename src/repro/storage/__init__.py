@@ -25,7 +25,15 @@ from repro.storage.sqlite_engine import SqliteEngine
 from repro.storage.log_engine import LogStructuredEngine
 from repro.storage.sharded_engine import PartitionedEngine, ShardedEngine, shard_index
 from repro.storage.ring import ConsistentHashEngine, DegradedRingWarning, HashRing
-from repro.storage.records import Record, RecordCodec
+from repro.storage.records import (
+    CODECS,
+    BinaryCodec,
+    Codec,
+    JsonCodec,
+    Record,
+    RecordCodec,
+    resolve_codec,
+)
 from repro.storage.schema import ColumnSpec, TableSchema
 
 __all__ = [
@@ -42,6 +50,11 @@ __all__ = [
     "shard_index",
     "Record",
     "RecordCodec",
+    "Codec",
+    "JsonCodec",
+    "BinaryCodec",
+    "CODECS",
+    "resolve_codec",
     "ColumnSpec",
     "TableSchema",
 ]

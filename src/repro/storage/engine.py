@@ -41,6 +41,30 @@ equivalence class:
   a key of the table raises :class:`~repro.exceptions.StorageError`, and a
   negative ``limit`` raises ``ValueError``.  Walking pages of any size and
   concatenating them yields exactly the unpaginated scan.
+
+Group commit
+------------
+
+Durable engines pay one durability barrier (sqlite commit+fsync, log fsync)
+per write batch.  Callers that issue several batches as one logical wave —
+the sharded fan-out, the ring's migration waves, the platform store's
+multi-table task publish — can instead pass ``defer_commit=True`` to each
+``put_many``/``delete_many`` and then call ``commit_group()`` once: every
+touched engine flushes a single barrier for the whole wave.  Reads on the
+same engine observe deferred writes immediately (same connection/process);
+a crash before ``commit_group()`` may lose the whole uncommitted wave but
+never tears a batch, which the ``if_absent=True`` rerun path heals exactly
+like any other lost batch.  Engines without a barrier (memory) accept and
+ignore the flag, so callers never need to special-case.
+
+Record codecs
+-------------
+
+Values cross the engine boundary through a pluggable
+:class:`~repro.storage.records.Codec` (strict-JSON default, compact binary
+optional).  Durable engines record the codec name in their on-disk meta and
+rediscover it on reopen; opening with an explicitly different codec raises
+:class:`~repro.exceptions.CodecMismatchError`.
 """
 
 from __future__ import annotations
@@ -51,7 +75,7 @@ from typing import Any, Iterable, Iterator, Sequence
 
 from repro.config import StorageConfig
 from repro.exceptions import ConfigurationError, UnknownCursorError
-from repro.storage.records import Record
+from repro.storage.records import CODECS, Codec, Record
 
 
 def paginate_records(
@@ -86,6 +110,10 @@ class StorageEngine(abc.ABC):
 
     #: Name reported by :meth:`describe`, overridden by subclasses.
     engine_name = "abstract"
+
+    #: The value codec in effect; engines accepting a ``codec=`` argument
+    #: overwrite this per instance (default: strict JSON).
+    codec: Codec = CODECS["json"]
 
     # -- table management --------------------------------------------------
 
@@ -163,6 +191,8 @@ class StorageEngine(abc.ABC):
         table_name: str,
         items: Iterable[tuple[str, Any]],
         if_absent: bool = False,
+        *,
+        defer_commit: bool = False,
     ) -> list[Record]:
         """Write a batch of (key, value) pairs; return one record per item.
 
@@ -181,10 +211,14 @@ class StorageEngine(abc.ABC):
           replays it whole or discards it), the sharded engine issues one
           child batch per shard — so a crash can leave *whole-shard*
           prefixes, which ``if_absent=True`` reruns heal.
+        * ``defer_commit=True`` skips the engine's per-batch durability
+          barrier; the caller promises a later :meth:`commit_group` (see the
+          module docstring).  Engines without a barrier ignore the flag.
 
         This base implementation is the naive row-at-a-time loop; engines
         override it with their atomic batch primitive.
         """
+        del defer_commit  # the naive loop has no batch barrier to defer
         records: list[Record] = []
         for key, value in items:
             if if_absent:
@@ -194,6 +228,32 @@ class StorageEngine(abc.ABC):
                     continue
             records.append(self.put(table_name, key, value))
         return records
+
+    def delete_many(
+        self,
+        table_name: str,
+        keys: Sequence[str],
+        *,
+        defer_commit: bool = False,
+    ) -> int:
+        """Delete each key in *keys*; return how many records were removed.
+
+        Missing keys are skipped silently (like :meth:`delete` returning
+        False).  ``defer_commit=True`` has the same contract as in
+        :meth:`put_many`.  This base implementation loops :meth:`delete`;
+        durable engines override it with one batched barrier.
+        """
+        del defer_commit
+        return sum(1 for key in keys if self.delete(table_name, key))
+
+    def commit_group(self) -> None:
+        """Flush one durability barrier for all writes deferred so far.
+
+        Pairs with ``defer_commit=True`` on :meth:`put_many` /
+        :meth:`delete_many`.  A no-op on engines without a barrier and when
+        nothing was deferred; partitioned engines fan it out to every child
+        they touched.
+        """
 
     def get_many(
         self, table_name: str, keys: Sequence[str], default: Any = None
@@ -272,14 +332,18 @@ def _open_child_engine(config: StorageConfig, name: str) -> StorageEngine:
     from repro.storage.sqlite_engine import SqliteEngine
 
     if config.shard_engine == "memory":
-        return MemoryEngine()
+        return MemoryEngine(codec=config.codec)
     if config.shard_engine == "sqlite":
         return SqliteEngine(
-            os.path.join(config.path, f"{name}.db"), synchronous=config.synchronous
+            os.path.join(config.path, f"{name}.db"),
+            synchronous=config.synchronous,
+            codec=config.codec,
         )
     if config.shard_engine == "log":
         return LogStructuredEngine(
-            os.path.join(config.path, name), snapshot_every=config.snapshot_every
+            os.path.join(config.path, name),
+            snapshot_every=config.snapshot_every,
+            codec=config.codec,
         )
     raise ConfigurationError(
         f"unknown shard engine {config.shard_engine!r}; "
@@ -325,11 +389,15 @@ def open_engine(config: StorageConfig) -> StorageEngine:
     from repro.storage.sqlite_engine import SqliteEngine
 
     if config.engine == "memory":
-        return MemoryEngine()
+        return MemoryEngine(codec=config.codec)
     if config.engine == "sqlite":
-        return SqliteEngine(config.path, synchronous=config.synchronous)
+        return SqliteEngine(
+            config.path, synchronous=config.synchronous, codec=config.codec
+        )
     if config.engine == "log":
-        return LogStructuredEngine(config.path, snapshot_every=config.snapshot_every)
+        return LogStructuredEngine(
+            config.path, snapshot_every=config.snapshot_every, codec=config.codec
+        )
     if config.engine in ("sharded", "ring"):
         if config.shards < 1:
             raise ConfigurationError(

@@ -15,9 +15,14 @@ import json
 import os
 from typing import Any, Iterable, Iterator, Sequence
 
-from repro.exceptions import CorruptLogError, DuplicateKeyError, TableNotFoundError
+from repro.exceptions import (
+    CodecMismatchError,
+    CorruptLogError,
+    DuplicateKeyError,
+    TableNotFoundError,
+)
 from repro.storage.engine import StorageEngine, paginate_records
-from repro.storage.records import Record, RecordCodec
+from repro.storage.records import Codec, Record, resolve_codec
 
 
 class LogStructuredEngine(StorageEngine):
@@ -30,14 +35,27 @@ class LogStructuredEngine(StorageEngine):
     _OP_PUT = "put"
     _OP_PUT_MANY = "put_many"
     _OP_DELETE = "delete"
+    _OP_DELETE_MANY = "delete_many"
 
-    def __init__(self, path: str, snapshot_every: int = 1000) -> None:
+    def __init__(
+        self,
+        path: str,
+        snapshot_every: int = 1000,
+        codec: str | Codec | None = None,
+    ) -> None:
         """Open (recovering if necessary) the log database rooted at *path*.
 
         Args:
-            path: Base path; the engine writes ``<path>.log`` and
-                ``<path>.snapshot``.
+            path: Base path; the engine writes ``<path>.log``,
+                ``<path>.snapshot`` and ``<path>.meta``.
             snapshot_every: Number of logged operations between snapshots.
+            codec: Value codec (name or instance), recorded in the meta file
+                on first open and rediscovered afterwards; an explicit codec
+                that disagrees with the recorded one raises
+                :class:`~repro.exceptions.CodecMismatchError`.  The log's own
+                wire format stays JSON lines — the codec governs the value
+                domain and validation, keeping the engine interchangeable
+                with the others under either codec.
         """
         if snapshot_every <= 0:
             raise ValueError(f"snapshot_every must be positive, got {snapshot_every}")
@@ -45,15 +63,45 @@ class LogStructuredEngine(StorageEngine):
         self.snapshot_every = snapshot_every
         self.log_path = f"{path}.log"
         self.snapshot_path = f"{path}.snapshot"
+        self.meta_path = f"{path}.meta"
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
 
+        self.codec = self._settle_codec(codec)
         self._tables: dict[str, dict[str, Record]] = {}
         self._ops_since_snapshot = 0
         self._recovered_ops = 0
+        self._pending_lines: list[str] = []
+        self._pending_weight = 0
         self._closed = False
         self._recover()
         self._log_file = open(self.log_path, "a", encoding="utf-8")
+
+    def _settle_codec(self, requested: str | Codec | None) -> Codec:
+        """Reconcile the requested codec with the recorded one (meta file).
+
+        Pre-meta databases that already have a log or snapshot are
+        implicitly ``json``; the settled name is recorded atomically so
+        every future open rediscovers it with no config change.
+        """
+        stored: str | None = None
+        if os.path.exists(self.meta_path):
+            with open(self.meta_path, "r", encoding="utf-8") as handle:
+                stored = json.load(handle).get("codec")
+        elif os.path.exists(self.log_path) or os.path.exists(self.snapshot_path):
+            stored = "json"
+        if requested is None:
+            codec = resolve_codec(stored)
+        else:
+            codec = resolve_codec(requested)
+            if stored is not None and codec.name != stored:
+                raise CodecMismatchError(self.path, stored, codec.name)
+        if stored != codec.name or not os.path.exists(self.meta_path):
+            temp_path = f"{self.meta_path}.tmp"
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                json.dump({"codec": codec.name}, handle)
+            os.replace(temp_path, self.meta_path)
+        return codec
 
     # -- recovery ------------------------------------------------------------
 
@@ -117,6 +165,11 @@ class LogStructuredEngine(StorageEngine):
             table = self._tables.get(entry["table"])
             if table is not None:
                 table.pop(entry["key"], None)
+        elif op == self._OP_DELETE_MANY:
+            table = self._tables.get(entry["table"])
+            if table is not None:
+                for key in entry["keys"]:
+                    table.pop(key, None)
         else:
             raise CorruptLogError(f"unknown log operation {op!r}")
 
@@ -130,21 +183,38 @@ class LogStructuredEngine(StorageEngine):
     def _logged_seq(self) -> int:
         return getattr(self, "_seq", 0)
 
-    def _append(self, entry: dict[str, Any], weight: int = 1) -> None:
+    def _append(self, entry: dict[str, Any], weight: int = 1, defer: bool = False) -> None:
         """Append one log entry; *weight* is its cost toward the snapshot cadence.
 
         A group append (``put_many``) is one entry and one fsync but carries
         many records, so it weighs as many operations — otherwise a bulk
         workload could write arbitrarily long log tails between snapshots
         and pay for them at recovery time.
+
+        With ``defer=True`` the serialised line is buffered in memory and the
+        write+flush+fsync barrier is postponed until :meth:`commit_group` (or
+        the next non-deferred append, which must not overtake buffered lines
+        in the file).  All buffered lines then go down in **one** ``write``
+        call — a whole deferred wave costs a single syscall and fsync.
         """
         seq = self._logged_seq() + 1
         self._seq = seq
         entry["seq"] = seq
-        self._log_file.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._pending_lines.append(json.dumps(entry, sort_keys=True) + "\n")
+        self._pending_weight += max(1, weight)
+        if not defer:
+            self._flush_pending()
+
+    def _flush_pending(self) -> None:
+        """Write all buffered lines in one call, then one flush+fsync."""
+        if not self._pending_lines:
+            return
+        self._log_file.write("".join(self._pending_lines))
         self._log_file.flush()
         os.fsync(self._log_file.fileno())
-        self._ops_since_snapshot += max(1, weight)
+        self._ops_since_snapshot += self._pending_weight
+        self._pending_lines.clear()
+        self._pending_weight = 0
         if self._ops_since_snapshot >= self.snapshot_every:
             self._write_snapshot()
 
@@ -195,7 +265,7 @@ class LogStructuredEngine(StorageEngine):
     # -- record access ----------------------------------------------------------
 
     def put(self, table_name: str, key: str, value: Any) -> Record:
-        RecordCodec.encode(value)
+        self.codec.encode(value)
         table = self._table(table_name)
         existing = table.get(key)
         record = existing.bump(value) if existing else Record(key=key, value=value)
@@ -251,19 +321,24 @@ class LogStructuredEngine(StorageEngine):
         table_name: str,
         items: Iterable[tuple[str, Any]],
         if_absent: bool = False,
+        *,
+        defer_commit: bool = False,
     ) -> list[Record]:
         """Batch write as one atomic group append (one fsync for the batch).
 
-        Recovery replays the group record whole; a crash while appending it
-        tears the final line, which recovery discards — so the durable state
-        is all of the batch or none of it.
+        The whole group is serialised into a single buffered ``write`` call
+        — never one syscall per record.  Recovery replays the group record
+        whole; a crash while appending it tears the final line, which
+        recovery discards — so the durable state is all of the batch or none
+        of it.  With ``defer_commit=True`` even that single write+fsync is
+        postponed to :meth:`commit_group`, so a multi-batch wave costs one
+        barrier total.
         """
         table = self._table(table_name)
         items = list(items)
         # Validate the whole batch before mutating anything: a bad value must
         # not leave the in-memory state ahead of the durable log.
-        for _, value in items:
-            RecordCodec.encode(value)
+        self.codec.encode_many([value for _, value in items])
         records: list[Record] = []
         writes: list[dict[str, Any]] = []
         for key, value in items:
@@ -279,8 +354,31 @@ class LogStructuredEngine(StorageEngine):
             self._append(
                 {"op": self._OP_PUT_MANY, "table": table_name, "entries": writes},
                 weight=len(writes),
+                defer=defer_commit,
             )
         return records
+
+    def delete_many(
+        self,
+        table_name: str,
+        keys: Sequence[str],
+        *,
+        defer_commit: bool = False,
+    ) -> int:
+        """Batch delete as one group append (one fsync, defer-able)."""
+        table = self._table(table_name)
+        removed = [key for key in dict.fromkeys(keys) if table.pop(key, None) is not None]
+        if removed:
+            self._append(
+                {"op": self._OP_DELETE_MANY, "table": table_name, "keys": removed},
+                weight=len(removed),
+                defer=defer_commit,
+            )
+        return len(removed)
+
+    def commit_group(self) -> None:
+        """Write + fsync every line deferred with ``defer_commit=True``."""
+        self._flush_pending()
 
     def get_many(
         self, table_name: str, keys: Sequence[str], default: Any = None
@@ -295,11 +393,13 @@ class LogStructuredEngine(StorageEngine):
     # -- lifecycle ---------------------------------------------------------------
 
     def flush(self) -> None:
+        self._flush_pending()
         self._log_file.flush()
         os.fsync(self._log_file.fileno())
 
     def close(self) -> None:
         if not self._closed:
+            self._flush_pending()
             self._write_snapshot()
             self._log_file.close()
             self._closed = True

@@ -13,7 +13,7 @@ from typing import Any, Iterable, Iterator, Sequence
 
 from repro.exceptions import DuplicateKeyError, TableNotFoundError
 from repro.storage.engine import StorageEngine, paginate_records
-from repro.storage.records import Record, RecordCodec
+from repro.storage.records import Codec, Record, resolve_codec
 
 
 class MemoryEngine(StorageEngine):
@@ -29,10 +29,13 @@ class MemoryEngine(StorageEngine):
 
     engine_name = "memory"
 
-    def __init__(self) -> None:
+    def __init__(self, codec: str | Codec | None = None) -> None:
         self._tables: dict[str, dict[str, Record]] = {}
         self._mutex = threading.RLock()
         self._closed = False
+        # No durable meta to rediscover a codec from: used for validation
+        # only, so memory accepts exactly the durable engines' value domain.
+        self.codec = resolve_codec(codec)
 
     # -- table management --------------------------------------------------
 
@@ -61,7 +64,7 @@ class MemoryEngine(StorageEngine):
     def put(self, table_name: str, key: str, value: Any) -> Record:
         # Round-trip through the codec so memory and durable engines accept
         # exactly the same set of values.
-        RecordCodec.encode(value)
+        self.codec.encode(value)
         with self._mutex:
             table = self._table(table_name)
             existing = table.get(key)
@@ -107,12 +110,14 @@ class MemoryEngine(StorageEngine):
         table_name: str,
         items: Iterable[tuple[str, Any]],
         if_absent: bool = False,
+        *,
+        defer_commit: bool = False,
     ) -> list[Record]:
+        del defer_commit  # no durability barrier to defer
         items = list(items)
         # Validate the whole batch before mutating anything, so a bad value
         # cannot leave a half-applied batch (matches the durable engines).
-        for _, value in items:
-            RecordCodec.encode(value)
+        self.codec.encode_many([value for _, value in items])
         with self._mutex:
             table = self._table(table_name)
             records: list[Record] = []

@@ -71,7 +71,7 @@ Membership metadata
 -------------------
 
 Each child carries a reserved table ``__ring__`` (hidden from
-``list_tables``) holding three replicated records:
+``list_tables``) holding the replicated records:
 
 * ``members`` — the membership **manifest**: an epoch counter, the member
   names, the virtual-node count and the replica count.  Written at first
@@ -87,6 +87,19 @@ Each child carries a reserved table ``__ring__`` (hidden from
 * ``down`` — present when ``replicas`` > 1: the names of the members
   currently marked down, so a returning member can be told apart from a
   healthy one at the next open.
+* ``idx::<table>`` — a **sequence-index snapshot** per scanned table,
+  written on :meth:`flush`/:meth:`close` whenever the in-memory index
+  changed: the live ``(key, seq)`` pairs plus, per member, the record count
+  and physical tail key observed at snapshot time.  On reopen
+  :meth:`_index` loads the snapshot and replays only the records each
+  member appended past its recorded tail — O(new writes) instead of the
+  O(K) full rebuild — falling back to the rebuild whenever validation
+  cannot prove the snapshot current: a different epoch (a rebalance
+  happened), a different live-member set (degraded), a vanished tail key,
+  or a member count that the snapshot count plus the replayed records does
+  not explain (a delete landed after the snapshot).  Stale snapshots are
+  therefore never *trusted*, only either replayed to the exact rebuilt
+  index or discarded.
 
 The rebalance protocol
 ----------------------
@@ -151,6 +164,8 @@ RING_META_TABLE = "__ring__"
 _MANIFEST_KEY = "members"
 _JOURNAL_KEY = "journal"
 _DOWN_KEY = "down"
+#: Per-table sequence-index snapshot records: ``idx::<table>``.
+_INDEX_KEY_PREFIX = "idx::"
 
 #: Event callback invoked before every durable step of a rebalance; tests
 #: inject crashes by raising from it.
@@ -329,6 +344,8 @@ class ConsistentHashEngine(PartitionedEngine):
         #: member dies; ``self._children`` holds only the live engines.
         self._membership: set[str] = set(self._children)
         self._indexes: dict[str, _SequenceIndex] = {}
+        #: Tables whose in-memory index moved past the durable snapshot.
+        self._index_dirty: set[str] = set()
         self._epoch = 1
         # (old ring, retired name -> engine) while a migration is in flight.
         self._pending: tuple[HashRing, dict[str, StorageEngine]] | None = None
@@ -345,6 +362,7 @@ class ConsistentHashEngine(PartitionedEngine):
                 f"{len(self._membership)} member(s)"
             )
         self._rebuild_membership()
+        self._adopt_member_codec()
         returning = self._returning_members()
         if returning:
             quarantined = {name: self._children.pop(name) for name in returning}
@@ -604,8 +622,7 @@ class ConsistentHashEngine(PartitionedEngine):
                 if len(page) < self._merge_page_size:
                     break
                 cursor = page[-1].key
-            for key in stale:
-                engine.delete(table_name, key)
+            engine.delete_many(table_name, stale, defer_commit=True)
             to_copy = [
                 (key, envelope)
                 for key, envelope in wanted.items()
@@ -613,15 +630,25 @@ class ConsistentHashEngine(PartitionedEngine):
             ]
             for start in range(0, len(to_copy), self.rebalance_batch_size):
                 engine.put_many(
-                    table_name, to_copy[start : start + self.rebalance_batch_size]
+                    table_name,
+                    to_copy[start : start + self.rebalance_batch_size],
+                    defer_commit=True,
                 )
+        # One durability barrier for the whole sync — it is idempotent, so a
+        # crash mid-sync just reruns it at the next open.
+        engine.commit_group()
+        # Mirror the trusted metadata verbatim — manifest, journal, down set
+        # *and* index snapshots — and erase relic records the trusted members
+        # no longer hold (a stale journal, or a snapshot of a dropped table).
         trusted = self._children[sorted(self._children)[0]]
-        for meta_key in (_MANIFEST_KEY, _JOURNAL_KEY, _DOWN_KEY):
-            value = trusted.get(RING_META_TABLE, meta_key)
-            if value is None:
+        trusted_meta = {
+            record.key: record.value for record in trusted.scan(RING_META_TABLE)
+        }
+        for meta_key in [record.key for record in engine.scan(RING_META_TABLE)]:
+            if meta_key not in trusted_meta:
                 engine.delete(RING_META_TABLE, meta_key)
-            else:
-                engine.put(RING_META_TABLE, meta_key, value)
+        for meta_key in sorted(trusted_meta):
+            engine.put(RING_META_TABLE, meta_key, trusted_meta[meta_key])
 
     def mark_down(self, name: str) -> None:
         """Retire the live member *name* in place (the member-kill model).
@@ -780,52 +807,189 @@ class ConsistentHashEngine(PartitionedEngine):
             # "resurrected" by the fallback read (and by the drain wave).
             deleted = engine.delete(table_name, key) or deleted
         if deleted:
-            index = self._indexes.get(table_name)
-            if index is not None:
-                index.note_delete(key)
+            self._note_delete(table_name, key)
         return deleted
+
+    def _note_delete(self, table_name: str, key: str) -> None:
+        index = self._indexes.get(table_name)
+        if index is not None:
+            index.note_delete(key)
+            self._index_dirty.add(table_name)
+
+    def delete_many(
+        self, table_name: str, keys: Iterable[str], *, defer_commit: bool = False
+    ) -> int:
+        if table_name == RING_META_TABLE:
+            raise TableNotFoundError(table_name)
+        self._require_table(table_name)
+        distinct = list(dict.fromkeys(keys))
+        if not distinct:
+            return 0
+        present = self._bulk_lookup_envelopes(table_name, distinct)
+        per_member: dict[str, list[str]] = {}
+        for key in distinct:
+            for name in self._replica_names(key):
+                if name in self._children:
+                    per_member.setdefault(name, []).append(key)
+        for name in sorted(per_member):
+            self._children[name].delete_many(
+                table_name, per_member[name], defer_commit=defer_commit
+            )
+        if self._pending is not None:
+            # Mid-migration the old-ring copies must go too (see delete()).
+            old_batches: dict[int, tuple[StorageEngine, list[str]]] = {}
+            for key in distinct:
+                for engine in self._old_replica_engines(key):
+                    old_batches.setdefault(id(engine), (engine, []))[1].append(key)
+            for engine, old_keys in old_batches.values():
+                engine.delete_many(table_name, old_keys, defer_commit=defer_commit)
+        for key in present:
+            self._note_delete(table_name, key)
+        return len(present)
 
     # -- the sequence index and the scans it serves ----------------------------
 
     def _index(self, table_name: str) -> _SequenceIndex:
-        """The table's sequence index, built lazily from the children.
+        """The table's sequence index, loaded from its durable snapshot when
+        one validates, else rebuilt from the children.
 
-        One full pass per member per open; a key found at two owners (the
-        mid-migration window) or at several replicas collapses naturally
-        because every copy carries the same sequence number.  Writes and
-        deletes afterwards maintain the index incrementally, and migration
-        never touches it — moving a key changes neither its sequence nor its
-        liveness.
+        The rebuild is one full pass per member per open; a key found at two
+        owners (the mid-migration window) or at several replicas collapses
+        naturally because every copy carries the same sequence number.
+        Writes and deletes afterwards maintain the index incrementally, and
+        migration never touches it — moving a key changes neither its
+        sequence nor its liveness.
         """
         index = self._indexes.get(table_name)
         if index is None:
             self._require_table(table_name)
-            seq_by_key: dict[str, int] = {}
-            for member in self._members:
-                if not member.has_table(table_name):
-                    continue
-                cursor: str | None = None
+            index = self._load_index_snapshot(table_name)
+            if index is None:
+                seq_by_key: dict[str, int] = {}
+                for member in self._members:
+                    if not member.has_table(table_name):
+                        continue
+                    cursor: str | None = None
+                    while True:
+                        page = list(
+                            member.scan(
+                                table_name,
+                                limit=self._merge_page_size,
+                                start_after=cursor,
+                            )
+                        )
+                        for record in page:
+                            seq_by_key[record.key] = record.value[_SEQ]
+                        if len(page) < self._merge_page_size:
+                            break
+                        cursor = page[-1].key
+                index = _SequenceIndex(seq_by_key)
+                # Persist what the rebuild paid for at the next flush/close.
+                self._index_dirty.add(table_name)
+            self._indexes[table_name] = index
+        return index
+
+    def _load_index_snapshot(self, table_name: str) -> _SequenceIndex | None:
+        """Load and validate the table's ``idx::`` snapshot, or ``None``.
+
+        Returning ``None`` means "pay the full rebuild" — the safe answer
+        whenever the snapshot cannot be *proven* to replay to the exact
+        index the rebuild would produce (see the module docstring for the
+        validation rules).
+        """
+        if self._pending is not None:
+            return None  # mid-migration: the dual-owner world needs the rebuild
+        snapshot: dict[str, Any] | None = None
+        for name in sorted(self._children):
+            snapshot = self._children[name].get(
+                RING_META_TABLE, _INDEX_KEY_PREFIX + table_name
+            )
+            if snapshot is not None:
+                break
+        if not snapshot or snapshot.get("epoch") != self._epoch:
+            return None  # no snapshot, or a rebalance moved the epoch past it
+        members: dict[str, Any] = snapshot.get("members", {})
+        if set(members) != set(self._children):
+            return None  # degraded open or membership drift: counts unprovable
+        replayed: list[tuple[int, str]] = []
+        for name in sorted(members):
+            engine = self._children[name]
+            info = members[name]
+            if not engine.has_table(table_name):
+                if info["count"]:
+                    return None  # the member lost a table it had records in
+                continue
+            fresh = 0
+            cursor: str | None = info["tail"]
+            try:
                 while True:
                     page = list(
-                        member.scan(
+                        engine.scan(
                             table_name,
                             limit=self._merge_page_size,
                             start_after=cursor,
                         )
                     )
                     for record in page:
-                        seq_by_key[record.key] = record.value[_SEQ]
+                        replayed.append((record.value[_SEQ], record.key))
+                        fresh += 1
                     if len(page) < self._merge_page_size:
                         break
                     cursor = page[-1].key
-            index = _SequenceIndex(seq_by_key)
-            self._indexes[table_name] = index
+            except UnknownCursorError:
+                return None  # the tail key was deleted since the snapshot
+            if engine.count(table_name) != info["count"] + fresh:
+                return None  # a delete landed behind the snapshot's back
+        index = _SequenceIndex(dict(zip(snapshot["keys"], snapshot["seqs"])))
+        # Replays across members interleave by sequence, so sort before
+        # appending — entries must stay sequence-ascending for the scans'
+        # bisect.  Replica copies of one key collapse via note_write.
+        for seq, key in sorted(replayed):
+            index.note_write(key, seq)
+        if replayed:
+            # The snapshot is provably stale; refresh it at the next
+            # flush/close so future reopens stop re-paying this replay.
+            self._index_dirty.add(table_name)
         return index
+
+    def _write_index_snapshots(self) -> None:
+        """Persist every dirty table's sequence index to the live members."""
+        if self._pending is not None:
+            return  # never snapshot the dual-owner window
+        for table_name in sorted(self._index_dirty & set(self._indexes)):
+            index = self._indexes[table_name]
+            keys: list[str] = []
+            seqs: list[int] = []
+            for seq, key in index.live_after(0):
+                keys.append(key)
+                seqs.append(seq)
+            members: dict[str, dict[str, Any]] = {}
+            for name in sorted(self._children):
+                engine = self._children[name]
+                if engine.has_table(table_name):
+                    members[name] = {
+                        "count": engine.count(table_name),
+                        "tail": self._last_key(engine, table_name),
+                    }
+                else:
+                    members[name] = {"count": 0, "tail": None}
+            snapshot = {
+                "epoch": self._epoch,
+                "keys": keys,
+                "seqs": seqs,
+                "members": members,
+            }
+            for name in sorted(self._children):
+                self._children[name].put(
+                    RING_META_TABLE, _INDEX_KEY_PREFIX + table_name, snapshot
+                )
+            self._index_dirty.discard(table_name)
 
     def _note_write(self, table_name: str, key: str, envelope: dict[str, Any]) -> None:
         index = self._indexes.get(table_name)
         if index is not None:
             index.note_write(key, envelope[_SEQ])
+            self._index_dirty.add(table_name)
 
     def _allocate_seq(self, table_name: str, count: int = 1) -> int:
         # The sharded recovery ("a member's last record holds its largest
@@ -913,6 +1077,20 @@ class ConsistentHashEngine(PartitionedEngine):
             raise StorageError(f"{RING_META_TABLE!r} is reserved for ring metadata")
         super().drop_table(table_name)
         self._indexes.pop(table_name, None)
+        self._index_dirty.discard(table_name)
+        for child in self._children.values():
+            child.delete(RING_META_TABLE, _INDEX_KEY_PREFIX + table_name)
+
+    # -- lifecycle: persist the indexes alongside the data ---------------------
+
+    def flush(self) -> None:
+        self._write_index_snapshots()
+        super().flush()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._write_index_snapshots()
+        super().close()
 
     # -- repair (re-replication) -----------------------------------------------
 
@@ -1011,8 +1189,7 @@ class ConsistentHashEngine(PartitionedEngine):
                 engine = self._children.get(name)
                 if engine is None:
                     continue
-                for key in drops[name]:
-                    engine.delete(table_name, key)
+                engine.delete_many(table_name, drops[name])
                 dropped_in_table += len(drops[name])
             if copied_in_table or dropped_in_table:
                 per_table[table_name] = {
@@ -1239,6 +1416,8 @@ class ConsistentHashEngine(PartitionedEngine):
             destination = self._children.get(destination_name)
             if destination is None:
                 continue  # marked down by the observer itself
+            # One batch, one commit, per destination per wave — and the copy
+            # is durable before the drain below erases the source's copy.
             destination.put_many(
                 table_name, by_destination[destination_name], if_absent=True
             )
@@ -1250,8 +1429,9 @@ class ConsistentHashEngine(PartitionedEngine):
                 else None
             ) or self._children.get(source_name)
             if drain_source is not None:
-                for key in present:
-                    drain_source.delete(table_name, key)
+                # One batched delete — one commit per wave instead of one
+                # per key.
+                drain_source.delete_many(table_name, present)
         return len(present)
 
     def _finalize(self, notify: RebalanceObserver) -> None:

@@ -64,9 +64,14 @@ from concurrent.futures import ThreadPoolExecutor
 from itertools import islice
 from typing import Any, Iterable, Iterator, Sequence
 
-from repro.exceptions import DuplicateKeyError, TableNotFoundError, UnknownCursorError
+from repro.exceptions import (
+    DuplicateKeyError,
+    StorageError,
+    TableNotFoundError,
+    UnknownCursorError,
+)
 from repro.storage.engine import StorageEngine
-from repro.storage.records import Record, RecordCodec
+from repro.storage.records import Record
 
 #: Envelope field holding the global insertion sequence number.
 _SEQ = "s"
@@ -127,6 +132,21 @@ class PartitionedEngine(StorageEngine):
         self._next_seq: dict[str, int] = {}
         self._members: list[StorageEngine] = []
         self._closed = False
+
+    def _adopt_member_codec(self) -> None:
+        """Adopt the children's (shared) codec as this engine's codec.
+
+        Called by subclasses once ``self._members`` is populated.  The
+        children each settled their codec against their own durable meta, so
+        disagreement means the partition was assembled from files written
+        with different codecs — refuse loudly rather than half-misread.
+        """
+        names = {member.codec.name for member in self._members}
+        if len(names) > 1:
+            raise StorageError(
+                f"partition members disagree on codec: {sorted(names)}"
+            )
+        self.codec = self._members[0].codec
 
     # -- routing hooks ---------------------------------------------------------
 
@@ -256,7 +276,7 @@ class PartitionedEngine(StorageEngine):
     # -- record access ---------------------------------------------------------
 
     def put(self, table_name: str, key: str, value: Any) -> Record:
-        RecordCodec.encode(value)
+        self.codec.encode(value)
         existing = self._read_envelope_record(table_name, key)
         if existing is not None:
             seq = existing.value[_SEQ]
@@ -275,7 +295,7 @@ class PartitionedEngine(StorageEngine):
             raise DuplicateKeyError(table_name, key)
         # The key is known absent, so skip put()'s second existence read
         # and allocate its sequence number directly.
-        RecordCodec.encode(value)
+        self.codec.encode(value)
         seq = self._allocate_seq(table_name)
         version = 1 if self._envelope_versions else None
         envelope = self._wrap(seq, value, version)
@@ -413,22 +433,30 @@ class PartitionedEngine(StorageEngine):
         table_name: str,
         items: Iterable[tuple[str, Any]],
         if_absent: bool = False,
+        *,
+        defer_commit: bool = False,
     ) -> list[Record]:
         """Fan a batch out per member: one child ``put_many`` (one transaction
-        or group append) per member touched, after validating every value."""
+        or group append) per member touched, after validating every value.
+
+        ``defer_commit=True`` is forwarded to every child batch, so a whole
+        fan-out wave can share one :meth:`commit_group` barrier per child
+        instead of one per batch.
+        """
         self._require_table(table_name)
         items = list(items)
         if not items:
             return []
-        for _, value in items:
-            RecordCodec.encode(value)
+        self.codec.encode_many([value for _, value in items])
 
         # Resolve existing envelopes for every distinct key with one
         # get_many per member (the ring engine also consults old owners).
         distinct = list(dict.fromkeys(key for key, _ in items))
         envelopes = self._bulk_lookup_envelopes(table_name, distinct)
         if self._envelope_versions:
-            return self._put_many_versioned(table_name, items, envelopes, if_absent)
+            return self._put_many_versioned(
+                table_name, items, envelopes, if_absent, defer_commit=defer_commit
+            )
 
         seqs = {key: envelope[_SEQ] for key, envelope in envelopes.items()}
         # Assign fresh sequence numbers in item order so the merge-scan order
@@ -451,7 +479,7 @@ class PartitionedEngine(StorageEngine):
         member_results = {
             index: iter(batch_records)
             for index, batch_records in self._run_member_batches(
-                table_name, member_items, if_absent
+                table_name, member_items, if_absent, defer_commit=defer_commit
             ).items()
         }
         return [
@@ -465,6 +493,7 @@ class PartitionedEngine(StorageEngine):
         items: list[tuple[str, Any]],
         envelopes: dict[str, Any],
         if_absent: bool,
+        defer_commit: bool = False,
     ) -> list[Record]:
         """The envelope-versioned batch path (ring engine).
 
@@ -502,7 +531,9 @@ class PartitionedEngine(StorageEngine):
                 writes.setdefault(member_index, []).append((key, new_envelope))
             written.setdefault(key, new_envelope)
             results.append(Record(key=key, value=value, version=version))
-        self._run_member_batches(table_name, writes, if_absent=False)
+        self._run_member_batches(
+            table_name, writes, if_absent=False, defer_commit=defer_commit
+        )
         for key, new_envelope in written.items():
             self._note_write(table_name, key, new_envelope)
         return results
@@ -512,6 +543,7 @@ class PartitionedEngine(StorageEngine):
         table_name: str,
         member_items: dict[int, list[tuple[str, Any]]],
         if_absent: bool,
+        defer_commit: bool = False,
     ) -> dict[int, list[Record]]:
         """Issue one child ``put_many`` per member touched, serial or threaded.
 
@@ -522,20 +554,75 @@ class PartitionedEngine(StorageEngine):
         unchanged (one transaction/group-append per member); a crash
         mid-batch leaves an arbitrary whole-member *subset* applied when
         parallel (a prefix when serial), which ``if_absent=True`` reruns
-        heal either way.
+        heal either way.  ``defer_commit=True`` forwards the wave-barrier
+        contract to each child batch.
         """
         if self.shard_workers and len(member_items) > 1:
             futures = {
                 index: self._member_pool().submit(
-                    self._members[index].put_many, table_name, batch, if_absent
+                    self._members[index].put_many,
+                    table_name,
+                    batch,
+                    if_absent,
+                    defer_commit=defer_commit,
                 )
                 for index, batch in member_items.items()
             }
             return {index: future.result() for index, future in futures.items()}
         return {
-            index: self._members[index].put_many(table_name, batch, if_absent=if_absent)
+            index: self._members[index].put_many(
+                table_name, batch, if_absent=if_absent, defer_commit=defer_commit
+            )
             for index, batch in member_items.items()
         }
+
+    def delete_many(
+        self,
+        table_name: str,
+        keys: Sequence[str],
+        *,
+        defer_commit: bool = False,
+    ) -> int:
+        """Batch delete across members: one child ``delete_many`` per member.
+
+        Returns the number of distinct requested keys that existed (replica
+        copies are not double-counted).
+        """
+        self._require_table(table_name)
+        distinct = list(dict.fromkeys(keys))
+        if not distinct:
+            return 0
+        present = self._bulk_lookup_envelopes(table_name, distinct)
+        per_member: dict[int, list[str]] = {}
+        for key in distinct:
+            for index in self._write_indexes(key):
+                per_member.setdefault(index, []).append(key)
+        for index, member_keys in per_member.items():
+            self._members[index].delete_many(
+                table_name, member_keys, defer_commit=defer_commit
+            )
+        for key in present:
+            self._note_delete(table_name, key)
+        return len(present)
+
+    def _note_delete(self, table_name: str, key: str) -> None:
+        """Hook fired after *key* is deleted (ring index bookkeeping)."""
+
+    def commit_group(self) -> None:
+        """Fan the wave barrier out: one ``commit_group`` per member.
+
+        With ``shard_workers`` > 0 the member barriers (sqlite commits, log
+        fsyncs) run concurrently on the same pool the batches used.
+        """
+        members = list(self._members)
+        if self.shard_workers and len(members) > 1:
+            pool = self._member_pool()
+            futures = [pool.submit(member.commit_group) for member in members]
+            for future in futures:
+                future.result()
+        else:
+            for member in members:
+                member.commit_group()
 
     def _member_pool(self) -> ThreadPoolExecutor:
         if self._executor is None:
@@ -592,6 +679,7 @@ class ShardedEngine(PartitionedEngine):
         super().__init__(shard_workers=shard_workers)
         self.shards = list(shards)
         self._members = self.shards
+        self._adopt_member_codec()
 
     def _owner_index(self, key: str) -> int:
         return shard_index(key, len(self.shards))

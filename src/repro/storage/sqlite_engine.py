@@ -18,13 +18,14 @@ import threading
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.exceptions import (
+    CodecMismatchError,
     DuplicateKeyError,
     StorageError,
     TableNotFoundError,
     UnknownCursorError,
 )
 from repro.storage.engine import StorageEngine
-from repro.storage.records import Record, RecordCodec
+from repro.storage.records import Codec, Record, resolve_codec
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS reprowd_tables (
@@ -39,6 +40,10 @@ CREATE TABLE IF NOT EXISTS reprowd_records (
     UNIQUE (table_name, key)
 );
 CREATE INDEX IF NOT EXISTS idx_records_table ON reprowd_records (table_name);
+CREATE TABLE IF NOT EXISTS reprowd_meta (
+    meta_key   TEXT PRIMARY KEY,
+    meta_value TEXT NOT NULL
+);
 """
 
 
@@ -47,7 +52,12 @@ class SqliteEngine(StorageEngine):
 
     engine_name = "sqlite"
 
-    def __init__(self, path: str, synchronous: bool = True) -> None:
+    def __init__(
+        self,
+        path: str,
+        synchronous: bool = True,
+        codec: str | Codec | None = None,
+    ) -> None:
         """Open (creating if necessary) the database at *path*.
 
         Args:
@@ -55,6 +65,10 @@ class SqliteEngine(StorageEngine):
             synchronous: Commit after every write.  Matches the durability
                 the paper's crash-and-rerun semantics require; disable only
                 for throughput experiments.
+            codec: Value codec (name or instance).  ``None`` adopts whatever
+                the database was written with (strict JSON on a fresh file);
+                an explicit codec that disagrees with the stored one raises
+                :class:`~repro.exceptions.CodecMismatchError`.
         """
         self.path = path
         self.synchronous = synchronous
@@ -70,14 +84,53 @@ class SqliteEngine(StorageEngine):
         except sqlite3.Error as exc:
             raise StorageError(f"cannot open SQLite database at {path!r}: {exc}") from exc
         self._conn.executescript(_SCHEMA)
+        self.codec = self._settle_codec(codec)
         self._conn.commit()
+        self._dirty = False
         self._closed = False
 
     # -- internal helpers ----------------------------------------------------
 
-    def _commit(self) -> None:
+    def _settle_codec(self, requested: str | Codec | None) -> Codec:
+        """Reconcile the requested codec with the one recorded in meta.
+
+        The stored name wins when no codec is requested; an explicit
+        disagreement raises.  A database that predates the meta row but
+        already holds records is implicitly ``json`` (all pre-codec data is
+        JSON text).  The settled name is recorded so every future open
+        rediscovers it with no config change.
+        """
+        row = self._conn.execute(
+            "SELECT meta_value FROM reprowd_meta WHERE meta_key = 'codec'"
+        ).fetchone()
+        stored = row[0] if row is not None else None
+        if stored is None:
+            has_records = (
+                self._conn.execute("SELECT 1 FROM reprowd_records LIMIT 1").fetchone()
+                is not None
+            )
+            if has_records:
+                stored = "json"
+        if requested is None:
+            codec = resolve_codec(stored)
+        else:
+            codec = resolve_codec(requested)
+            if stored is not None and codec.name != stored:
+                raise CodecMismatchError(self.path, stored, codec.name)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO reprowd_meta (meta_key, meta_value) "
+            "VALUES ('codec', ?)",
+            (codec.name,),
+        )
+        return codec
+
+    def _commit(self, defer: bool = False) -> None:
+        if defer:
+            self._dirty = True
+            return
         if self.synchronous:
             self._conn.commit()
+            self._dirty = False
 
     def _require_table(self, table_name: str) -> None:
         cursor = self._conn.execute(
@@ -123,7 +176,7 @@ class SqliteEngine(StorageEngine):
     # -- record access -------------------------------------------------------
 
     def put(self, table_name: str, key: str, value: Any) -> Record:
-        encoded = RecordCodec.encode(value)
+        encoded = self.codec.encode(value)
         with self._lock:
             self._require_table(table_name)
             cursor = self._conn.execute(
@@ -155,7 +208,7 @@ class SqliteEngine(StorageEngine):
         # constraint is the arbiter, so exactly one writer wins a race
         # and every loser gets DuplicateKeyError.  The platform store's
         # id-allocation leases rely on this.
-        encoded = RecordCodec.encode(value)
+        encoded = self.codec.encode(value)
         with self._lock:
             self._require_table(table_name)
             try:
@@ -184,7 +237,7 @@ class SqliteEngine(StorageEngine):
             row = cursor.fetchone()
         if row is None:
             return None
-        return Record(key=key, value=RecordCodec.decode(row[0]), version=row[1])
+        return Record(key=key, value=self.codec.decode(row[0]), version=row[1])
 
     def delete(self, table_name: str, key: str) -> bool:
         with self._lock:
@@ -233,7 +286,7 @@ class SqliteEngine(StorageEngine):
                 params.append(limit)
             rows = self._conn.execute(sql, params).fetchall()
         for key, value, version in rows:
-            yield Record(key=key, value=RecordCodec.decode(value), version=version)
+            yield Record(key=key, value=self.codec.decode(value), version=version)
 
     def scan_keys(
         self, table_name: str, limit: int | None = None, start_after: str | None = None
@@ -295,6 +348,8 @@ class SqliteEngine(StorageEngine):
         table_name: str,
         items: Iterable[tuple[str, Any]],
         if_absent: bool = False,
+        *,
+        defer_commit: bool = False,
     ) -> list[Record]:
         """Batch write as a single transaction: one read, one ``executemany``."""
         items = list(items)
@@ -303,23 +358,26 @@ class SqliteEngine(StorageEngine):
             if not items:
                 return []
             if if_absent:
-                return self._put_many_if_absent(table_name, items)
+                return self._put_many_if_absent(
+                    table_name, items, defer_commit=defer_commit
+                )
             raw = self._fetch_records(table_name, [key for key, _ in items])
-            # Replay put semantics in memory, then write only each key's
+            # Batch-encode every value up front (all-or-nothing validation),
+            # then replay put semantics in memory and write only each key's
             # final state; intermediate versions of a key repeated in the
             # batch exist only in the returned records, exactly as if the
             # puts had run one at a time.
+            encoded_values = self.codec.encode_many([value for _, value in items])
             stored: dict[str, Record] = {}
-            pending: dict[str, tuple[str, int]] = {}
+            pending: dict[str, tuple[Any, int]] = {}
             records: list[Record] = []
-            for key, value in items:
-                encoded = RecordCodec.encode(value)
+            for (key, value), encoded in zip(items, encoded_values):
                 prior = stored.get(key)
                 if prior is None and key in raw:
                     existing_value, existing_version = raw[key]
                     prior = Record(
                         key=key,
-                        value=RecordCodec.decode(existing_value),
+                        value=self.codec.decode(existing_value),
                         version=existing_version,
                     )
                     stored[key] = prior
@@ -338,11 +396,14 @@ class SqliteEngine(StorageEngine):
                         for key, (encoded, version) in pending.items()
                     ],
                 )
-                self._commit()
+                self._commit(defer=defer_commit)
             return records
 
     def _put_many_if_absent(
-        self, table_name: str, items: list[tuple[str, Any]]
+        self,
+        table_name: str,
+        items: list[tuple[str, Any]],
+        defer_commit: bool = False,
     ) -> list[Record]:
         """``INSERT OR IGNORE`` then read back: cross-process first-writer-wins.
 
@@ -353,24 +414,56 @@ class SqliteEngine(StorageEngine):
         winners and losers alike (the dedup-claim protocol depends on it).
         """
         # Validate the whole batch up front, matching the update path.
-        first: dict[str, str] = {}
-        for key, value in items:
-            encoded = RecordCodec.encode(value)
+        encoded_values = self.codec.encode_many([value for _, value in items])
+        first: dict[str, Any] = {}
+        for (key, _), encoded in zip(items, encoded_values):
             first.setdefault(key, encoded)
         self._conn.executemany(
             "INSERT OR IGNORE INTO reprowd_records (table_name, key, value, version) "
             "VALUES (?, ?, ?, 1)",
             [(table_name, key, encoded) for key, encoded in first.items()],
         )
-        self._commit()
+        self._commit(defer=defer_commit)
         raw = self._fetch_records(table_name, [key for key, _ in items])
         records: list[Record] = []
         for key, _ in items:
             value, version = raw[key]
             records.append(
-                Record(key=key, value=RecordCodec.decode(value), version=version)
+                Record(key=key, value=self.codec.decode(value), version=version)
             )
         return records
+
+    def delete_many(
+        self,
+        table_name: str,
+        keys: Sequence[str],
+        *,
+        defer_commit: bool = False,
+    ) -> int:
+        """Chunked batch delete: one ``DELETE ... IN`` per chunk, one commit."""
+        with self._lock:
+            self._require_table(table_name)
+            distinct = list(dict.fromkeys(keys))
+            deleted = 0
+            for start in range(0, len(distinct), self._CHUNK):
+                chunk = distinct[start : start + self._CHUNK]
+                placeholders = ",".join("?" * len(chunk))
+                cursor = self._conn.execute(
+                    "DELETE FROM reprowd_records "
+                    f"WHERE table_name = ? AND key IN ({placeholders})",
+                    (table_name, *chunk),
+                )
+                deleted += cursor.rowcount
+            if distinct:
+                self._commit(defer=defer_commit)
+            return deleted
+
+    def commit_group(self) -> None:
+        """Commit writes deferred with ``defer_commit=True`` (one barrier)."""
+        with self._lock:
+            if self._dirty:
+                self._conn.commit()
+                self._dirty = False
 
     def get_many(
         self, table_name: str, keys: Sequence[str], default: Any = None
@@ -381,7 +474,7 @@ class SqliteEngine(StorageEngine):
         values: list[Any] = []
         for key in keys:
             hit = raw.get(key)
-            values.append(RecordCodec.decode(hit[0]) if hit is not None else default)
+            values.append(self.codec.decode(hit[0]) if hit is not None else default)
         return values
 
     # -- lifecycle -------------------------------------------------------------
@@ -389,6 +482,7 @@ class SqliteEngine(StorageEngine):
     def flush(self) -> None:
         with self._lock:
             self._conn.commit()
+            self._dirty = False
 
     def close(self) -> None:
         if not self._closed:

@@ -28,43 +28,45 @@ from repro.storage.sqlite_engine import SqliteEngine
 TEST_PARTITION_CHILDREN = 3
 
 
-def _memory(base_path: str) -> StorageEngine:
-    return MemoryEngine()
+def _memory(base_path: str, codec: str | None = None) -> StorageEngine:
+    return MemoryEngine(codec=codec)
 
 
-def _sqlite(base_path: str) -> StorageEngine:
-    return SqliteEngine(os.path.join(base_path, "engine.db"))
+def _sqlite(base_path: str, codec: str | None = None) -> StorageEngine:
+    return SqliteEngine(os.path.join(base_path, "engine.db"), codec=codec)
 
 
-def _log(base_path: str) -> StorageEngine:
-    return LogStructuredEngine(os.path.join(base_path, "engine_log"), snapshot_every=50)
+def _log(base_path: str, codec: str | None = None) -> StorageEngine:
+    return LogStructuredEngine(
+        os.path.join(base_path, "engine_log"), snapshot_every=50, codec=codec
+    )
 
 
-def _sharded(base_path: str) -> StorageEngine:
+def _sharded(base_path: str, codec: str | None = None) -> StorageEngine:
     return ShardedEngine(
         [
-            SqliteEngine(os.path.join(base_path, f"shard-{index:02d}.db"))
+            SqliteEngine(os.path.join(base_path, f"shard-{index:02d}.db"), codec=codec)
             for index in range(TEST_PARTITION_CHILDREN)
         ]
     )
 
 
-def _ring(base_path: str) -> StorageEngine:
+def _ring(base_path: str, codec: str | None = None) -> StorageEngine:
     return ConsistentHashEngine(
         {
             f"ring-{index:02d}": SqliteEngine(
-                os.path.join(base_path, f"ring-{index:02d}.db")
+                os.path.join(base_path, f"ring-{index:02d}.db"), codec=codec
             )
             for index in range(TEST_PARTITION_CHILDREN)
         }
     )
 
 
-def _ring_r2(base_path: str) -> StorageEngine:
+def _ring_r2(base_path: str, codec: str | None = None) -> StorageEngine:
     return ConsistentHashEngine(
         {
             f"ring-{index:02d}": SqliteEngine(
-                os.path.join(base_path, f"ring-{index:02d}.db")
+                os.path.join(base_path, f"ring-{index:02d}.db"), codec=codec
             )
             for index in range(TEST_PARTITION_CHILDREN)
         },
@@ -75,7 +77,7 @@ def _ring_r2(base_path: str) -> StorageEngine:
 #: name -> builder(base_path).  The insertion order is the parametrisation
 #: order of the ``any_engine`` fixture; ``memory`` first because it is the
 #: reference implementation the others are compared against.
-ENGINE_BUILDERS: Mapping[str, Callable[[str], StorageEngine]] = {
+ENGINE_BUILDERS: Mapping[str, Callable[..., StorageEngine]] = {
     "memory": _memory,
     "sqlite": _sqlite,
     "log": _log,
@@ -98,11 +100,14 @@ DURABLE_ENGINE_NAMES: tuple[str, ...] = tuple(
 CHILD_ENGINE_NAMES: tuple[str, ...] = ("memory", "sqlite", "log")
 
 
-def build_engine(name: str, base_path) -> StorageEngine:
+def build_engine(name: str, base_path, codec: str | None = None) -> StorageEngine:
     """Build the registry engine *name* under directory *base_path*.
 
     Rebuilding with the same arguments reopens the same data for every
-    durable engine (see :data:`DURABLE_ENGINE_NAMES`).
+    durable engine (see :data:`DURABLE_ENGINE_NAMES`).  *codec* selects the
+    record codec ("json"/"binary"); None keeps each engine's stored or
+    default codec — exactly the :class:`~repro.config.StorageConfig.codec`
+    semantics.
     """
     try:
         builder = ENGINE_BUILDERS[name]
@@ -110,7 +115,7 @@ def build_engine(name: str, base_path) -> StorageEngine:
         raise KeyError(
             f"unknown registry engine {name!r}; known: {sorted(ENGINE_BUILDERS)}"
         ) from None
-    return builder(str(base_path))
+    return builder(str(base_path), codec=codec)
 
 
 def build_child_engine(kind: str, base_path, name: str) -> StorageEngine:

@@ -11,12 +11,18 @@ package.
 from __future__ import annotations
 
 import importlib.util
+import sys
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
 
 
 def load_bench_module(name: str):
+    # Bench modules import their shared helpers (record.py) as top-level
+    # modules, exactly as pytest's script-directory collection resolves
+    # them — mirror that here since we load by file path.
+    if str(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCH_DIR))
     spec = importlib.util.spec_from_file_location(f"{name}_smoke", BENCH_DIR / f"{name}.py")
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
@@ -84,6 +90,26 @@ def test_pipelined_transport_benchmark_smoke_single_iteration(tmp_path):
     row = bench.run_append_batch(8, str(tmp_path / "append"), 20)
     assert row["append_batch_size"] == 8
     assert row["tasks"] == 20
+
+
+def test_hot_path_benchmark_smoke_single_iteration(tmp_path):
+    bench = load_bench_module("bench_hot_path")
+    # Each E16 harness asserts its own structural invariants (durability
+    # across reopen, byte-identical ring scans, decode == original); at toy
+    # scale we check those harnesses run, not the speedups.
+    for group_commit in (False, True):
+        mode = "group" if group_commit else "serial"
+        row = bench.run_store_mode(group_commit, str(tmp_path / mode), 20, 10)
+        assert row["tasks"] == 20
+        assert row["group_commit"] is group_commit
+    reopen = bench.run_ring_reopen(str(tmp_path / "ring"), 60, 15)
+    assert reopen["keys"] == 60
+    assert reopen["fresh_keys"] == 15
+    codecs = bench.run_codec_comparison(25)
+    assert [row["codec"] for row in codecs] == ["json", "binary"]
+    assert codecs[1]["encoded_bytes"] < codecs[0]["encoded_bytes"]
+    log_append = bench.run_log_append(str(tmp_path / "log"), 30)
+    assert log_append["records"] == 30
 
 
 def test_wire_cluster_benchmark_smoke_single_point(tmp_path):

@@ -1,0 +1,363 @@
+"""Persistent ring sequence index: snapshot, replay, invalidation.
+
+The ring engine snapshots each table's sequence index into the ``__ring__``
+meta area on flush/close so a reopen can skip the O(K) full-member rebuild.
+A snapshot is only *advisory*: the loader must prove it replays to the exact
+index a rebuild would produce, or pay the rebuild.  Four layers of proof:
+
+* round-trip level — flush writes one ``idx::<table>`` record to every live
+  member, a clean reopen loads it without scanning a single data record
+  (the O(1)-reopen contract), and an un-dirty flush never rewrites it;
+* crash level — a sweep over **every** window of a post-snapshot op script
+  (appends, overwrites, deletes, re-inserts) abandons the engine without
+  close, reopens over the same children, and requires the index and full
+  scan output to be byte-identical to a forced-rebuild reference — on
+  memory and sqlite children alike;
+* staleness level — a rebalance moves the epoch past the snapshot, a
+  degraded (member-down) snapshot names too few members, and a dropped
+  table takes its snapshot with it: each must be rejected or removed, and
+  the next flush must refresh a loadable one;
+* repair level — the post-degradation healing pass (sync + ``repair``)
+  must leave an index identical to the rebuild, snapshot or not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import ConsistentHashEngine, MemoryEngine
+from repro.storage.ring import RING_META_TABLE, _INDEX_KEY_PREFIX
+from repro.storage.testing import build_child_engine
+
+pytestmark = pytest.mark.ring
+
+VNODES = 16
+TABLE = "items"
+NAMES = ("ring-00", "ring-01", "ring-02")
+
+#: Child kinds the crash sweep runs over.  ``log`` children are covered by
+#: the rebalance sweep; the snapshot validation logic is child-agnostic, so
+#: memory (same objects survive) and sqlite (true reopen from disk, where
+#: overwrites keep their physical scan position) are the interesting media.
+SWEEP_KINDS = ("memory", "sqlite")
+
+
+def build_children(kind, base_path):
+    return {name: build_child_engine(kind, base_path, name) for name in NAMES}
+
+
+def make_ring(children, replicas=1):
+    return ConsistentHashEngine(
+        dict(children), virtual_nodes=VNODES, replicas=replicas
+    )
+
+
+def reopen_children(kind, base_path, children):
+    """Model the process dying: durable kinds reopen from disk through new
+    child objects, memory children hand the same live objects back."""
+    if kind == "memory":
+        return dict(children)
+    return build_children(kind, base_path)
+
+
+def apply_ops(engine, ops):
+    for op, key, value in ops:
+        if op == "put":
+            engine.put(TABLE, key, value)
+        else:
+            engine.delete(TABLE, key)
+
+
+def base_ops():
+    """Pre-snapshot history: inserts, an overwrite, a delete (tombstone)."""
+    ops = [("put", f"k{i:02d}", {"i": i}) for i in range(12)]
+    ops.append(("put", "k03", {"i": 3, "rev": 2}))
+    ops.append(("delete", "k05", None))
+    return ops
+
+
+def post_snapshot_script():
+    """Every hazard class a stale snapshot must survive, in one script.
+
+    The first three ops (appends and an in-place overwrite) keep the
+    snapshot provably current — the loader must accept it.  Deletes and
+    re-inserts afterwards must either be detected (count mismatch, dead
+    tail cursor) or replay to the same index.
+    """
+    return [
+        ("put", "k12", {"i": 12}),
+        ("put", "k13", {"i": 13}),
+        ("put", "k03", {"i": 3, "rev": 3}),
+        ("delete", "k01", None),
+        ("put", "k01", {"i": 1, "back": True}),
+        ("delete", "k12", None),
+        ("put", "k14", {"i": 14}),
+        ("delete", "k13", None),
+    ]
+
+
+def index_state(ring):
+    index = ring._index(TABLE)
+    return dict(index.seq_by_key), list(index.live_after(0))
+
+
+def full_state(ring):
+    return [(r.key, r.value, r.version) for r in ring.scan(TABLE)]
+
+
+def strip_snapshots(ring):
+    """Delete the ``idx::`` records so the next open pays the rebuild."""
+    for child in ring._children.values():
+        child.delete(RING_META_TABLE, _INDEX_KEY_PREFIX + TABLE)
+
+
+class CountingChild(MemoryEngine):
+    """Memory child that counts the data records its scans yield."""
+
+    def __init__(self):
+        super().__init__()
+        self.data_records_scanned = 0
+
+    def scan(self, table_name, limit=None, start_after=None):
+        for record in super().scan(table_name, limit=limit, start_after=start_after):
+            if table_name == TABLE:
+                self.data_records_scanned += 1
+            yield record
+
+
+class TestSnapshotRoundTrip:
+    def loaded(self, tmp_path):
+        children = build_children("memory", tmp_path)
+        ring = make_ring(children)
+        ring.create_table(TABLE)
+        apply_ops(ring, base_ops())
+        return ring, children
+
+    def test_flush_writes_snapshot_to_every_member(self, tmp_path):
+        ring, children = self.loaded(tmp_path)
+        ring.flush()
+        for child in children.values():
+            snapshot = child.get(RING_META_TABLE, _INDEX_KEY_PREFIX + TABLE)
+            assert snapshot is not None
+            assert snapshot["epoch"] == 1
+            assert set(snapshot["members"]) == set(NAMES)
+            # Only live keys are stored — the k05 tombstone is not.
+            assert "k05" not in snapshot["keys"]
+            assert len(snapshot["keys"]) == len(snapshot["seqs"]) == ring.count(TABLE)
+
+    def test_close_writes_snapshot_too(self, tmp_path):
+        ring, children = self.loaded(tmp_path)
+        ring.close()
+        assert all(
+            child.get(RING_META_TABLE, _INDEX_KEY_PREFIX + TABLE) is not None
+            for child in children.values()
+        )
+
+    def test_clean_flush_does_not_rewrite_the_snapshot(self, tmp_path):
+        ring, children = self.loaded(tmp_path)
+        ring.flush()
+        child = children[NAMES[0]]
+        version = child.get_record(RING_META_TABLE, _INDEX_KEY_PREFIX + TABLE).version
+        ring.flush()  # nothing dirty: a sync barrier must not pay O(K)
+        assert (
+            child.get_record(RING_META_TABLE, _INDEX_KEY_PREFIX + TABLE).version
+            == version
+        )
+        ring.put(TABLE, "k90", {"i": 90})
+        ring.flush()  # dirty again: the snapshot must refresh
+        assert (
+            child.get_record(RING_META_TABLE, _INDEX_KEY_PREFIX + TABLE).version
+            == version + 1
+        )
+
+    def test_snapshot_reopen_scans_no_data_records(self, tmp_path):
+        """The O(1)-reopen contract: loading a current snapshot reads meta
+        records and member tails only — zero data-table records — while the
+        forced rebuild pays one record per key per replica."""
+        children = {name: CountingChild() for name in NAMES}
+        ring = make_ring(children)
+        ring.create_table(TABLE)
+        for i in range(60):
+            ring.put(TABLE, f"bulk-{i:03d}", {"i": i})
+        ring.flush()
+
+        for child in children.values():
+            child.data_records_scanned = 0
+        reopened = make_ring(children)
+        reopened._index(TABLE)
+        assert sum(c.data_records_scanned for c in children.values()) == 0
+
+        strip_snapshots(reopened)
+        for child in children.values():
+            child.data_records_scanned = 0
+        rebuilt = make_ring(children)
+        rebuilt._index(TABLE)
+        assert sum(c.data_records_scanned for c in children.values()) == 60
+
+        assert index_state(reopened) == index_state(rebuilt)
+
+
+class TestCrashWindowSweep:
+    """Crash between the snapshot and every later write; reopen; compare.
+
+    The crash model is abandonment: the first wrapper is dropped without
+    ``close`` (so the snapshot on disk is stale by exactly the window's op
+    suffix), a second wrapper reopens the same children and serves from
+    snapshot + replay, and a third — with the snapshots stripped — pays the
+    full rebuild.  The two must agree byte-for-byte on the index *and* the
+    merged scan, for every window, on every child medium.
+    """
+
+    @pytest.mark.parametrize("kind", SWEEP_KINDS)
+    def test_every_window_replays_to_the_rebuilt_index(self, kind, tmp_path):
+        script = post_snapshot_script()
+        for window in range(len(script) + 1):
+            base = tmp_path / f"window-{window:02d}"
+            base.mkdir()
+            children = build_children(kind, base)
+            ring = make_ring(children)
+            ring.create_table(TABLE)
+            apply_ops(ring, base_ops())
+            ring.flush()  # the durable snapshot every window goes stale from
+            apply_ops(ring, script[:window])
+            # Crash: abandon the wrapper; the snapshot was never refreshed.
+
+            survivors = reopen_children(kind, base, children)
+            reopened = make_ring(survivors)
+            if window <= 3:
+                # Appends and in-place overwrites keep the snapshot provable;
+                # the loader must take the fast path, not fall back silently.
+                assert reopened._load_index_snapshot(TABLE) is not None, window
+            snap_index = index_state(reopened)
+            snap_scan = full_state(reopened)
+
+            strip_snapshots(reopened)
+            rebuilt = make_ring(reopen_children(kind, base, survivors))
+            assert index_state(rebuilt) == snap_index, (kind, window)
+            assert full_state(rebuilt) == snap_scan, (kind, window)
+
+            reference = MemoryEngine()
+            reference.create_table(TABLE)
+            apply_ops(reference, base_ops())
+            apply_ops(reference, script[:window])
+            assert [
+                (r.key, r.value, r.version) for r in reference.scan(TABLE)
+            ] == snap_scan, (kind, window)
+
+
+class TestStalenessAndInvalidation:
+    def test_rebalance_moves_the_epoch_past_the_snapshot(self, tmp_path):
+        children = build_children("memory", tmp_path)
+        ring = make_ring(children)
+        ring.create_table(TABLE)
+        apply_ops(ring, base_ops())
+        ring.flush()
+        joiner = MemoryEngine()
+        ring.rebalance(add={"ring-03": joiner})
+
+        everyone = {**children, "ring-03": joiner}
+        reopened = make_ring(everyone)
+        # The epoch-1 snapshot must be rejected — key placement changed.
+        assert reopened._load_index_snapshot(TABLE) is None
+        rebuilt_index = index_state(reopened)
+
+        # The rebuild marks the table dirty; flush refreshes the snapshot
+        # at the new epoch, and the *next* open takes the fast path again.
+        reopened.flush()
+        third = make_ring(everyone)
+        assert third._load_index_snapshot(TABLE) is not None
+        assert index_state(third) == rebuilt_index
+        assert full_state(third) == full_state(reopened)
+
+    def test_degraded_snapshot_is_rejected_on_full_reopen(self, tmp_path):
+        children = build_children("memory", tmp_path)
+        ring = make_ring(children, replicas=2)
+        ring.create_table(TABLE)
+        apply_ops(ring, base_ops())
+        ring.flush()
+        ring.mark_down("ring-02")
+        ring.put(TABLE, "k50", {"i": 50})
+        ring.flush()  # degraded snapshot: members dict lacks ring-02
+
+        revived = make_ring(children, replicas=2)  # returning-member sync
+        assert revived._load_index_snapshot(TABLE) is None
+        strip_state = index_state(revived)
+        strip_snapshots(revived)
+        rebuilt = make_ring(children, replicas=2)
+        assert index_state(rebuilt) == strip_state
+
+    def test_repair_then_flush_refreshes_a_loadable_snapshot(self, tmp_path):
+        children = build_children("memory", tmp_path)
+        ring = make_ring(children, replicas=2)
+        ring.create_table(TABLE)
+        apply_ops(ring, base_ops())
+        ring.flush()
+        ring.mark_down("ring-02")
+        ring.put(TABLE, "k60", {"i": 60})
+        ring.delete(TABLE, "k02")
+
+        revived = make_ring(children, replicas=2)
+        revived.repair()
+        # Building the index pays the rebuild (the pre-degradation snapshot
+        # no longer proves current) and marks the table dirty, so the flush
+        # below writes a fresh post-repair snapshot.
+        healed = index_state(revived)
+        revived.flush()
+        healed_scan = full_state(revived)
+
+        reopened = make_ring(children, replicas=2)
+        assert reopened._load_index_snapshot(TABLE) is not None
+        assert index_state(reopened) == healed
+        assert full_state(reopened) == healed_scan
+
+        strip_snapshots(reopened)
+        rebuilt = make_ring(children, replicas=2)
+        assert index_state(rebuilt) == healed
+        assert full_state(rebuilt) == healed_scan
+
+    def test_replayed_tail_marks_the_snapshot_for_refresh(self, tmp_path):
+        children = build_children("memory", tmp_path)
+        ring = make_ring(children)
+        ring.create_table(TABLE)
+        apply_ops(ring, base_ops())
+        ring.flush()
+        version = (
+            children[NAMES[0]]
+            .get_record(RING_META_TABLE, _INDEX_KEY_PREFIX + TABLE)
+            .version
+        )
+        ring.put(TABLE, "k70", {"i": 70})
+        # Crash: abandon the wrapper; the snapshot is stale by one write.
+
+        survivor = make_ring(children)
+        stale = survivor._load_index_snapshot(TABLE)
+        assert stale is not None and "k70" in stale.seq_by_key  # replayed
+        replayed = index_state(survivor)  # also marks the table dirty
+        survivor.flush()
+        refreshed = children[NAMES[0]].get(
+            RING_META_TABLE, _INDEX_KEY_PREFIX + TABLE
+        )
+        # The flush re-persisted a snapshot that now includes the replayed
+        # key, so the next open replays nothing.
+        assert refreshed["epoch"] == 1
+        assert "k70" in refreshed["keys"]
+        assert (
+            children[NAMES[0]]
+            .get_record(RING_META_TABLE, _INDEX_KEY_PREFIX + TABLE)
+            .version
+            == version + 1
+        )
+        assert index_state(make_ring(children)) == replayed
+
+    def test_drop_table_removes_the_snapshot_everywhere(self, tmp_path):
+        children = build_children("memory", tmp_path)
+        ring = make_ring(children)
+        ring.create_table(TABLE)
+        apply_ops(ring, base_ops())
+        ring.flush()
+        ring.drop_table(TABLE)
+        for child in children.values():
+            assert child.get(RING_META_TABLE, _INDEX_KEY_PREFIX + TABLE) is None
+        # Recreating the table starts from an empty, snapshot-free index.
+        ring.create_table(TABLE)
+        assert full_state(ring) == []

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Profile the hot-path benchmarks under cProfile (see ``make profile``).
+
+Runs each selected benchmark module in its own subprocess under
+``python -m cProfile``, writes the raw profile to
+``benchmarks/results/<tag>_profile.pstats`` (load it later with
+:mod:`pstats` or snakeviz-style viewers), and prints the top
+``--top`` functions by cumulative time — the quickest way to see where a
+storage-layer change actually moved the needle.
+
+By default the benchmarks run at smoke scale so a full profile pass takes
+seconds; pass ``--scale full`` for paper-scale profiles (minutes — the
+profiler roughly doubles each benchmark's wall clock).
+
+Usage:
+    PYTHONPATH=src python tools/profile_bench.py [--scale smoke|full]
+        [--top 25] [--only E10,E13]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pstats
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(REPO_ROOT, "benchmarks", "results")
+
+#: tag -> benchmark module profiled under that tag.
+BENCHMARKS = {
+    "E10": "bench_platform_store.py",
+    "E12": "bench_pipelined_transport.py",
+    "E13": "bench_ring_rebalance.py",
+    "E16": "bench_hot_path.py",
+}
+
+
+def profile_one(tag: str, filename: str, scale: str, top: int) -> int:
+    """Profile one benchmark module; return the subprocess's exit code."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    pstats_path = os.path.join(RESULTS_DIR, f"{tag}_profile.pstats")
+    bench_path = os.path.join("benchmarks", filename)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    print(f"\n=== {tag}: {bench_path} (--bench-scale {scale}) ===", flush=True)
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "cProfile",
+            "-o",
+            pstats_path,
+            "-m",
+            "pytest",
+            bench_path,
+            "-q",
+            f"--bench-scale={scale}",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    if result.returncode != 0:
+        print(f"{tag}: benchmark failed (exit {result.returncode})")
+        return result.returncode
+    stats = pstats.Stats(pstats_path)
+    stats.sort_stats("cumulative").print_stats(top)
+    print(f"{tag}: raw profile saved to {os.path.relpath(pstats_path, REPO_ROOT)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "full"),
+        default="smoke",
+        help="benchmark scale to profile at (default smoke)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="how many functions to print, by cumulative time (default 25)",
+    )
+    parser.add_argument(
+        "--only",
+        default="",
+        help="comma-separated benchmark tags to profile (default: all of "
+        f"{', '.join(BENCHMARKS)})",
+    )
+    args = parser.parse_args(argv)
+
+    selected = [tag.strip() for tag in args.only.split(",") if tag.strip()] or list(
+        BENCHMARKS
+    )
+    unknown = [tag for tag in selected if tag not in BENCHMARKS]
+    if unknown:
+        parser.error(f"unknown benchmark tags {unknown}; known: {list(BENCHMARKS)}")
+
+    status = 0
+    for tag in selected:
+        status = profile_one(tag, BENCHMARKS[tag], args.scale, args.top) or status
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
