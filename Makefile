@@ -2,7 +2,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast test-ring test-replica test-wire bench bench-smoke bench-trend profile docs-check examples-check check
+.PHONY: test test-fast test-ring test-replica test-wire test-workload bench bench-smoke bench-trend profile docs-check examples-check check
 
 test:
 	$(PYTEST) -x -q
@@ -29,13 +29,20 @@ test-wire:
 	$(PYTEST) -x -q -m wire
 	$(PYTEST) benchmarks/bench_wire_cluster.py -q --bench-scale=smoke
 
+# Everything workload-marked: arrival/marketplace generators, the scenario
+# harness and its property/chaos/RNG-audit suites, plus the E17 benchmark
+# at smoke scale.
+test-workload:
+	$(PYTEST) -x -q -m workload
+	$(PYTEST) benchmarks/bench_workload.py -q --bench-scale=smoke
+
 # Full benchmark harness (writes tables under benchmarks/results/).
 bench:
 	$(PYTEST) benchmarks -q
 
 # One-iteration benchmark sanity pass at toy scale (seconds, not minutes).
 bench-smoke:
-	$(PYTEST) benchmarks/bench_bulk_path.py benchmarks/bench_sharded_scan.py benchmarks/bench_platform_store.py benchmarks/bench_pipelined_transport.py benchmarks/bench_ring_rebalance.py benchmarks/bench_ring_replication.py benchmarks/bench_wire_cluster.py benchmarks/bench_hot_path.py -q --bench-scale=smoke
+	$(PYTEST) benchmarks/bench_bulk_path.py benchmarks/bench_sharded_scan.py benchmarks/bench_platform_store.py benchmarks/bench_pipelined_transport.py benchmarks/bench_ring_rebalance.py benchmarks/bench_ring_replication.py benchmarks/bench_wire_cluster.py benchmarks/bench_hot_path.py benchmarks/bench_workload.py -q --bench-scale=smoke
 
 # Diff the working-tree BENCH_*.json trajectories against the committed
 # baselines at HEAD; fail on any >20% regression of a tracked metric.

@@ -1,0 +1,205 @@
+"""E17: production-shaped marketplace workload — sqlite vs replicated ring.
+
+PR 9 added the workload subsystem: seeded arrival processes, a
+heterogeneous marketplace (task types with per-type duration/payout/SLA,
+worker acceptance/reliability/speed, stragglers) and a ScenarioRunner that
+drives any storage/transport stack end-to-end.  E17 exercises it at
+production shape — a 10k-arrival diurnal workload with Zipf-skewed keys
+over a 40-worker marketplace — on two backends:
+
+* **sqlite** — the single-file reference engine;
+* **ring R=2** — the replicated consistent-hash ring over three sqlite
+  members (the deployment PR 7/8 target).
+
+Three things are *asserted*, not just measured:
+
+* both backends collect **byte-identical** answers (the scenario harness's
+  core replay guarantee, held at benchmark scale);
+* every task type's virtual p99 completion latency lands under its SLA —
+  the marketplace parameters model a feasible operating point, and the
+  latencies are deterministic, so this can never flake;
+* at full scale the harness sustains a throughput floor (answers/s of
+  wall-clock) on both backends.
+
+The full-scale run commits ``benchmarks/results/BENCH_E17.json`` so
+``make bench-trend`` can catch future harness slowdowns.  Run
+``pytest benchmarks/bench_workload.py -q --bench-scale=smoke`` for a
+seconds-long sanity pass (structural assertions still run; the throughput
+floor and the trajectory write are full-scale only).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.simulation import ExperimentRunner
+from repro.workload import ScenarioRunner, ScenarioSpec
+
+from record import write_trajectory
+
+pytestmark = [pytest.mark.slow, pytest.mark.workload]
+
+FULL_TASKS = 10_000
+SMOKE_TASKS = 200
+#: Minimum wall-clock answers/s either backend must sustain at full scale.
+THROUGHPUT_FLOOR_ANSWERS_PER_S = 500.0
+
+
+def build_spec(num_tasks: int, storage: str, replicas: int = 1) -> ScenarioSpec:
+    """The E17 marketplace: diurnal arrivals, skewed keys, mixed supply."""
+    return ScenarioSpec(
+        name=f"e17-{storage}",
+        seed=17,
+        arrival="diurnal",
+        rate=40.0,
+        diurnal_amplitude=0.8,
+        diurnal_period_seconds=600.0,
+        num_tasks=num_tasks,
+        batch_size=max(25, num_tasks // 40),
+        num_keys=max(60, (num_tasks * 2) // 5),
+        zipf_skew=1.1,
+        pool_size=40,
+        redundancy=3,
+        mean_accuracy=0.9,
+        accuracy_spread=0.08,
+        acceptance_mean=0.9,
+        acceptance_spread=0.1,
+        speed_spread=0.3,
+        straggler_fraction=0.05,
+        straggler_slowdown=4.0,
+        spammer_fraction=0.05,
+        storage=storage,
+        storage_shards=3,
+        replicas=replicas,
+    )
+
+
+def run_backend(base_dir: str, spec: ScenarioSpec):
+    """Run *spec* once; return (result, throughput/latency summary row)."""
+    result = ScenarioRunner(os.path.join(base_dir, spec.storage)).run(spec)
+    report = result.report
+    timing = report["timing"]
+    workload = report["workload"]
+    row = {
+        "backend": spec.storage if spec.replicas == 1 else (
+            f"{spec.storage}-r{spec.replicas}"
+        ),
+        "tasks": workload["arrivals"],
+        "unique_tasks": workload["unique_tasks"],
+        "answers": workload["answers"],
+        "wall_seconds": round(timing["wall_seconds"], 3),
+        "answers_per_s": round(timing["answers_per_s"], 1),
+        "tasks_per_s": round(
+            workload["arrivals"] / max(timing["wall_seconds"], 1e-9), 1
+        ),
+        "accuracy": round(report["quality"]["accuracy"], 4),
+    }
+    return result, row
+
+
+def assert_slas_met(result) -> dict:
+    """Per-type virtual latency summary; asserts p99 under each type's SLA."""
+    by_type = {}
+    for name, summary in result.report["latency"]["by_type"].items():
+        # E17 acceptance: the marketplace operating point is feasible — the
+        # deterministic virtual p99 of every task type beats its SLA.
+        assert summary["p99"] < summary["sla"], (
+            f"{name}: virtual p99 {summary['p99']} breaches SLA {summary['sla']}"
+        )
+        by_type[name] = {
+            "count": summary["count"],
+            "latency_p50": summary["p50"],
+            "latency_p99": summary["p99"],
+            "sla": summary["sla"],
+            "sla_attainment": summary["sla_attainment"],
+            "accuracy": summary["accuracy"],
+        }
+    return by_type
+
+
+def test_marketplace_workload_scaling(record_table, tmp_path, bench_scale):
+    smoke = bench_scale == "smoke"
+    num_tasks = SMOKE_TASKS if smoke else FULL_TASKS
+
+    sqlite_result, sqlite_row = run_backend(
+        str(tmp_path), build_spec(num_tasks, "sqlite")
+    )
+    ring_result, ring_row = run_backend(
+        str(tmp_path), build_spec(num_tasks, "ring", replicas=2)
+    )
+
+    # E17 acceptance: the backend is invisible to the workload — byte-
+    # identical collected answers and event logs on sqlite and ring R=2.
+    assert sqlite_result.canonical_collected == ring_result.canonical_collected
+    assert sqlite_result.canonical_events == ring_result.canonical_events
+
+    by_type = assert_slas_met(sqlite_result)
+    assert assert_slas_met(ring_result) == by_type
+
+    if not smoke:
+        for row in (sqlite_row, ring_row):
+            assert row["answers_per_s"] > THROUGHPUT_FLOOR_ANSWERS_PER_S, (
+                f"{row['backend']}: {row['answers_per_s']} answers/s under the "
+                f"{THROUGHPUT_FLOOR_ANSWERS_PER_S} floor"
+            )
+
+    runner = ExperimentRunner(
+        f"E17 — marketplace workload, {num_tasks} diurnal arrivals over "
+        f"{sqlite_row['unique_tasks']} Zipf-skewed tasks, 40 workers, "
+        "redundancy 3 (collected bytes identical on sqlite and ring R=2)"
+    )
+    sweep = runner.run([{}], lambda point: {})
+    sweep.rows = [sqlite_row, ring_row]
+    record_table(
+        "E17_workload_marketplace",
+        sweep.to_table(
+            columns=[
+                "backend",
+                "tasks",
+                "unique_tasks",
+                "answers",
+                "wall_seconds",
+                "answers_per_s",
+                "tasks_per_s",
+                "accuracy",
+            ]
+        ),
+    )
+
+    types_runner = ExperimentRunner(
+        "E17 — per-type virtual latency vs SLA (deterministic: p99 must beat "
+        "the SLA on every type)"
+    )
+    types_sweep = types_runner.run([{}], lambda point: {})
+    types_sweep.rows = [
+        {"type": name, **summary} for name, summary in sorted(by_type.items())
+    ]
+    record_table(
+        "E17_workload_sla",
+        types_sweep.to_table(
+            columns=[
+                "type",
+                "count",
+                "latency_p50",
+                "latency_p99",
+                "sla",
+                "sla_attainment",
+                "accuracy",
+            ]
+        ),
+    )
+
+    if not smoke:
+        # The trajectory file is a committed artifact tracking full-scale
+        # numbers across PRs; a toy-scale smoke pass must not clobber it.
+        write_trajectory(
+            "E17",
+            {
+                "scale": bench_scale,
+                "backends": [sqlite_row, ring_row],
+                "latency_by_type": by_type,
+                "identical_across_backends": True,
+            },
+        )

@@ -14,7 +14,13 @@ from repro.workers.behavior import (
     SpammerWorker,
     WorkerBehavior,
 )
-from repro.workers.latency import ConstantLatency, LatencyModel, LogNormalLatency, UniformLatency
+from repro.workers.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    PerTypeLatency,
+    UniformLatency,
+)
 from repro.workers.pool import SimulatedWorker, WorkerPool
 from repro.workers.skills import SkillProfile
 
@@ -29,6 +35,7 @@ __all__ = [
     "ConstantLatency",
     "UniformLatency",
     "LogNormalLatency",
+    "PerTypeLatency",
     "SimulatedWorker",
     "WorkerPool",
     "SkillProfile",

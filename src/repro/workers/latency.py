@@ -15,10 +15,14 @@ from repro.utils.validation import require_positive
 
 
 class LatencyModel(abc.ABC):
-    """Strategy object producing per-answer latencies in seconds."""
+    """Strategy object producing per-answer latencies in seconds.
+
+    ``sample`` takes the task type so that heterogeneous-marketplace models
+    can dispatch on it; the base models ignore it.
+    """
 
     @abc.abstractmethod
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, rng: random.Random, task_type: str | None = None) -> float:
         """Return one latency sample (seconds, strictly positive)."""
 
 
@@ -28,7 +32,7 @@ class ConstantLatency(LatencyModel):
     def __init__(self, seconds: float = 30.0):
         self.seconds = require_positive("seconds", seconds)
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, rng: random.Random, task_type: str | None = None) -> float:
         return self.seconds
 
     def __repr__(self) -> str:
@@ -44,7 +48,7 @@ class UniformLatency(LatencyModel):
         if high < low:
             raise ValueError(f"high ({high}) must be >= low ({low})")
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, rng: random.Random, task_type: str | None = None) -> float:
         return rng.uniform(self.low, self.high)
 
     def __repr__(self) -> str:
@@ -63,8 +67,43 @@ class LogNormalLatency(LatencyModel):
         self.median = require_positive("median", median)
         self.sigma = require_positive("sigma", sigma)
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, rng: random.Random, task_type: str | None = None) -> float:
         return self.median * math.exp(rng.gauss(0.0, self.sigma))
 
     def __repr__(self) -> str:
         return f"LogNormalLatency(median={self.median}, sigma={self.sigma})"
+
+
+class PerTypeLatency(LatencyModel):
+    """Per-task-type latency with a per-worker speed multiplier.
+
+    The marketplace model gives every :class:`TaskType` its own duration
+    distribution and every worker a speed (stragglers are simply very slow
+    workers).  A sampled base duration for the task's type is divided by the
+    worker's speed; unknown (or absent) task types fall back to *default*.
+
+    Args:
+        models: Mapping of task-type name to the base duration model.
+        default: Model used when the task type is unknown.
+        speed: This worker's speed multiplier (>0); 2.0 halves durations,
+            0.1 is a 10x straggler.
+    """
+
+    def __init__(
+        self,
+        models: dict[str, LatencyModel] | None = None,
+        default: LatencyModel | None = None,
+        speed: float = 1.0,
+    ):
+        self.models = dict(models or {})
+        self.default = default or LogNormalLatency()
+        self.speed = require_positive("speed", speed)
+
+    def sample(self, rng: random.Random, task_type: str | None = None) -> float:
+        model = self.models.get(task_type, self.default) if task_type else self.default
+        return model.sample(rng, task_type) / self.speed
+
+    def __repr__(self) -> str:
+        return (
+            f"PerTypeLatency(types={sorted(self.models)}, speed={self.speed})"
+        )

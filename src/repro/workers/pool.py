@@ -68,7 +68,7 @@ class SimulatedWorker:
                 wrong = [candidate for candidate in candidates if candidate != true_answer]
                 if wrong:
                     answer = rng.choice(wrong)
-        latency = self.latency.sample(rng)
+        latency = self.latency.sample(rng, task_type=task_type)
         self.answered_tasks += 1
         return answer, latency
 

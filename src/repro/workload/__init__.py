@@ -1,0 +1,69 @@
+"""Production-shaped workload generation and scenario harness.
+
+Turns the uniform for-loop synthetic tasks the benchmarks were built on
+into traffic that looks like production: bursty/diurnal arrivals, a
+heterogeneous task marketplace over an unreliable crowd, Zipf-skewed
+object keys — driven end-to-end through any configured storage × transport
+stack by :class:`ScenarioRunner`, with byte-identical replay from a seed.
+See ``docs/workloads.md``.
+"""
+
+from repro.workload.arrivals import (
+    Arrival,
+    ArrivalProcess,
+    BurstyProcess,
+    DiurnalProcess,
+    PoissonProcess,
+    build_arrival_process,
+)
+from repro.workload.keys import ZipfKeyGenerator
+from repro.workload.marketplace import (
+    DEFAULT_TASK_TYPES,
+    MarketplacePresenter,
+    MarketplaceWorkerPool,
+    SpammerWave,
+    TaskType,
+    assign_task_type,
+    build_marketplace_pool,
+    make_objects,
+    marketplace_ground_truth,
+)
+from repro.workload.metrics import (
+    accuracy,
+    latency_summary,
+    percentile,
+    sla_attainment,
+)
+from repro.workload.scenario import (
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSpec,
+    canonical_json,
+)
+
+__all__ = [
+    "Arrival",
+    "ArrivalProcess",
+    "PoissonProcess",
+    "BurstyProcess",
+    "DiurnalProcess",
+    "build_arrival_process",
+    "ZipfKeyGenerator",
+    "TaskType",
+    "DEFAULT_TASK_TYPES",
+    "SpammerWave",
+    "MarketplacePresenter",
+    "MarketplaceWorkerPool",
+    "assign_task_type",
+    "build_marketplace_pool",
+    "make_objects",
+    "marketplace_ground_truth",
+    "percentile",
+    "latency_summary",
+    "sla_attainment",
+    "accuracy",
+    "ScenarioSpec",
+    "ScenarioRunner",
+    "ScenarioResult",
+    "canonical_json",
+]

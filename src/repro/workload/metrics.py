@@ -1,0 +1,76 @@
+"""Latency-percentile and SLA math for scenario reports.
+
+Kept free of any simulation state so the property suite can cross-check the
+arithmetic against naive reference implementations (and against
+``statistics.quantiles``) on arbitrary inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Return the *q*-th percentile of *values* (0 <= q <= 100).
+
+    Uses inclusive linear interpolation between closest ranks — the same
+    definition as ``statistics.quantiles(..., method="inclusive")`` — so a
+    single observation is every percentile of itself and q=0/q=100 are the
+    min/max.
+
+    Raises:
+        ValueError: On an empty input or a q outside [0, 100].
+    """
+    if not values:
+        raise ValueError("percentile() of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return float(ordered[low] + (ordered[high] - ordered[low]) * fraction)
+
+
+def latency_summary(values: Sequence[float]) -> dict[str, float]:
+    """Return count/mean/p50/p95/p99/max for one latency population."""
+    if not values:
+        return {"count": 0}
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "max": max(values),
+    }
+
+
+def sla_attainment(values: Iterable[float], sla_seconds: float) -> float:
+    """Fraction of latencies at or under *sla_seconds* (1.0 when empty).
+
+    Raises:
+        ValueError: When *sla_seconds* is not positive.
+    """
+    if sla_seconds <= 0:
+        raise ValueError(f"sla_seconds must be positive, got {sla_seconds}")
+    total = 0
+    within = 0
+    for value in values:
+        total += 1
+        if value <= sla_seconds:
+            within += 1
+    if total == 0:
+        return 1.0
+    return within / total
+
+
+def accuracy(decisions: Mapping[int, object], truths: Mapping[int, object]) -> float:
+    """Fraction of *truths* keys whose decision matches (1.0 when empty)."""
+    if not truths:
+        return 1.0
+    correct = sum(1 for key, truth in truths.items() if decisions.get(key) == truth)
+    return correct / len(truths)

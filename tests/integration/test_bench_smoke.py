@@ -112,6 +112,22 @@ def test_hot_path_benchmark_smoke_single_iteration(tmp_path):
     assert log_append["records"] == 30
 
 
+def test_workload_benchmark_smoke_single_run(tmp_path):
+    bench = load_bench_module("bench_workload")
+    # run_backend drives a full scenario end-to-end; assert_slas_met holds
+    # the deterministic per-type p99-under-SLA guarantee at toy scale too.
+    # The cross-backend byte-identity and the throughput floor stay behind
+    # `make bench`.
+    spec = bench.build_spec(60, "sqlite")
+    result, row = bench.run_backend(str(tmp_path), spec)
+    assert row["tasks"] == 60
+    assert row["answers"] == row["unique_tasks"] * spec.redundancy
+    by_type = bench.assert_slas_met(result)
+    assert by_type and all(
+        entry["latency_p99"] < entry["sla"] for entry in by_type.values()
+    )
+
+
 def test_wire_cluster_benchmark_smoke_single_point(tmp_path):
     bench = load_bench_module("bench_wire_cluster")
     # One scaling point and the shared-dedup race at toy scale: checks the

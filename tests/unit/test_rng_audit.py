@@ -1,0 +1,166 @@
+"""RNG hygiene audit: no module-level randomness in the generator stacks.
+
+Byte-identical replay (the scenario harness's core guarantee) only holds if
+every random draw flows from a seeded ``random.Random``.  This suite does
+two things:
+
+* **statically** walks the AST of every module under ``datasets/``,
+  ``workers/``, ``quality/`` and ``workload/`` and fails on any call to the
+  module-level ``random.*`` functions (the process-global, unseeded RNG) or
+  any ``from random import <function>`` — only ``random.Random`` itself is
+  allowed;
+* **dynamically** re-runs every generator twice with the same seed and
+  asserts identical output, so a module that launders global randomness
+  through a helper still gets caught.
+"""
+
+from __future__ import annotations
+
+import ast
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import (
+    make_entity_resolution_dataset,
+    make_image_label_dataset,
+    make_ranking_dataset,
+)
+from repro.datasets.products import make_product_name, perturb_product_name
+from repro.config import WorkerPoolConfig
+from repro.workers.pool import WorkerPool
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Packages whose modules must never touch the process-global RNG.
+AUDITED_PACKAGES = ("datasets", "workers", "quality", "workload")
+
+
+def audited_files() -> list[Path]:
+    files = [
+        path
+        for package in AUDITED_PACKAGES
+        for path in sorted((SRC / package).rglob("*.py"))
+    ]
+    assert files, f"no sources found under {SRC}"
+    return files
+
+
+def global_rng_uses(path: Path) -> list[str]:
+    """Return one description per unseeded-RNG use in *path*."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        # random.<anything-but-Random>(...) — calls on the module-global RNG.
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "random"
+            and node.attr != "Random"
+        ):
+            problems.append(f"{path.name}:{node.lineno}: random.{node.attr}")
+        # from random import shuffle / choice / ... — same RNG, renamed.
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            for alias in node.names:
+                if alias.name != "Random":
+                    problems.append(
+                        f"{path.name}:{node.lineno}: from random import {alias.name}"
+                    )
+    return problems
+
+
+class TestStaticAudit:
+    def test_no_module_level_random_in_generator_stacks(self):
+        problems = [
+            problem for path in audited_files() for problem in global_rng_uses(path)
+        ]
+        assert problems == [], (
+            "unseeded module-level RNG found (thread a random.Random through "
+            f"instead): {problems}"
+        )
+
+    def test_audit_detects_offenders(self, tmp_path):
+        # The audit itself must not be vacuous.
+        offender = tmp_path / "offender.py"
+        offender.write_text(
+            "import random\nfrom random import shuffle\n"
+            "def f():\n    return random.random()\n"
+        )
+        found = global_rng_uses(offender)
+        assert len(found) == 2
+
+
+class TestSameSeedDeterminism:
+    def test_image_label_dataset(self):
+        first = make_image_label_dataset(num_images=50, seed=13)
+        second = make_image_label_dataset(num_images=50, seed=13)
+        assert first.images == second.images
+        assert first.labels == second.labels
+
+    def test_entity_resolution_dataset(self):
+        first = make_entity_resolution_dataset(
+            num_entities=12, duplicates_per_entity=3, seed=29
+        )
+        second = make_entity_resolution_dataset(
+            num_entities=12, duplicates_per_entity=3, seed=29
+        )
+        assert first.records == second.records
+        assert first.clusters == second.clusters
+        assert first.matching_pairs == second.matching_pairs
+
+    def test_ranking_dataset(self):
+        first = make_ranking_dataset(num_items=15, seed=4)
+        second = make_ranking_dataset(num_items=15, seed=4)
+        assert first.items == second.items
+        assert first.ranking() == second.ranking()
+
+    def test_product_name_generators(self):
+        first = [make_product_name(random.Random(77)) for _ in range(5)]
+        second = [make_product_name(random.Random(77)) for _ in range(5)]
+        assert first == second
+        name = make_product_name(random.Random(1))
+        assert perturb_product_name(name, random.Random(8)) == perturb_product_name(
+            name, random.Random(8)
+        )
+
+    def test_worker_pool_answers(self):
+        config = WorkerPoolConfig(
+            size=15, spammer_fraction=0.2, adversarial_fraction=0.1, seed=41
+        )
+
+        def transcript(pool: WorkerPool) -> list[tuple[str, object, float]]:
+            out = []
+            for _ in range(30):
+                worker = pool.draw()
+                answer, latency = worker.answer(
+                    ["Yes", "No"], "Yes", pool.rng, task_type="generic"
+                )
+                out.append((worker.worker_id, answer, latency))
+            return out
+
+        assert transcript(WorkerPool.from_config(config)) == transcript(
+            WorkerPool.from_config(config)
+        )
+
+    def test_marketplace_pool_answers(self):
+        from repro.workload import DEFAULT_TASK_TYPES, build_marketplace_pool
+
+        def transcript(seed: int) -> list[tuple[str, object, float]]:
+            pool = build_marketplace_pool(
+                12, DEFAULT_TASK_TYPES, seed=seed, acceptance_mean=0.7
+            )
+            out = []
+            for _ in range(20):
+                worker = pool.draw()
+                answer, latency = worker.answer(
+                    ["A", "B"], "A", pool.rng, task_type="compare"
+                )
+                out.append((worker.worker_id, answer, latency))
+            return out
+
+        assert transcript(19) == transcript(19)
+        assert transcript(19) != transcript(20)
+
+
+pytestmark = pytest.mark.workload
