@@ -2,7 +2,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast test-ring test-replica test-wire test-workload bench bench-smoke bench-trend profile docs-check examples-check check
+.PHONY: test test-fast test-ring test-replica test-wire test-workload test-quality bench bench-smoke bench-trend profile docs-check examples-check check
 
 test:
 	$(PYTEST) -x -q
@@ -36,13 +36,20 @@ test-workload:
 	$(PYTEST) -x -q -m workload
 	$(PYTEST) benchmarks/bench_workload.py -q --bench-scale=smoke
 
+# Everything quality-marked: incremental aggregation, the streaming
+# adaptive loop and its property suites, plus the E18 benchmark at smoke
+# scale.
+test-quality:
+	$(PYTEST) -x -q -m quality
+	$(PYTEST) benchmarks/bench_adaptive_quality.py -q --bench-scale=smoke
+
 # Full benchmark harness (writes tables under benchmarks/results/).
 bench:
 	$(PYTEST) benchmarks -q
 
 # One-iteration benchmark sanity pass at toy scale (seconds, not minutes).
 bench-smoke:
-	$(PYTEST) benchmarks/bench_bulk_path.py benchmarks/bench_sharded_scan.py benchmarks/bench_platform_store.py benchmarks/bench_pipelined_transport.py benchmarks/bench_ring_rebalance.py benchmarks/bench_ring_replication.py benchmarks/bench_wire_cluster.py benchmarks/bench_hot_path.py benchmarks/bench_workload.py -q --bench-scale=smoke
+	$(PYTEST) benchmarks/bench_bulk_path.py benchmarks/bench_sharded_scan.py benchmarks/bench_platform_store.py benchmarks/bench_pipelined_transport.py benchmarks/bench_ring_rebalance.py benchmarks/bench_ring_replication.py benchmarks/bench_wire_cluster.py benchmarks/bench_hot_path.py benchmarks/bench_workload.py benchmarks/bench_adaptive_quality.py -q --bench-scale=smoke
 
 # Diff the working-tree BENCH_*.json trajectories against the committed
 # baselines at HEAD; fail on any >20% regression of a tracked metric.

@@ -73,6 +73,16 @@ class FaultRecoveryCache:
         """
         self.engine.put_many(self._tasks_table, list(tasks.items()), if_absent=True)
 
+    def update_tasks(self, tasks: Mapping[str, dict[str, Any]]) -> None:
+        """Overwrite a batch of task descriptors in one write.
+
+        Bulk sibling of :meth:`put_task`'s idempotent overwrite — used when
+        a known descriptor legitimately changes (adaptive redundancy
+        top-ups), never for first publication (that is :meth:`put_tasks`,
+        whose put_new semantics protect crashed batches).
+        """
+        self.engine.put_many(self._tasks_table, list(tasks.items()), if_absent=False)
+
     def task_count(self) -> int:
         """Number of cached task descriptors.
 

@@ -78,6 +78,7 @@ from repro.platform.client import PlatformClient
 from repro.presenters.base import BasePresenter, registry as presenter_registry
 from repro.quality.adaptive import AdaptiveCollectionStats, AdaptivePolicy
 from repro.quality.aggregation import AggregationResult, get_aggregator
+from repro.quality.incremental import IncrementalAggregator, IncrementalMajorityVote
 from repro.storage.schema import TableSchema
 
 
@@ -468,60 +469,66 @@ class CrowdData:
             fill(task_id, indexes, [])
         flush()
 
-    def get_result_adaptive(self, policy: AdaptivePolicy | None = None) -> "CrowdData":
+    def get_result_adaptive(
+        self,
+        policy: AdaptivePolicy | None = None,
+        aggregator: IncrementalAggregator | None = None,
+    ) -> "CrowdData":
         """Collect answers with adaptive redundancy (budget-aware ``get_result``).
 
         Tasks should have been published with ``policy.initial_assignments``.
-        Each round simulates the crowd, checks every unresolved row's answer
-        confidence, and requests ``policy.extra_per_round`` more assignments
-        for the rows that are still ambiguous — up to
-        ``policy.max_assignments`` per task.  Rows already in the
-        fault-recovery cache are never re-collected.
+        Each round simulates the crowd, then walks the platform's paged
+        task-run stream **once** — O(pages) round-trips per round instead of
+        one ``get_task_runs`` call per unresolved task — feeding only each
+        task's *new* runs into an incremental quality model.  Items whose
+        confidence crosses the policy threshold stop purchasing answers, and
+        a single batched ``extend_tasks_redundancy`` call per round tops up
+        the still-ambiguous ones, so the freed budget flows to the hard
+        objects.  Rows already in the fault-recovery cache are never
+        re-collected.
+
+        Budget ordering: a round's extensions are charged only *after* the
+        platform accepted them, so a transport failure mid-round leaks no
+        spend.  Under a hard budget only the affordable prefix of a round is
+        purchased (descriptors and charges made durable) before the overflow
+        raises — a rerun with more budget resumes where this one stopped.
 
         Args:
             policy: The adaptive policy; defaults to :class:`AdaptivePolicy`.
+            aggregator: Incremental quality model fed page by page; defaults
+                to :class:`~repro.quality.incremental.IncrementalMajorityVote`.
+                Pass an :class:`~repro.quality.incremental.OnlineDawidSkene`
+                for posterior-based early stopping; it is kept (with its
+                learned worker statistics) on :attr:`last_adaptive_aggregator`.
         """
         policy = policy or AdaptivePolicy()
         presenter = self._require_presenter()
         stats = AdaptiveCollectionStats()
         cache_hits = self._load_cached_results(presenter)
         missing = self._missing_rows("get_result_adaptive()")
+        tracker = aggregator if aggregator is not None else IncrementalMajorityVote()
         if missing:
             self._heal_stale_tasks(missing)
-            unresolved = list(missing)
-            while unresolved:
-                self.client.simulate_work(project_id=self.project_id)
-                stats.rounds += 1
-                still_unresolved: list[int] = []
-                for index in unresolved:
-                    descriptor = self.data["task"][index]
-                    answers = [
-                        run.answer for run in self.client.get_task_runs(descriptor["task_id"])
-                    ]
-                    if policy.is_resolved(answers):
-                        continue
-                    extra = policy.next_batch(answers)
-                    if extra <= 0:
-                        continue
-                    if self.budget is not None:
-                        self.budget.charge(
-                            extra, label=f"{self.table_name}:{descriptor['object_key']}:adaptive"
-                        )
-                    task = self.client.extend_task_redundancy(descriptor["task_id"], extra)
-                    descriptor["n_assignments"] = task.n_assignments
-                    self.cache.put_task(descriptor["object_key"], descriptor)
-                    still_unresolved.append(index)
-                unresolved = still_unresolved
+            self._adaptive_rounds(missing, policy, tracker, stats)
+            counted: set[int] = set()
 
             def build(descriptor: dict[str, Any], runs: list) -> tuple[dict[str, Any], bool]:
-                answers = [run.answer for run in runs]
-                stats.answers_collected += len(runs)
-                if len(runs) >= policy.max_assignments and not (
-                    answers and policy.confidence(answers) >= policy.confidence_threshold
-                ):
-                    stats.items_at_cap += 1
-                else:
-                    stats.items_resolved_early += 1
+                task_id = descriptor["task_id"]
+                if task_id not in counted:
+                    # Classify per *task*, not per row: rows sharing one
+                    # deduplicated task contribute a single item to the
+                    # stats tallies.
+                    counted.add(task_id)
+                    answers = [run.answer for run in runs]
+                    if len(runs) < policy.min_assignments:
+                        stats.items_below_minimum += 1
+                    elif len(runs) >= policy.max_assignments and not (
+                        answers
+                        and policy.confidence(answers) >= policy.confidence_threshold
+                    ):
+                        stats.items_at_cap += 1
+                    else:
+                        stats.items_resolved_early += 1
                 result = {
                     "object_key": descriptor["object_key"],
                     "task_id": descriptor["task_id"],
@@ -534,6 +541,7 @@ class CrowdData:
 
             self._collect_streaming(missing, build)
         self._last_adaptive_stats = stats
+        self._last_adaptive_aggregator = tracker
         self.log.record(
             "get_result_adaptive",
             parameters={
@@ -548,10 +556,147 @@ class CrowdData:
         )
         return self
 
+    def _adaptive_rounds(
+        self,
+        missing: list[int],
+        policy: AdaptivePolicy,
+        tracker: IncrementalAggregator,
+        stats: AdaptiveCollectionStats,
+    ) -> None:
+        """Run the adaptive round loop over the paged task-run stream.
+
+        One state per *task* (rows sharing a deduplicated task are decided
+        once): ``seen`` is how many of the task's runs have already been fed
+        to *tracker*, so each round ships only the new suffix of each run
+        list into the model.
+        """
+        pending: dict[int, dict[str, Any]] = {}
+        for index in missing:
+            descriptor = self.data["task"][index]
+            pending.setdefault(
+                descriptor["task_id"], {"descriptor": descriptor, "seen": 0}
+            )
+        while pending:
+            self.client.simulate_work(project_id=self.project_id)
+            stats.rounds += 1
+            round_new = 0
+            streamed = 0
+            remaining = set(pending)
+            page: dict[int, list[tuple[str, Any]]] = {}
+            for task_id, runs in self.client.iter_task_runs_for_project(
+                self.project_id, self.collect_page_size
+            ):
+                streamed += 1
+                state = pending.get(task_id)
+                if state is None:
+                    continue
+                remaining.discard(task_id)
+                new_runs = runs[state["seen"] :]
+                if new_runs:
+                    state["seen"] = len(runs)
+                    page[task_id] = [(run.worker_id, run.answer) for run in new_runs]
+                    round_new += len(new_runs)
+                    if len(page) >= self.collect_page_size:
+                        tracker.partial_fit(page)
+                        page.clear()
+                if not remaining:
+                    break
+            if page:
+                tracker.partial_fit(page)
+            stats.pages_streamed += max(1, -(-streamed // self.collect_page_size))
+            stats.answers_collected += round_new
+
+            extensions: dict[int, int] = {}
+            for task_id in list(pending):
+                seen = pending[task_id]["seen"]
+                if seen >= policy.max_assignments:
+                    pending.pop(task_id)
+                    continue
+                if seen >= policy.min_assignments:
+                    counts = tracker.counts(task_id)
+                    confidence = (
+                        policy.confidence_from_counts(counts)
+                        if counts is not None
+                        else tracker.confidence(task_id)
+                    )
+                    if confidence >= policy.confidence_threshold:
+                        pending.pop(task_id)
+                        continue
+                extra = min(policy.extra_per_round, policy.max_assignments - seen)
+                if extra > 0:
+                    extensions[task_id] = extra
+            if not pending:
+                break
+            if round_new == 0:
+                # The platform produced nothing new this round; further
+                # rounds cannot make progress (a dead or non-simulating
+                # platform) — stop purchasing and let the final collection
+                # classify the leftovers (below-minimum / at-cap).
+                break
+            if extensions:
+                self._extend_adaptive(pending, extensions, stats)
+
+    def _extend_adaptive(
+        self,
+        pending: dict[int, dict[str, Any]],
+        extensions: dict[int, int],
+        stats: AdaptiveCollectionStats,
+    ) -> None:
+        """Purchase one round's redundancy extensions: extend first, charge after.
+
+        The whole round is one ``extend_tasks_redundancy`` round-trip.  The
+        budget is charged only once the platform has accepted the batch —
+        the failure mode of charging first is committed spend with no
+        purchased redundancy.  Under a hard budget only the affordable
+        prefix is purchased; the overflow raises after the prefix's
+        descriptors and charges are durable, mirroring ``publish_task``.
+        """
+        overflow = 0
+        if self.budget is not None and self.budget.budget is not None:
+            price = self.budget.price_per_assignment
+            headroom = max(0.0, self.budget.budget - self.budget.spent)
+            affordable = int((headroom + 1e-9) // price) if price > 0 else None
+            if affordable is not None:
+                purchase: dict[int, int] = {}
+                used = 0
+                for task_id, extra in extensions.items():
+                    if used + extra > affordable:
+                        overflow += extra
+                        continue
+                    used += extra
+                    purchase[task_id] = extra
+                extensions = purchase
+        if extensions:
+            tasks = self.client.extend_tasks_redundancy(extensions)
+            by_id = {task.task_id: task for task in tasks}
+            updates: dict[str, dict[str, Any]] = {}
+            for task_id, extra in extensions.items():
+                descriptor = pending[task_id]["descriptor"]
+                descriptor["n_assignments"] = by_id[task_id].n_assignments
+                updates[descriptor["object_key"]] = descriptor
+                if self.budget is not None:
+                    self.budget.charge(
+                        extra,
+                        label=f"{self.table_name}:{descriptor['object_key']}:adaptive",
+                    )
+                stats.extensions_requested += extra
+            self.cache.update_tasks(updates)
+        if overflow:
+            raise BudgetExceededError(
+                overflow * self.budget.price_per_assignment,
+                self.budget.spent,
+                self.budget.budget,
+            )
+
     @property
     def last_adaptive_stats(self) -> AdaptiveCollectionStats | None:
         """Statistics of the most recent adaptive collection, if any."""
         return getattr(self, "_last_adaptive_stats", None)
+
+    @property
+    def last_adaptive_aggregator(self) -> IncrementalAggregator | None:
+        """The incremental model the most recent adaptive collection fed."""
+        return getattr(self, "_last_adaptive_aggregator", None)
 
     def _republish_many(self, indexes: list[int]) -> None:
         """Re-publish rows whose cached task the platform no longer knows.

@@ -122,6 +122,19 @@ class CrowdLabel(CrowdOperator):
         answers_collected = sum(
             len(row["assignments"]) for row in crowddata.column("result") if row is not None
         )
+        extras: dict[str, Any] = {
+            "adaptive": self.adaptive is not None,
+            "mean_answers_per_item": round(answers_collected / len(objects), 2),
+        }
+        adaptive_stats = crowddata.last_adaptive_stats
+        if self.adaptive is not None and adaptive_stats is not None:
+            # Early-stopping accounting: how much redundancy the policy
+            # reallocated (or refused to buy) compared to fixed redundancy.
+            extras["items_resolved_early"] = adaptive_stats.items_resolved_early
+            extras["items_at_cap"] = adaptive_stats.items_at_cap
+            extras["items_below_minimum"] = adaptive_stats.items_below_minimum
+            extras["extensions_requested"] = adaptive_stats.extensions_requested
+            extras["pages_streamed"] = adaptive_stats.pages_streamed
         result.report = OperatorReport(
             operator=self.name,
             table_name=self.table_name,
@@ -129,13 +142,10 @@ class CrowdLabel(CrowdOperator):
             crowd_answers=answers_collected,
             total_candidates=len(objects),
             rounds=(
-                crowddata.last_adaptive_stats.rounds
-                if self.adaptive is not None and crowddata.last_adaptive_stats
+                adaptive_stats.rounds
+                if self.adaptive is not None and adaptive_stats
                 else 1
             ),
-            extras={
-                "adaptive": self.adaptive is not None,
-                "mean_answers_per_item": round(answers_collected / len(objects), 2),
-            },
+            extras=extras,
         )
         return result

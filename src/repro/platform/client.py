@@ -170,6 +170,19 @@ class PlatformClient:
             "extend_task_redundancy", self.server.extend_task_redundancy, task_id, extra
         )
 
+    def extend_tasks_redundancy(self, extensions: dict[int, int]) -> list[Task]:
+        """Request extra assignments for a batch of tasks in one round-trip.
+
+        *extensions* maps task id to the number of additional assignments;
+        the adaptive collection loop uses this to top up every unresolved
+        task of a round with a single platform call.
+        """
+        return self._call(
+            "extend_tasks_redundancy",
+            self.server.extend_tasks_redundancy,
+            dict(extensions),
+        )
+
     # -- task runs ------------------------------------------------------------------
 
     def get_task_runs(self, task_id: int) -> list[TaskRun]:

@@ -390,6 +390,31 @@ class PlatformServer:
         self.store.update_task(task)
         return task
 
+    def extend_tasks_redundancy(self, extensions: dict[int, int]) -> list[Task]:
+        """Extend several tasks' redundancy in one round-trip.
+
+        The whole batch is validated before anything mutates — an unknown
+        task id or non-positive extra leaves every task untouched, so a
+        caller that charges budget per accepted extension never observes a
+        half-applied batch from a rejected request.  Returns the updated
+        tasks in the batch's iteration order.
+        """
+        items: list[tuple[Task, int]] = []
+        for task_id, extra in extensions.items():
+            if extra <= 0:
+                raise PlatformError(
+                    f"extra assignments must be positive, got {extra} "
+                    f"for task {task_id}"
+                )
+            items.append((self.get_task(task_id), extra))
+        tasks: list[Task] = []
+        for task, extra in items:
+            task.n_assignments += extra
+            task.completed_at = None
+            self.store.update_task(task)
+            tasks.append(task)
+        return tasks
+
     # -- task runs --------------------------------------------------------------------
 
     def get_task_runs(self, task_id: int) -> list[TaskRun]:

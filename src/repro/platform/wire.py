@@ -109,6 +109,7 @@ WIRE_OPS = frozenset(
         "list_tasks",
         "delete_task",
         "extend_task_redundancy",
+        "extend_tasks_redundancy",
         "get_task_runs",
         "get_task_runs_for_project",
         "list_project_task_ids",

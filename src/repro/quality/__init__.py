@@ -24,6 +24,11 @@ from repro.quality.glad import OneParameterEMAggregator, one_parameter_em
 from repro.quality.spammer import spammer_score, detect_spammers
 from repro.quality.confidence import answer_entropy, vote_confidence
 from repro.quality.gold import GoldReport, GoldStandard, inject_gold
+from repro.quality.incremental import (
+    IncrementalAggregator,
+    IncrementalMajorityVote,
+    OnlineDawidSkene,
+)
 
 __all__ = [
     "AdaptivePolicy",
@@ -35,6 +40,9 @@ __all__ = [
     "AggregationResult",
     "get_aggregator",
     "register_aggregator",
+    "IncrementalAggregator",
+    "IncrementalMajorityVote",
+    "OnlineDawidSkene",
     "MajorityVoteAggregator",
     "majority_vote",
     "WeightedVoteAggregator",

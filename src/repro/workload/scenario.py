@@ -42,6 +42,7 @@ from repro.config import PlatformConfig, ReprowdConfig, StorageConfig, WorkerPoo
 from repro.core.budget import BudgetTracker
 from repro.core.context import CrowdContext
 from repro.exceptions import ConfigurationError
+from repro.quality.adaptive import AdaptiveCollectionStats, AdaptivePolicy
 from repro.utils.validation import require_positive
 from repro.workload.arrivals import Arrival, build_arrival_process
 from repro.workload.keys import ZipfKeyGenerator
@@ -119,6 +120,12 @@ class ScenarioSpec:
         budget: Optional hard budget cap (None is uncapped).
         quality_method: Aggregator applied at the end (``"mv"``, ``"em"``,
             ...).
+        adaptive: Collect with per-object adaptive redundancy instead of a
+            fixed count — tasks start at 2 assignments, only ambiguous
+            items buy more, capped at ``redundancy`` (see
+            ``docs/quality.md``).
+        adaptive_threshold: Adaptive only — stop purchasing answers for an
+            item once its plurality confidence reaches this fraction.
     """
 
     name: str = "scenario"
@@ -159,6 +166,8 @@ class ScenarioSpec:
     price_per_assignment: float = 0.01
     budget: float | None = None
     quality_method: str = "mv"
+    adaptive: bool = False
+    adaptive_threshold: float = 0.75
 
     # -- derived -------------------------------------------------------------
 
@@ -197,6 +206,11 @@ class ScenarioSpec:
         require_positive("batch_size", self.batch_size)
         require_positive("redundancy", self.redundancy)
         require_positive("price_per_assignment", self.price_per_assignment)
+        if not 0.0 < self.adaptive_threshold <= 1.0:
+            raise ConfigurationError(
+                "adaptive_threshold must be in (0, 1], got "
+                f"{self.adaptive_threshold}"
+            )
         if self.budget is not None:
             require_positive("budget", self.budget)
         if self.pool_size < self.redundancy:
@@ -299,6 +313,8 @@ class ScenarioSpec:
             "price_per_assignment": self.price_per_assignment,
             "budget": self.budget,
             "quality_method": self.quality_method,
+            "adaptive": self.adaptive,
+            "adaptive_threshold": self.adaptive_threshold,
         }
         return payload
 
@@ -491,6 +507,17 @@ class ScenarioRunner:
         event_log: list[dict[str, Any]] = []
         started = time.perf_counter()
 
+        adaptive_policy = (
+            AdaptivePolicy(
+                initial_assignments=min(2, spec.redundancy),
+                min_assignments=min(2, spec.redundancy),
+                max_assignments=spec.redundancy,
+                confidence_threshold=spec.adaptive_threshold,
+            )
+            if spec.adaptive
+            else None
+        )
+        adaptive_totals = AdaptiveCollectionStats()
         with CrowdContext(
             config=config,
             worker_pool=pool,
@@ -519,11 +546,25 @@ class ScenarioRunner:
                         seen_keys[obj["key"]] = obj["type"]
                         new_keys += 1
                 data.extend(objects)
-                data.publish_task(n_assignments=spec.redundancy)
-                # Collect inside the batch so the crowd answers under this
-                # batch's marketplace conditions (wave on/off), not at the
-                # end of the run under the final ones.
-                data.get_result(blocking=True)
+                if adaptive_policy is not None:
+                    data.publish_task(
+                        n_assignments=adaptive_policy.initial_assignments
+                    )
+                    # Collect inside the batch so the crowd answers under this
+                    # batch's marketplace conditions (wave on/off), not at the
+                    # end of the run under the final ones.
+                    data.get_result_adaptive(adaptive_policy)
+                    batch_stats = data.last_adaptive_stats
+                    for stat_field in vars(batch_stats):
+                        setattr(
+                            adaptive_totals,
+                            stat_field,
+                            getattr(adaptive_totals, stat_field)
+                            + getattr(batch_stats, stat_field),
+                        )
+                else:
+                    data.publish_task(n_assignments=spec.redundancy)
+                    data.get_result(blocking=True)
                 event_log.append(
                     {
                         "batch": batch_index,
@@ -540,7 +581,14 @@ class ScenarioRunner:
             pool.set_wave_active(False)
             data.quality_control(spec.quality_method)
             report, collected = self._summarise(
-                spec, data, pool, budget, arrivals, seen_keys, started
+                spec,
+                data,
+                pool,
+                budget,
+                arrivals,
+                seen_keys,
+                started,
+                adaptive_stats=adaptive_totals if spec.adaptive else None,
             )
         return ScenarioResult(
             spec=spec,
@@ -561,6 +609,7 @@ class ScenarioRunner:
         arrivals: list[Arrival],
         seen_keys: Mapping[str, str],
         started: float,
+        adaptive_stats: AdaptiveCollectionStats | None = None,
     ) -> tuple[dict[str, Any], list[dict[str, Any]]]:
         types = {t.name: t for t in spec.resolved_task_types}
         decisions = data.column(spec.quality_method)
@@ -643,6 +692,11 @@ class ScenarioRunner:
             "quality": {
                 "method": spec.quality_method,
                 "accuracy": (total_correct / unique_tasks) if unique_tasks else 1.0,
+                **(
+                    {"adaptive": adaptive_stats.to_dict()}
+                    if adaptive_stats is not None
+                    else {}
+                ),
             },
             "economics": {
                 "assignments_purchased": int(

@@ -128,6 +128,24 @@ def test_workload_benchmark_smoke_single_run(tmp_path):
     )
 
 
+def test_adaptive_quality_benchmark_smoke_single_run():
+    bench = load_bench_module("bench_adaptive_quality")
+    # run_adaptive itself asserts E18's structural guarantees (no per-task
+    # run fetches, O(pages) round trips, online EM == batch EM on every
+    # item); at toy scale we check the harness and the answer savings, not
+    # the full-scale floors (those stay behind `make bench`).
+    from repro.datasets import make_image_label_dataset
+
+    dataset = make_image_label_dataset(num_images=40, seed=bench.SEED)
+    fixed = bench.run_fixed(dataset)
+    adaptive, detail = bench.run_adaptive(dataset)
+    assert fixed["answers"] == 40 * bench.FIXED_REDUNDANCY
+    assert adaptive["answers"] < fixed["answers"]
+    assert detail["em_decision_disagreements"] == 0
+    assert detail["em_items_checked"] == 40
+    assert detail["rounds"] >= 1
+
+
 def test_wire_cluster_benchmark_smoke_single_point(tmp_path):
     bench = load_bench_module("bench_wire_cluster")
     # One scaling point and the shared-dedup race at toy scale: checks the

@@ -202,6 +202,37 @@ class TestMarketplaceDynamics:
             len(entry["answers"]) == BASE.redundancy for entry in result.collected
         )
 
+    def test_adaptive_scenario_spends_less_and_reports_stats(self, runner):
+        from dataclasses import replace
+
+        fixed = replace(BASE, name="fixed", storage="memory", redundancy=5)
+        adaptive = replace(fixed, name="adaptive", adaptive=True)
+        fixed_result = runner.run(fixed)
+        adaptive_result = runner.run(adaptive)
+        stats = adaptive_result.report["quality"]["adaptive"]
+        assert stats["rounds"] >= 1
+        assert stats["answers_collected"] == (
+            adaptive_result.report["workload"]["answers"]
+        )
+        assert (
+            adaptive_result.report["workload"]["answers"]
+            < fixed_result.report["workload"]["answers"]
+        )
+        # Replay determinism holds on the adaptive path too.
+        assert (
+            runner.run(adaptive).canonical_collected
+            == adaptive_result.canonical_collected
+        )
+        assert "adaptive" not in fixed_result.report["quality"]
+
+    def test_adaptive_threshold_is_validated(self):
+        from dataclasses import replace
+
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            replace(BASE, adaptive_threshold=1.5).validate()
+
     def test_budget_cap_surfaces_budget_exceeded(self, runner):
         from dataclasses import replace
 

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+from collections import Counter
+
 import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.core.budget import BudgetExceededError, BudgetTracker
 from repro.quality.adaptive import AdaptivePolicy
+from repro.quality.confidence import wilson_lower_bound
 
 answers_lists = st.lists(st.sampled_from(["Yes", "No", "Maybe"]), max_size=12)
 
@@ -65,6 +68,56 @@ class TestAdaptivePolicyProperties:
             min_assignments=2, max_assignments=12, confidence_threshold=threshold
         )
         assert policy.is_resolved(["Yes"] * unanimous_count)
+
+
+class TestWilsonConfidenceProperties:
+    """The Wilson path computes the plurality count exactly.
+
+    The count used to be reconstructed as ``round(share * len(answers))``,
+    a float product; the fixed implementation feeds the true Counter
+    maximum straight into :func:`wilson_lower_bound`.  These properties pin
+    the exactness and the monotonicity the reconstruction endangered.
+    """
+
+    @given(answers=answers_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_wilson_confidence_uses_the_exact_plurality_count(self, answers):
+        assume(answers)
+        policy = AdaptivePolicy(use_wilson=True)
+        counts = Counter(answers)
+        expected = wilson_lower_bound(max(counts.values()), len(answers))
+        assert policy.confidence(answers) == expected
+
+    @given(answers=answers_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_counts_form_agrees_with_answer_list_form(self, answers):
+        for use_wilson in (False, True):
+            policy = AdaptivePolicy(use_wilson=use_wilson)
+            counts = Counter(answers)
+            assert policy.confidence_from_counts(counts) == policy.confidence(answers)
+            assert policy.is_resolved_counts(counts) == policy.is_resolved(answers)
+            assert policy.next_batch_counts(counts) == policy.next_batch(answers)
+
+    @given(
+        winners=st.integers(min_value=1, max_value=40),
+        losers=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_wilson_is_monotone_in_the_winner_count(self, winners, losers):
+        assume(winners > losers)  # keep "Yes" the plurality after the increment
+        policy = AdaptivePolicy(use_wilson=True)
+        before = policy.confidence_from_counts({"Yes": winners, "No": losers})
+        # One more vote for the winner at fixed total-loser count can only
+        # raise the lower bound.
+        after = policy.confidence_from_counts({"Yes": winners + 1, "No": losers})
+        assert after >= before - 1e-12
+
+    @given(counts=st.dictionaries(st.sampled_from(["A", "B", "C"]), st.integers(min_value=0, max_value=0), max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_zero_tallies_yield_zero_confidence(self, counts):
+        for use_wilson in (False, True):
+            policy = AdaptivePolicy(use_wilson=use_wilson)
+            assert policy.confidence_from_counts(counts) == 0.0
 
 
 class TestBudgetTrackerProperties:

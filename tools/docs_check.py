@@ -12,9 +12,10 @@ Five checks, all cheap enough for tier-1 (see ``make docs-check`` and
    least one *other* checked document, so the set stays a navigable web
    rather than accumulating orphan pages.
 3. **Config-field coverage** — every field of ``StorageConfig``,
-   ``PlatformConfig``, ``ScenarioSpec`` and ``TaskType`` (read live via
-   ``dataclasses.fields``) must be mentioned somewhere under ``docs/``;
-   adding a knob without documenting it fails the build.
+   ``PlatformConfig``, ``ScenarioSpec``, ``TaskType`` and
+   ``AdaptivePolicy`` (read live via ``dataclasses.fields``) must be
+   mentioned somewhere under ``docs/``; adding a knob without documenting
+   it fails the build.
 4. **Benchmark catalogue** — every ``benchmarks/bench_*.py`` file must
    appear in ``docs/benchmarks.md``, keeping the catalogue unable to go
    stale.
@@ -125,6 +126,7 @@ def check_config_field_coverage(doc_files: list[str]) -> list[str]:
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
     try:
         from repro.config import PlatformConfig, StorageConfig
+        from repro.quality import AdaptivePolicy
         from repro.workload import ScenarioSpec, TaskType
     finally:
         sys.path.pop(0)
@@ -134,7 +136,7 @@ def check_config_field_coverage(doc_files: list[str]) -> list[str]:
         if os.path.relpath(doc_path, REPO_ROOT).replace(os.sep, "/").startswith("docs/")
     )
     problems: list[str] = []
-    for config in (StorageConfig, PlatformConfig, ScenarioSpec, TaskType):
+    for config in (StorageConfig, PlatformConfig, ScenarioSpec, TaskType, AdaptivePolicy):
         for field in dataclasses.fields(config):
             # A mention must look like documentation of the field, not
             # incidental prose (several fields are common words: name,
